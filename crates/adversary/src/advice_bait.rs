@@ -1,0 +1,75 @@
+//! Poisoning the advice channel.
+
+use distill_sim::{Adversary, AdversaryCtx, DishonestPost};
+
+/// Targets `PROBE&SEEKADVICE`'s second probe: at round 0, every dishonest
+/// player votes for a **distinct** bad object (cycling if there are fewer bad
+/// objects than dishonest players).
+///
+/// An advice probe follows the vote of a uniformly random player, so with
+/// `(1−α)n` baited votes a fraction `≈ (1−α)` of advice probes are wasted on
+/// distinct bad objects — the worst case for the advice mechanism, because
+/// distinct targets also maximize the candidate pollution of the voted set
+/// `S`. Lemma 6's `4/α` endgame bound already prices this in; experiment E12
+/// measures against it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdviceBait {
+    fired: bool,
+}
+
+impl AdviceBait {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        AdviceBait { fired: false }
+    }
+}
+
+impl Adversary for AdviceBait {
+    fn on_round(&mut self, ctx: &mut AdversaryCtx<'_, '_>) -> Vec<DishonestPost> {
+        if self.fired {
+            return Vec::new();
+        }
+        self.fired = true;
+        let bad = ctx.world.bad_objects();
+        if bad.is_empty() {
+            return Vec::new();
+        }
+        ctx.dishonest
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| DishonestPost::vote(p, bad[i % bad.len()]))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "advice-bait"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distill_core::{Distill, DistillParams};
+    use distill_sim::{Engine, SimConfig, StopRule, World};
+
+    #[test]
+    fn distinct_bait_votes_cover_bad_objects() {
+        let n = 32;
+        let world = World::binary(n, 1, 6).unwrap();
+        let params = DistillParams::new(n, n, 0.5, world.beta()).unwrap();
+        let config = SimConfig::new(n, 16, 3).with_stop(StopRule::all_satisfied(500_000));
+        let mut engine = Engine::new(
+            config,
+            &world,
+            Box::new(Distill::new(params)),
+            Box::new(AdviceBait::new()),
+        )
+        .unwrap();
+        engine.step();
+        // 16 dishonest players voted for 16 distinct bad objects.
+        let voted = engine.tracker().objects_with_votes();
+        assert!(voted.len() >= 16);
+        let result = engine.run();
+        assert!(result.all_satisfied, "DISTILL survives advice bait");
+    }
+}

@@ -1,0 +1,113 @@
+//! Unbounded positive voting (reader-cap stress).
+
+use distill_sim::{Adversary, AdversaryCtx, DishonestPost};
+
+/// Posts `per_round` positive votes for random bad objects from **every**
+/// dishonest player, **every** round, forever.
+///
+/// The billboard accepts all of it (it is append-only and unopinionated);
+/// the attack is defeated purely by the reader-side
+/// [`VotePolicy`](distill_billboard::VotePolicy) cap — honest readers count
+/// only the first `f` positive reports per author. This strategy exists to
+/// verify that the cap, not some accident of timing, is what bounds the
+/// adversary's influence (and to stress tracker throughput).
+#[derive(Debug, Clone, Copy)]
+pub struct BallotStuffer {
+    per_round: u32,
+}
+
+impl BallotStuffer {
+    /// `per_round` stuffed ballots per dishonest player per round.
+    ///
+    /// # Panics
+    /// Panics if `per_round == 0`.
+    pub fn new(per_round: u32) -> Self {
+        assert!(per_round >= 1, "per_round must be at least 1");
+        BallotStuffer { per_round }
+    }
+}
+
+impl Default for BallotStuffer {
+    fn default() -> Self {
+        BallotStuffer::new(4)
+    }
+}
+
+impl Adversary for BallotStuffer {
+    fn on_round(&mut self, ctx: &mut AdversaryCtx<'_, '_>) -> Vec<DishonestPost> {
+        use rand::Rng;
+        let bad = ctx.world.bad_objects();
+        if bad.is_empty() {
+            return Vec::new();
+        }
+        let mut posts = Vec::with_capacity(ctx.dishonest.len() * self.per_round as usize);
+        for &p in ctx.dishonest {
+            for _ in 0..self.per_round {
+                posts.push(DishonestPost::vote(p, bad[ctx.rng.gen_range(0..bad.len())]));
+            }
+        }
+        posts
+    }
+
+    fn name(&self) -> &'static str {
+        "ballot-stuffer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distill_billboard::PlayerId;
+    use distill_core::{Distill, DistillParams};
+    use distill_sim::{Engine, SimConfig, StopRule, World};
+
+    #[test]
+    fn reader_cap_defeats_stuffing() {
+        let n = 32;
+        let world = World::binary(n, 1, 8).unwrap();
+        let params = DistillParams::new(n, n, 0.75, world.beta()).unwrap();
+        let config = SimConfig::new(n, 24, 13).with_stop(StopRule::all_satisfied(200_000));
+        let engine = Engine::new(
+            config,
+            &world,
+            Box::new(Distill::new(params)),
+            Box::new(BallotStuffer::new(8)),
+        )
+        .unwrap();
+        let result = engine.run();
+        assert!(result.all_satisfied);
+        // Billboard volume is huge, yet vote influence stays capped at one
+        // per dishonest player.
+        assert!(result.posts_total as u64 > result.total_probes());
+    }
+
+    #[test]
+    fn tracker_counts_at_most_one_vote_per_stuffer() {
+        let n = 16;
+        let world = World::binary(n, 1, 8).unwrap();
+        let params = DistillParams::new(n, n, 0.75, world.beta()).unwrap();
+        let config = SimConfig::new(n, 12, 13).with_stop(StopRule::all_satisfied(100_000));
+        let mut engine = Engine::new(
+            config,
+            &world,
+            Box::new(Distill::new(params)),
+            Box::new(BallotStuffer::new(16)),
+        )
+        .unwrap();
+        for _ in 0..20 {
+            engine.step();
+        }
+        for p in 12..16u32 {
+            assert!(
+                engine.tracker().votes_of(PlayerId(p)).len() <= 1,
+                "stuffer {p} counted more than once"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_rate_rejected() {
+        let _ = BallotStuffer::new(0);
+    }
+}

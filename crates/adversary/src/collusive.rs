@@ -1,0 +1,130 @@
+//! The whole dishonest vote budget concentrated on a few bad objects.
+
+use distill_billboard::ObjectId;
+use distill_sim::{Adversary, AdversaryCtx, DishonestPost};
+
+/// A colluding bloc: every dishonest player votes for one of `targets`
+/// pre-agreed bad objects, all in round `at_round`.
+///
+/// Concentration is the opposite extreme of [`UniformBad`](crate::UniformBad):
+/// instead of polluting many objects with one vote each, the bloc pushes a
+/// few bad objects to very high vote counts — the attack that popularity-
+/// style algorithms fall to (§1.3's "forming a malicious collective in fact
+/// heavily boosts the trust values of malicious nodes"), and that DISTILL's
+/// one-vote budget + per-iteration thresholds are designed to absorb.
+#[derive(Debug, Clone, Copy)]
+pub struct Collusive {
+    targets: usize,
+    at_round: u64,
+    fired: bool,
+    rounds_seen: u64,
+}
+
+impl Collusive {
+    /// A bloc voting for `targets` bad objects in round `at_round`.
+    ///
+    /// # Panics
+    /// Panics if `targets == 0`.
+    pub fn new(targets: usize, at_round: u64) -> Self {
+        assert!(targets >= 1, "need at least one target");
+        Collusive {
+            targets,
+            at_round,
+            fired: false,
+            rounds_seen: 0,
+        }
+    }
+}
+
+impl Default for Collusive {
+    /// Two targets, firing immediately.
+    fn default() -> Self {
+        Collusive::new(2, 0)
+    }
+}
+
+impl Adversary for Collusive {
+    fn on_round(&mut self, ctx: &mut AdversaryCtx<'_, '_>) -> Vec<DishonestPost> {
+        let now = self.rounds_seen;
+        self.rounds_seen += 1;
+        if self.fired || now < self.at_round {
+            return Vec::new();
+        }
+        self.fired = true;
+        let bad = ctx.world.bad_objects();
+        if bad.is_empty() {
+            return Vec::new();
+        }
+        let chosen: Vec<ObjectId> = bad.into_iter().take(self.targets).collect();
+        ctx.dishonest
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| DishonestPost::vote(p, chosen[i % chosen.len()]))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "collusive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distill_billboard::BoardView;
+    use distill_sim::{CandidateSet, Cohort, Directive, Engine, PhaseInfo, SimConfig, World};
+
+    #[derive(Debug)]
+    struct Trivial;
+    impl Cohort for Trivial {
+        fn directive(&mut self, _v: &BoardView<'_>) -> Directive {
+            Directive::ProbeUniform(CandidateSet::All)
+        }
+        fn phase_info(&self) -> PhaseInfo {
+            PhaseInfo::plain("trivial")
+        }
+        fn name(&self) -> &'static str {
+            "trivial"
+        }
+    }
+
+    #[test]
+    fn bloc_votes_land_on_few_objects() {
+        let world = World::binary(32, 2, 7).unwrap();
+        let config = SimConfig::new(16, 8, 5);
+        let result = Engine::new(
+            config,
+            &world,
+            Box::new(Trivial),
+            Box::new(Collusive::new(2, 0)),
+        )
+        .unwrap()
+        .run();
+        assert!(result.all_satisfied);
+        // 8 dishonest players voted; honest players each voted once on
+        // satisfaction. Posts exist and none were forged.
+        assert_eq!(result.forged_rejected, 0);
+        assert!(result.posts_total >= 8);
+    }
+
+    #[test]
+    fn delayed_firing() {
+        let world = World::binary(32, 2, 7).unwrap();
+        let config = SimConfig::new(16, 12, 6);
+        let result = Engine::new(
+            config,
+            &world,
+            Box::new(Trivial),
+            Box::new(Collusive::new(1, 3)),
+        )
+        .unwrap()
+        .run();
+        assert!(result.all_satisfied);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target")]
+    fn zero_targets_rejected() {
+        let _ = Collusive::new(0, 0);
+    }
+}

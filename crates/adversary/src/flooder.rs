@@ -1,0 +1,94 @@
+//! Raw post-volume stress.
+
+use distill_billboard::ReportKind;
+use distill_sim::{Adversary, AdversaryCtx, DishonestPost};
+
+/// Posts `volume` junk messages per round — random objects, random claimed
+/// values, random polarity — spread across the dishonest players.
+///
+/// A pure denial-of-quality attack on the *infrastructure*: the algorithm is
+/// unaffected (junk positives are capped by the reader policy, junk negatives
+/// are ignored outright), so this strategy exists to keep the billboard and
+/// tracker honest about their `O(new posts)` ingestion costs. Used by the
+/// Criterion perf benches.
+#[derive(Debug, Clone, Copy)]
+pub struct Flooder {
+    volume: u32,
+}
+
+impl Flooder {
+    /// `volume` junk posts per round, round-robined over dishonest players.
+    ///
+    /// # Panics
+    /// Panics if `volume == 0`.
+    pub fn new(volume: u32) -> Self {
+        assert!(volume >= 1, "volume must be at least 1");
+        Flooder { volume }
+    }
+}
+
+impl Default for Flooder {
+    fn default() -> Self {
+        Flooder::new(64)
+    }
+}
+
+impl Adversary for Flooder {
+    fn on_round(&mut self, ctx: &mut AdversaryCtx<'_, '_>) -> Vec<DishonestPost> {
+        use rand::Rng;
+        if ctx.dishonest.is_empty() {
+            return Vec::new();
+        }
+        let m = ctx.m();
+        (0..self.volume)
+            .map(|i| {
+                let author = ctx.dishonest[(i as usize) % ctx.dishonest.len()];
+                DishonestPost {
+                    author,
+                    object: distill_billboard::ObjectId(ctx.rng.gen_range(0..m)),
+                    value: ctx.rng.gen::<f64>() * 2.0,
+                    kind: if ctx.rng.gen::<bool>() {
+                        ReportKind::Positive
+                    } else {
+                        ReportKind::Negative
+                    },
+                }
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "flooder"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distill_core::{Distill, DistillParams};
+    use distill_sim::{Engine, SimConfig, StopRule, World};
+
+    #[test]
+    fn flood_does_not_break_termination() {
+        let n = 32;
+        let world = World::binary(n, 1, 14).unwrap();
+        let params = DistillParams::new(n, n, 0.75, world.beta()).unwrap();
+        let config = SimConfig::new(n, 24, 9).with_stop(StopRule::all_satisfied(200_000));
+        let result = Engine::new(
+            config,
+            &world,
+            Box::new(Distill::new(params)),
+            Box::new(Flooder::new(100)),
+        )
+        .unwrap()
+        .run();
+        assert!(result.all_satisfied);
+        assert!(result.posts_total as u64 >= 100 * result.rounds / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_volume_rejected() {
+        let _ = Flooder::new(0);
+    }
+}

@@ -1,0 +1,52 @@
+//! # distill-adversary
+//!
+//! Byzantine strategies for the collaboration model of *Adaptive
+//! Collaboration in Peer-to-Peer Systems* (ICDCS 2005).
+//!
+//! The paper's guarantees are worst-case over **all** adversaries (§2.3:
+//! Byzantine, adaptive); these strategies implement the extremal behaviours
+//! its proofs identify, plus ablations and stress cases:
+//!
+//! | Strategy | Role |
+//! |---|---|
+//! | [`NullAdversary`] (re-exported) | silent baseline |
+//! | [`UniformBad`] | one vote per dishonest player for a random bad object |
+//! | [`Collusive`] | the whole vote budget concentrated on a few bad objects |
+//! | [`ThresholdMatcher`] | the Equation-1 budget-optimal adaptive attack: keeps as many bad candidates as possible just above DISTILL's survival thresholds |
+//! | [`Mimicry`] + [`MimicryInstance`] | the Theorem 2 symmetric-groups construction |
+//! | [`Lull`] | silence until the endgame, then a full-budget advice-channel strike |
+//! | [`Slander`] | floods negative reports on good objects ("is slander useless?") |
+//! | [`BallotStuffer`] | unbounded positive votes (exercises the reader-side `f`-cap) |
+//! | [`AdviceBait`] | early distinct bad votes to poison the advice channel |
+//! | [`Flooder`] | sheer post volume (billboard/tracker stress) |
+//!
+//! All strategies receive the honest protocol's public
+//! [`PhaseInfo`](distill_sim::PhaseInfo) — the protocol is public knowledge,
+//! so this grants no power the model does not already grant.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod advice_bait;
+mod ballot_stuffer;
+mod collusive;
+mod flooder;
+mod lull;
+mod mimicry;
+mod registry;
+mod slander;
+mod threshold_matcher;
+mod uniform_bad;
+
+pub use advice_bait::AdviceBait;
+pub use ballot_stuffer::BallotStuffer;
+pub use collusive::Collusive;
+pub use flooder::Flooder;
+pub use lull::Lull;
+pub use mimicry::{Mimicry, MimicryInstance};
+pub use registry::{gauntlet, GauntletEntry};
+pub use slander::Slander;
+pub use threshold_matcher::ThresholdMatcher;
+pub use uniform_bad::UniformBad;
+
+pub use distill_sim::NullAdversary;

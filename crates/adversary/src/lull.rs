@@ -1,0 +1,109 @@
+//! Endgame poisoning: hold the budget until the protocol is almost done.
+
+use distill_sim::{Adversary, AdversaryCtx, DishonestPost};
+
+/// Waits in silence until a target fraction of players hold votes — i.e.
+/// until the Lemma 6 endgame, when stragglers rely on advice probes — and
+/// only then spends the entire vote budget on distinct bad objects.
+///
+/// This is the timing-extremal complement of the
+/// [`ThresholdMatcher`](crate::ThresholdMatcher): instead of fighting the
+/// distillation loop it attacks the advice channel precisely when the
+/// remaining honest players depend on it most. Lemma 6's bound already
+/// covers this — with ≥ `αn/2` good votes on the board, a random player's
+/// vote is good with probability ≥ `α/2` regardless of how the remaining
+/// `(1−α)n` votes are timed — so DISTILL's endgame survives.
+#[derive(Debug, Clone, Copy)]
+pub struct Lull {
+    trigger_fraction: f64,
+    fired: bool,
+}
+
+impl Lull {
+    /// Fires once `trigger_fraction` of all players hold votes.
+    ///
+    /// # Panics
+    /// Panics unless `0 < trigger_fraction ≤ 1`.
+    pub fn new(trigger_fraction: f64) -> Self {
+        assert!(
+            0.0 < trigger_fraction && trigger_fraction <= 1.0,
+            "trigger fraction {trigger_fraction} out of (0, 1]"
+        );
+        Lull {
+            trigger_fraction,
+            fired: false,
+        }
+    }
+}
+
+impl Default for Lull {
+    /// Fires when a third of the population has voted.
+    fn default() -> Self {
+        Lull::new(1.0 / 3.0)
+    }
+}
+
+impl Adversary for Lull {
+    fn on_round(&mut self, ctx: &mut AdversaryCtx<'_, '_>) -> Vec<DishonestPost> {
+        if self.fired {
+            return Vec::new();
+        }
+        let voters = ctx.view.voters() as f64;
+        if voters < self.trigger_fraction * f64::from(ctx.n()) {
+            return Vec::new();
+        }
+        self.fired = true;
+        let bad = ctx.world.bad_objects();
+        if bad.is_empty() {
+            return Vec::new();
+        }
+        ctx.fresh_voters()
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| DishonestPost::vote(p, bad[i % bad.len()]))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "lull"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distill_core::{Distill, DistillParams};
+    use distill_sim::{Engine, SimConfig, StopRule, World};
+
+    #[test]
+    fn lull_waits_then_fires_once() {
+        let n = 64;
+        let world = World::binary(n, 1, 19).unwrap();
+        let params = DistillParams::new(n, n, 0.75, world.beta()).unwrap();
+        let config = SimConfig::new(n, 48, 8).with_stop(StopRule::all_satisfied(500_000));
+        let mut engine = Engine::new(
+            config,
+            &world,
+            Box::new(Distill::new(params)),
+            Box::new(Lull::default()),
+        )
+        .unwrap();
+        // Early on, no dishonest votes exist.
+        engine.step();
+        let early_dishonest_votes = engine
+            .tracker()
+            .events()
+            .iter()
+            .filter(|e| e.player.0 >= 48)
+            .count();
+        assert_eq!(early_dishonest_votes, 0, "lull must start silent");
+        let result = engine.run();
+        assert!(result.all_satisfied, "DISTILL must survive the lull attack");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0, 1]")]
+    fn trigger_fraction_validated() {
+        let _ = Lull::new(0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! The standard strategy gauntlet.
+
+use crate::{
+    AdviceBait, BallotStuffer, Collusive, Flooder, Lull, Slander, ThresholdMatcher, UniformBad,
+};
+use distill_sim::{Adversary, NullAdversary};
+
+/// One gauntlet entry: a stable name plus a factory producing a fresh
+/// strategy instance per trial (strategies are stateful, so instances must
+/// not be shared across runs).
+#[derive(Clone, Copy)]
+pub struct GauntletEntry {
+    /// Stable strategy name for reporting.
+    pub name: &'static str,
+    /// Produces a fresh instance.
+    pub make: fn() -> Box<dyn Adversary>,
+}
+
+impl std::fmt::Debug for GauntletEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GauntletEntry({})", self.name)
+    }
+}
+
+/// The standard adversary gauntlet used by the robustness ablation (E14):
+/// every world-agnostic strategy with default parameters.
+///
+/// [`Mimicry`](crate::Mimicry) is excluded — it requires its own instance
+/// construction ([`MimicryInstance`](crate::MimicryInstance)) and has a
+/// dedicated experiment (E5).
+pub fn gauntlet() -> Vec<GauntletEntry> {
+    vec![
+        GauntletEntry {
+            name: "null",
+            make: || Box::new(NullAdversary),
+        },
+        GauntletEntry {
+            name: "uniform-bad",
+            make: || Box::new(UniformBad::new()),
+        },
+        GauntletEntry {
+            name: "collusive",
+            make: || Box::<Collusive>::default(),
+        },
+        GauntletEntry {
+            name: "threshold-matcher",
+            make: || Box::new(ThresholdMatcher::new()),
+        },
+        GauntletEntry {
+            name: "slander",
+            make: || Box::new(Slander::new()),
+        },
+        GauntletEntry {
+            name: "ballot-stuffer",
+            make: || Box::<BallotStuffer>::default(),
+        },
+        GauntletEntry {
+            name: "advice-bait",
+            make: || Box::new(AdviceBait::new()),
+        },
+        GauntletEntry {
+            name: "lull",
+            make: || Box::<Lull>::default(),
+        },
+        GauntletEntry {
+            name: "flooder",
+            make: || Box::<Flooder>::default(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distill_core::{Distill, DistillParams};
+    use distill_sim::{Engine, SimConfig, StopRule, World};
+
+    #[test]
+    fn names_match_instances() {
+        for entry in gauntlet() {
+            let adversary = (entry.make)();
+            assert_eq!(adversary.name(), entry.name);
+        }
+    }
+
+    #[test]
+    fn distill_survives_the_whole_gauntlet() {
+        let n = 32;
+        let world = World::binary(n, 1, 5).unwrap();
+        for entry in gauntlet() {
+            let params = DistillParams::new(n, n, 0.75, world.beta()).unwrap();
+            let config = SimConfig::new(n, 24, 31).with_stop(StopRule::all_satisfied(300_000));
+            let result = Engine::new(
+                config,
+                &world,
+                Box::new(Distill::new(params)),
+                (entry.make)(),
+            )
+            .unwrap()
+            .run();
+            assert!(result.all_satisfied, "DISTILL failed against {}", entry.name);
+        }
+    }
+}

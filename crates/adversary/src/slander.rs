@@ -1,0 +1,116 @@
+//! Negative-report flooding ("is slander useless?").
+
+use distill_sim::{Adversary, AdversaryCtx, DishonestPost};
+
+/// Floods the billboard with negative reports against the objects that
+/// currently hold the most votes — i.e. tries to *discredit* whatever the
+/// honest population is converging on.
+///
+/// Algorithm DISTILL "uses only positive recommendations … and flatly
+/// ignores bad recommendations" (§6), so this strategy must have **zero**
+/// effect on the execution beyond billboard volume. The gauntlet experiment
+/// (E14) verifies exactly that; the paper leaves "can bad recommendations
+/// help close the gap?" as an open problem, and this adversary is the
+/// control for it.
+///
+/// Each dishonest player additionally casts one positive vote for a bad
+/// object (otherwise the strategy would be strictly weaker than
+/// [`UniformBad`](crate::UniformBad) and the comparison uninformative).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Slander {
+    round: u64,
+    posts_per_round: u32,
+}
+
+impl Slander {
+    /// One slander post per dishonest player per round.
+    pub fn new() -> Self {
+        Slander {
+            round: 0,
+            posts_per_round: 1,
+        }
+    }
+
+    /// `k` slander posts per dishonest player per round.
+    pub fn with_volume(k: u32) -> Self {
+        Slander {
+            round: 0,
+            posts_per_round: k,
+        }
+    }
+}
+
+impl Adversary for Slander {
+    fn on_round(&mut self, ctx: &mut AdversaryCtx<'_, '_>) -> Vec<DishonestPost> {
+        use rand::Rng;
+        let round = self.round;
+        self.round += 1;
+        let mut posts = Vec::new();
+
+        // Round 0: spend the real votes on bad objects.
+        if round == 0 {
+            let bad = ctx.world.bad_objects();
+            if !bad.is_empty() {
+                for &p in ctx.dishonest {
+                    posts.push(DishonestPost::vote(p, bad[ctx.rng.gen_range(0..bad.len())]));
+                }
+            }
+        }
+
+        // Every round: slander the most-voted objects (the honest consensus).
+        let mut voted = ctx.view.objects_with_votes();
+        voted.sort_by_key(|&o| std::cmp::Reverse(ctx.view.votes_for(o)));
+        voted.truncate(4);
+        if voted.is_empty() {
+            return posts;
+        }
+        for &p in ctx.dishonest {
+            for i in 0..self.posts_per_round {
+                let target = voted[(i as usize) % voted.len()];
+                posts.push(DishonestPost::slander(p, target));
+            }
+        }
+        posts
+    }
+
+    fn name(&self) -> &'static str {
+        "slander"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distill_core::{Distill, DistillParams};
+    use distill_sim::{Engine, SimConfig, StopRule, World};
+
+    /// The heart of "slander is useless" for DISTILL: an execution under
+    /// Slander is *identical* (same seeds) to one under an adversary that
+    /// only casts the same round-0 votes, because negative reports never
+    /// become votes.
+    #[test]
+    fn slander_does_not_change_the_execution() {
+        let n = 32;
+        let world = World::binary(n, 1, 21).unwrap();
+        let params = DistillParams::new(n, n, 0.75, world.beta()).unwrap();
+        let run = |slander_volume: Option<u32>| {
+            let config = SimConfig::new(n, 24, 77).with_stop(StopRule::all_satisfied(200_000));
+            let adversary: Box<dyn distill_sim::Adversary> = match slander_volume {
+                Some(k) => Box::new(Slander::with_volume(k)),
+                None => Box::new(Slander {
+                    round: 0,
+                    posts_per_round: 0,
+                }),
+            };
+            Engine::new(config, &world, Box::new(Distill::new(params)), adversary)
+                .unwrap()
+                .run()
+        };
+        let with = run(Some(3));
+        let without = run(None);
+        assert_eq!(with.rounds, without.rounds);
+        assert_eq!(with.mean_probes(), without.mean_probes());
+        assert_eq!(with.satisfied_per_round, without.satisfied_per_round);
+        assert!(with.posts_total > without.posts_total, "slander inflates volume only");
+    }
+}

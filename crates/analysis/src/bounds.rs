@@ -1,0 +1,150 @@
+//! Closed-form bound formulas from the paper.
+//!
+//! Experiments compare measured costs against these *shapes* (the paper's
+//! big-O statements carry unspecified constants; each experiment fits or
+//! reports the ratio instead of asserting absolute equality).
+
+/// `Δ = log(1/(1−α) + log n)` — Notation 3.
+///
+/// All logarithms natural (constant factors are absorbed by the big-O). For
+/// `α = 1` the inner `1/(1−α)` is `∞`; we clamp at `n` (the adversary
+/// controls less than one player — any larger value changes nothing
+/// measurable).
+///
+/// ```
+/// use distill_analysis::bounds::delta;
+/// let d = delta(0.5, 1024.0);
+/// assert!(d > 0.0 && d.is_finite());
+/// assert!(delta(0.999, 1024.0) > d, "fewer dishonest players ⇒ larger Δ");
+/// ```
+pub fn delta(alpha: f64, n: f64) -> f64 {
+    let inv = if alpha >= 1.0 {
+        n.max(2.0)
+    } else {
+        (1.0 / (1.0 - alpha)).min(n.max(2.0) * n.max(2.0))
+    };
+    // inv ≥ 1 and ln n ≥ ln 2, so the argument is ≥ 1.69 and the result is
+    // strictly positive.
+    (inv + n.max(2.0).ln()).ln()
+}
+
+/// Theorem 4's upper-bound shape for DISTILL's expected individual cost:
+/// `1/(αβn) + (1/α)·(ln n)/Δ`.
+pub fn distill_upper(n: f64, alpha: f64, beta: f64) -> f64 {
+    1.0 / (alpha * beta * n) + (1.0 / alpha) * n.max(2.0).ln() / delta(alpha, n)
+}
+
+/// Corollary 5: with `m = n` and `α ≥ 1 − n^{−ε}`, expected termination is
+/// `O(1/ε)`.
+pub fn corollary5_upper(epsilon: f64) -> f64 {
+    1.0 / epsilon
+}
+
+/// The `α` value of Corollary 5's premise: `1 − n^{−ε}`.
+pub fn corollary5_alpha(n: f64, epsilon: f64) -> f64 {
+    1.0 - n.powf(-epsilon)
+}
+
+/// Theorem 11 / the prior algorithm's synchronous bound (end of §3):
+/// `ln n/(αβn) + ln n/α`.
+pub fn baseline_upper(n: f64, alpha: f64, beta: f64) -> f64 {
+    let ln_n = n.max(2.0).ln();
+    ln_n / (alpha * beta * n) + ln_n / alpha
+}
+
+/// Theorem 1's lower-bound shape: `1/(αβn)` expected probes per player.
+///
+/// (In the proof the urn argument gives `(m+1)/(βm+1)` total probes spread
+/// over at most `αn` probes per round.)
+pub fn theorem1_lower(n: f64, alpha: f64, beta: f64) -> f64 {
+    1.0 / (alpha * beta * n)
+}
+
+/// Theorem 1's exact urn count: expected *total* honest probes until some
+/// player hits a good object, with full cooperation and no replacement:
+/// `(m+1)/(βm+1)`.
+pub fn theorem1_urn_total(m: f64, beta: f64) -> f64 {
+    (m + 1.0) / (beta * m + 1.0)
+}
+
+/// Theorem 2's lower-bound shape: `min(1/α, 1/β)/2` (the proof derives
+/// expected probes ≥ B/2 for `B = min(1/α, 1/β)`).
+pub fn theorem2_lower(alpha: f64, beta: f64) -> f64 {
+    (1.0 / alpha).min(1.0 / beta) / 2.0
+}
+
+/// Theorem 12's payment bound shape: `q₀ · m · ln n / (α n)`.
+pub fn theorem12_upper(n: f64, m: f64, alpha: f64, q0: f64) -> f64 {
+    q0 * m * n.max(2.0).ln() / (alpha * n)
+}
+
+/// The trivial algorithm's expected individual cost: `1/β` (§3).
+pub fn random_probing_expected(beta: f64) -> f64 {
+    1.0 / beta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_matches_regimes() {
+        // α below 1 − 1/log n: Δ ≈ ln ln n
+        let n = 1024.0_f64;
+        let d_low = delta(0.5, n);
+        let lnln = n.ln().ln();
+        assert!((d_low - (2.0 + n.ln()).ln()).abs() < 1e-9);
+        assert!(d_low >= lnln * 0.5 && d_low <= lnln * 3.0);
+        // α very close to 1: Δ ≈ ln(1/(1−α)) dominates
+        let d_high = delta(1.0 - 1e-6, n);
+        assert!(d_high > (1e6f64).ln() * 0.9);
+        // α = 1 exactly: finite
+        assert!(delta(1.0, n).is_finite());
+    }
+
+    #[test]
+    fn distill_beats_baseline_shape_at_high_alpha() {
+        let n = 4096.0;
+        let beta = 1.0 / n;
+        let d = distill_upper(n, 0.999, beta);
+        let b = baseline_upper(n, 0.999, beta);
+        assert!(
+            d < b / 2.0,
+            "DISTILL bound {d} should be well under baseline bound {b} at high α"
+        );
+    }
+
+    #[test]
+    fn corollary5_is_n_independent() {
+        assert_eq!(corollary5_upper(0.5), 2.0);
+        let a1 = corollary5_alpha(256.0, 0.5); // 1 − 1/16
+        assert!((a1 - (1.0 - 1.0 / 16.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn urn_total_endpoints() {
+        // all objects good ⇒ 1 probe
+        assert!((theorem1_urn_total(100.0, 1.0) - (101.0 / 101.0)).abs() < 1e-12);
+        // one good among 100 ⇒ ≈ 50.5
+        let t = theorem1_urn_total(100.0, 0.01);
+        assert!((t - 101.0 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem2_takes_the_min() {
+        assert_eq!(theorem2_lower(0.1, 0.5), 1.0); // min(10, 2)/2
+        assert_eq!(theorem2_lower(0.5, 0.1), 1.0); // symmetric
+        assert_eq!(theorem2_lower(0.1, 0.01), 5.0); // min(10, 100)/2
+    }
+
+    #[test]
+    fn monotonicities() {
+        // more honest players ⇒ smaller upper bound
+        assert!(distill_upper(1024.0, 0.9, 0.001) < distill_upper(1024.0, 0.3, 0.001));
+        // more good objects ⇒ smaller bound
+        assert!(distill_upper(1024.0, 0.5, 0.01) < distill_upper(1024.0, 0.5, 0.001));
+        // richer q0 ⇒ bigger payment bound
+        assert!(theorem12_upper(1024.0, 1024.0, 0.5, 8.0) > theorem12_upper(1024.0, 1024.0, 0.5, 1.0));
+        assert_eq!(random_probing_expected(0.25), 4.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Normal-approximation confidence intervals.
+
+use crate::stats::Summary;
+
+/// A two-sided confidence interval for a mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate.
+    pub mean: f64,
+    /// Lower edge.
+    pub lo: f64,
+    /// Upper edge.
+    pub hi: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+
+    /// `true` iff `x` lies inside the interval.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+}
+
+/// The 95% normal-approximation CI for the mean of `xs`
+/// (`mean ± 1.96 · stderr`). Experiments with dozens-to-hundreds of trials
+/// are comfortably in normal-approximation territory.
+///
+/// # Panics
+/// Panics on an empty sample (see [`Summary::of`]).
+pub fn ci95(xs: &[f64]) -> ConfidenceInterval {
+    ci_z(xs, 1.96)
+}
+
+/// A `z`-score confidence interval for the mean of `xs`.
+///
+/// # Panics
+/// Panics on an empty sample.
+pub fn ci_z(xs: &[f64], z: f64) -> ConfidenceInterval {
+    let s = Summary::of(xs);
+    let half = z * s.std_err();
+    ConfidenceInterval {
+        mean: s.mean,
+        lo: s.mean - half,
+        hi: s.mean + half,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_brackets_the_mean() {
+        let xs: Vec<f64> = (0..100).map(|i| f64::from(i % 10)).collect();
+        let ci = ci95(&xs);
+        assert!(ci.contains(ci.mean));
+        assert!(ci.lo < ci.mean && ci.mean < ci.hi);
+        assert!((ci.mean - 4.5).abs() < 1e-12);
+        assert!(ci.half_width() > 0.0);
+    }
+
+    #[test]
+    fn degenerate_sample_has_zero_width() {
+        let ci = ci95(&[3.0, 3.0, 3.0]);
+        assert_eq!(ci.lo, 3.0);
+        assert_eq!(ci.hi, 3.0);
+        assert_eq!(ci.half_width(), 0.0);
+        assert!(ci.contains(3.0));
+        assert!(!ci.contains(3.1));
+    }
+
+    #[test]
+    fn wider_z_wider_interval() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!(ci_z(&xs, 2.58).half_width() > ci_z(&xs, 1.96).half_width());
+    }
+}

@@ -1,0 +1,122 @@
+//! Least-squares fits for scaling-shape checks.
+//!
+//! The paper's claims are asymptotic shapes (`O(log n)`, `O(1/α)`,
+//! `O(1/ε)`…). Experiments verify a shape by regressing measured cost
+//! against the predicted term and checking the fit quality and slope, rather
+//! than asserting absolute constants the paper never specifies.
+
+/// An ordinary least-squares line `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` (1 for a perfect fit; 0 when the
+    /// predictor explains nothing).
+    pub r_squared: f64,
+}
+
+/// Fits `y ≈ slope·x + intercept` by ordinary least squares.
+///
+/// # Panics
+/// Panics if the slices differ in length, are shorter than 2, or contain
+/// non-finite values.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    assert!(xs.len() >= 2, "need at least two points");
+    assert!(
+        xs.iter().chain(ys.iter()).all(|v| v.is_finite()),
+        "non-finite values in fit input"
+    );
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Fits a power law `y ≈ c·x^p` by regressing `ln y` on `ln x`; returns
+/// `(p, c)`. Useful for "is this curve flat / logarithmic / linear in n?"
+/// questions: measured exponents near 0 mean constant, near 1 mean linear.
+///
+/// # Panics
+/// Panics if any value is non-positive (log-log space) or the slices are
+/// unusable for [`linear_fit`].
+pub fn power_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert!(
+        xs.iter().chain(ys.iter()).all(|&v| v > 0.0),
+        "power fit needs strictly positive data"
+    );
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let fit = linear_fit(&lx, &ly);
+    (fit.slope, fit.intercept.exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        let fit = linear_fit(&xs, &ys);
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_lowers_r_squared() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let ys = [2.0, 1.0, 4.0, 3.0, 6.0, 5.0];
+        let fit = linear_fit(&xs, &ys);
+        assert!(fit.r_squared < 1.0);
+        assert!(fit.slope > 0.0);
+    }
+
+    #[test]
+    fn constant_y_is_perfectly_explained() {
+        let fit = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn power_law_recovered() {
+        let xs = [1.0, 2.0, 4.0, 8.0, 16.0];
+        let ys: Vec<f64> = xs.iter().map(|x: &f64| 5.0 * x.powf(1.5)).collect();
+        let (p, c) = power_fit(&xs, &ys);
+        assert!((p - 1.5).abs() < 1e-9);
+        assert!((c - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = linear_fit(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn power_fit_rejects_nonpositive() {
+        let _ = power_fit(&[0.0, 1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Lemma 9: the technical sequence inequality.
+//!
+//! For a sequence `σ = {c₀, c₁, …, c_T}` of positive integers and a constant
+//! `0 < a < 1`, define
+//!
+//! ```text
+//! f(σ)   = Σ_{t=1}^{T} c_t / c_{t−1}
+//! g_a(σ) = Σ_{t=0}^{T} a^{1/c_t}
+//! ```
+//!
+//! **Lemma 9.** For every *non-increasing* sequence of positive integers,
+//! `g_a(σ) ≤ (⌈f(σ)⌉ + 1) · a^{1/c₀}`.
+//!
+//! The lemma is what turns Equation 2's bounded vote budget into the
+//! `1 − 9e^{−k₂/64}` success probability of the refinement loop (Lemma 10).
+//! Being a purely deterministic statement, it is the perfect property-test
+//! target.
+//!
+//! ## Reproduction finding: the stated bound is too strong
+//!
+//! As *literally* stated ("for all sequences σ of non-increasing positive
+//! integers"), the inequality is **false**:
+//!
+//! * for `a` close to 1: `σ = {1024, 512, …, 2, 1}`, `a = 0.9` gives
+//!   `f(σ) = 5`, rhs `= 6·0.9^{1/1024} ≈ 6.0`, but `g_a(σ) ≈ 10.6`;
+//! * even in the regime Lemma 10 uses (`a = e^{−n/16}`, `c₀ ≤ n/4`):
+//!   `σ = {25, 23, 22, 18, 14, 7}` with `n = 100`, `a = e^{−6.25}` gives
+//!   `f(σ) ≈ 3.97`, rhs `= 5·e^{−1/4} ≈ 3.894`, but `g_a(σ) ≈ 4.050`
+//!   (found by this repository's property tests).
+//!
+//! The gap is in the proof's Claim A: a slowly decaying sequence can hold
+//! many more than `⌈f⌉+1` terms (each flat-ish step costs ~1 in `f` but a
+//! drop by a factor `r` costs only `r`), so the maximizer need not be flat.
+//! What *is* provable is a version with a logarithmic correction: group the
+//! terms into dyadic levels `(c₀/2^{k+1}, c₀/2^k]`; within a level every
+//! consecutive ratio is ≥ 1/2, so a level with `L_k` entries contributes at
+//! least `(L_k − 1)/2` to `f(σ)`, giving a term count
+//! `T + 1 ≤ 2·f(σ) + log₂(c₀) + 1` and therefore
+//!
+//! ```text
+//! g_a(σ) ≤ (2·f(σ) + log₂(c₀) + 1) · a^{1/c₀}      (corrected Lemma 9)
+//! ```
+//!
+//! ([`lemma9_corrected_rhs`]). Downstream, Lemma 10's failure probability
+//! becomes `O(log n)·e^{−k₂/64}` instead of `9·e^{−k₂/64}` — absorbed by a
+//! slightly larger `k₂` constant, and entirely by the `k₂ = Θ(log n)` of the
+//! high-probability variant — so Theorem 4 and Theorem 11 stand.
+//!
+//! [`lemma9_holds`] checks the *original* inequality for any inputs (unit
+//! tests pin both counterexamples); [`lemma9_corrected_holds`] checks the
+//! corrected one, which the property tests in `tests/` sweep.
+
+/// `f(σ) = Σ c_t/c_{t−1}` over consecutive pairs.
+///
+/// Returns 0 for sequences shorter than 2.
+///
+/// # Panics
+/// Panics if any element is 0 (the lemma is about positive integers).
+pub fn f_ratio_sum(sigma: &[u64]) -> f64 {
+    assert!(sigma.iter().all(|&c| c > 0), "sequence elements must be positive");
+    sigma
+        .windows(2)
+        .map(|w| w[1] as f64 / w[0] as f64)
+        .sum()
+}
+
+/// `g_a(σ) = Σ a^{1/c_t}`.
+///
+/// # Panics
+/// Panics if `a ∉ (0, 1)` or any element is 0.
+pub fn g_a(sigma: &[u64], a: f64) -> f64 {
+    assert!(0.0 < a && a < 1.0, "a = {a} out of (0, 1)");
+    assert!(sigma.iter().all(|&c| c > 0), "sequence elements must be positive");
+    sigma.iter().map(|&c| a.powf(1.0 / c as f64)).sum()
+}
+
+/// The right-hand side of Lemma 9: `(⌈f(σ)⌉ + 1) · a^{1/c₀}`.
+///
+/// # Panics
+/// Panics on an empty sequence or invalid `a`.
+pub fn lemma9_rhs(sigma: &[u64], a: f64) -> f64 {
+    assert!(!sigma.is_empty(), "lemma 9 needs a non-empty sequence");
+    assert!(0.0 < a && a < 1.0, "a = {a} out of (0, 1)");
+    (f_ratio_sum(sigma).ceil() + 1.0) * a.powf(1.0 / sigma[0] as f64)
+}
+
+/// Checks Lemma 9 on one sequence: `g_a(σ) ≤ rhs + tiny-float-slack`.
+///
+/// Returns `true` when the inequality holds. Intended for tests; the slack
+/// covers floating-point rounding only.
+///
+/// # Panics
+/// Panics if `sigma` is not non-increasing (the lemma's hypothesis).
+pub fn lemma9_holds(sigma: &[u64], a: f64) -> bool {
+    assert!(
+        sigma.windows(2).all(|w| w[1] <= w[0]),
+        "lemma 9 applies to non-increasing sequences"
+    );
+    g_a(sigma, a) <= lemma9_rhs(sigma, a) + 1e-9
+}
+
+/// The corrected right-hand side (see the module docs):
+/// `(2·f(σ) + log₂(c₀) + 1) · a^{1/c₀}`.
+///
+/// # Panics
+/// Panics on an empty sequence or invalid `a`.
+pub fn lemma9_corrected_rhs(sigma: &[u64], a: f64) -> f64 {
+    assert!(!sigma.is_empty(), "lemma 9 needs a non-empty sequence");
+    assert!(0.0 < a && a < 1.0, "a = {a} out of (0, 1)");
+    let c0 = sigma[0] as f64;
+    (2.0 * f_ratio_sum(sigma) + c0.log2().max(0.0) + 1.0) * a.powf(1.0 / c0)
+}
+
+/// Checks the corrected inequality (provable for all non-increasing positive
+/// integer sequences and all `0 < a < 1`).
+///
+/// # Panics
+/// Panics if `sigma` is not non-increasing.
+pub fn lemma9_corrected_holds(sigma: &[u64], a: f64) -> bool {
+    assert!(
+        sigma.windows(2).all(|w| w[1] <= w[0]),
+        "lemma 9 applies to non-increasing sequences"
+    );
+    g_a(sigma, a) <= lemma9_corrected_rhs(sigma, a) + 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f_and_g_basics() {
+        assert_eq!(f_ratio_sum(&[4]), 0.0);
+        assert!((f_ratio_sum(&[4, 2, 1]) - (0.5 + 0.5)).abs() < 1e-12);
+        let g = g_a(&[1], 0.5);
+        assert!((g - 0.5).abs() < 1e-12);
+        let g = g_a(&[2, 1], 0.25);
+        assert!((g - (0.5 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma_holds_on_flat_sequences() {
+        // constant sequence of length T+1: f = T, g = (T+1)·a^{1/c}
+        // rhs = (T+1)·a^{1/c} — tight.
+        for len in 1..10usize {
+            let sigma = vec![5u64; len];
+            assert!(lemma9_holds(&sigma, 0.3));
+            let g = g_a(&sigma, 0.3);
+            let rhs = lemma9_rhs(&sigma, 0.3);
+            assert!((g - rhs).abs() < 1e-9, "flat sequences are the tight case");
+        }
+    }
+
+    #[test]
+    fn lemma_holds_on_geometric_decay_in_application_regime() {
+        // Lemma 10 applies Lemma 9 with a = e^{−n/16} and c₀ ≤ 4n/k₂.
+        let sigma = [1024u64, 512, 256, 128, 64, 32, 16, 8, 4, 2, 1];
+        for &n in &[1024.0f64, 4096.0, 8192.0] {
+            let a = (-n / 16.0).exp();
+            assert!(a > 0.0, "need representable a for n={n}");
+            assert!(lemma9_holds(&sigma, a), "failed at n={n}");
+        }
+    }
+
+    /// Reproduction finding (see module docs): the inequality as literally
+    /// stated fails for `a` near 1. This test pins the counterexample so the
+    /// finding stays documented and checked.
+    #[test]
+    fn literal_statement_fails_for_large_a() {
+        let sigma = [1024u64, 512, 256, 128, 64, 32, 16, 8, 4, 2, 1];
+        let a = 0.9;
+        let g = g_a(&sigma, a);
+        let rhs = lemma9_rhs(&sigma, a);
+        assert!(
+            g > rhs,
+            "expected the documented counterexample: g={g} vs rhs={rhs}"
+        );
+        assert!(lemma9_corrected_holds(&sigma, a), "corrected bound must hold");
+    }
+
+    /// Reproduction finding (see module docs): the stated inequality fails
+    /// even in Lemma 10's regime for slowly decaying sequences; the corrected
+    /// bound covers it.
+    #[test]
+    fn literal_statement_fails_even_in_application_regime() {
+        let sigma = [25u64, 23, 22, 18, 14, 7];
+        let a = (-100.0f64 / 16.0).exp(); // n = 4·c₀ = 100, a = e^{−n/16}
+        let g = g_a(&sigma, a);
+        let rhs = lemma9_rhs(&sigma, a);
+        assert!(g > rhs, "expected the documented counterexample: g={g} vs rhs={rhs}");
+        assert!(lemma9_corrected_holds(&sigma, a), "corrected bound must hold");
+    }
+
+    #[test]
+    fn corrected_bound_dominates_original_form() {
+        // rhs_corrected ≥ the per-term counting argument on flat sequences.
+        for len in 1..8usize {
+            let sigma = vec![9u64; len];
+            assert!(lemma9_corrected_holds(&sigma, 0.4));
+            assert!(lemma9_corrected_rhs(&sigma, 0.4) >= g_a(&sigma, 0.4));
+        }
+        // c₀ = 1 edge: log term vanishes, bound still valid.
+        assert!(lemma9_corrected_holds(&[1, 1, 1], 0.2));
+    }
+
+    #[test]
+    fn lemma_holds_on_abrupt_drop() {
+        assert!(lemma9_holds(&[1_000_000, 1], 0.5));
+        assert!(lemma9_holds(&[7, 7, 7, 1, 1, 1], 0.9));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-increasing")]
+    fn increasing_sequences_rejected() {
+        let _ = lemma9_holds(&[1, 2], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0, 1)")]
+    fn a_must_be_in_unit_interval() {
+        let _ = g_a(&[1], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_elements_rejected() {
+        let _ = f_ratio_sum(&[2, 0]);
+    }
+}

@@ -1,0 +1,45 @@
+//! # distill-analysis
+//!
+//! Theory-side machinery for the DISTILL reproduction: the paper's bound
+//! formulas ([`bounds`]), the Lemma 9 sequence functions ([`lemma9`]),
+//! sample statistics and confidence intervals ([`stats`], [`ci`]),
+//! least-squares shape fits ([`fit`]), and the text tables every experiment
+//! harness prints ([`Table`]).
+//!
+//! This crate is deliberately standalone (no simulation dependencies): every
+//! function here is a pure computation, usable from benches, tests, and
+//! downstream analysis scripts alike.
+//!
+//! ```
+//! use distill_analysis::{bounds, fit, stats};
+//!
+//! // Theorem 4's shape at three sizes…
+//! let ns = [256.0, 1024.0, 4096.0];
+//! let ys: Vec<f64> = ns.iter().map(|&n| bounds::distill_upper(n, 0.9, 1.0 / n)).collect();
+//! // …grows sublogarithmically: the fitted power-law exponent is tiny.
+//! let (p, _) = fit::power_fit(&ns, &ys);
+//! assert!(p < 0.3);
+//! let s = stats::Summary::of(&ys);
+//! assert!(s.mean.is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod bootstrap;
+pub mod bounds;
+pub mod ci;
+pub mod fit;
+pub mod lemma9;
+pub mod meanfield;
+pub mod ranksum;
+pub mod stats;
+mod table;
+pub mod theory;
+
+pub use bootstrap::bootstrap_ci_mean;
+pub use ci::{ci95, ci_z, ConfidenceInterval};
+pub use ranksum::{rank_sum, RankSum};
+pub use fit::{linear_fit, power_fit, LinearFit};
+pub use stats::{quantile, Histogram, Summary};
+pub use table::{fmt_f, Table};

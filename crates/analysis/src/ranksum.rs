@@ -1,0 +1,146 @@
+//! The Mann–Whitney U (Wilcoxon rank-sum) test.
+//!
+//! Termination-time distributions are skewed (E6), so comparing two variants
+//! by mean alone is fragile. The rank-sum test asks the distribution-level
+//! question — "do draws from A tend to exceed draws from B?" — without any
+//! normality assumption. Implemented with midrank ties and the
+//! normal-approximation p-value (fine for the experiment sample sizes of
+//! 20+ per arm).
+
+/// The result of a rank-sum comparison of samples A and B.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankSum {
+    /// The U statistic for sample A (number of (a, b) pairs with `a > b`,
+    /// ties counting ½).
+    pub u_a: f64,
+    /// `P(a > b) + ½·P(a = b)` — the common-language effect size; 0.5 means
+    /// no tendency either way.
+    pub p_a_greater: f64,
+    /// Two-sided normal-approximation p-value for "A and B come from the
+    /// same distribution".
+    pub p_value: f64,
+}
+
+/// Runs the test.
+///
+/// # Panics
+/// Panics if either sample is empty or contains non-finite values.
+pub fn rank_sum(a: &[f64], b: &[f64]) -> RankSum {
+    assert!(!a.is_empty() && !b.is_empty(), "rank-sum needs non-empty samples");
+    assert!(
+        a.iter().chain(b.iter()).all(|x| x.is_finite()),
+        "rank-sum needs finite values"
+    );
+    let na = a.len() as f64;
+    let nb = b.len() as f64;
+
+    // U_A by direct pair counting (samples here are small; O(na·nb) is fine
+    // and avoids rank bookkeeping bugs).
+    let mut u_a = 0.0;
+    for &x in a {
+        for &y in b {
+            if x > y {
+                u_a += 1.0;
+            } else if x == y {
+                u_a += 0.5;
+            }
+        }
+    }
+    let p_a_greater = u_a / (na * nb);
+
+    // Normal approximation with tie correction.
+    let mean_u = na * nb / 2.0;
+    let mut all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+    all.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    let n = na + nb;
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < all.len() {
+        let mut j = i + 1;
+        while j < all.len() && all[j] == all[i] {
+            j += 1;
+        }
+        let t = (j - i) as f64;
+        tie_term += t * t * t - t;
+        i = j;
+    }
+    let var_u = na * nb / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+    let p_value = if var_u <= 0.0 {
+        1.0 // all values identical: no evidence of difference
+    } else {
+        let z = (u_a - mean_u).abs() / var_u.sqrt();
+        2.0 * (1.0 - phi(z))
+    };
+    RankSum {
+        u_a,
+        p_a_greater,
+        p_value: p_value.clamp(0.0, 1.0),
+    }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf approximation
+/// (|error| < 1.5e-7, plenty for experiment reporting).
+fn phi(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_show_nothing() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let r = rank_sum(&xs, &xs);
+        assert!((r.p_a_greater - 0.5).abs() < 1e-12);
+        assert!(r.p_value > 0.9);
+    }
+
+    #[test]
+    fn clearly_shifted_samples_are_detected() {
+        let a: Vec<f64> = (0..30).map(|i| 100.0 + f64::from(i)).collect();
+        let b: Vec<f64> = (0..30).map(|i| f64::from(i)).collect();
+        let r = rank_sum(&a, &b);
+        assert_eq!(r.p_a_greater, 1.0, "every a exceeds every b");
+        assert!(r.p_value < 1e-6, "p = {}", r.p_value);
+        // symmetric direction
+        let r2 = rank_sum(&b, &a);
+        assert_eq!(r2.p_a_greater, 0.0);
+        assert!(r2.p_value < 1e-6);
+    }
+
+    #[test]
+    fn ties_count_half() {
+        let r = rank_sum(&[1.0, 1.0], &[1.0, 1.0]);
+        assert!((r.p_a_greater - 0.5).abs() < 1e-12);
+        assert_eq!(r.p_value, 1.0, "all-identical values carry no information");
+    }
+
+    #[test]
+    fn erf_matches_known_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((phi(0.0) - 0.5).abs() < 1e-9);
+        assert!((phi(1.96) - 0.975).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_samples_rejected() {
+        let _ = rank_sum(&[], &[1.0]);
+    }
+}

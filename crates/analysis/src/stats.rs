@@ -1,0 +1,182 @@
+//! Summary statistics over trial measurements.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation (0 for n < 2).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (interpolated).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `xs`.
+    ///
+    /// # Panics
+    /// Panics on an empty sample or non-finite values.
+    pub fn of(xs: &[f64]) -> Summary {
+        assert!(!xs.is_empty(), "summary of an empty sample");
+        assert!(xs.iter().all(|x| x.is_finite()), "sample contains non-finite values");
+        let count = xs.len();
+        let mean = xs.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median: quantile_sorted(&sorted, 0.5),
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev / (self.count as f64).sqrt()
+        }
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a sample, with linear interpolation.
+///
+/// # Panics
+/// Panics on an empty sample or `q ∉ [0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of an empty sample");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    quantile_sorted(&sorted, q)
+}
+
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0, 1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// A fixed-width histogram over `[lo, hi)` with `bins` buckets; values
+/// outside the range clamp into the end buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Inclusive lower edge.
+    pub lo: f64,
+    /// Exclusive upper edge.
+    pub hi: f64,
+    /// Bucket counts.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Builds a histogram of `xs`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn build(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        let mut counts = vec![0u64; bins];
+        let width = (hi - lo) / bins as f64;
+        for &x in xs {
+            let idx = (((x - lo) / width).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+            counts[idx] += 1;
+        }
+        Histogram { lo, hi, counts }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of mass at or above `x`.
+    pub fn tail_fraction(&self, x: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = (((x - self.lo) / width).floor() as i64).clamp(0, self.counts.len() as i64 - 1)
+            as usize;
+        self.counts[idx..].iter().sum::<u64>() as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        // sample std dev of 1,2,3,4 = sqrt(5/3)
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((s.std_err() - s.std_dev / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_sample() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_rejected() {
+        let _ = Summary::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [0.0, 10.0];
+        assert_eq!(quantile(&xs, 0.0), 0.0);
+        assert_eq!(quantile(&xs, 1.0), 10.0);
+        assert_eq!(quantile(&xs, 0.25), 2.5);
+        assert_eq!(quantile(&[5.0], 0.9), 5.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_tail() {
+        let xs = [0.5, 1.5, 2.5, 3.5, 9.5, 42.0, -3.0];
+        let h = Histogram::build(&xs, 0.0, 10.0, 10);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.counts[0], 2); // 0.5 and the clamped -3.0
+        assert_eq!(h.counts[9], 2); // 9.5 and the clamped 42.0
+        assert!((h.tail_fraction(9.0) - 2.0 / 7.0).abs() < 1e-12);
+        assert!((h.tail_fraction(0.0) - 1.0).abs() < 1e-12);
+    }
+}

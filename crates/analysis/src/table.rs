@@ -1,0 +1,202 @@
+//! Fixed-width text tables for experiment output.
+
+use std::fmt;
+
+/// A simple aligned text table.
+///
+/// Every experiment harness renders its paper-vs-measured rows through this,
+/// so `cargo bench` output is uniform and grep-friendly.
+///
+/// ```
+/// use distill_analysis::Table;
+/// let mut t = Table::new("demo", &["n", "measured", "bound"]);
+/// t.row(&["64", "3.1", "4.0"]);
+/// t.row(&["128", "3.2", "4.2"]);
+/// let s = t.render();
+/// assert!(s.contains("demo"));
+/// assert!(s.contains("measured"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the column count.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Table {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row has {} cells but table has {} columns",
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self
+    }
+
+    /// Appends a row of already-owned cells.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the column count.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(cells.len(), self.columns.len(), "cell/column count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (header row + data rows). Cells containing
+    /// commas or quotes are quoted per RFC 4180.
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str("== ");
+        out.push_str(&self.title);
+        out.push_str(" ==\n");
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&render_row(&self.columns, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a float compactly for table cells (3 significant decimals, no
+/// trailing noise).
+pub fn fmt_f(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("t", &["a", "long-header"]);
+        t.row(&["1", "2"]).row(&["333", "4"]);
+        let s = t.render();
+        assert!(s.contains("== t =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // header + separator + 2 rows + title
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[2].chars().next(), Some('-'));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn wrong_arity_panics() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn row_owned_works() {
+        let mut t = Table::new("t", &["x"]);
+        t.row_owned(vec!["v".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(t.to_string().contains('v'));
+    }
+
+    #[test]
+    fn csv_escapes_properly() {
+        let mut t = Table::new("t", &["name", "value"]);
+        t.row(&["plain", "1"]);
+        t.row(&["with,comma", "2"]);
+        t.row(&["with\"quote", "3"]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "plain,1");
+        assert_eq!(lines[2], "\"with,comma\",2");
+        assert_eq!(lines[3], "\"with\"\"quote\",3");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(3.14159), "3.142");
+        assert_eq!(fmt_f(42.34), "42.3");
+        assert_eq!(fmt_f(12345.6), "12346");
+    }
+}

@@ -1,0 +1,78 @@
+//! E10 — §4.1: multiple votes and erroneous votes.
+//!
+//! **Paper claim.** Allowing up to `f` votes per player (and tolerating
+//! honest mistakes, as long as one vote is correct) leaves Theorem 4's
+//! asymptotics unchanged **while `f = o(1/(1−α))`** — the adversary's vote
+//! budget grows to `f·(1−α)·n`, so once `f` approaches `1/(1−α)` its
+//! effective power matches a constant-fraction-dishonest population.
+//!
+//! **Workload.** `n = m = 512`, α = 0.9 (so `1/(1−α) ≈ 10`), threshold-
+//! matcher adversary, sweep `f ∈ {1, 2, 4, 8, 16, 32}`; then, at `f = 4`,
+//! sweep honest erroneous-vote rates {0, 0.05, 0.2}.
+//!
+//! **Expected shape.** Cost stays flat while `f·(1−α)·n ≪ n` and degrades
+//! once `f` crosses `≈ 1/(1−α)`; modest error rates cost little.
+
+use distill_adversary::ThresholdMatcher;
+use distill_analysis::{fmt_f, Table};
+use distill_bench::{last_round, mean_of, run_experiment, trials};
+use distill_core::{multi_vote, Distill, DistillParams};
+use distill_sim::{SimConfig, StopRule, VotePolicy, World};
+
+fn run(n: u32, honest: u32, f: usize, err: f64, n_trials: usize) -> (f64, f64) {
+    let alpha = f64::from(honest) / f64::from(n);
+    let results = run_experiment(
+        n_trials,
+        move |t| World::binary(n, 1, 15_500 + t).expect("world"),
+        move |w, _t| {
+            Box::new(Distill::new(
+                DistillParams::new(n, n, alpha, w.beta()).expect("params"),
+            ))
+        },
+        |_t| Box::new(ThresholdMatcher::new()),
+        move |t| {
+            SimConfig::new(n, honest, 11_100 + t)
+                .with_policy(VotePolicy::multi_vote(f))
+                .with_honest_error_rate(err)
+                .with_stop(StopRule::all_satisfied(2_000_000))
+                .with_negative_reports(false)
+        },
+    );
+    (mean_of(&results, |r| r.mean_probes()), mean_of(&results, last_round))
+}
+
+fn main() {
+    let n: u32 = 512;
+    let honest = 461; // alpha ≈ 0.9
+    let alpha = f64::from(honest) / f64::from(n);
+    let n_trials = trials(20);
+    println!("\nE10: multiple votes (n = m = {n}, alpha ≈ 0.9, threshold-matcher, {n_trials} trials)\n");
+
+    let mut table = Table::new(
+        "cost vs votes-per-player f (1/(1-alpha) ≈ 10)",
+        &["f", "adversary budget", "within o(1/(1-a))?", "mean cost", "mean last round"],
+    );
+    for &f in &[1usize, 2, 4, 8, 16, 32] {
+        let (cost, last) = run(n, honest, f, 0.0, n_trials);
+        table.row_owned(vec![
+            f.to_string(),
+            fmt_f(multi_vote::adversary_vote_budget(n, alpha, f)),
+            if multi_vote::f_within_budget(f, alpha, 0.5) { "yes" } else { "no" }.into(),
+            fmt_f(cost),
+            fmt_f(last),
+        ]);
+    }
+    println!("{table}");
+
+    let mut table = Table::new(
+        "erroneous honest votes at f = 4",
+        &["error rate", "mean cost", "mean last round"],
+    );
+    for &err in &[0.0f64, 0.05, 0.2] {
+        let (cost, last) = run(n, honest, 4, err, n_trials);
+        table.row_owned(vec![format!("{err:.2}"), fmt_f(cost), fmt_f(last)]);
+    }
+    println!("{table}");
+    println!("paper: asymptotics unchanged while f = o(1/(1-alpha)); one correct");
+    println!("vote among f suffices, so small error rates are tolerated.");
+}

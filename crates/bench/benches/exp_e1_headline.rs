@@ -1,0 +1,105 @@
+//! E1 — the headline comparison (§1.2, Theorem 4, end of §3).
+//!
+//! **Paper claim.** With `m = n` and few dishonest players, DISTILL's
+//! individual cost is `O(1)` — independent of `n` — while the prior
+//! algorithm of [1] under a synchronous schedule pays `Θ(log n)` and the
+//! trivial billboard-ignoring algorithm pays `Θ(1/β) = Θ(n)`.
+//!
+//! **Workload.** One good object among `m = n`; `√n` dishonest players (the
+//! Corollary 5 regime with ε = 1/2) each voting once for a random bad
+//! object; sweep `n`.
+//!
+//! **Expected shape.** The DISTILL column converges to a constant (its
+//! schedule length), `balance` tracks `ln n`, `random` tracks `n`. Verified
+//! via fitted power-law exponents: ≈ 0 for DISTILL, ≈ 1 for random probing.
+
+use distill_adversary::UniformBad;
+use distill_analysis::{fmt_f, power_fit, Table};
+use distill_bench::{last_round, mean_of, run_experiment, trials};
+use distill_core::{Balance, Distill, DistillParams, RandomProbing};
+use distill_sim::{SimConfig, StopRule, World};
+
+fn measure(n: u32, honest: u32, n_trials: usize, which: &str) -> Vec<distill_sim::SimResult> {
+    let alpha = f64::from(honest) / f64::from(n);
+    let which = which.to_string();
+    run_experiment(
+        n_trials,
+        move |t| World::binary(n, 1, 9_000 + t).expect("world"),
+        move |w, _t| match which.as_str() {
+            "distill" => Box::new(Distill::new(
+                DistillParams::new(n, n, alpha, w.beta()).expect("params"),
+            )),
+            "balance" => Box::new(Balance::new()),
+            _ => Box::new(RandomProbing::new()),
+        },
+        |_t| Box::new(UniformBad::new()),
+        move |t| {
+            SimConfig::new(n, honest, 100 + t)
+                .with_stop(StopRule::all_satisfied(500_000))
+                .with_negative_reports(false)
+        },
+    )
+}
+
+fn main() {
+    let n_trials = trials(30);
+    let ns: [u32; 5] = [64, 256, 1024, 4096, 16384];
+    println!("\nE1: headline — DISTILL O(1) vs balance Θ(log n) vs random Θ(n)");
+    println!("    (m = n, one good object, √n dishonest players, {n_trials} trials)\n");
+
+    let mut table = Table::new(
+        "mean individual cost (probes); `last` = worst honest player's round",
+        &["n", "distill", "distill last", "balance", "random", "ln n"],
+    );
+    let mut xs = Vec::new();
+    let mut distill_means = Vec::new();
+    let mut balance_means = Vec::new();
+    let mut random_means = Vec::new();
+
+    for &n in &ns {
+        let honest = n - (f64::from(n).sqrt().round() as u32);
+        let d = measure(n, honest, n_trials, "distill");
+        let b = measure(n, honest, n_trials, "balance");
+        let distill_mean = mean_of(&d, |r| r.mean_probes());
+        let distill_last = mean_of(&d, last_round);
+        let balance_mean = mean_of(&b, |r| r.mean_probes());
+        // random probing is Θ(n) per player: too slow to simulate at the
+        // largest sizes; measured where feasible, formula elsewhere.
+        let random_mean = if n <= 1024 {
+            let r = measure(n, honest, n_trials.min(10), "random");
+            mean_of(&r, |r| r.mean_probes())
+        } else {
+            f64::from(n) // 1/β exactly
+        };
+        xs.push(f64::from(n));
+        distill_means.push(distill_mean);
+        balance_means.push(balance_mean);
+        random_means.push(random_mean);
+        table.row_owned(vec![
+            n.to_string(),
+            fmt_f(distill_mean),
+            fmt_f(distill_last),
+            fmt_f(balance_mean),
+            if n <= 1024 {
+                fmt_f(random_mean)
+            } else {
+                format!("~{}", fmt_f(random_mean))
+            },
+            fmt_f(f64::from(n).ln()),
+        ]);
+    }
+    println!("{table}");
+
+    let (p_distill, _) = power_fit(&xs, &distill_means);
+    let (p_balance, _) = power_fit(&xs, &balance_means);
+    let (p_random, _) = power_fit(&xs, &random_means);
+    println!("fitted power-law exponents (cost ~ n^p):");
+    println!("  distill p = {:.3}   (paper: ~0, bounded by a constant)", p_distill);
+    println!("  balance p = {:.3}   (paper: log-like, so small but > distill)", p_balance);
+    println!("  random  p = {:.3}   (paper: 1.0)", p_random);
+    println!(
+        "  factor distill vs balance at n={}: {:.2}x",
+        ns[ns.len() - 1],
+        balance_means.last().unwrap() / distill_means.last().unwrap()
+    );
+}

@@ -1,0 +1,61 @@
+//! E3 — Corollary 5: constant rounds when dishonesty is polynomially small.
+//!
+//! **Paper claim.** If `m = n` and `α ≥ 1 − n^{−ε}` for `ε > 1/log n`, the
+//! expected termination time is `O(1/ε)` — independent of `n`.
+//!
+//! **Workload.** `n^{1−ε}` dishonest players for ε ∈ {1, 3/4, 1/2, 1/4},
+//! each n ∈ {256, 1024, 4096}; UniformBad adversary.
+//!
+//! **Expected shape.** Rows (same ε, growing n) stay flat; columns (shrinking
+//! ε) grow like 1/ε.
+
+use distill_adversary::UniformBad;
+use distill_analysis::{bounds, fmt_f, power_fit, Table};
+use distill_bench::{mean_of, run_experiment, trials};
+use distill_core::{Distill, DistillParams};
+use distill_sim::{SimConfig, StopRule, World};
+
+fn main() {
+    let n_trials = trials(25);
+    let epsilons = [1.0f64, 0.75, 0.5, 0.25];
+    let ns: [u32; 3] = [256, 1024, 4096];
+    println!("\nE3: Corollary 5 — cost O(1/eps), flat in n (dishonest = n^(1-eps), {n_trials} trials)\n");
+
+    let mut table = Table::new(
+        "mean individual cost",
+        &["eps", "n=256", "n=1024", "n=4096", "1/eps", "flatness exp"],
+    );
+    for &eps in &epsilons {
+        let mut row = vec![format!("{eps:.2}")];
+        let mut means = Vec::new();
+        for &n in &ns {
+            let dishonest = (f64::from(n).powf(1.0 - eps).round() as u32).min(n / 2);
+            let honest = n - dishonest;
+            let results = run_experiment(
+                n_trials,
+                move |t| World::binary(n, 1, 77_000 + t).expect("world"),
+                move |w, _t| {
+                    let alpha = f64::from(honest) / f64::from(n);
+                    Box::new(Distill::new(
+                        DistillParams::new(n, n, alpha, w.beta()).expect("params"),
+                    ))
+                },
+                |_t| Box::new(UniformBad::new()),
+                move |t| {
+                    SimConfig::new(n, honest, 900 + t)
+                        .with_stop(StopRule::all_satisfied(1_000_000))
+                        .with_negative_reports(false)
+                },
+            );
+            means.push(mean_of(&results, |r| r.mean_probes()));
+            row.push(fmt_f(*means.last().unwrap()));
+        }
+        let xs: Vec<f64> = ns.iter().map(|&n| f64::from(n)).collect();
+        let (p, _) = power_fit(&xs, &means);
+        row.push(fmt_f(bounds::corollary5_upper(eps)));
+        row.push(format!("{p:.3}"));
+        table.row_owned(row);
+    }
+    println!("{table}");
+    println!("paper: each row O(1/eps) and independent of n (flatness exponent ~ 0).");
+}

@@ -1,0 +1,140 @@
+//! P1 — Criterion microbenchmarks (not from the paper): substrate throughput.
+//!
+//! * `engine/distill_run` — a complete DISTILL execution (n = m = 512);
+//! * `engine/flooded_run` — the same under a 256-posts/round flooder;
+//! * `billboard/ingest` — tracker ingestion of a 100k-post board;
+//! * `billboard/window_tally` — the `ℓ_t(i)` tally query.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use distill_adversary::Flooder;
+use distill_billboard::{
+    Billboard, ObjectId, PlayerId, ReportKind, Round, VotePolicy, VoteTracker, Window,
+};
+use distill_core::{Distill, DistillParams};
+use distill_sim::{Engine, NullAdversary, SimConfig, StopRule, World};
+
+fn bench_engine(c: &mut Criterion) {
+    let n: u32 = 512;
+    let world = World::binary(n, 1, 7).expect("world");
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20);
+
+    group.bench_function("distill_run_n512", |b| {
+        b.iter_batched(
+            || {
+                let params = DistillParams::new(n, n, 0.9, world.beta()).expect("params");
+                let config = SimConfig::new(n, 460, 99)
+                    .with_stop(StopRule::all_satisfied(100_000))
+                    .with_negative_reports(false);
+                Engine::new(config, &world, Box::new(Distill::new(params)), Box::new(NullAdversary))
+                    .expect("engine")
+            },
+            |engine| engine.run(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("flooded_run_n512", |b| {
+        b.iter_batched(
+            || {
+                let params = DistillParams::new(n, n, 0.9, world.beta()).expect("params");
+                let config = SimConfig::new(n, 460, 99)
+                    .with_stop(StopRule::all_satisfied(100_000))
+                    .with_negative_reports(false);
+                Engine::new(
+                    config,
+                    &world,
+                    Box::new(Distill::new(params)),
+                    Box::new(Flooder::new(256)),
+                )
+                .expect("engine")
+            },
+            |engine| engine.run(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn big_board(posts: u32) -> Billboard {
+    let n = 256;
+    let m = 1024;
+    let mut board = Billboard::new(n, m);
+    for i in 0..posts {
+        let round = Round(u64::from(i / n));
+        board
+            .append(
+                round,
+                PlayerId(i % n),
+                ObjectId(i % m),
+                f64::from(i % 7),
+                if i % 3 == 0 { ReportKind::Positive } else { ReportKind::Negative },
+            )
+            .expect("append");
+    }
+    board
+}
+
+fn bench_billboard(c: &mut Criterion) {
+    let board = big_board(100_000);
+    let mut group = c.benchmark_group("billboard");
+    group.sample_size(20);
+
+    group.bench_function("ingest_100k_posts", |b| {
+        b.iter_batched(
+            || VoteTracker::new(256, 1024, VotePolicy::multi_vote(4)),
+            |mut tracker| {
+                tracker.ingest(&board);
+                tracker
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut tracker = VoteTracker::new(256, 1024, VotePolicy::multi_vote(4));
+    tracker.ingest(&board);
+    group.bench_function("window_tally", |b| {
+        b.iter(|| {
+            let w = Window::new(Round(10), Round(200));
+            std::hint::black_box(tracker.window_tally(w))
+        })
+    });
+    group.bench_function("window_votes_for", |b| {
+        b.iter(|| {
+            let w = Window::new(Round(10), Round(200));
+            std::hint::black_box(tracker.window_votes_for(w, ObjectId(42)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_async(c: &mut Criterion) {
+    use distill_sim::async_engine::{AsyncEngine, BalanceStep, RoundRobin};
+    let n: u32 = 512;
+    let world = World::binary(n, 1, 13).expect("world");
+    let mut group = c.benchmark_group("async");
+    group.sample_size(20);
+    group.bench_function("balance_round_robin_n512", |b| {
+        b.iter_batched(
+            || {
+                AsyncEngine::new(
+                    n,
+                    n,
+                    7,
+                    50_000_000,
+                    &world,
+                    Box::new(BalanceStep::new()),
+                    Box::new(RoundRobin::default()),
+                    Box::new(NullAdversary),
+                )
+                .expect("engine")
+            },
+            |engine| engine.run(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_billboard, bench_async);
+criterion_main!(benches);

@@ -1,0 +1,305 @@
+//! The append-only billboard log.
+
+use crate::error::BillboardError;
+use crate::ids::{ObjectId, PlayerId, Round, Seq};
+use crate::post::{Post, ReportKind};
+
+/// The shared, append-only, author-tagged, round-stamped billboard (§2.1).
+///
+/// The billboard is the *only* communication channel between players. It
+/// enforces the three environment guarantees of the paper and nothing more:
+///
+/// * **append-only** — there is no API to remove or mutate a post;
+/// * **reliable author tags** — authors must belong to the registered player
+///   universe (a Byzantine player cannot impersonate another id because the
+///   simulation engine, playing the role of the transport, stamps the author);
+/// * **timestamps** — posts carry their round, and rounds never regress.
+///
+/// It deliberately does **not** enforce any voting semantics: a Byzantine
+/// player may post a thousand contradictory positive reports. Enforcing the
+/// "one vote per player" rule is the readers' job (see
+/// [`VoteTracker`](crate::VoteTracker)), mirroring the paper's model where
+/// honest players simply *ignore* all but the first vote of each player.
+#[derive(Debug, Clone)]
+pub struct Billboard {
+    posts: Vec<Post>,
+    n_players: u32,
+    n_objects: u32,
+    latest_round: Round,
+}
+
+impl Billboard {
+    /// Creates an empty billboard for a universe of `n_players` players and
+    /// `n_objects` objects.
+    pub fn new(n_players: u32, n_objects: u32) -> Self {
+        Billboard {
+            posts: Vec::new(),
+            n_players,
+            n_objects,
+            latest_round: Round(0),
+        }
+    }
+
+    /// Number of players in the universe.
+    #[inline]
+    pub fn n_players(&self) -> u32 {
+        self.n_players
+    }
+
+    /// Number of objects in the universe.
+    #[inline]
+    pub fn n_objects(&self) -> u32 {
+        self.n_objects
+    }
+
+    /// Appends a post, returning its sequence number.
+    ///
+    /// # Errors
+    ///
+    /// * [`BillboardError::UnknownAuthor`] if `author` is outside the universe;
+    /// * [`BillboardError::UnknownObject`] if `object` is outside the universe;
+    /// * [`BillboardError::RoundRegression`] if `round` is earlier than the
+    ///   latest post already on the board (timestamps are monotone in a
+    ///   synchronous execution).
+    pub fn append(
+        &mut self,
+        round: Round,
+        author: PlayerId,
+        object: ObjectId,
+        value: f64,
+        kind: ReportKind,
+    ) -> Result<Seq, BillboardError> {
+        if author.0 >= self.n_players {
+            return Err(BillboardError::UnknownAuthor {
+                author,
+                n_players: self.n_players,
+            });
+        }
+        if object.0 >= self.n_objects {
+            return Err(BillboardError::UnknownObject {
+                object,
+                n_objects: self.n_objects,
+            });
+        }
+        if round < self.latest_round {
+            return Err(BillboardError::RoundRegression {
+                attempted: round,
+                current: self.latest_round,
+            });
+        }
+        self.latest_round = round;
+        let seq = Seq(self.posts.len() as u64);
+        self.posts.push(Post {
+            seq,
+            round,
+            author,
+            object,
+            value,
+            kind,
+        });
+        Ok(seq)
+    }
+
+    /// Total number of posts ever appended.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.posts.len()
+    }
+
+    /// `true` iff nothing has been posted yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.posts.is_empty()
+    }
+
+    /// The timestamp of the most recent post (`Round(0)` when empty).
+    #[inline]
+    pub fn latest_round(&self) -> Round {
+        self.latest_round
+    }
+
+    /// All posts, in append order.
+    #[inline]
+    pub fn posts(&self) -> &[Post] {
+        &self.posts
+    }
+
+    /// The posts appended at or after sequence number `from`.
+    ///
+    /// This is the incremental-read primitive used by
+    /// [`VoteTracker::ingest`](crate::VoteTracker::ingest).
+    pub fn posts_since(&self, from: Seq) -> &[Post] {
+        let idx = from.index().min(self.posts.len());
+        &self.posts[idx..]
+    }
+
+    /// Iterator over the posts authored by `player`, in append order.
+    ///
+    /// This is a linear scan; prefer [`VoteTracker`](crate::VoteTracker) for
+    /// hot-path queries.
+    pub fn posts_by(&self, player: PlayerId) -> impl Iterator<Item = &Post> {
+        self.posts.iter().filter(move |p| p.author == player)
+    }
+
+    /// Iterator over the posts about `object`, in append order.
+    pub fn posts_about(&self, object: ObjectId) -> impl Iterator<Item = &Post> {
+        self.posts.iter().filter(move |p| p.object == object)
+    }
+
+    /// Volume statistics over the whole log.
+    pub fn stats(&self) -> BoardStats {
+        let mut positive = 0usize;
+        let mut authors = vec![false; self.n_players as usize];
+        let mut objects = vec![false; self.n_objects as usize];
+        for p in &self.posts {
+            if p.is_positive() {
+                positive += 1;
+            }
+            authors[p.author.index()] = true;
+            objects[p.object.index()] = true;
+        }
+        BoardStats {
+            posts: self.posts.len(),
+            positive,
+            negative: self.posts.len() - positive,
+            distinct_authors: authors.iter().filter(|&&a| a).count(),
+            distinct_objects: objects.iter().filter(|&&o| o).count(),
+            latest_round: self.latest_round,
+        }
+    }
+}
+
+/// Aggregate volume statistics of a billboard (see [`Billboard::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoardStats {
+    /// Total posts.
+    pub posts: usize,
+    /// Positive reports.
+    pub positive: usize,
+    /// Negative reports.
+    pub negative: usize,
+    /// Players that have posted at least once.
+    pub distinct_authors: usize,
+    /// Objects mentioned at least once.
+    pub distinct_objects: usize,
+    /// Timestamp of the most recent post.
+    pub latest_round: Round,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn board() -> Billboard {
+        Billboard::new(3, 5)
+    }
+
+    #[test]
+    fn append_assigns_sequences() {
+        let mut b = board();
+        let s0 = b
+            .append(Round(0), PlayerId(0), ObjectId(1), 1.0, ReportKind::Positive)
+            .unwrap();
+        let s1 = b
+            .append(Round(0), PlayerId(1), ObjectId(2), 0.0, ReportKind::Negative)
+            .unwrap();
+        assert_eq!(s0, Seq(0));
+        assert_eq!(s1, Seq(1));
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_author() {
+        let mut b = board();
+        let err = b
+            .append(Round(0), PlayerId(3), ObjectId(0), 1.0, ReportKind::Positive)
+            .unwrap_err();
+        assert!(matches!(err, BillboardError::UnknownAuthor { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_object() {
+        let mut b = board();
+        let err = b
+            .append(Round(0), PlayerId(0), ObjectId(5), 1.0, ReportKind::Positive)
+            .unwrap_err();
+        assert!(matches!(err, BillboardError::UnknownObject { .. }));
+    }
+
+    #[test]
+    fn rejects_round_regression() {
+        let mut b = board();
+        b.append(Round(4), PlayerId(0), ObjectId(0), 1.0, ReportKind::Positive)
+            .unwrap();
+        let err = b
+            .append(Round(3), PlayerId(1), ObjectId(0), 1.0, ReportKind::Positive)
+            .unwrap_err();
+        assert!(matches!(err, BillboardError::RoundRegression { .. }));
+        // same round is fine (many players post per round)
+        b.append(Round(4), PlayerId(2), ObjectId(1), 0.0, ReportKind::Negative)
+            .unwrap();
+        assert_eq!(b.latest_round(), Round(4));
+    }
+
+    #[test]
+    fn posts_since_is_incremental() {
+        let mut b = board();
+        for i in 0..4u32 {
+            b.append(
+                Round(u64::from(i)),
+                PlayerId(i % 3),
+                ObjectId(i % 5),
+                f64::from(i),
+                ReportKind::Positive,
+            )
+            .unwrap();
+        }
+        assert_eq!(b.posts_since(Seq(0)).len(), 4);
+        assert_eq!(b.posts_since(Seq(2)).len(), 2);
+        assert_eq!(b.posts_since(Seq(4)).len(), 0);
+        assert_eq!(b.posts_since(Seq(99)).len(), 0);
+    }
+
+    #[test]
+    fn filtered_iterators() {
+        let mut b = board();
+        b.append(Round(0), PlayerId(0), ObjectId(1), 1.0, ReportKind::Positive)
+            .unwrap();
+        b.append(Round(0), PlayerId(1), ObjectId(1), 1.0, ReportKind::Positive)
+            .unwrap();
+        b.append(Round(1), PlayerId(0), ObjectId(2), 0.0, ReportKind::Negative)
+            .unwrap();
+        assert_eq!(b.posts_by(PlayerId(0)).count(), 2);
+        assert_eq!(b.posts_about(ObjectId(1)).count(), 2);
+        assert_eq!(b.posts_about(ObjectId(4)).count(), 0);
+    }
+
+    #[test]
+    fn stats_count_kinds_and_coverage() {
+        let mut b = board();
+        assert_eq!(b.stats().posts, 0);
+        b.append(Round(0), PlayerId(0), ObjectId(1), 1.0, ReportKind::Positive).unwrap();
+        b.append(Round(1), PlayerId(0), ObjectId(2), 0.0, ReportKind::Negative).unwrap();
+        b.append(Round(2), PlayerId(2), ObjectId(1), 1.0, ReportKind::Positive).unwrap();
+        let s = b.stats();
+        assert_eq!(s.posts, 3);
+        assert_eq!(s.positive, 2);
+        assert_eq!(s.negative, 1);
+        assert_eq!(s.distinct_authors, 2);
+        assert_eq!(s.distinct_objects, 2);
+        assert_eq!(s.latest_round, Round(2));
+    }
+
+    #[test]
+    fn append_only_no_mutation_api() {
+        // Compile-time property: posts() hands out an immutable slice.
+        let mut b = board();
+        b.append(Round(0), PlayerId(0), ObjectId(0), 1.0, ReportKind::Positive)
+            .unwrap();
+        let first = b.posts()[0];
+        b.append(Round(1), PlayerId(1), ObjectId(1), 1.0, ReportKind::Positive)
+            .unwrap();
+        assert_eq!(b.posts()[0], first, "existing posts are never rewritten");
+    }
+}

@@ -1,0 +1,83 @@
+//! Billboard error type.
+
+use crate::ids::{ObjectId, PlayerId, Round};
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned when a post violates the billboard's integrity rules.
+///
+/// These correspond to the environment guarantees of §2.1: author tags are
+/// reliable (so an out-of-universe author is rejected) and timestamps are
+/// monotone (the log is a record of a synchronous execution).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BillboardError {
+    /// The author id is not within the registered player universe.
+    UnknownAuthor {
+        /// The offending author id.
+        author: PlayerId,
+        /// Number of registered players.
+        n_players: u32,
+    },
+    /// The object id is not within the registered object universe.
+    UnknownObject {
+        /// The offending object id.
+        object: ObjectId,
+        /// Number of registered objects.
+        n_objects: u32,
+    },
+    /// The post is timestamped earlier than an already-appended post.
+    RoundRegression {
+        /// The round of the rejected post.
+        attempted: Round,
+        /// The latest round already on the billboard.
+        current: Round,
+    },
+}
+
+impl fmt::Display for BillboardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BillboardError::UnknownAuthor { author, n_players } => {
+                write!(f, "unknown author {author} (universe has {n_players} players)")
+            }
+            BillboardError::UnknownObject { object, n_objects } => {
+                write!(f, "unknown object {object} (universe has {n_objects} objects)")
+            }
+            BillboardError::RoundRegression { attempted, current } => {
+                write!(f, "post timestamped {attempted} but billboard is already at {current}")
+            }
+        }
+    }
+}
+
+impl Error for BillboardError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = BillboardError::UnknownAuthor {
+            author: PlayerId(9),
+            n_players: 4,
+        };
+        assert!(e.to_string().contains("p9"));
+        let e = BillboardError::RoundRegression {
+            attempted: Round(1),
+            current: Round(2),
+        };
+        assert!(e.to_string().contains("r1"));
+        let e = BillboardError::UnknownObject {
+            object: ObjectId(12),
+            n_objects: 10,
+        };
+        assert!(e.to_string().contains("o12"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BillboardError>();
+    }
+}

@@ -1,0 +1,71 @@
+//! # distill-billboard
+//!
+//! The shared **billboard** substrate from *Adaptive Collaboration in
+//! Peer-to-Peer Systems* (Awerbuch, Patt-Shamir, Peleg, Tuttle; ICDCS 2005).
+//!
+//! The paper's system environment (§2.1) assumes exactly three properties of
+//! the billboard:
+//!
+//! 1. every message is **reliably tagged** with the identity of the posting
+//!    player,
+//! 2. every message carries a **timestamp** (here: the round number), and
+//! 3. the billboard is **append-only** — no message is ever erased.
+//!
+//! [`Billboard`] enforces all three by construction: posts can only be
+//! appended, the author is validated against the registered player universe,
+//! and rounds are monotonically non-decreasing.
+//!
+//! Everything *semantic* about votes is deliberately **reader-side**: Byzantine
+//! players may post anything they like, any number of times; it is the honest
+//! readers that interpret the log under a [`VotePolicy`] (one vote per player
+//! in the base algorithm, up to `f` votes in the §4.1 extension, or
+//! best-value-so-far votes in the §5.3 no-local-testing variant). That
+//! interpretation is implemented incrementally by [`VoteTracker`], which also
+//! answers the per-iteration tallies `ℓ_t(i)` that Algorithm DISTILL's
+//! candidate-set refinement (Figure 1, Step 2.2) is built on.
+//!
+//! ## Example
+//!
+//! ```
+//! use distill_billboard::{Billboard, ObjectId, PlayerId, ReportKind, Round,
+//!                         VotePolicy, VoteTracker, Window};
+//!
+//! # fn main() -> Result<(), distill_billboard::BillboardError> {
+//! let mut board = Billboard::new(4, 10);
+//! // player 2 probes object 7 in round 0 and reports it good:
+//! board.append(Round(0), PlayerId(2), ObjectId(7), 1.0, ReportKind::Positive)?;
+//! // player 1 reports object 3 bad:
+//! board.append(Round(0), PlayerId(1), ObjectId(3), 0.0, ReportKind::Negative)?;
+//!
+//! let mut votes = VoteTracker::new(4, 10, VotePolicy::single_vote());
+//! votes.ingest(&board);
+//! assert_eq!(votes.vote_of(PlayerId(2)), Some(ObjectId(7)));
+//! assert_eq!(votes.vote_of(PlayerId(1)), None); // negative reports are not votes
+//! assert_eq!(votes.votes_for(ObjectId(7)), 1);
+//! assert_eq!(votes.window_votes_for(Window::new(Round(0), Round(1)), ObjectId(7)), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod auth;
+mod board;
+mod error;
+mod ids;
+mod policy;
+mod post;
+mod tracker;
+mod view;
+mod window;
+
+pub use auth::{AuditReport, AuthError, AuthKey, Authenticator, SignedBillboard, Tag};
+pub use board::{Billboard, BoardStats};
+pub use error::BillboardError;
+pub use ids::{ObjectId, PlayerId, Round, Seq};
+pub use policy::{VoteMode, VotePolicy};
+pub use post::{Post, ReportKind};
+pub use tracker::{VoteEvent, VoteRecord, VoteTracker};
+pub use view::BoardView;
+pub use window::Window;

@@ -1,0 +1,397 @@
+//! Incremental reader-side vote extraction.
+
+use crate::board::Billboard;
+use crate::ids::{ObjectId, PlayerId, Round, Seq};
+use crate::policy::{VoteMode, VotePolicy};
+use crate::window::Window;
+use std::collections::{HashMap, HashSet};
+
+/// One of a player's currently-counted votes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VoteRecord {
+    /// The object voted for.
+    pub object: ObjectId,
+    /// The round the vote was cast (or last changed, in best-value mode).
+    pub round: Round,
+    /// The value the voter claimed.
+    pub value: f64,
+}
+
+/// A vote *event*: the moment a player's vote (newly) lands on an object.
+///
+/// In local-testing mode each player produces at most `f` events, which is
+/// exactly the accounting behind Equation 1 of the paper (the adversary's
+/// total vote budget is `(1−α)n` when `f = 1`). In best-value mode an event
+/// is recorded the first time each object becomes a player's vote, so a
+/// player can produce at most one event per object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VoteEvent {
+    /// The round the event happened.
+    pub round: Round,
+    /// The voter.
+    pub player: PlayerId,
+    /// The object receiving the vote.
+    pub object: ObjectId,
+}
+
+/// Incremental vote interpretation of a [`Billboard`] under a [`VotePolicy`].
+///
+/// A `VoteTracker` consumes new posts via [`ingest`](VoteTracker::ingest)
+/// (typically once per simulated round) and maintains:
+///
+/// * each player's **current votes** (at most `f` in local-testing mode, at
+///   most one — the best-value-so-far object — in best-value mode);
+/// * per-object **current vote counts**;
+/// * the chronological stream of **vote events**, from which the
+///   per-iteration tallies `ℓ_t(i)` of Figure 1 are answered via
+///   [`window_votes_for`](VoteTracker::window_votes_for) /
+///   [`window_tally`](VoteTracker::window_tally).
+///
+/// The tracker is pure interpretation: it never rejects a post, it just
+/// *ignores* whatever the policy says honest readers ignore (negative
+/// reports, votes beyond the cap, duplicate votes for the same object).
+#[derive(Debug, Clone)]
+pub struct VoteTracker {
+    policy: VotePolicy,
+    n_objects: u32,
+    cursor: usize,
+    votes_by_player: Vec<Vec<VoteRecord>>,
+    votes_for_object: Vec<u32>,
+    events: Vec<VoteEvent>,
+    /// Best-value mode only: per-player set of objects that have already
+    /// produced a vote event (caps Byzantine event inflation at one event per
+    /// (player, object) pair).
+    evented: Vec<HashSet<ObjectId>>,
+}
+
+impl VoteTracker {
+    /// Creates a tracker for a universe of `n_players` × `n_objects` under
+    /// `policy`, having consumed nothing yet.
+    pub fn new(n_players: u32, n_objects: u32, policy: VotePolicy) -> Self {
+        let needs_evented = policy.mode == VoteMode::BestValue;
+        VoteTracker {
+            policy,
+            n_objects,
+            cursor: 0,
+            votes_by_player: vec![Vec::new(); n_players as usize],
+            votes_for_object: vec![0; n_objects as usize],
+            events: Vec::new(),
+            evented: if needs_evented {
+                vec![HashSet::new(); n_players as usize]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    /// The policy this tracker interprets under.
+    #[inline]
+    pub fn policy(&self) -> VotePolicy {
+        self.policy
+    }
+
+    /// The log position up to which posts have been consumed.
+    #[inline]
+    pub fn cursor(&self) -> Seq {
+        Seq(self.cursor as u64)
+    }
+
+    /// Consumes all posts appended to `board` since the last call, updating
+    /// vote state. Returns the number of posts consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `board` has a different universe size than the tracker was
+    /// created for (mixing boards is a programming error).
+    pub fn ingest(&mut self, board: &Billboard) -> usize {
+        assert_eq!(
+            board.n_players() as usize,
+            self.votes_by_player.len(),
+            "tracker/board player universe mismatch"
+        );
+        assert_eq!(
+            board.n_objects(),
+            self.n_objects,
+            "tracker/board object universe mismatch"
+        );
+        let new_posts = board.posts_since(Seq(self.cursor as u64));
+        let consumed = new_posts.len();
+        for post in new_posts {
+            match self.policy.mode {
+                VoteMode::LocalTesting => self.ingest_local_testing(post),
+                VoteMode::BestValue => self.ingest_best_value(post),
+            }
+        }
+        self.cursor += consumed;
+        consumed
+    }
+
+    fn ingest_local_testing(&mut self, post: &crate::post::Post) {
+        if !post.is_positive() {
+            return; // negative reports are never votes (§4)
+        }
+        let votes = &mut self.votes_by_player[post.author.index()];
+        if votes.len() >= self.policy.votes_per_player {
+            return; // beyond the f-cap: ignored by honest readers
+        }
+        if votes.iter().any(|v| v.object == post.object) {
+            return; // re-voting the same object adds nothing
+        }
+        votes.push(VoteRecord {
+            object: post.object,
+            round: post.round,
+            value: post.value,
+        });
+        self.votes_for_object[post.object.index()] += 1;
+        self.events.push(VoteEvent {
+            round: post.round,
+            player: post.author,
+            object: post.object,
+        });
+    }
+
+    fn ingest_best_value(&mut self, post: &crate::post::Post) {
+        // §5.3: the (single) vote is the highest-value object reported so far.
+        // Positive/negative polarity is irrelevant without local testing —
+        // only claimed values matter.
+        let player = post.author.index();
+        let current = self.votes_by_player[player].first().copied();
+        let improves = match current {
+            None => true,
+            Some(v) => post.value > v.value && post.object != v.object,
+        };
+        // Re-reporting the *same* object with a higher value refreshes the
+        // recorded value but is not a vote change.
+        if let Some(v) = current {
+            if post.object == v.object && post.value > v.value {
+                self.votes_by_player[player][0].value = post.value;
+                self.votes_by_player[player][0].round = post.round;
+                return;
+            }
+        }
+        if !improves {
+            return;
+        }
+        if let Some(old) = current {
+            self.votes_for_object[old.object.index()] -= 1;
+        }
+        self.votes_by_player[player] = vec![VoteRecord {
+            object: post.object,
+            round: post.round,
+            value: post.value,
+        }];
+        self.votes_for_object[post.object.index()] += 1;
+        // One event per (player, object) pair, ever.
+        if self.evented[player].insert(post.object) {
+            self.events.push(VoteEvent {
+                round: post.round,
+                player: post.author,
+                object: post.object,
+            });
+        }
+    }
+
+    /// The first (oldest) current vote of `player`, if any.
+    ///
+    /// This is what `PROBE&SEEKADVICE` follows: "probe the object j votes
+    /// for, if exists".
+    pub fn vote_of(&self, player: PlayerId) -> Option<ObjectId> {
+        self.votes_by_player[player.index()].first().map(|v| v.object)
+    }
+
+    /// All current votes of `player` (at most `f`).
+    pub fn votes_of(&self, player: PlayerId) -> &[VoteRecord] {
+        &self.votes_by_player[player.index()]
+    }
+
+    /// The number of players whose current vote set includes `object`.
+    pub fn votes_for(&self, object: ObjectId) -> u32 {
+        self.votes_for_object[object.index()]
+    }
+
+    /// Objects that currently hold at least one vote, ascending by id.
+    ///
+    /// This is the set `S` of Figure 1 Step 1.2.
+    pub fn objects_with_votes(&self) -> Vec<ObjectId> {
+        self.votes_for_object
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, _)| ObjectId(i as u32))
+            .collect()
+    }
+
+    /// Total number of vote events recorded so far.
+    pub fn total_vote_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The chronological stream of vote events.
+    pub fn events(&self) -> &[VoteEvent] {
+        &self.events
+    }
+
+    /// The vote events whose round falls in `window`.
+    pub fn events_in(&self, window: Window) -> &[VoteEvent] {
+        let lo = self.events.partition_point(|e| e.round < window.start);
+        let hi = self.events.partition_point(|e| e.round < window.end);
+        &self.events[lo..hi]
+    }
+
+    /// `ℓ_t(i)`: the number of votes `object` received during `window`
+    /// (Figure 1 shared variables).
+    pub fn window_votes_for(&self, window: Window, object: ObjectId) -> u32 {
+        self.events_in(window)
+            .iter()
+            .filter(|e| e.object == object)
+            .count() as u32
+    }
+
+    /// The full per-object tally of vote events in `window`.
+    ///
+    /// Objects with no events in the window are absent from the map.
+    pub fn window_tally(&self, window: Window) -> HashMap<ObjectId, u32> {
+        let mut out = HashMap::new();
+        for e in self.events_in(window) {
+            *out.entry(e.object).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Number of players that currently have at least one vote.
+    pub fn voters(&self) -> usize {
+        self.votes_by_player.iter().filter(|v| !v.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::post::ReportKind;
+
+    fn board(n: u32, m: u32) -> Billboard {
+        Billboard::new(n, m)
+    }
+
+    #[test]
+    fn single_vote_counts_first_positive_only() {
+        let mut b = board(3, 4);
+        b.append(Round(0), PlayerId(0), ObjectId(1), 1.0, ReportKind::Positive).unwrap();
+        b.append(Round(1), PlayerId(0), ObjectId(2), 1.0, ReportKind::Positive).unwrap();
+        b.append(Round(1), PlayerId(1), ObjectId(2), 0.0, ReportKind::Negative).unwrap();
+        let mut t = VoteTracker::new(3, 4, VotePolicy::single_vote());
+        t.ingest(&b);
+        assert_eq!(t.vote_of(PlayerId(0)), Some(ObjectId(1)));
+        assert_eq!(t.votes_for(ObjectId(2)), 0, "second vote and negative report ignored");
+        assert_eq!(t.vote_of(PlayerId(1)), None);
+        assert_eq!(t.total_vote_events(), 1);
+    }
+
+    #[test]
+    fn duplicate_votes_for_same_object_do_not_double_count() {
+        let mut b = board(2, 2);
+        for r in 0..5u64 {
+            b.append(Round(r), PlayerId(0), ObjectId(0), 1.0, ReportKind::Positive).unwrap();
+        }
+        let mut t = VoteTracker::new(2, 2, VotePolicy::multi_vote(3));
+        t.ingest(&b);
+        assert_eq!(t.votes_for(ObjectId(0)), 1);
+        assert_eq!(t.votes_of(PlayerId(0)).len(), 1);
+    }
+
+    #[test]
+    fn multi_vote_cap_is_enforced_by_reader() {
+        let mut b = board(1, 10);
+        for i in 0..10u32 {
+            b.append(Round(0), PlayerId(0), ObjectId(i), 1.0, ReportKind::Positive).unwrap();
+        }
+        let mut t = VoteTracker::new(1, 10, VotePolicy::multi_vote(3));
+        t.ingest(&b);
+        assert_eq!(t.votes_of(PlayerId(0)).len(), 3, "ballot stuffing is capped at f");
+        assert_eq!(t.total_vote_events(), 3);
+        let voted: Vec<_> = t.objects_with_votes();
+        assert_eq!(voted, vec![ObjectId(0), ObjectId(1), ObjectId(2)]);
+    }
+
+    #[test]
+    fn ingest_is_incremental() {
+        let mut b = board(2, 2);
+        let mut t = VoteTracker::new(2, 2, VotePolicy::single_vote());
+        b.append(Round(0), PlayerId(0), ObjectId(0), 1.0, ReportKind::Positive).unwrap();
+        assert_eq!(t.ingest(&b), 1);
+        assert_eq!(t.ingest(&b), 0);
+        b.append(Round(1), PlayerId(1), ObjectId(1), 1.0, ReportKind::Positive).unwrap();
+        assert_eq!(t.ingest(&b), 1);
+        assert_eq!(t.cursor(), Seq(2));
+        assert_eq!(t.voters(), 2);
+    }
+
+    #[test]
+    fn window_tallies_match_event_rounds() {
+        let mut b = board(4, 4);
+        b.append(Round(0), PlayerId(0), ObjectId(1), 1.0, ReportKind::Positive).unwrap();
+        b.append(Round(2), PlayerId(1), ObjectId(1), 1.0, ReportKind::Positive).unwrap();
+        b.append(Round(2), PlayerId(2), ObjectId(3), 1.0, ReportKind::Positive).unwrap();
+        b.append(Round(5), PlayerId(3), ObjectId(1), 1.0, ReportKind::Positive).unwrap();
+        let mut t = VoteTracker::new(4, 4, VotePolicy::single_vote());
+        t.ingest(&b);
+        let w = Window::new(Round(1), Round(5));
+        assert_eq!(t.window_votes_for(w, ObjectId(1)), 1);
+        assert_eq!(t.window_votes_for(w, ObjectId(3)), 1);
+        let tally = t.window_tally(w);
+        assert_eq!(tally.get(&ObjectId(1)), Some(&1));
+        assert_eq!(tally.get(&ObjectId(0)), None);
+        assert_eq!(t.events_in(Window::new(Round(0), Round(6))).len(), 4);
+        assert_eq!(t.events_in(Window::empty(Round(2))).len(), 0);
+    }
+
+    #[test]
+    fn best_value_vote_moves_to_better_object() {
+        let mut b = board(1, 3);
+        b.append(Round(0), PlayerId(0), ObjectId(0), 0.3, ReportKind::Negative).unwrap();
+        b.append(Round(1), PlayerId(0), ObjectId(1), 0.7, ReportKind::Negative).unwrap();
+        b.append(Round(2), PlayerId(0), ObjectId(2), 0.5, ReportKind::Negative).unwrap();
+        let mut t = VoteTracker::new(1, 3, VotePolicy::best_value());
+        t.ingest(&b);
+        assert_eq!(t.vote_of(PlayerId(0)), Some(ObjectId(1)));
+        assert_eq!(t.votes_for(ObjectId(0)), 0, "old vote revoked");
+        assert_eq!(t.votes_for(ObjectId(1)), 1);
+        // two events: o0 became the vote, then o1 did.
+        assert_eq!(t.total_vote_events(), 2);
+    }
+
+    #[test]
+    fn best_value_same_object_refresh_is_not_an_event() {
+        let mut b = board(1, 2);
+        b.append(Round(0), PlayerId(0), ObjectId(0), 0.3, ReportKind::Negative).unwrap();
+        b.append(Round(1), PlayerId(0), ObjectId(0), 0.9, ReportKind::Negative).unwrap();
+        let mut t = VoteTracker::new(1, 2, VotePolicy::best_value());
+        t.ingest(&b);
+        assert_eq!(t.total_vote_events(), 1);
+        assert_eq!(t.votes_of(PlayerId(0))[0].value, 0.9, "value refreshed");
+    }
+
+    #[test]
+    fn best_value_oscillation_capped_per_pair() {
+        // A Byzantine player alternates two objects with ever-growing values;
+        // events must be capped at one per (player, object) pair.
+        let mut b = board(1, 2);
+        for r in 0..10u64 {
+            let obj = ObjectId((r % 2) as u32);
+            b.append(Round(r), PlayerId(0), obj, r as f64, ReportKind::Negative).unwrap();
+        }
+        let mut t = VoteTracker::new(1, 2, VotePolicy::best_value());
+        t.ingest(&b);
+        assert_eq!(t.total_vote_events(), 2, "unbounded event inflation prevented");
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn mixing_boards_panics() {
+        let b = board(2, 2);
+        let mut t = VoteTracker::new(3, 2, VotePolicy::single_vote());
+        t.ingest(&b);
+    }
+}

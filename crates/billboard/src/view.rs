@@ -1,0 +1,143 @@
+//! Read-only billboard view handed to protocol and adversary code.
+
+use crate::board::Billboard;
+use crate::ids::{ObjectId, PlayerId, Round};
+use crate::post::Post;
+use crate::tracker::{VoteEvent, VoteRecord, VoteTracker};
+use crate::window::Window;
+use std::collections::HashMap;
+
+/// A read-only snapshot facade over a [`Billboard`] and its [`VoteTracker`].
+///
+/// This is the type protocols (honest cohorts) and adversaries receive each
+/// round: "consulting the billboard is free" (§1.1), so the view exposes
+/// everything readable — the raw log and the policy-interpreted vote state —
+/// but no way to write.
+#[derive(Debug, Clone, Copy)]
+pub struct BoardView<'a> {
+    board: &'a Billboard,
+    tracker: &'a VoteTracker,
+    round: Round,
+}
+
+impl<'a> BoardView<'a> {
+    /// Bundles a board and tracker into a view at round `round`.
+    pub fn new(board: &'a Billboard, tracker: &'a VoteTracker, round: Round) -> Self {
+        BoardView {
+            board,
+            tracker,
+            round,
+        }
+    }
+
+    /// The current round.
+    #[inline]
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Number of players in the universe.
+    #[inline]
+    pub fn n_players(&self) -> u32 {
+        self.board.n_players()
+    }
+
+    /// Number of objects in the universe.
+    #[inline]
+    pub fn n_objects(&self) -> u32 {
+        self.board.n_objects()
+    }
+
+    /// The raw append-only log.
+    #[inline]
+    pub fn posts(&self) -> &'a [Post] {
+        self.board.posts()
+    }
+
+    /// The current vote of `player` (what an advice probe follows).
+    #[inline]
+    pub fn vote_of(&self, player: PlayerId) -> Option<ObjectId> {
+        self.tracker.vote_of(player)
+    }
+
+    /// All current votes of `player`.
+    #[inline]
+    pub fn votes_of(&self, player: PlayerId) -> &'a [VoteRecord] {
+        self.tracker.votes_of(player)
+    }
+
+    /// The number of current votes for `object`.
+    #[inline]
+    pub fn votes_for(&self, object: ObjectId) -> u32 {
+        self.tracker.votes_for(object)
+    }
+
+    /// Objects currently holding at least one vote (Step 1.2's set `S`).
+    #[inline]
+    pub fn objects_with_votes(&self) -> Vec<ObjectId> {
+        self.tracker.objects_with_votes()
+    }
+
+    /// `ℓ_t(i)` for the given window.
+    #[inline]
+    pub fn window_votes_for(&self, window: Window, object: ObjectId) -> u32 {
+        self.tracker.window_votes_for(window, object)
+    }
+
+    /// Per-object vote-event tally for the given window.
+    #[inline]
+    pub fn window_tally(&self, window: Window) -> HashMap<ObjectId, u32> {
+        self.tracker.window_tally(window)
+    }
+
+    /// Chronological vote events.
+    #[inline]
+    pub fn vote_events(&self) -> &'a [VoteEvent] {
+        self.tracker.events()
+    }
+
+    /// Number of players with at least one vote.
+    #[inline]
+    pub fn voters(&self) -> usize {
+        self.tracker.voters()
+    }
+
+    /// The underlying tracker (for advanced read-only queries).
+    #[inline]
+    pub fn tracker(&self) -> &'a VoteTracker {
+        self.tracker
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::VotePolicy;
+    use crate::post::ReportKind;
+
+    #[test]
+    fn view_delegates() {
+        let mut b = Billboard::new(2, 3);
+        b.append(Round(0), PlayerId(1), ObjectId(2), 1.0, ReportKind::Positive)
+            .unwrap();
+        let mut t = VoteTracker::new(2, 3, VotePolicy::single_vote());
+        t.ingest(&b);
+        let v = BoardView::new(&b, &t, Round(1));
+        assert_eq!(v.round(), Round(1));
+        assert_eq!(v.n_players(), 2);
+        assert_eq!(v.n_objects(), 3);
+        assert_eq!(v.posts().len(), 1);
+        assert_eq!(v.vote_of(PlayerId(1)), Some(ObjectId(2)));
+        assert_eq!(v.votes_for(ObjectId(2)), 1);
+        assert_eq!(v.objects_with_votes(), vec![ObjectId(2)]);
+        assert_eq!(v.voters(), 1);
+        assert_eq!(v.vote_events().len(), 1);
+        assert_eq!(
+            v.window_votes_for(Window::new(Round(0), Round(1)), ObjectId(2)),
+            1
+        );
+        assert_eq!(v.window_tally(Window::new(Round(0), Round(1))).len(), 1);
+        assert_eq!(v.tracker().total_vote_events(), 1);
+        assert_eq!(v.votes_of(PlayerId(1)).len(), 1);
+    }
+}

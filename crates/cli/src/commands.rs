@@ -1,0 +1,564 @@
+//! CLI commands. Each command builds its output as a `String` so the whole
+//! surface is unit-testable without capturing stdout.
+
+use crate::args::{ArgError, Args};
+use distill_adversary::{
+    gauntlet, AdviceBait, BallotStuffer, Collusive, Flooder, Slander, ThresholdMatcher, UniformBad,
+};
+use distill_analysis::{bounds, fmt_f, lemma9, Summary, Table};
+use distill_core::{Balance, Distill, DistillParams, GuessAlpha, RandomProbing, ThreePhase};
+use distill_sim::{
+    run_trials_threaded, Adversary, Cohort, Engine, NullAdversary, SimConfig, StopRule, World,
+};
+
+/// A command failure, rendered to the user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument problems.
+    Args(ArgError),
+    /// Anything else (bad parameter combinations, engine setup failures).
+    Message(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Message(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError::Message(msg.into())
+}
+
+/// The help text.
+pub fn help() -> String {
+    "\
+distill — reproduction of 'Adaptive Collaboration in Peer-to-Peer Systems' (ICDCS 2005)
+
+USAGE:
+    distill <command> [flags]
+
+COMMANDS:
+    run        simulate one configuration over several trials
+    gauntlet   run one algorithm against every adversary strategy
+    bounds     evaluate the paper's bound formulas for given parameters
+    lemma9     check Lemma 9 (original and corrected) on a sequence
+    meanfield  predicted satisfaction dynamics of the baselines
+    async      run the asynchronous model of [1] under a chosen schedule
+               (--schedule round-robin|random|isolate|starve)
+    help       this text
+
+RUN FLAGS (defaults in parentheses):
+    --n <u32>            players (256)
+    --m <u32>            objects (= n)
+    --honest <u32>       honest players (90% of n)
+    --goods <u32>        good objects (1)
+    --algorithm <name>   distill | distill-hp | guess-alpha | balance |
+                         random | three-phase   (distill)
+    --adversary <name>   null | uniform-bad | collusive | threshold-matcher |
+                         slander | ballot-stuffer | advice-bait | flooder  (uniform-bad)
+    --trials <usize>     independent trials (10)
+    --seed <u64>         master seed (0)
+    --f <usize>          votes per player (1)
+    --error-rate <f64>   honest erroneous-vote probability (0)
+    --max-rounds <u64>   safety cap (1000000)
+
+BOUNDS FLAGS: --n --m --alpha --beta --q0 --eps
+LEMMA9:       distill lemma9 <c0,c1,c2,...> --a <f64 in (0,1)>
+"
+    .to_string()
+}
+
+fn make_cohort(name: &str, n: u32, m: u32, alpha: f64, beta: f64) -> Result<Box<dyn Cohort>, CliError> {
+    Ok(match name {
+        "distill" => Box::new(Distill::new(
+            DistillParams::new(n, m, alpha, beta).map_err(|e| err(e.to_string()))?,
+        )),
+        "distill-hp" => Box::new(Distill::new(
+            DistillParams::high_probability(n, m, alpha, beta, 1.0)
+                .map_err(|e| err(e.to_string()))?,
+        )),
+        "guess-alpha" => Box::new(
+            GuessAlpha::new(n, m, beta, 0.5, 0.5).map_err(|e| err(e.to_string()))?,
+        ),
+        "balance" => Box::new(Balance::new()),
+        "random" => Box::new(RandomProbing::new()),
+        "three-phase" => Box::new(ThreePhase::new(n)),
+        other => return Err(err(format!("unknown algorithm {other:?} (try `distill help`)"))),
+    })
+}
+
+fn make_adversary(name: &str) -> Result<Box<dyn Adversary>, CliError> {
+    Ok(match name {
+        "null" => Box::new(NullAdversary),
+        "uniform-bad" => Box::new(UniformBad::new()),
+        "collusive" => Box::<Collusive>::default(),
+        "threshold-matcher" => Box::new(ThresholdMatcher::new()),
+        "slander" => Box::new(Slander::new()),
+        "ballot-stuffer" => Box::<BallotStuffer>::default(),
+        "advice-bait" => Box::new(AdviceBait::new()),
+        "flooder" => Box::<Flooder>::default(),
+        other => return Err(err(format!("unknown adversary {other:?} (try `distill help`)"))),
+    })
+}
+
+const RUN_FLAGS: &[&str] = &[
+    "n", "m", "honest", "goods", "algorithm", "adversary", "trials", "seed", "f", "error-rate",
+    "max-rounds",
+];
+
+/// `distill run` — simulate one configuration.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    args.ensure_known(RUN_FLAGS)?;
+    let n: u32 = args.get_or("n", 256)?;
+    let m: u32 = args.get_or("m", n)?;
+    let default_honest = ((f64::from(n)) * 0.9).round() as u32;
+    let honest: u32 = args.get_or("honest", default_honest)?;
+    let goods: u32 = args.get_or("goods", 1)?;
+    let trials: usize = args.get_or("trials", 10)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let f: usize = args.get_or("f", 1)?;
+    let error_rate: f64 = args.get_or("error-rate", 0.0)?;
+    let max_rounds: u64 = args.get_or("max-rounds", 1_000_000)?;
+    let algorithm = args.str_or("algorithm", "distill");
+    let adversary_name = args.str_or("adversary", "uniform-bad");
+    if honest == 0 || honest > n {
+        return Err(err(format!("--honest {honest} must be in 1..={n}")));
+    }
+    if goods == 0 || goods > m {
+        return Err(err(format!("--goods {goods} must be in 1..={m}")));
+    }
+    let alpha = f64::from(honest) / f64::from(n);
+    // Validate names and parameters once, up front, so trial workers can't
+    // hit a construction failure mid-run.
+    make_cohort(&algorithm, n, m, alpha, f64::from(goods) / f64::from(m))?;
+    make_adversary(&adversary_name)?;
+
+    let results = run_trials_threaded(trials, num_threads(), |t| {
+        let world = World::binary(m, goods, seed.wrapping_add(1_000_003).wrapping_add(t))
+            .expect("validated world parameters");
+        let cohort = make_cohort(&algorithm, n, m, alpha, world.beta())
+            .expect("validated algorithm");
+        let adversary = make_adversary(&adversary_name).expect("validated adversary");
+        let config = SimConfig::new(n, honest, seed.wrapping_add(t))
+            .with_policy(distill_billboard::VotePolicy::multi_vote(f))
+            .with_honest_error_rate(error_rate)
+            .with_stop(StopRule::all_satisfied(max_rounds));
+        Engine::new(config, &world, cohort, adversary)
+            .expect("validated configuration")
+            .run()
+    });
+
+    let costs: Vec<f64> = results.iter().map(|r| r.mean_probes()).collect();
+    let rounds: Vec<f64> = results.iter().map(|r| r.rounds as f64).collect();
+    let done = results.iter().filter(|r| r.all_satisfied).count();
+    let cost = Summary::of(&costs);
+    let rds = Summary::of(&rounds);
+
+    let mut table = Table::new(
+        format!(
+            "{algorithm} vs {adversary_name} — n={n} m={m} honest={honest} (alpha={alpha:.3}) \
+             goods={goods} f={f} trials={trials}"
+        ),
+        &["metric", "mean", "min", "max"],
+    );
+    table.row_owned(vec![
+        "individual cost (probes)".into(),
+        fmt_f(cost.mean),
+        fmt_f(cost.min),
+        fmt_f(cost.max),
+    ]);
+    table.row_owned(vec![
+        "rounds".into(),
+        fmt_f(rds.mean),
+        fmt_f(rds.min),
+        fmt_f(rds.max),
+    ]);
+    table.row_owned(vec![
+        "trials fully satisfied".into(),
+        format!("{done}/{trials}"),
+        "-".into(),
+        "-".into(),
+    ]);
+    let bound = bounds::distill_upper(f64::from(n), alpha, f64::from(goods) / f64::from(m));
+    Ok(format!(
+        "{table}\nTheorem 4 shape for these parameters: {} (measured/bound = {})\n",
+        fmt_f(bound),
+        fmt_f(cost.mean / bound)
+    ))
+}
+
+const GAUNTLET_FLAGS: &[&str] = &["n", "honest", "goods", "trials", "seed", "algorithm"];
+
+/// `distill gauntlet` — one algorithm against every strategy.
+pub fn run_gauntlet(args: &Args) -> Result<String, CliError> {
+    args.ensure_known(GAUNTLET_FLAGS)?;
+    let n: u32 = args.get_or("n", 256)?;
+    let default_honest = ((f64::from(n)) * 0.75).round() as u32;
+    let honest: u32 = args.get_or("honest", default_honest)?;
+    let goods: u32 = args.get_or("goods", 1)?;
+    let trials: usize = args.get_or("trials", 5)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let algorithm = args.str_or("algorithm", "distill");
+    if honest == 0 || honest > n {
+        return Err(err(format!("--honest {honest} must be in 1..={n}")));
+    }
+    let alpha = f64::from(honest) / f64::from(n);
+    make_cohort(&algorithm, n, n, alpha, f64::from(goods.max(1)) / f64::from(n))?;
+
+    let mut table = Table::new(
+        format!("{algorithm} gauntlet — n=m={n} honest={honest} trials={trials}"),
+        &["adversary", "mean cost", "mean rounds", "all satisfied"],
+    );
+    for entry in gauntlet() {
+        let results = run_trials_threaded(trials, num_threads(), |t| {
+            let world = World::binary(n, goods, seed.wrapping_add(7_000).wrapping_add(t))
+                .expect("validated world");
+            let cohort = make_cohort(&algorithm, n, n, alpha, world.beta())
+                .expect("validated algorithm");
+            let config = SimConfig::new(n, honest, seed.wrapping_add(t))
+                .with_stop(StopRule::all_satisfied(1_000_000));
+            Engine::new(config, &world, cohort, (entry.make)())
+                .expect("validated configuration")
+                .run()
+        });
+        let cost = results.iter().map(|r| r.mean_probes()).sum::<f64>() / results.len() as f64;
+        let rounds = results.iter().map(|r| r.rounds as f64).sum::<f64>() / results.len() as f64;
+        let ok = results.iter().all(|r| r.all_satisfied);
+        table.row_owned(vec![
+            entry.name.to_string(),
+            fmt_f(cost),
+            fmt_f(rounds),
+            if ok { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    Ok(table.render())
+}
+
+const BOUNDS_FLAGS: &[&str] = &["n", "m", "alpha", "beta", "q0", "eps"];
+
+/// `distill bounds` — evaluate the paper's formulas.
+pub fn run_bounds(args: &Args) -> Result<String, CliError> {
+    args.ensure_known(BOUNDS_FLAGS)?;
+    let n: f64 = args.get_or("n", 1024.0)?;
+    let m: f64 = args.get_or("m", n)?;
+    let alpha: f64 = args.get_or("alpha", 0.9)?;
+    let beta: f64 = args.get_or("beta", 1.0 / m)?;
+    let q0: f64 = args.get_or("q0", 1.0)?;
+    let eps: f64 = args.get_or("eps", 0.5)?;
+    if !(0.0 < alpha && alpha <= 1.0) || !(0.0 < beta && beta <= 1.0) {
+        return Err(err("alpha and beta must be in (0, 1]"));
+    }
+
+    let mut table = Table::new(
+        format!("paper bounds at n={n} m={m} alpha={alpha} beta={beta}"),
+        &["quantity", "value"],
+    );
+    table.row_owned(vec!["Delta = log(1/(1-a) + log n)".into(), fmt_f(bounds::delta(alpha, n))]);
+    table.row_owned(vec![
+        "Thm 4 upper (DISTILL individual cost)".into(),
+        fmt_f(bounds::distill_upper(n, alpha, beta)),
+    ]);
+    table.row_owned(vec![
+        "baseline upper (prior algorithm [1])".into(),
+        fmt_f(bounds::baseline_upper(n, alpha, beta)),
+    ]);
+    table.row_owned(vec![
+        "Thm 1 lower (collective work)".into(),
+        fmt_f(bounds::theorem1_lower(n, alpha, beta)),
+    ]);
+    table.row_owned(vec![
+        "Thm 2 lower (symmetry)".into(),
+        fmt_f(bounds::theorem2_lower(alpha, beta)),
+    ]);
+    table.row_owned(vec![
+        format!("Cor 5 upper at eps={eps}"),
+        fmt_f(bounds::corollary5_upper(eps)),
+    ]);
+    table.row_owned(vec![
+        format!("Thm 12 payment upper at q0={q0}"),
+        fmt_f(bounds::theorem12_upper(n, m, alpha, q0)),
+    ]);
+    table.row_owned(vec![
+        "random probing expectation (1/beta)".into(),
+        fmt_f(bounds::random_probing_expected(beta)),
+    ]);
+    Ok(table.render())
+}
+
+const MEANFIELD_FLAGS: &[&str] = &["n", "beta", "explore", "rounds"];
+
+/// `distill meanfield` — predicted satisfaction dynamics of the baselines.
+pub fn run_meanfield(args: &Args) -> Result<String, CliError> {
+    use distill_analysis::meanfield;
+    args.ensure_known(MEANFIELD_FLAGS)?;
+    let n: f64 = args.get_or("n", 1024.0)?;
+    let beta: f64 = args.get_or("beta", 1.0 / n)?;
+    let explore: f64 = args.get_or("explore", 0.5)?;
+    let rounds: usize = args.get_or("rounds", 200)?;
+    if !(0.0 < beta && beta <= 1.0) || !(0.0..=1.0).contains(&explore) {
+        return Err(err("need beta in (0,1] and explore in [0,1]"));
+    }
+    let random = meanfield::random_probing_curve(beta, rounds);
+    let balance = meanfield::balance_curve(beta, explore, rounds);
+    let mut table = Table::new(
+        format!("mean-field satisfied fraction — beta={beta}, explore={explore}"),
+        &["round", "random probing", "balance"],
+    );
+    let mut r = 1usize;
+    while r <= rounds {
+        table.row_owned(vec![r.to_string(), fmt_f(random[r]), fmt_f(balance[r])]);
+        r = (r * 2).max(r + 1);
+    }
+    Ok(format!(
+        "{table}\nexpected individual cost: random {} vs balance {}\n",
+        fmt_f(meanfield::expected_individual_cost(&random)),
+        fmt_f(meanfield::expected_individual_cost(&balance)),
+    ))
+}
+
+const ASYNC_FLAGS: &[&str] = &["n", "goods", "schedule", "trials", "seed"];
+
+/// `distill async` — run the asynchronous model of \[1\].
+pub fn run_async(args: &Args) -> Result<String, CliError> {
+    use distill_sim::async_engine::{
+        AsyncEngine, BalanceStep, Isolate, RandomSchedule, RoundRobin, Schedule, Starve,
+    };
+    use distill_sim::PlayerId;
+    args.ensure_known(ASYNC_FLAGS)?;
+    let n: u32 = args.get_or("n", 256)?;
+    let goods: u32 = args.get_or("goods", 1)?;
+    let trials: u64 = args.get_or("trials", 5)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let schedule_name = args.str_or("schedule", "round-robin");
+    match schedule_name.as_str() {
+        "round-robin" | "random" | "isolate" | "starve" => {}
+        other => return Err(err(format!("unknown schedule {other:?}"))),
+    }
+    let mut totals = Vec::new();
+    let mut p0s = Vec::new();
+    for t in 0..trials {
+        let world = World::binary(n, goods, seed.wrapping_add(500).wrapping_add(t))
+            .map_err(|e| err(e.to_string()))?;
+        let schedule: Box<dyn Schedule> = match schedule_name.as_str() {
+            "round-robin" => Box::new(RoundRobin::default()),
+            "random" => Box::new(RandomSchedule),
+            "isolate" => Box::new(Isolate::new(PlayerId(0))),
+            _ => Box::new(Starve::new(PlayerId(0))),
+        };
+        let result = AsyncEngine::new(
+            n,
+            n,
+            seed.wrapping_add(t),
+            100_000_000,
+            &world,
+            Box::new(BalanceStep::new()),
+            schedule,
+            Box::new(NullAdversary),
+        )
+        .map_err(|e| err(e.to_string()))?
+        .run();
+        totals.push(result.total_probes() as f64);
+        p0s.push(result.probes_of(PlayerId(0)) as f64);
+    }
+    let mut table = Table::new(
+        format!("async model — n=m={n} goods={goods} schedule={schedule_name} trials={trials}"),
+        &["metric", "mean"],
+    );
+    table.row_owned(vec![
+        "total probes (all players)".into(),
+        fmt_f(Summary::of(&totals).mean),
+    ]);
+    table.row_owned(vec!["player-0 probes".into(), fmt_f(Summary::of(&p0s).mean)]);
+    Ok(table.render())
+}
+
+const LEMMA9_FLAGS: &[&str] = &["a"];
+
+/// `distill lemma9 <c0,c1,...> --a <f64>` — check the inequality.
+pub fn run_lemma9(args: &Args) -> Result<String, CliError> {
+    args.ensure_known(LEMMA9_FLAGS)?;
+    let seq_raw = args
+        .positional
+        .first()
+        .ok_or_else(|| err("lemma9 needs a sequence, e.g. `distill lemma9 25,23,22,18,14,7`"))?;
+    let seq: Vec<u64> = seq_raw
+        .split(',')
+        .map(|s| s.trim().parse::<u64>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| err(format!("cannot parse sequence {seq_raw:?}")))?;
+    if seq.is_empty() || seq.iter().any(|&c| c == 0) {
+        return Err(err("sequence must be non-empty positive integers"));
+    }
+    if seq.windows(2).any(|w| w[1] > w[0]) {
+        return Err(err("lemma 9 applies to non-increasing sequences"));
+    }
+    let a: f64 = args.get_or("a", 0.1)?;
+    if !(0.0 < a && a < 1.0) {
+        return Err(err("--a must be in (0, 1)"));
+    }
+    let g = lemma9::g_a(&seq, a);
+    let rhs = lemma9::lemma9_rhs(&seq, a);
+    let rhs_corr = lemma9::lemma9_corrected_rhs(&seq, a);
+    let mut table = Table::new(
+        format!("Lemma 9 check — sigma={seq:?}, a={a}"),
+        &["quantity", "value", "holds?"],
+    );
+    table.row_owned(vec!["f(sigma)".into(), fmt_f(lemma9::f_ratio_sum(&seq)), "-".into()]);
+    table.row_owned(vec!["g_a(sigma)".into(), fmt_f(g), "-".into()]);
+    table.row_owned(vec![
+        "paper rhs (ceil(f)+1)·a^(1/c0)".into(),
+        fmt_f(rhs),
+        if g <= rhs + 1e-9 { "yes" } else { "VIOLATED" }.into(),
+    ]);
+    table.row_owned(vec![
+        "corrected rhs (2f+log2(c0)+1)·a^(1/c0)".into(),
+        fmt_f(rhs_corr),
+        if g <= rhs_corr + 1e-9 { "yes" } else { "VIOLATED" }.into(),
+    ]);
+    Ok(table.render())
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+}
+
+/// Dispatches a parsed command line.
+pub fn dispatch(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "run" => run(args),
+        "gauntlet" => run_gauntlet(args),
+        "bounds" => run_bounds(args),
+        "lemma9" => run_lemma9(args),
+        "meanfield" => run_meanfield(args),
+        "async" => run_async(args),
+        "help" | "--help" | "-h" => Ok(help()),
+        other => Err(err(format!("unknown command {other:?} (try `distill help`)"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &[&str]) -> Args {
+        Args::parse(line.iter().copied(), &[]).unwrap()
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let h = help();
+        for cmd in ["run", "gauntlet", "bounds", "lemma9"] {
+            assert!(h.contains(cmd), "help must mention {cmd}");
+        }
+    }
+
+    #[test]
+    fn run_small_simulation() {
+        let out = dispatch(&parse(&[
+            "run", "--n", "32", "--honest", "24", "--trials", "3", "--algorithm", "distill",
+            "--adversary", "uniform-bad",
+        ]))
+        .unwrap();
+        assert!(out.contains("individual cost"));
+        assert!(out.contains("3/3"), "all trials should satisfy: {out}");
+        assert!(out.contains("Theorem 4"));
+    }
+
+    #[test]
+    fn run_rejects_nonsense() {
+        assert!(dispatch(&parse(&["run", "--algorithm", "nope"])).is_err());
+        assert!(dispatch(&parse(&["run", "--adversary", "nope"])).is_err());
+        assert!(dispatch(&parse(&["run", "--honest", "0"])).is_err());
+        assert!(dispatch(&parse(&["run", "--bogus-flag", "1"])).is_err());
+        assert!(dispatch(&parse(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn gauntlet_reports_every_strategy() {
+        let out = dispatch(&parse(&["gauntlet", "--n", "32", "--trials", "2"])).unwrap();
+        for entry in gauntlet() {
+            assert!(out.contains(entry.name), "missing {} in {out}", entry.name);
+        }
+        assert!(!out.contains("NO"), "all strategies must be survived: {out}");
+    }
+
+    #[test]
+    fn bounds_table_renders() {
+        let out = dispatch(&parse(&["bounds", "--n", "1024", "--alpha", "0.9"])).unwrap();
+        assert!(out.contains("Thm 4"));
+        assert!(out.contains("Thm 12"));
+        assert!(dispatch(&parse(&["bounds", "--alpha", "1.5"])).is_err());
+    }
+
+    #[test]
+    fn lemma9_detects_the_counterexample() {
+        let out = dispatch(&Args::parse(
+            ["lemma9", "25,23,22,18,14,7", "--a", "0.0019304541362277093"],
+            &[],
+        )
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("VIOLATED"), "the documented counterexample: {out}");
+        assert!(out.matches("yes").count() >= 1, "corrected bound holds: {out}");
+    }
+
+    #[test]
+    fn meanfield_prints_dynamics() {
+        let out = dispatch(&parse(&["meanfield", "--n", "1024", "--rounds", "64"])).unwrap();
+        assert!(out.contains("balance"));
+        assert!(out.contains("expected individual cost"));
+        assert!(dispatch(&parse(&["meanfield", "--beta", "2.0"])).is_err());
+    }
+
+    #[test]
+    fn async_runs_schedules() {
+        for sched in ["round-robin", "isolate", "starve"] {
+            let out = dispatch(&parse(&[
+                "async", "--n", "32", "--trials", "2", "--schedule", sched,
+            ]))
+            .unwrap();
+            assert!(out.contains("player-0 probes"), "{sched}: {out}");
+        }
+        assert!(dispatch(&parse(&["async", "--schedule", "nope"])).is_err());
+    }
+
+    #[test]
+    fn isolate_costs_player_zero_more() {
+        let grab = |sched: &str| -> f64 {
+            let out = dispatch(&parse(&[
+                "async", "--n", "64", "--trials", "3", "--schedule", sched,
+            ]))
+            .unwrap();
+            let line = out
+                .lines()
+                .find(|l| l.contains("player-0 probes"))
+                .expect("metric line")
+                .to_string();
+            line.split_whitespace().last().unwrap().parse().unwrap()
+        };
+        assert!(grab("isolate") > grab("starve"), "isolation must dominate starvation");
+    }
+
+    #[test]
+    fn lemma9_validates_input() {
+        assert!(dispatch(&parse(&["lemma9"])).is_err());
+        assert!(dispatch(&parse(&["lemma9", "3,5"])).is_err()); // increasing
+        assert!(dispatch(&parse(&["lemma9", "abc"])).is_err());
+        assert!(dispatch(&Args::parse(["lemma9", "4,2", "--a", "1.5"], &[]).unwrap()).is_err());
+        // a valid, holding case
+        let out = dispatch(&Args::parse(["lemma9", "8,4,2,1", "--a", "0.01"], &[]).unwrap()).unwrap();
+        assert!(!out.contains("VIOLATED"));
+    }
+}

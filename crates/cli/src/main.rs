@@ -1,0 +1,36 @@
+//! `distill` — the command-line interface to the reproduction.
+//!
+//! ```sh
+//! distill run --n 1024 --honest 922 --adversary threshold-matcher --trials 20
+//! distill gauntlet --n 512
+//! distill bounds --n 4096 --alpha 0.95
+//! distill lemma9 25,23,22,18,14,7 --a 0.00193
+//! distill help
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(raw, &[]) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::help());
+            std::process::exit(2);
+        }
+    };
+    match commands::dispatch(&parsed) {
+        Ok(output) => println!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Baseline cohorts the paper compares against.
+
+use distill_billboard::BoardView;
+use distill_sim::{CandidateSet, Cohort, Directive, PhaseInfo};
+
+/// The "trivial algorithm" of §3: each player probes a uniformly random
+/// object in each step, disregarding the billboard completely.
+///
+/// Terminates in `O(1/β)` expected time regardless of the adversary — there
+/// is nothing to attack — but never benefits from collaboration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomProbing;
+
+impl RandomProbing {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        RandomProbing
+    }
+}
+
+impl Cohort for RandomProbing {
+    fn directive(&mut self, _view: &BoardView<'_>) -> Directive {
+        Directive::ProbeUniform(CandidateSet::All)
+    }
+
+    fn phase_info(&self) -> PhaseInfo {
+        PhaseInfo::plain("random-probing")
+    }
+
+    fn name(&self) -> &'static str {
+        "random-probing"
+    }
+}
+
+/// The synchronous-schedule rendition of the prior asynchronous algorithm of
+/// \[1\] (Awerbuch, Patt-Shamir, Peleg, Tuttle, EC 2004), the baseline the
+/// paper compares DISTILL against at the end of §3.
+///
+/// Each round, every active player flips a fair coin: *explore* (probe a
+/// uniformly random object) or *exploit* (pick a uniformly random player and
+/// probe its vote, falling back to exploration if that player has none).
+/// Under a synchronous schedule this halts in expected
+/// `O(log n/(αβn) + log n/α)` rounds — the discovery spreads epidemically,
+/// doubling the satisfied population roughly once per round, which is
+/// `Θ(log n)` even when *every* player is honest. DISTILL's whole point is
+/// beating that `log n`.
+#[derive(Debug, Clone, Copy)]
+pub struct Balance {
+    explore_probability: f64,
+}
+
+impl Balance {
+    /// The standard fair-coin balance rule.
+    pub fn new() -> Self {
+        Balance {
+            explore_probability: 0.5,
+        }
+    }
+
+    /// A biased variant (for ablations).
+    ///
+    /// # Panics
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn with_explore_probability(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "explore probability {p} out of [0,1]");
+        Balance {
+            explore_probability: p,
+        }
+    }
+
+    /// The probability of the exploration branch.
+    pub fn explore_probability(&self) -> f64 {
+        self.explore_probability
+    }
+}
+
+impl Default for Balance {
+    fn default() -> Self {
+        Balance::new()
+    }
+}
+
+impl Cohort for Balance {
+    fn directive(&mut self, _view: &BoardView<'_>) -> Directive {
+        Directive::Mixed {
+            explore: self.explore_probability,
+            set: CandidateSet::All,
+        }
+    }
+
+    fn phase_info(&self) -> PhaseInfo {
+        PhaseInfo::plain("balance")
+    }
+
+    fn name(&self) -> &'static str {
+        "balance"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distill_billboard::{Billboard, Round, VotePolicy, VoteTracker};
+
+    fn any_view_check<C: Cohort>(mut c: C, expected_name: &str) {
+        let board = Billboard::new(2, 2);
+        let mut tracker = VoteTracker::new(2, 2, VotePolicy::single_vote());
+        tracker.ingest(&board);
+        let view = BoardView::new(&board, &tracker, Round(0));
+        let _ = c.directive(&view);
+        assert_eq!(c.name(), expected_name);
+        assert_eq!(c.phase_info().label, expected_name);
+        assert!(c.notes().is_empty());
+    }
+
+    #[test]
+    fn random_probing_probes_uniformly() {
+        let board = Billboard::new(2, 2);
+        let mut tracker = VoteTracker::new(2, 2, VotePolicy::single_vote());
+        tracker.ingest(&board);
+        let view = BoardView::new(&board, &tracker, Round(0));
+        let mut c = RandomProbing::new();
+        assert!(matches!(c.directive(&view), Directive::ProbeUniform(CandidateSet::All)));
+        any_view_check(RandomProbing::new(), "random-probing");
+    }
+
+    #[test]
+    fn balance_mixes_explore_and_advice() {
+        let board = Billboard::new(2, 2);
+        let mut tracker = VoteTracker::new(2, 2, VotePolicy::single_vote());
+        tracker.ingest(&board);
+        let view = BoardView::new(&board, &tracker, Round(0));
+        let mut c = Balance::new();
+        match c.directive(&view) {
+            Directive::Mixed { explore, .. } => assert_eq!(explore, 0.5),
+            other => panic!("unexpected directive {other:?}"),
+        }
+        any_view_check(Balance::new(), "balance");
+        assert_eq!(Balance::with_explore_probability(0.25).explore_probability(), 0.25);
+        assert_eq!(Balance::default().explore_probability(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn balance_rejects_bad_probability() {
+        let _ = Balance::with_explore_probability(1.5);
+    }
+}

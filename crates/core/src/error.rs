@@ -1,0 +1,38 @@
+//! Core error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from constructing the paper's algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Algorithm parameters are out of range (α, β ∉ (0,1], zero players…).
+    InvalidParams(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParams(msg) => write!(f, "invalid algorithm parameters: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = CoreError::InvalidParams("alpha 2 out of (0, 1]".into());
+        assert!(e.to_string().contains("alpha"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,57 @@
+//! # distill-core
+//!
+//! The algorithms of *Adaptive Collaboration in Peer-to-Peer Systems*
+//! (Awerbuch, Patt-Shamir, Peleg, Tuttle; ICDCS 2005), implemented as
+//! [`Cohort`](distill_sim::Cohort)s over the `distill-sim` engine:
+//!
+//! | Item | Paper | Type |
+//! |---|---|---|
+//! | Algorithm DISTILL | Figure 1, Theorem 4 | [`Distill`] + [`DistillParams`] |
+//! | DISTILL^HP (high probability) | Theorem 11 | [`DistillParams::high_probability`] |
+//! | Guessing α by halving | §5.1 | [`GuessAlpha`] |
+//! | Cost classes (general costs) | §5.2, Theorem 12 | [`CostClassSearch`] |
+//! | Search without local testing | §5.3, Theorem 13 | [`no_local_testing`] |
+//! | Multiple / erroneous votes | §4.1 | [`multi_vote`] |
+//! | Three-phase worked example | §1.2 | [`ThreePhase`] |
+//! | Trivial random probing | §3 | [`RandomProbing`] |
+//! | Prior asynchronous algorithm \[1\], round-robin | §3 | [`Balance`] |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use distill_core::{Distill, DistillParams};
+//! use distill_sim::{Engine, NullAdversary, SimConfig, World};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let n = 64;
+//! let world = World::binary(n, 1, 7)?;                 // m = n, one good object
+//! let params = DistillParams::new(n, n, 0.9, world.beta())?;
+//! let config = SimConfig::new(n, 58, 42);              // 58 of 64 players honest
+//! let result = Engine::new(config, &world,
+//!     Box::new(Distill::new(params)), Box::new(NullAdversary))?.run();
+//! assert!(result.all_satisfied);
+//! println!("mean individual cost: {:.1} probes", result.mean_probes());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod baselines;
+mod cost_classes;
+mod distill;
+mod error;
+mod guess_alpha;
+pub mod multi_vote;
+pub mod no_local_testing;
+mod params;
+mod three_phase;
+
+pub use baselines::{Balance, RandomProbing};
+pub use cost_classes::CostClassSearch;
+pub use distill::{observer, CandidateSnapshot, Distill, Observer};
+pub use error::CoreError;
+pub use guess_alpha::GuessAlpha;
+pub use params::{DistillParams, DEFAULT_K1, DEFAULT_K2};
+pub use three_phase::ThreePhase;

@@ -1,0 +1,78 @@
+//! §4.1: multiple votes and erroneous votes.
+//!
+//! The base analysis leans on "each player has only one vote", but the paper
+//! observes there is nothing special about 1: allow up to `f` votes per
+//! player and the asymptotics of Theorem 4 survive **as long as
+//! `f = o(1/(1−α))`** — the adversary's total vote budget becomes
+//! `f·(1−α)·n`, and Equation 1's accounting (hence Lemma 7's iteration
+//! bound) scales by `f`. The same relaxation tolerates honest mistakes: an
+//! honest player may cast erroneous votes, provided one of its `f` votes is
+//! correct.
+//!
+//! Mechanically this extension is configuration, not new algorithm code:
+//!
+//! * pass [`VotePolicy::multi_vote(f)`](distill_billboard::VotePolicy::multi_vote)
+//!   to the simulation config — the reader-side cap does the rest;
+//! * set [`SimConfig::with_honest_error_rate`](distill_sim::SimConfig::with_honest_error_rate)
+//!   to make honest players occasionally post a positive report for a bad
+//!   object they just probed.
+//!
+//! This module provides the accounting helpers experiments use.
+
+/// The adversary's total vote budget under an `f`-vote policy:
+/// `f · (1−α) · n` (the generalization of the `(1−α)n` budget behind
+/// Equation 1).
+///
+/// ```
+/// use distill_core::multi_vote::adversary_vote_budget;
+/// assert!((adversary_vote_budget(100, 0.9, 1) - 10.0).abs() < 1e-9);
+/// assert!((adversary_vote_budget(100, 0.9, 3) - 30.0).abs() < 1e-9);
+/// ```
+pub fn adversary_vote_budget(n: u32, alpha: f64, f: usize) -> f64 {
+    f as f64 * (1.0 - alpha) * f64::from(n)
+}
+
+/// `true` iff `f` respects the paper's condition `f = o(1/(1−α))`,
+/// instantiated at finite size as `f ≤ margin · 1/(1−α)`. The default margin
+/// used by the experiments is 1/8.
+///
+/// With `α = 1` every `f` qualifies (the adversary has no players).
+///
+/// ```
+/// use distill_core::multi_vote::f_within_budget;
+/// assert!(f_within_budget(2, 0.99, 0.125));   // 1/(1−α) = 100; 2 ≤ 12.5
+/// assert!(!f_within_budget(20, 0.9, 0.125));  // 1/(1−α) = 10; 20 > 1.25
+/// assert!(f_within_budget(1_000, 1.0, 0.125));
+/// ```
+pub fn f_within_budget(f: usize, alpha: f64, margin: f64) -> bool {
+    if alpha >= 1.0 {
+        return true;
+    }
+    (f as f64) <= margin / (1.0 - alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_scales_linearly_in_f() {
+        let b1 = adversary_vote_budget(1000, 0.75, 1);
+        let b4 = adversary_vote_budget(1000, 0.75, 4);
+        assert!((b1 - 250.0).abs() < 1e-9);
+        assert!((b4 - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_vanishes_at_full_honesty() {
+        assert_eq!(adversary_vote_budget(512, 1.0, 7), 0.0);
+    }
+
+    #[test]
+    fn f_condition_boundaries() {
+        // 1/(1−α) = 4, margin 1 ⇒ f up to 4 allowed
+        assert!(f_within_budget(4, 0.75, 1.0));
+        assert!(!f_within_budget(5, 0.75, 1.0));
+        assert!(f_within_budget(usize::MAX, 1.0, 0.01));
+    }
+}

@@ -1,0 +1,182 @@
+//! The Byzantine adversary interface.
+
+use crate::cohort::PhaseInfo;
+use crate::world::World;
+use distill_billboard::{BoardView, ObjectId, PlayerId, ReportKind, Round};
+use rand::rngs::SmallRng;
+use std::fmt;
+
+/// How much of the execution the adversary observes before posting each
+/// round (§2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InfoModel {
+    /// The adversary must fix its behaviour independently of the honest
+    /// players' coin flips. Mechanically it receives the same view as
+    /// `Adaptive`; strategies declared oblivious commit to using only the
+    /// round number and static instance structure. (True obliviousness is a
+    /// property of the strategy, not enforceable by the transport.)
+    Oblivious,
+    /// The paper's **adaptive** adversary: before posting in round `r` it
+    /// sees the entire billboard up to and including round `r − 1` — i.e.
+    /// the results of all *past* coin flips.
+    #[default]
+    Adaptive,
+    /// Strictly stronger than the paper's model: additionally sees the honest
+    /// players' round-`r` posts before choosing its own. Used for stress
+    /// tests; every upper-bound experiment also passes under it.
+    StronglyAdaptive,
+}
+
+impl fmt::Display for InfoModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InfoModel::Oblivious => f.write_str("oblivious"),
+            InfoModel::Adaptive => f.write_str("adaptive"),
+            InfoModel::StronglyAdaptive => f.write_str("strongly-adaptive"),
+        }
+    }
+}
+
+/// A message a dishonest player asks the transport to post this round.
+///
+/// The `author` must be one of the adversary's players — the billboard's
+/// author tags are reliable (§2.1), so the engine rejects forgeries (and
+/// counts them in [`SimResult::forged_rejected`]).
+///
+/// [`SimResult::forged_rejected`]: crate::SimResult
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DishonestPost {
+    /// The posting (dishonest) player.
+    pub author: PlayerId,
+    /// The object the report is about.
+    pub object: ObjectId,
+    /// The claimed value — anything the adversary likes.
+    pub value: f64,
+    /// Claimed polarity.
+    pub kind: ReportKind,
+}
+
+impl DishonestPost {
+    /// Convenience: a positive ("this object is good") report claiming value 1.
+    pub fn vote(author: PlayerId, object: ObjectId) -> Self {
+        DishonestPost {
+            author,
+            object,
+            value: 1.0,
+            kind: ReportKind::Positive,
+        }
+    }
+
+    /// Convenience: a negative ("this object is bad") report claiming value 0.
+    pub fn slander(author: PlayerId, object: ObjectId) -> Self {
+        DishonestPost {
+            author,
+            object,
+            value: 0.0,
+            kind: ReportKind::Negative,
+        }
+    }
+}
+
+/// Everything the adversary sees when deciding its round-`r` posts.
+#[derive(Debug)]
+pub struct AdversaryCtx<'a, 'b> {
+    /// The current round.
+    pub round: Round,
+    /// The billboard view (scope depends on the [`InfoModel`]).
+    pub view: &'a BoardView<'b>,
+    /// The ids of the players under adversary control.
+    pub dishonest: &'a [PlayerId],
+    /// The honest protocol's public phase state.
+    pub phase: &'a PhaseInfo,
+    /// Ground truth — the Byzantine adversary knows everything.
+    pub world: &'a World,
+    /// The information model in force.
+    pub info: InfoModel,
+    /// The adversary's private coin flips.
+    pub rng: &'a mut SmallRng,
+}
+
+impl AdversaryCtx<'_, '_> {
+    /// Number of players `n`.
+    pub fn n(&self) -> u32 {
+        self.view.n_players()
+    }
+
+    /// Number of objects `m`.
+    pub fn m(&self) -> u32 {
+        self.view.n_objects()
+    }
+
+    /// `true` iff `player` has not yet used up its reader-counted votes.
+    pub fn has_vote_budget(&self, player: PlayerId) -> bool {
+        self.view.votes_of(player).len() < self.view.tracker().policy().votes_per_player
+    }
+
+    /// The dishonest players that still have vote budget, in id order.
+    pub fn fresh_voters(&self) -> Vec<PlayerId> {
+        self.dishonest
+            .iter()
+            .copied()
+            .filter(|&p| self.has_vote_budget(p))
+            .collect()
+    }
+}
+
+/// A Byzantine strategy controlling all dishonest players.
+///
+/// Called exactly once per round (after the honest players in the
+/// strongly-adaptive model, before their posts land otherwise). The returned
+/// posts are appended to the billboard verbatim, except that posts with an
+/// `author` outside the dishonest set are rejected by the transport.
+pub trait Adversary {
+    /// Produces this round's dishonest posts.
+    fn on_round(&mut self, ctx: &mut AdversaryCtx<'_, '_>) -> Vec<DishonestPost>;
+
+    /// A short stable name for reporting.
+    fn name(&self) -> &'static str;
+}
+
+impl fmt::Debug for dyn Adversary + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Adversary({})", self.name())
+    }
+}
+
+/// The adversary that never posts anything. Dishonest players stay silent;
+/// the honest players still don't know *who* is honest.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullAdversary;
+
+impl Adversary for NullAdversary {
+    fn on_round(&mut self, _ctx: &mut AdversaryCtx<'_, '_>) -> Vec<DishonestPost> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "null"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dishonest_post_constructors() {
+        let v = DishonestPost::vote(PlayerId(3), ObjectId(1));
+        assert_eq!(v.kind, ReportKind::Positive);
+        assert_eq!(v.value, 1.0);
+        let s = DishonestPost::slander(PlayerId(3), ObjectId(1));
+        assert_eq!(s.kind, ReportKind::Negative);
+        assert_eq!(s.value, 0.0);
+    }
+
+    #[test]
+    fn info_model_display() {
+        assert_eq!(InfoModel::Oblivious.to_string(), "oblivious");
+        assert_eq!(InfoModel::Adaptive.to_string(), "adaptive");
+        assert_eq!(InfoModel::StronglyAdaptive.to_string(), "strongly-adaptive");
+        assert_eq!(InfoModel::default(), InfoModel::Adaptive);
+    }
+}

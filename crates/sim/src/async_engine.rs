@@ -1,0 +1,521 @@
+//! The **asynchronous** execution model of the paper's prior work.
+//!
+//! §1.1: "We considered an asynchronous model, where a basic step is a
+//! single player reading the billboard, probing an object, and updating the
+//! billboard; the player schedule is assumed to be under the control of the
+//! adversary."
+//!
+//! §1.2 then argues this model cannot support individual-cost bounds: "A
+//! schedule that runs a single player by itself forces that player to find
+//! the good object on its own without any assistance from any other player."
+//! This module makes both halves measurable: an [`AsyncEngine`] executes
+//! single-player steps under a pluggable (adversarial) [`Schedule`], with
+//! per-step policies for the honest players. Experiment E16 uses it to
+//! reproduce the total-cost bound of \[1\] quoted in §1.1
+//! (`O(1/β + n·log n)`) and the §1.2 isolation argument.
+
+use crate::adversary::{Adversary, AdversaryCtx, InfoModel};
+use crate::cohort::PhaseInfo;
+use crate::error::SimError;
+use crate::rng::{stream_rng, Stream};
+use crate::world::World;
+use distill_billboard::{
+    Billboard, BoardView, ObjectId, PlayerId, ReportKind, Round, VotePolicy, VoteTracker,
+};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Chooses which active honest player takes each step — the adversarially
+/// controlled schedule of the asynchronous model.
+pub trait Schedule {
+    /// Picks the player for step `step` among the still-active honest
+    /// players (`active` is non-empty and ascending).
+    fn next(&mut self, step: u64, active: &[PlayerId], rng: &mut SmallRng) -> PlayerId;
+
+    /// A short stable name for reporting.
+    fn name(&self) -> &'static str;
+}
+
+impl std::fmt::Debug for dyn Schedule + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Schedule({})", self.name())
+    }
+}
+
+/// Fair rotation over the active players — the "synchronous-like" schedule
+/// under which the paper evaluates the prior algorithm (§1.2 "say, round
+/// robin").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl Schedule for RoundRobin {
+    fn next(&mut self, _step: u64, active: &[PlayerId], _rng: &mut SmallRng) -> PlayerId {
+        let p = active[self.cursor % active.len()];
+        self.cursor = (self.cursor + 1) % active.len().max(1);
+        p
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// A uniformly random active player each step.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomSchedule;
+
+impl Schedule for RandomSchedule {
+    fn next(&mut self, _step: u64, active: &[PlayerId], rng: &mut SmallRng) -> PlayerId {
+        active[rng.gen_range(0..active.len())]
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// The §1.2 adversarial schedule: run the victim **by itself** until it is
+/// satisfied, then fall back to round robin for everyone else. The victim
+/// gets zero assistance — its individual cost is forced to `Θ(1/β)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Isolate {
+    victim: PlayerId,
+    fallback: RoundRobin,
+}
+
+impl Isolate {
+    /// Isolates `victim`.
+    pub fn new(victim: PlayerId) -> Self {
+        Isolate {
+            victim,
+            fallback: RoundRobin::default(),
+        }
+    }
+}
+
+impl Schedule for Isolate {
+    fn next(&mut self, step: u64, active: &[PlayerId], rng: &mut SmallRng) -> PlayerId {
+        if active.contains(&self.victim) {
+            self.victim
+        } else {
+            self.fallback.next(step, active, rng)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "isolate"
+    }
+}
+
+/// The complementary adversarial schedule: starve the victim until every
+/// other player is done, then run only the victim. The victim arrives to a
+/// billboard full of votes — with a collaboration-aware policy it finishes
+/// almost immediately, which is why *starving* is a much weaker attack than
+/// *isolating* (timestamped billboards let latecomers catch up, §1.2).
+#[derive(Debug, Clone, Copy)]
+pub struct Starve {
+    victim: PlayerId,
+    fallback: RoundRobin,
+}
+
+impl Starve {
+    /// Starves `victim`.
+    pub fn new(victim: PlayerId) -> Self {
+        Starve {
+            victim,
+            fallback: RoundRobin::default(),
+        }
+    }
+}
+
+impl Schedule for Starve {
+    fn next(&mut self, step: u64, active: &[PlayerId], rng: &mut SmallRng) -> PlayerId {
+        let others: Vec<PlayerId> = active.iter().copied().filter(|&p| p != self.victim).collect();
+        if others.is_empty() {
+            self.victim
+        } else {
+            self.fallback.next(step, &others, rng)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "starve"
+    }
+}
+
+/// What one honest player does on its step: read the billboard, pick one
+/// object to probe.
+pub trait StepPolicy {
+    /// Chooses the object to probe.
+    fn probe(&mut self, player: PlayerId, view: &BoardView<'_>, rng: &mut SmallRng) -> ObjectId;
+
+    /// A short stable name for reporting.
+    fn name(&self) -> &'static str;
+}
+
+impl std::fmt::Debug for dyn StepPolicy + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StepPolicy({})", self.name())
+    }
+}
+
+/// The asynchronous rendition of the balance rule of \[1\]: flip a fair coin —
+/// probe a uniformly random object, or follow the vote of a uniformly random
+/// player (falling back to a random object if that player has none).
+#[derive(Debug, Clone, Copy)]
+pub struct BalanceStep {
+    explore: f64,
+}
+
+impl BalanceStep {
+    /// The fair-coin rule.
+    pub fn new() -> Self {
+        BalanceStep { explore: 0.5 }
+    }
+}
+
+impl Default for BalanceStep {
+    fn default() -> Self {
+        BalanceStep::new()
+    }
+}
+
+impl StepPolicy for BalanceStep {
+    fn probe(&mut self, _player: PlayerId, view: &BoardView<'_>, rng: &mut SmallRng) -> ObjectId {
+        let m = view.n_objects();
+        if rng.gen::<f64>() < self.explore {
+            ObjectId(rng.gen_range(0..m))
+        } else {
+            let j = PlayerId(rng.gen_range(0..view.n_players()));
+            view.vote_of(j).unwrap_or_else(|| ObjectId(rng.gen_range(0..m)))
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "balance"
+    }
+}
+
+/// Pure random probing (the §3 trivial algorithm, asynchronously).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomStep;
+
+impl StepPolicy for RandomStep {
+    fn probe(&mut self, _player: PlayerId, view: &BoardView<'_>, rng: &mut SmallRng) -> ObjectId {
+        ObjectId(rng.gen_range(0..view.n_objects()))
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Per-player outcome of an asynchronous run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsyncPlayerOutcome {
+    /// Probes (= scheduled steps while active).
+    pub probes: u64,
+    /// Total cost paid.
+    pub cost_paid: f64,
+    /// The global step at which the player got satisfied.
+    pub satisfied_step: Option<u64>,
+}
+
+/// Outcome of an asynchronous run.
+#[derive(Debug, Clone)]
+pub struct AsyncResult {
+    /// Total steps executed.
+    pub steps: u64,
+    /// `true` iff every honest player found a good object.
+    pub all_satisfied: bool,
+    /// Per honest player.
+    pub players: Vec<AsyncPlayerOutcome>,
+}
+
+impl AsyncResult {
+    /// Total probes by honest players — the *total cost* measure of \[1\].
+    pub fn total_probes(&self) -> u64 {
+        self.players.iter().map(|p| p.probes).sum()
+    }
+
+    /// Probes of one player (the individual cost under this schedule).
+    pub fn probes_of(&self, player: PlayerId) -> u64 {
+        self.players[player.index()].probes
+    }
+}
+
+/// The asynchronous engine: repeatedly schedules a single honest player for
+/// a read-probe-post step; the adversary may post after every step.
+pub struct AsyncEngine<'w> {
+    world: &'w World,
+    n: u32,
+    n_honest: u32,
+    board: Billboard,
+    tracker: VoteTracker,
+    satisfied: Vec<bool>,
+    outcomes: Vec<AsyncPlayerOutcome>,
+    player_rngs: Vec<SmallRng>,
+    sched_rng: SmallRng,
+    adv_rng: SmallRng,
+    policy: Box<dyn StepPolicy>,
+    schedule: Box<dyn Schedule>,
+    adversary: Box<dyn Adversary>,
+    dishonest: Vec<PlayerId>,
+    step: u64,
+    max_steps: u64,
+}
+
+impl std::fmt::Debug for AsyncEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncEngine")
+            .field("step", &self.step)
+            .field("policy", &self.policy.name())
+            .field("schedule", &self.schedule.name())
+            .finish()
+    }
+}
+
+impl<'w> AsyncEngine<'w> {
+    /// Builds an asynchronous execution.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`] for empty populations or a
+    /// non-local-testing world (the asynchronous model of \[1\] assumes
+    /// players recognize good objects).
+    pub fn new(
+        n: u32,
+        n_honest: u32,
+        seed: u64,
+        max_steps: u64,
+        world: &'w World,
+        policy: Box<dyn StepPolicy>,
+        schedule: Box<dyn Schedule>,
+        adversary: Box<dyn Adversary>,
+    ) -> Result<Self, SimError> {
+        if n == 0 || n_honest == 0 || n_honest > n {
+            return Err(SimError::InvalidConfig(format!(
+                "need 1 ≤ n_honest ({n_honest}) ≤ n ({n})"
+            )));
+        }
+        if !world.model().has_local_testing() {
+            return Err(SimError::InvalidConfig(
+                "the asynchronous model requires local testing".into(),
+            ));
+        }
+        Ok(AsyncEngine {
+            world,
+            n,
+            n_honest,
+            board: Billboard::new(n, world.m()),
+            tracker: VoteTracker::new(n, world.m(), VotePolicy::single_vote()),
+            satisfied: vec![false; n_honest as usize],
+            outcomes: vec![
+                AsyncPlayerOutcome {
+                    probes: 0,
+                    cost_paid: 0.0,
+                    satisfied_step: None,
+                };
+                n_honest as usize
+            ],
+            player_rngs: (0..n_honest).map(|p| stream_rng(seed, Stream::Player(p))).collect(),
+            sched_rng: stream_rng(seed, Stream::Aux(1)),
+            adv_rng: stream_rng(seed, Stream::Adversary),
+            policy,
+            schedule,
+            adversary,
+            dishonest: (n_honest..n).map(PlayerId).collect(),
+            step: 0,
+            max_steps,
+        })
+    }
+
+    fn active(&self) -> Vec<PlayerId> {
+        (0..self.n_honest)
+            .filter(|&p| !self.satisfied[p as usize])
+            .map(PlayerId)
+            .collect()
+    }
+
+    /// Runs to completion.
+    pub fn run(mut self) -> AsyncResult {
+        loop {
+            let active = self.active();
+            if active.is_empty() || self.step >= self.max_steps {
+                break;
+            }
+            let player = self.schedule.next(self.step, &active, &mut self.sched_rng);
+            debug_assert!(active.contains(&player), "schedule must pick an active player");
+            let round = Round(self.step);
+
+            // the player's read-probe-post step
+            let object = {
+                let view = BoardView::new(&self.board, &self.tracker, round);
+                self.policy
+                    .probe(player, &view, &mut self.player_rngs[player.index()])
+            };
+            let outcome = &mut self.outcomes[player.index()];
+            outcome.probes += 1;
+            outcome.cost_paid += self.world.cost(object);
+            let good = self.world.is_good(object);
+            let kind = if good { ReportKind::Positive } else { ReportKind::Negative };
+            self.board
+                .append(round, player, object, self.world.value(object), kind)
+                .expect("engine-produced posts are valid");
+            if good {
+                self.satisfied[player.index()] = true;
+                outcome.satisfied_step = Some(self.step);
+            }
+            self.tracker.ingest(&self.board);
+
+            // the adversary may interleave after every step
+            let phase = PhaseInfo::plain("async");
+            let posts = {
+                let view = BoardView::new(&self.board, &self.tracker, round);
+                let mut ctx = AdversaryCtx {
+                    round,
+                    view: &view,
+                    dishonest: &self.dishonest,
+                    phase: &phase,
+                    world: self.world,
+                    info: InfoModel::Adaptive,
+                    rng: &mut self.adv_rng,
+                };
+                self.adversary.on_round(&mut ctx)
+            };
+            for post in posts {
+                if post.author.0 >= self.n_honest
+                    && post.author.0 < self.n
+                    && post.object.0 < self.world.m()
+                    && post.value.is_finite()
+                {
+                    self.board
+                        .append(round, post.author, post.object, post.value, post.kind)
+                        .expect("validated adversary post");
+                }
+            }
+            self.tracker.ingest(&self.board);
+            self.step += 1;
+        }
+        AsyncResult {
+            steps: self.step,
+            all_satisfied: self.satisfied.iter().all(|&s| s),
+            players: self.outcomes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::NullAdversary;
+
+    fn world() -> World {
+        World::binary(64, 4, 3).unwrap()
+    }
+
+    fn run(
+        schedule: Box<dyn Schedule>,
+        policy: Box<dyn StepPolicy>,
+        seed: u64,
+    ) -> AsyncResult {
+        let w = world();
+        AsyncEngine::new(16, 16, seed, 2_000_000, &w, policy, schedule, Box::new(NullAdversary))
+            .unwrap()
+            .run()
+    }
+
+    #[test]
+    fn round_robin_finishes_everyone() {
+        let r = run(Box::new(RoundRobin::default()), Box::new(BalanceStep::new()), 1);
+        assert!(r.all_satisfied);
+        assert!(r.total_probes() >= 16);
+        assert_eq!(r.steps, r.total_probes(), "every step is one probe");
+    }
+
+    #[test]
+    fn random_schedule_finishes_everyone() {
+        let r = run(Box::new(RandomSchedule), Box::new(RandomStep), 2);
+        assert!(r.all_satisfied);
+    }
+
+    #[test]
+    fn isolation_forces_solo_search() {
+        // The victim is scheduled alone until satisfied: its probes must be
+        // ≈ geometric(beta) with no help, i.e. it satisfies before anyone
+        // else even takes a step.
+        let r = run(Box::new(Isolate::new(PlayerId(0))), Box::new(BalanceStep::new()), 3);
+        assert!(r.all_satisfied);
+        let victim_done = r.players[0].satisfied_step.unwrap();
+        for p in 1..16usize {
+            if let Some(s) = r.players[p].satisfied_step {
+                assert!(s > victim_done, "nobody may finish before the isolated victim");
+            }
+        }
+        assert_eq!(
+            r.players[0].probes,
+            victim_done + 1,
+            "every step until the victim finished belonged to the victim"
+        );
+    }
+
+    #[test]
+    fn starved_player_catches_up_cheaply() {
+        let r = run(Box::new(Starve::new(PlayerId(0))), Box::new(BalanceStep::new()), 4);
+        assert!(r.all_satisfied);
+        let victim = r.players[0].probes;
+        let mean_other: f64 = r.players[1..].iter().map(|p| p.probes as f64).sum::<f64>() / 15.0;
+        assert!(
+            (victim as f64) < mean_other * 2.0 + 8.0,
+            "a starved-then-released player reads the full billboard and \
+             finishes cheaply (victim {victim} vs mean {mean_other})"
+        );
+    }
+
+    #[test]
+    fn async_engine_validates() {
+        let w = world();
+        assert!(AsyncEngine::new(
+            0,
+            0,
+            0,
+            10,
+            &w,
+            Box::new(RandomStep),
+            Box::new(RandomSchedule),
+            Box::new(NullAdversary)
+        )
+        .is_err());
+        let topbeta = World::uniform_top_beta(16, 0.25, 0).unwrap();
+        assert!(AsyncEngine::new(
+            4,
+            4,
+            0,
+            10,
+            &topbeta,
+            Box::new(RandomStep),
+            Box::new(RandomSchedule),
+            Box::new(NullAdversary)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = run(Box::new(RandomSchedule), Box::new(BalanceStep::new()), 9);
+        let b = run(Box::new(RandomSchedule), Box::new(BalanceStep::new()), 9);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.total_probes(), b.total_probes());
+    }
+
+    #[test]
+    fn schedule_names() {
+        assert_eq!(RoundRobin::default().name(), "round-robin");
+        assert_eq!(RandomSchedule.name(), "random");
+        assert_eq!(Isolate::new(PlayerId(0)).name(), "isolate");
+        assert_eq!(Starve::new(PlayerId(0)).name(), "starve");
+        assert_eq!(BalanceStep::new().name(), "balance");
+        assert_eq!(RandomStep.name(), "random");
+    }
+}

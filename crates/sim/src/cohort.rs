@@ -1,0 +1,256 @@
+//! The honest players' protocol interface.
+
+use distill_billboard::{BoardView, ObjectId, Round};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::fmt;
+use std::sync::Arc;
+
+/// The set of objects a directive samples from.
+///
+/// Cheap to clone (`Arc`-backed), because the same candidate set is shared by
+/// every honest player within a phase.
+#[derive(Debug, Clone)]
+pub enum CandidateSet {
+    /// All `m` objects — `{1, …, m}` in Figure 1 Step 1.1.
+    All,
+    /// An explicit subset (e.g. `S` of Step 1.3 or `C_t` of Step 2.1).
+    Subset(Arc<Vec<ObjectId>>),
+}
+
+impl CandidateSet {
+    /// Wraps an explicit list of objects.
+    pub fn subset(objects: Vec<ObjectId>) -> Self {
+        CandidateSet::Subset(Arc::new(objects))
+    }
+
+    /// Number of objects in the set given universe size `m`.
+    pub fn len(&self, m: u32) -> usize {
+        match self {
+            CandidateSet::All => m as usize,
+            CandidateSet::Subset(v) => v.len(),
+        }
+    }
+
+    /// `true` iff the set is empty.
+    pub fn is_empty(&self, m: u32) -> bool {
+        self.len(m) == 0
+    }
+
+    /// `true` iff `object` belongs to the set.
+    pub fn contains(&self, object: ObjectId, m: u32) -> bool {
+        match self {
+            CandidateSet::All => object.0 < m,
+            CandidateSet::Subset(v) => v.contains(&object),
+        }
+    }
+
+    /// Samples a uniformly random member. An empty subset falls back to the
+    /// full universe, preserving the synchronous-model invariant that every
+    /// active player probes one object per round.
+    pub fn sample(&self, m: u32, rng: &mut SmallRng) -> ObjectId {
+        match self {
+            CandidateSet::All => ObjectId(rng.gen_range(0..m)),
+            CandidateSet::Subset(v) if v.is_empty() => ObjectId(rng.gen_range(0..m)),
+            CandidateSet::Subset(v) => v[rng.gen_range(0..v.len())],
+        }
+    }
+
+    /// The members as a vector (materializes `All`).
+    pub fn to_vec(&self, m: u32) -> Vec<ObjectId> {
+        match self {
+            CandidateSet::All => (0..m).map(ObjectId).collect(),
+            CandidateSet::Subset(v) => v.as_ref().clone(),
+        }
+    }
+}
+
+impl fmt::Display for CandidateSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CandidateSet::All => f.write_str("ALL"),
+            CandidateSet::Subset(v) => write!(f, "{{{} objects}}", v.len()),
+        }
+    }
+}
+
+/// What every *unsatisfied honest* player does this round.
+#[derive(Debug, Clone)]
+pub enum Directive {
+    /// Probe a uniformly random object from the set (the first half of
+    /// `PROBE&SEEKADVICE`).
+    ProbeUniform(CandidateSet),
+    /// Pick a uniformly random player `j` (out of all `n`) and probe the
+    /// object `j` votes for; if `j` has no vote, fall back to a uniform probe
+    /// from `fallback` (the second half of `PROBE&SEEKADVICE`).
+    SeekAdvice {
+        /// Where to probe when the chosen player has no vote.
+        fallback: CandidateSet,
+    },
+    /// With probability `explore` probe a uniform random object from `set`,
+    /// otherwise follow a random player's advice (fallback to `set`). Used by
+    /// the `Balance` baseline.
+    Mixed {
+        /// Probability of the exploration branch.
+        explore: f64,
+        /// The set to explore (and to fall back to on adviceless players).
+        set: CandidateSet,
+    },
+    /// Probe nothing this round (used between epochs by wrapper cohorts).
+    Idle,
+}
+
+impl fmt::Display for Directive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Directive::ProbeUniform(s) => write!(f, "probe-uniform({s})"),
+            Directive::SeekAdvice { fallback } => write!(f, "seek-advice(fallback={fallback})"),
+            Directive::Mixed { explore, set } => write!(f, "mixed(p={explore}, {set})"),
+            Directive::Idle => f.write_str("idle"),
+        }
+    }
+}
+
+/// The publicly-visible state of the honest protocol.
+///
+/// The protocol is deterministic given the (public) billboard, so a Byzantine
+/// adversary can always reconstruct it; handing it over explicitly saves
+/// every strategy from re-implementing the schedule and keeps the two views
+/// in lock-step.
+#[derive(Debug, Clone)]
+pub struct PhaseInfo {
+    /// Human-readable phase label, e.g. `"attempt.step1.3"` or `"distill.t"`.
+    pub label: &'static str,
+    /// The candidate set currently being probed.
+    pub candidates: CandidateSet,
+    /// The first round of the current tally window.
+    pub window_start: Round,
+    /// The number of votes an object must collect *in the current window* to
+    /// survive into the next candidate set, when the phase has such a
+    /// threshold (`k₂/4` at Step 1.4, `n/(4·c_t)` at Step 2.2).
+    pub survival_threshold: Option<f64>,
+    /// The Step-2 while-loop iteration index `t`, when in Step 2.
+    pub iteration: Option<u32>,
+}
+
+impl PhaseInfo {
+    /// A minimal phase info for cohorts without phase structure.
+    pub fn plain(label: &'static str) -> Self {
+        PhaseInfo {
+            label,
+            candidates: CandidateSet::All,
+            window_start: Round(0),
+            survival_threshold: None,
+            iteration: None,
+        }
+    }
+}
+
+/// The honest players' shared protocol.
+///
+/// A `Cohort` drives *all* honest players at once: the paper's algorithms are
+/// uniform (every honest player runs the same code on the same public
+/// billboard), so their common phase state is computed once per round instead
+/// of once per player. Per-player randomness stays per-player: the engine
+/// resolves the returned [`Directive`] independently for each unsatisfied
+/// player with that player's own RNG stream.
+///
+/// `directive` is called exactly once per round, in round order, with the
+/// billboard state at the *end of the previous round* (synchronous model).
+pub trait Cohort {
+    /// Decides what every unsatisfied honest player does this round, and
+    /// advances the cohort's internal phase state.
+    fn directive(&mut self, view: &BoardView<'_>) -> Directive;
+
+    /// The current public phase state (read by the engine after
+    /// [`directive`](Cohort::directive), handed to the adversary).
+    fn phase_info(&self) -> PhaseInfo;
+
+    /// A short stable name for reporting.
+    fn name(&self) -> &'static str;
+
+    /// Cohort-specific metrics exported into [`SimResult::notes`]
+    /// (e.g. number of ATTEMPT invocations, while-loop iterations).
+    ///
+    /// [`SimResult::notes`]: crate::SimResult
+    fn notes(&self) -> Vec<(String, f64)> {
+        Vec::new()
+    }
+}
+
+impl fmt::Debug for dyn Cohort + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cohort({})", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{stream_rng, Stream};
+
+    #[test]
+    fn candidate_set_len_contains() {
+        let all = CandidateSet::All;
+        assert_eq!(all.len(10), 10);
+        assert!(all.contains(ObjectId(9), 10));
+        assert!(!all.contains(ObjectId(10), 10));
+        let s = CandidateSet::subset(vec![ObjectId(2), ObjectId(5)]);
+        assert_eq!(s.len(10), 2);
+        assert!(s.contains(ObjectId(5), 10));
+        assert!(!s.contains(ObjectId(3), 10));
+        assert!(!s.is_empty(10));
+        assert!(CandidateSet::subset(vec![]).is_empty(10));
+    }
+
+    #[test]
+    fn sampling_stays_in_set() {
+        let mut rng = stream_rng(0, Stream::Aux(0));
+        let s = CandidateSet::subset(vec![ObjectId(3), ObjectId(7)]);
+        for _ in 0..100 {
+            let o = s.sample(10, &mut rng);
+            assert!(o == ObjectId(3) || o == ObjectId(7));
+        }
+        let all = CandidateSet::All;
+        for _ in 0..100 {
+            assert!(all.sample(10, &mut rng).0 < 10);
+        }
+    }
+
+    #[test]
+    fn empty_subset_falls_back_to_universe() {
+        let mut rng = stream_rng(1, Stream::Aux(1));
+        let s = CandidateSet::subset(vec![]);
+        let o = s.sample(4, &mut rng);
+        assert!(o.0 < 4);
+    }
+
+    #[test]
+    fn to_vec_materializes() {
+        assert_eq!(CandidateSet::All.to_vec(3), vec![ObjectId(0), ObjectId(1), ObjectId(2)]);
+        let s = CandidateSet::subset(vec![ObjectId(1)]);
+        assert_eq!(s.to_vec(3), vec![ObjectId(1)]);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(CandidateSet::All.to_string(), "ALL");
+        assert!(CandidateSet::subset(vec![ObjectId(0)]).to_string().contains("1 objects"));
+        assert!(Directive::Idle.to_string().contains("idle"));
+        let d = Directive::SeekAdvice { fallback: CandidateSet::All };
+        assert!(d.to_string().contains("seek-advice"));
+        let d = Directive::Mixed { explore: 0.5, set: CandidateSet::All };
+        assert!(d.to_string().contains("0.5"));
+        let d = Directive::ProbeUniform(CandidateSet::All);
+        assert!(d.to_string().contains("probe-uniform"));
+    }
+
+    #[test]
+    fn plain_phase_info() {
+        let p = PhaseInfo::plain("x");
+        assert_eq!(p.label, "x");
+        assert!(p.survival_threshold.is_none());
+        assert!(p.iteration.is_none());
+        assert_eq!(p.window_start, Round(0));
+    }
+}

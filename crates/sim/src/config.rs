@@ -1,0 +1,410 @@
+//! Simulation configuration.
+
+use crate::adversary::InfoModel;
+use crate::error::SimError;
+use distill_billboard::{ObjectId, PlayerId, VotePolicy};
+use std::fmt;
+
+/// When the simulation stops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopRule {
+    /// Run until every honest player is satisfied (has probed a good object),
+    /// or `max_rounds` elapse — the local-testing setting.
+    AllSatisfied {
+        /// Safety valve; the run is marked unterminated if reached.
+        max_rounds: u64,
+    },
+    /// Run exactly `rounds` rounds — the no-local-testing setting (§5.3),
+    /// where players stop at a prescribed time.
+    Horizon {
+        /// The fixed number of rounds.
+        rounds: u64,
+    },
+    /// Run until *any* honest player is satisfied (or `max_rounds` elapse) —
+    /// used by collective-work experiments (Theorem 1) that only measure the
+    /// first discovery.
+    AnySatisfied {
+        /// Safety valve.
+        max_rounds: u64,
+    },
+}
+
+impl StopRule {
+    /// Run-to-satisfaction with the given safety cap.
+    pub fn all_satisfied(max_rounds: u64) -> Self {
+        StopRule::AllSatisfied { max_rounds }
+    }
+
+    /// Fixed horizon.
+    pub fn horizon(rounds: u64) -> Self {
+        StopRule::Horizon { rounds }
+    }
+
+    /// Run-to-first-discovery with the given safety cap.
+    pub fn any_satisfied(max_rounds: u64) -> Self {
+        StopRule::AnySatisfied { max_rounds }
+    }
+
+    /// The maximum number of rounds this rule can run.
+    pub fn round_cap(&self) -> u64 {
+        match *self {
+            StopRule::AllSatisfied { max_rounds } => max_rounds,
+            StopRule::Horizon { rounds } => rounds,
+            StopRule::AnySatisfied { max_rounds } => max_rounds,
+        }
+    }
+}
+
+impl fmt::Display for StopRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopRule::AllSatisfied { max_rounds } => {
+                write!(f, "all-satisfied(max={max_rounds})")
+            }
+            StopRule::Horizon { rounds } => write!(f, "horizon({rounds})"),
+            StopRule::AnySatisfied { max_rounds } => {
+                write!(f, "any-satisfied(max={max_rounds})")
+            }
+        }
+    }
+}
+
+/// Which honest players take a step in each round.
+///
+/// The paper's synchronous model has every active player probe once per
+/// round; §1.2 motivates it as "an abstraction of asynchronous models where
+/// players are running at more or less the same speed", noting that a
+/// schedule which starves a player forces it to search alone. These
+/// participation patterns let experiments quantify exactly that (E15):
+/// slowing players down degrades collaboration gracefully, and a straggler
+/// that wakes up late still catches up in `O(1/α)` rounds via advice probes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Participation {
+    /// The synchronous model: every unsatisfied honest player acts each round.
+    Full,
+    /// Each honest player independently acts with probability `p` per round
+    /// (players running at `p`× speed).
+    RandomSubset {
+        /// Per-round participation probability, `0 < p ≤ 1`.
+        p: f64,
+    },
+    /// Honest player `i` acts in rounds where `(round + i) % groups == 0` —
+    /// a fair but slow rotation (each player acts every `groups` rounds).
+    RoundRobin {
+        /// Number of rotation groups, ≥ 1.
+        groups: u32,
+    },
+    /// One player sleeps through the first `until_round` rounds, then joins —
+    /// the adversarial-scheduler vignette from §1.2.
+    Straggler {
+        /// The delayed player (must be honest).
+        player: PlayerId,
+        /// First round in which it participates.
+        until_round: u64,
+    },
+}
+
+impl Default for Participation {
+    fn default() -> Self {
+        Participation::Full
+    }
+}
+
+impl fmt::Display for Participation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Participation::Full => f.write_str("full"),
+            Participation::RandomSubset { p } => write!(f, "random-subset(p={p})"),
+            Participation::RoundRobin { groups } => write!(f, "round-robin({groups})"),
+            Participation::Straggler { player, until_round } => {
+                write!(f, "straggler({player} until r{until_round})")
+            }
+        }
+    }
+}
+
+/// Full configuration of one simulated execution.
+///
+/// Players `0 .. n_honest` are honest; players `n_honest .. n_players` are
+/// controlled by the adversary. (Identities carry no information in the
+/// model — the honest protocol never treats ids asymmetrically — so fixing
+/// the split loses no generality and keeps instances reproducible.)
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Total number of players `n`.
+    pub n_players: u32,
+    /// Number of honest players (`⌈αn⌉` of the paper).
+    pub n_honest: u32,
+    /// Master seed; every random stream in the run derives from it.
+    pub seed: u64,
+    /// Adversary information model.
+    pub info: InfoModel,
+    /// Reader-side vote policy.
+    pub policy: VotePolicy,
+    /// Stop rule.
+    pub stop: StopRule,
+    /// Whether honest players post negative reports for bad probes. Faithful
+    /// to §2.1 ("players post the value of objects they have probed after
+    /// each step") and required by slander experiments; may be disabled for
+    /// large benches since DISTILL provably ignores them.
+    pub post_negative_reports: bool,
+    /// Probability that an honest player, upon probing a *bad* object,
+    /// erroneously posts a positive report for it (§4.1 "erroneous votes").
+    pub honest_error_rate: f64,
+    /// Players that begin the run already satisfied, with the given object as
+    /// their (round-0) vote. Used by endgame experiments (Lemma 6).
+    pub pre_satisfied: Vec<(PlayerId, ObjectId)>,
+    /// Which honest players act each round (default: all — the synchronous
+    /// model).
+    pub participation: Participation,
+    /// Record a full event trace (memory-heavy; tests/debugging only).
+    pub record_trace: bool,
+}
+
+impl SimConfig {
+    /// A configuration with `n_players` players of which `n_honest` honest,
+    /// driven by `seed`. Defaults: adaptive adversary, single-vote policy,
+    /// all-satisfied stop at 1,000,000 rounds, negative reports on, no
+    /// honest errors, no pre-satisfied players, no trace.
+    pub fn new(n_players: u32, n_honest: u32, seed: u64) -> Self {
+        SimConfig {
+            n_players,
+            n_honest,
+            seed,
+            info: InfoModel::Adaptive,
+            policy: VotePolicy::single_vote(),
+            stop: StopRule::all_satisfied(1_000_000),
+            post_negative_reports: true,
+            honest_error_rate: 0.0,
+            pre_satisfied: Vec::new(),
+            participation: Participation::Full,
+            record_trace: false,
+        }
+    }
+
+    /// Sets the information model.
+    pub fn with_info(mut self, info: InfoModel) -> Self {
+        self.info = info;
+        self
+    }
+
+    /// Sets the vote policy.
+    pub fn with_policy(mut self, policy: VotePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the stop rule.
+    pub fn with_stop(mut self, stop: StopRule) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Enables or disables negative reports from honest players.
+    pub fn with_negative_reports(mut self, on: bool) -> Self {
+        self.post_negative_reports = on;
+        self
+    }
+
+    /// Sets the honest erroneous-vote rate (§4.1).
+    pub fn with_honest_error_rate(mut self, rate: f64) -> Self {
+        self.honest_error_rate = rate;
+        self
+    }
+
+    /// Marks players as already satisfied at the start (their votes are
+    /// seeded on the billboard at round 0).
+    pub fn with_pre_satisfied(mut self, pre: Vec<(PlayerId, ObjectId)>) -> Self {
+        self.pre_satisfied = pre;
+        self
+    }
+
+    /// Enables event tracing.
+    pub fn with_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    /// Sets the participation pattern.
+    pub fn with_participation(mut self, participation: Participation) -> Self {
+        self.participation = participation;
+        self
+    }
+
+    /// The honest fraction `α`.
+    pub fn alpha(&self) -> f64 {
+        f64::from(self.n_honest) / f64::from(self.n_players)
+    }
+
+    /// The honest player ids, `0 .. n_honest`.
+    pub fn honest_players(&self) -> impl Iterator<Item = PlayerId> {
+        (0..self.n_honest).map(PlayerId)
+    }
+
+    /// The dishonest player ids, `n_honest .. n_players`.
+    pub fn dishonest_players(&self) -> Vec<PlayerId> {
+        (self.n_honest..self.n_players).map(PlayerId).collect()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`] if there are zero players, zero
+    /// honest players, more honest players than players, an out-of-range
+    /// error rate, or a pre-satisfied entry referencing a non-honest player.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.n_players == 0 {
+            return Err(SimError::InvalidConfig("n_players must be positive".into()));
+        }
+        if self.n_honest == 0 {
+            return Err(SimError::InvalidConfig(
+                "at least one honest player is required".into(),
+            ));
+        }
+        if self.n_honest > self.n_players {
+            return Err(SimError::InvalidConfig(format!(
+                "n_honest {} exceeds n_players {}",
+                self.n_honest, self.n_players
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.honest_error_rate) {
+            return Err(SimError::InvalidConfig(format!(
+                "honest_error_rate {} out of [0, 1]",
+                self.honest_error_rate
+            )));
+        }
+        for &(p, _) in &self.pre_satisfied {
+            if p.0 >= self.n_honest {
+                return Err(SimError::InvalidConfig(format!(
+                    "pre-satisfied player {p} is not honest"
+                )));
+            }
+        }
+        match self.participation {
+            Participation::Full => {}
+            Participation::RandomSubset { p } => {
+                if !(0.0 < p && p <= 1.0) {
+                    return Err(SimError::InvalidConfig(format!(
+                        "participation probability {p} out of (0, 1]"
+                    )));
+                }
+            }
+            Participation::RoundRobin { groups } => {
+                if groups == 0 {
+                    return Err(SimError::InvalidConfig(
+                        "round-robin needs at least one group".into(),
+                    ));
+                }
+            }
+            Participation::Straggler { player, .. } => {
+                if player.0 >= self.n_honest {
+                    return Err(SimError::InvalidConfig(format!(
+                        "straggler {player} is not honest"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SimConfig::new(10, 8, 1);
+        assert!(c.validate().is_ok());
+        assert!((c.alpha() - 0.8).abs() < 1e-12);
+        assert_eq!(c.honest_players().count(), 8);
+        assert_eq!(c.dishonest_players(), vec![PlayerId(8), PlayerId(9)]);
+        assert_eq!(c.info, InfoModel::Adaptive);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = SimConfig::new(4, 2, 0)
+            .with_info(InfoModel::Oblivious)
+            .with_policy(VotePolicy::multi_vote(2))
+            .with_stop(StopRule::horizon(100))
+            .with_negative_reports(false)
+            .with_honest_error_rate(0.1)
+            .with_pre_satisfied(vec![(PlayerId(0), ObjectId(1))])
+            .with_trace(true);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.stop.round_cap(), 100);
+        assert!(c.record_trace);
+        assert!(!c.post_negative_reports);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(SimConfig::new(0, 0, 0).validate().is_err());
+        assert!(SimConfig::new(5, 0, 0).validate().is_err());
+        assert!(SimConfig::new(5, 6, 0).validate().is_err());
+        assert!(SimConfig::new(5, 5, 0)
+            .with_honest_error_rate(1.5)
+            .validate()
+            .is_err());
+        assert!(SimConfig::new(5, 2, 0)
+            .with_pre_satisfied(vec![(PlayerId(3), ObjectId(0))])
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn participation_validation() {
+        let base = SimConfig::new(8, 4, 0);
+        assert!(base
+            .clone()
+            .with_participation(Participation::RandomSubset { p: 0.5 })
+            .validate()
+            .is_ok());
+        assert!(base
+            .clone()
+            .with_participation(Participation::RandomSubset { p: 0.0 })
+            .validate()
+            .is_err());
+        assert!(base
+            .clone()
+            .with_participation(Participation::RoundRobin { groups: 0 })
+            .validate()
+            .is_err());
+        assert!(base
+            .clone()
+            .with_participation(Participation::Straggler {
+                player: PlayerId(5),
+                until_round: 10
+            })
+            .validate()
+            .is_err());
+        assert!(base
+            .with_participation(Participation::Straggler {
+                player: PlayerId(0),
+                until_round: 10
+            })
+            .validate()
+            .is_ok());
+        assert_eq!(Participation::default(), Participation::Full);
+        assert!(Participation::Full.to_string().contains("full"));
+        assert!(Participation::RoundRobin { groups: 3 }.to_string().contains('3'));
+        assert!(Participation::RandomSubset { p: 0.5 }.to_string().contains("0.5"));
+        assert!(Participation::Straggler {
+            player: PlayerId(1),
+            until_round: 9
+        }
+        .to_string()
+        .contains("r9"));
+    }
+
+    #[test]
+    fn stop_rule_display_and_cap() {
+        assert_eq!(StopRule::all_satisfied(5).round_cap(), 5);
+        assert_eq!(StopRule::horizon(7).round_cap(), 7);
+        assert_eq!(StopRule::any_satisfied(9).round_cap(), 9);
+        assert!(StopRule::all_satisfied(5).to_string().contains("max=5"));
+        assert!(StopRule::horizon(7).to_string().contains("7"));
+        assert!(StopRule::any_satisfied(9).to_string().contains("any"));
+    }
+}

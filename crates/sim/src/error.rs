@@ -1,0 +1,71 @@
+//! Simulation error type.
+
+use distill_billboard::BillboardError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The simulation configuration is inconsistent (e.g. more honest players
+    /// than players).
+    InvalidConfig(String),
+    /// The world description is inconsistent (e.g. no good objects).
+    InvalidWorld(String),
+    /// A billboard integrity violation surfaced where it should be impossible
+    /// (engine bug guard).
+    Billboard(BillboardError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid simulation config: {msg}"),
+            SimError::InvalidWorld(msg) => write!(f, "invalid world: {msg}"),
+            SimError::Billboard(e) => write!(f, "billboard integrity violation: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Billboard(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BillboardError> for SimError {
+    fn from(e: BillboardError) -> Self {
+        SimError::Billboard(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distill_billboard::{PlayerId, Round};
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::InvalidConfig("n_honest > n".into());
+        assert!(e.to_string().contains("n_honest"));
+        let inner = BillboardError::RoundRegression {
+            attempted: Round(0),
+            current: Round(1),
+        };
+        let e: SimError = inner.clone().into();
+        assert!(e.to_string().contains("integrity"));
+        assert!(e.source().is_some());
+        let e2 = SimError::InvalidWorld("no good objects".into());
+        assert!(e2.source().is_none());
+        let _ = PlayerId(0); // keep import used
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,60 @@
+//! The two object models of §2.2.
+
+use std::fmt;
+
+/// How "goodness" of an object is defined and whether a prober can detect it
+/// (§2.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ObjectModel {
+    /// **Local testing**: a player can always determine whether an object is
+    /// good after probing it — e.g. an object is good iff its value exceeds a
+    /// known threshold. Algorithm DISTILL (§4) works in this model.
+    LocalTesting {
+        /// An object is good iff `value >= threshold`.
+        threshold: f64,
+    },
+    /// **No local testing**: goodness is defined only relatively — an object
+    /// is good iff it is among the top `⌈βm⌉` valued objects. Probers learn
+    /// values but cannot conclude goodness. §5.3's variant works here.
+    TopBeta {
+        /// The fraction of objects deemed good, `0 < beta ≤ 1`.
+        beta: f64,
+    },
+}
+
+impl ObjectModel {
+    /// `true` iff a single probe reveals goodness.
+    pub fn has_local_testing(&self) -> bool {
+        matches!(self, ObjectModel::LocalTesting { .. })
+    }
+}
+
+impl fmt::Display for ObjectModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectModel::LocalTesting { threshold } => {
+                write!(f, "local-testing(threshold={threshold})")
+            }
+            ObjectModel::TopBeta { beta } => write!(f, "top-beta(beta={beta})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_testing_flag() {
+        assert!(ObjectModel::LocalTesting { threshold: 0.5 }.has_local_testing());
+        assert!(!ObjectModel::TopBeta { beta: 0.1 }.has_local_testing());
+    }
+
+    #[test]
+    fn display() {
+        let m = ObjectModel::LocalTesting { threshold: 0.5 };
+        assert!(m.to_string().contains("0.5"));
+        let m = ObjectModel::TopBeta { beta: 0.25 };
+        assert!(m.to_string().contains("0.25"));
+    }
+}

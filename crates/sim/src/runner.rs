@@ -1,0 +1,101 @@
+//! Deterministic multi-trial execution.
+
+use crate::metrics::SimResult;
+
+/// Runs `trials` independent simulations sequentially.
+///
+/// `make` receives the trial index (use it to derive the per-trial seed, e.g.
+/// with [`rng::derive_seed`](crate::rng::derive_seed)) and returns that
+/// trial's [`SimResult`].
+pub fn run_trials<F>(trials: usize, make: F) -> Vec<SimResult>
+where
+    F: Fn(u64) -> SimResult,
+{
+    (0..trials as u64).map(make).collect()
+}
+
+/// Runs `trials` independent simulations on `threads` OS threads.
+///
+/// Results come back in trial order regardless of scheduling, so threaded and
+/// sequential runs of the same closure are byte-identical. `threads == 0` is
+/// treated as 1.
+pub fn run_trials_threaded<F>(trials: usize, threads: usize, make: F) -> Vec<SimResult>
+where
+    F: Fn(u64) -> SimResult + Sync,
+{
+    let threads = threads.max(1).min(trials.max(1));
+    if threads <= 1 {
+        return run_trials(trials, make);
+    }
+    let mut slots: Vec<Option<SimResult>> = Vec::new();
+    slots.resize_with(trials, || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots_mutex: Vec<std::sync::Mutex<&mut Option<SimResult>>> =
+        slots.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if t >= trials {
+                    break;
+                }
+                let result = make(t as u64);
+                **slots_mutex[t].lock().expect("slot lock") = Some(result);
+            });
+        }
+    });
+    drop(slots_mutex);
+    slots
+        .into_iter()
+        .map(|s| s.expect("every trial slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::PlayerOutcome;
+
+    fn fake_result(rounds: u64) -> SimResult {
+        SimResult {
+            rounds,
+            all_satisfied: true,
+            players: vec![PlayerOutcome {
+                probes: rounds,
+                cost_paid: rounds as f64,
+                satisfied_round: None,
+                advice_probes: 0,
+                explore_probes: rounds,
+            }],
+            satisfied_per_round: vec![],
+            posts_total: 0,
+            forged_rejected: 0,
+            notes: vec![],
+            final_eval: None,
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn sequential_preserves_order() {
+        let out = run_trials(5, |t| fake_result(t + 1));
+        let rounds: Vec<u64> = out.iter().map(|r| r.rounds).collect();
+        assert_eq!(rounds, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn threaded_matches_sequential() {
+        let seq = run_trials(16, |t| fake_result(t * 3));
+        let par = run_trials_threaded(16, 4, |t| fake_result(t * 3));
+        let a: Vec<u64> = seq.iter().map(|r| r.rounds).collect();
+        let b: Vec<u64> = par.iter().map(|r| r.rounds).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_thread_counts() {
+        assert_eq!(run_trials_threaded(3, 0, |t| fake_result(t)).len(), 3);
+        assert_eq!(run_trials_threaded(0, 8, |t| fake_result(t)).len(), 0);
+        assert_eq!(run_trials_threaded(2, 100, |t| fake_result(t)).len(), 2);
+    }
+}

@@ -1,0 +1,193 @@
+//! Optional per-event execution trace.
+
+use distill_billboard::{ObjectId, PlayerId, Round};
+
+/// One event in the (optional) execution trace.
+///
+/// Traces are intended for debugging and fine-grained tests; they grow as
+/// `O(n · rounds)` and are off by default
+/// ([`SimConfig::record_trace`](crate::SimConfig)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A round began.
+    RoundStart {
+        /// The round.
+        round: Round,
+        /// Honest players still active at its start.
+        active_honest: u32,
+    },
+    /// An honest player probed an object.
+    Probe {
+        /// The round.
+        round: Round,
+        /// The prober.
+        player: PlayerId,
+        /// The probed object.
+        object: ObjectId,
+        /// Whether the probe followed another player's vote.
+        via_advice: bool,
+        /// Ground-truth goodness of the probed object.
+        good: bool,
+    },
+    /// An honest player became satisfied.
+    Satisfied {
+        /// The round.
+        round: Round,
+        /// The player.
+        player: PlayerId,
+        /// The good object it found.
+        object: ObjectId,
+    },
+    /// The adversary posted.
+    AdversaryPosts {
+        /// The round.
+        round: Round,
+        /// Number of posts it made.
+        count: u32,
+    },
+}
+
+/// Aggregate statistics over a recorded trace.
+///
+/// Computed by [`summarize`]; used by tests and post-hoc analysis to answer
+/// questions the per-run metrics do not retain (e.g. the advice fraction per
+/// phase of the run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Rounds observed.
+    pub rounds: u64,
+    /// Total honest probes.
+    pub probes: u64,
+    /// Probes that followed another player's vote.
+    pub advice_probes: u64,
+    /// Probes that hit a good object.
+    pub good_hits: u64,
+    /// Satisfaction events.
+    pub satisfactions: u64,
+    /// Total adversary posts.
+    pub adversary_posts: u64,
+    /// Honest probes per round, averaged.
+    pub mean_probes_per_round: f64,
+}
+
+impl TraceSummary {
+    /// Fraction of probes that were advice probes.
+    pub fn advice_fraction(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.advice_probes as f64 / self.probes as f64
+        }
+    }
+}
+
+/// Summarizes a trace recorded with
+/// [`SimConfig::with_trace`](crate::SimConfig::with_trace).
+pub fn summarize(trace: &[TraceEvent]) -> TraceSummary {
+    let mut s = TraceSummary {
+        rounds: 0,
+        probes: 0,
+        advice_probes: 0,
+        good_hits: 0,
+        satisfactions: 0,
+        adversary_posts: 0,
+        mean_probes_per_round: 0.0,
+    };
+    for event in trace {
+        match *event {
+            TraceEvent::RoundStart { .. } => s.rounds += 1,
+            TraceEvent::Probe { via_advice, good, .. } => {
+                s.probes += 1;
+                if via_advice {
+                    s.advice_probes += 1;
+                }
+                if good {
+                    s.good_hits += 1;
+                }
+            }
+            TraceEvent::Satisfied { .. } => s.satisfactions += 1,
+            TraceEvent::AdversaryPosts { count, .. } => s.adversary_posts += u64::from(count),
+        }
+    }
+    s.mean_probes_per_round = if s.rounds == 0 {
+        0.0
+    } else {
+        s.probes as f64 / s.rounds as f64
+    };
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_counts_all_kinds() {
+        let trace = vec![
+            TraceEvent::RoundStart { round: Round(0), active_honest: 2 },
+            TraceEvent::Probe {
+                round: Round(0),
+                player: PlayerId(0),
+                object: ObjectId(1),
+                via_advice: false,
+                good: false,
+            },
+            TraceEvent::Probe {
+                round: Round(0),
+                player: PlayerId(1),
+                object: ObjectId(2),
+                via_advice: true,
+                good: true,
+            },
+            TraceEvent::Satisfied { round: Round(0), player: PlayerId(1), object: ObjectId(2) },
+            TraceEvent::AdversaryPosts { round: Round(0), count: 3 },
+            TraceEvent::RoundStart { round: Round(1), active_honest: 1 },
+            TraceEvent::Probe {
+                round: Round(1),
+                player: PlayerId(0),
+                object: ObjectId(2),
+                via_advice: true,
+                good: true,
+            },
+            TraceEvent::Satisfied { round: Round(1), player: PlayerId(0), object: ObjectId(2) },
+        ];
+        let s = summarize(&trace);
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.probes, 3);
+        assert_eq!(s.advice_probes, 2);
+        assert_eq!(s.good_hits, 2);
+        assert_eq!(s.satisfactions, 2);
+        assert_eq!(s.adversary_posts, 3);
+        assert!((s.advice_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.mean_probes_per_round - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_summary() {
+        let s = summarize(&[]);
+        assert_eq!(s.rounds, 0);
+        assert_eq!(s.advice_fraction(), 0.0);
+        assert_eq!(s.mean_probes_per_round, 0.0);
+    }
+
+    #[test]
+    fn trace_events_compare() {
+        let a = TraceEvent::RoundStart {
+            round: Round(0),
+            active_honest: 3,
+        };
+        assert_eq!(
+            a,
+            TraceEvent::RoundStart {
+                round: Round(0),
+                active_honest: 3
+            }
+        );
+        let b = TraceEvent::Satisfied {
+            round: Round(2),
+            player: PlayerId(1),
+            object: ObjectId(0),
+        };
+        assert_ne!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Asynchrony, schedules, and why the paper's synchronous model is fair.
+//!
+//! The prior work ([1], quoted in §1.1) bounds only the **total** cost under
+//! adversarial schedules; §1.2 argues individual cost needs synchrony: "a
+//! schedule that runs a single player by itself forces that player to find
+//! the good object on its own". This example runs the asynchronous engine
+//! under four schedules and shows the three regimes side by side: total cost
+//! is schedule-invariant, an isolated player pays `Θ(1/β)`, and a merely
+//! *starved* player catches up off the timestamped billboard for almost
+//! nothing.
+//!
+//! ```sh
+//! cargo run --release --example async_vs_sync
+//! ```
+
+use distill::prelude::*;
+use distill::sim::async_engine::{
+    AsyncEngine, BalanceStep, Isolate, RandomSchedule, RoundRobin, Schedule, Starve,
+};
+
+fn main() {
+    let n: u32 = 512;
+    let trials = 10u64;
+    println!("Asynchronous model of [1]: n = m = {n}, one good object, balance rule\n");
+
+    let mut table = Table::new(
+        "per-schedule costs (averaged over 10 runs)",
+        &["schedule", "total probes", "player-0 probes", "mean player probes"],
+    );
+    for name in ["round-robin", "random", "isolate", "starve"] {
+        let mut totals = Vec::new();
+        let mut p0 = Vec::new();
+        for t in 0..trials {
+            let world = World::binary(n, 1, 3_000 + t).expect("world");
+            let schedule: Box<dyn Schedule> = match name {
+                "round-robin" => Box::new(RoundRobin::default()),
+                "random" => Box::new(RandomSchedule),
+                "isolate" => Box::new(Isolate::new(PlayerId(0))),
+                _ => Box::new(Starve::new(PlayerId(0))),
+            };
+            let result = AsyncEngine::new(
+                n,
+                n,
+                4_000 + t,
+                50_000_000,
+                &world,
+                Box::new(BalanceStep::new()),
+                schedule,
+                Box::new(NullAdversary),
+            )
+            .expect("engine")
+            .run();
+            assert!(result.all_satisfied);
+            totals.push(result.total_probes() as f64);
+            p0.push(result.probes_of(PlayerId(0)) as f64);
+        }
+        let total = Summary::of(&totals).mean;
+        table.row_owned(vec![
+            name.to_string(),
+            fmt_f(total),
+            fmt_f(Summary::of(&p0).mean),
+            fmt_f(total / f64::from(n)),
+        ]);
+    }
+    println!("{table}");
+    println!("Total cost is schedule-invariant (the [1] guarantee); the isolated");
+    println!("player-0 pays ~1/beta = {n} alone while starved player-0 pays a");
+    println!("handful — which is why the paper studies individual cost in the");
+    println!("synchronous model and why DISTILL can beat log n there.");
+}

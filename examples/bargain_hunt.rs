@@ -1,0 +1,81 @@
+//! Bargain hunting under real prices (§5.2, Theorem 12).
+//!
+//! In a marketplace objects have different costs, and probing an expensive
+//! dud hurts more than probing a cheap one. Theorem 12's cost-class search
+//! probes cheap listings first, escalating price bands only when the cheap
+//! bands are exhausted — paying `O(q₀ · m·log n/(αn))` where `q₀` is the
+//! price of the cheapest genuine item.
+//!
+//! Here: 6 price bands ($1, $2, $4, … $32), the only genuine items sitting
+//! in band `i₀`. We compare the cost-class search against flat DISTILL run
+//! over the whole catalogue (which probes $32 duds as happily as $1 ones).
+//!
+//! ```sh
+//! cargo run --release --example bargain_hunt
+//! ```
+
+use distill::prelude::*;
+
+fn main() {
+    let n: u32 = 200;
+    let class_sizes = [48u32; 6];
+    let m: u32 = class_sizes.iter().sum();
+    let alpha = 0.8;
+    let honest = (alpha * f64::from(n)).round() as u32;
+    let trials = 5u64;
+    println!("Bargain hunt: {n} buyers, {m} listings in 6 price bands ($1..$32),");
+    println!("2 genuine items in band i0; 20% shills (uniform-bad).\n");
+
+    let mut table = Table::new(
+        "mean spend per honest buyer",
+        &["genuine band i0", "q0", "cost-class search", "flat distill", "savings"],
+    );
+
+    for &i0 in &[0usize, 2, 4] {
+        let mut classed = Vec::new();
+        let mut flat = Vec::new();
+        for t in 0..trials {
+            let world = World::cost_classes(&class_sizes, i0, 2, 5_000 + t).expect("world");
+
+            let cohort = CostClassSearch::from_world(&world, n, alpha, 0.5, 0.5).expect("search");
+            let config = SimConfig::new(n, honest, 6_000 + t)
+                .with_stop(StopRule::all_satisfied(500_000))
+                .with_negative_reports(false);
+            let r = Engine::new(config, &world, Box::new(cohort), Box::new(UniformBad::new()))
+                .expect("engine")
+                .run();
+            assert!(r.all_satisfied, "cost-class search must finish");
+            classed.push(r.mean_cost());
+
+            let params = DistillParams::new(n, m, alpha, world.beta()).expect("params");
+            let config = SimConfig::new(n, honest, 6_000 + t)
+                .with_stop(StopRule::all_satisfied(500_000))
+                .with_negative_reports(false);
+            let r = Engine::new(
+                config,
+                &world,
+                Box::new(Distill::new(params)),
+                Box::new(UniformBad::new()),
+            )
+            .expect("engine")
+            .run();
+            assert!(r.all_satisfied, "flat distill must finish");
+            flat.push(r.mean_cost());
+        }
+        let c = Summary::of(&classed).mean;
+        let f = Summary::of(&flat).mean;
+        table.row_owned(vec![
+            i0.to_string(),
+            format!("${}", 1u32 << i0),
+            fmt_f(c),
+            fmt_f(f),
+            format!("{:.1}x", f / c),
+        ]);
+    }
+    println!("{table}");
+    println!("When genuine items are cheap (i0 = 0), class-by-class search never");
+    println!("touches the expensive bands; flat DISTILL wastes money on $32 duds.");
+    println!("As i0 rises the advantage narrows and eventually reverses (the class");
+    println!("sweep pays for the cheap bands first) — Theorem 12's q0 scaling: the");
+    println!("guarantee is relative to q0, which flat search cannot offer at all.");
+}

@@ -1,0 +1,97 @@
+//! An eBay-style marketplace with a shill ring.
+//!
+//! The paper's motivating scenario (§1): buyers consult a public reputation
+//! billboard before transacting, and "malicious users can collude and post
+//! false information on this billboard, inducing other users into fraudulent
+//! transactions".
+//!
+//! This example stages exactly that: 800 buyers, 800 listings of which one
+//! is genuinely good, and a 15% shill ring that pumps a handful of
+//! fraudulent listings with coordinated positive reviews. We compare:
+//!
+//! * a **popularity follower** — always buys from the most-recommended
+//!   listing (the strategy that "heavily boosts the trust values of
+//!   malicious nodes", §1.3);
+//! * **DISTILL** — the paper's algorithm.
+//!
+//! ```sh
+//! cargo run --release --example ebay_marketplace
+//! ```
+
+use distill::prelude::*;
+
+/// The naive strategy: probe whatever currently has the most votes
+/// (popularity), falling back to a random listing when the board is empty.
+#[derive(Debug)]
+struct PopularityFollower;
+
+impl Cohort for PopularityFollower {
+    fn directive(&mut self, view: &BoardView<'_>) -> Directive {
+        let mut voted = view.objects_with_votes();
+        voted.sort_by_key(|&o| std::cmp::Reverse(view.votes_for(o)));
+        voted.truncate(1);
+        if voted.is_empty() {
+            Directive::ProbeUniform(CandidateSet::All)
+        } else {
+            Directive::ProbeUniform(CandidateSet::subset(voted))
+        }
+    }
+
+    fn phase_info(&self) -> PhaseInfo {
+        PhaseInfo::plain("popularity")
+    }
+
+    fn name(&self) -> &'static str {
+        "popularity"
+    }
+}
+
+fn stage(n: u32, cohort: Box<dyn Cohort>, seed: u64, cap: u64) -> SimResult {
+    let world = World::binary(n, 1, 4242).expect("world");
+    let honest = (f64::from(n) * 0.85).round() as u32;
+    let config = SimConfig::new(n, honest, seed)
+        .with_stop(StopRule::all_satisfied(cap))
+        .with_negative_reports(false);
+    // The shill ring: every dishonest account reviews one of three
+    // fraudulent listings, all at once — classic review-bombing.
+    Engine::new(config, &world, cohort, Box::new(Collusive::new(3, 0)))
+        .expect("engine")
+        .run()
+}
+
+fn main() {
+    let n: u32 = 800;
+    println!("Marketplace: {n} buyers, {n} listings (1 genuine), 15% shill accounts");
+    println!("review-bombing 3 fraudulent listings.\n");
+
+    let mut table = Table::new(
+        "probes (wasted purchases) per honest buyer, 600-round cap",
+        &["strategy", "mean probes", "buyers satisfied", "rounds"],
+    );
+
+    for trial in 0..3u64 {
+        let pop = stage(n, Box::new(PopularityFollower), 100 + trial, 600);
+        table.row_owned(vec![
+            format!("popularity #{trial}"),
+            fmt_f(pop.mean_probes()),
+            format!("{}/{}", pop.satisfied_count(), pop.players.len()),
+            pop.rounds.to_string(),
+        ]);
+    }
+    for trial in 0..3u64 {
+        let alpha = 0.85;
+        let params = DistillParams::new(n, n, alpha, 1.0 / f64::from(n)).expect("params");
+        let d = stage(n, Box::new(Distill::new(params)), 100 + trial, 600);
+        table.row_owned(vec![
+            format!("distill #{trial}"),
+            fmt_f(d.mean_probes()),
+            format!("{}/{}", d.satisfied_count(), d.players.len()),
+            d.rounds.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("The popularity follower herds onto the review-bombed listings and");
+    println!("burns its budget re-probing them; DISTILL's one-vote rule and");
+    println!("per-iteration thresholds let the shills spend their votes exactly");
+    println!("once, after which the genuine listing is all that survives.");
+}

@@ -1,0 +1,77 @@
+//! Peer-to-peer file authenticity (the EigenTrust setting, §1.3).
+//!
+//! Kamvar et al. [6] study "trust in the context of authenticity of files
+//! downloaded in peer-to-peer systems" and note that popularity-style trust
+//! needs pre-trusted peers — "otherwise, forming a malicious collective in
+//! fact heavily boosts the trust values of malicious nodes". DISTILL needs
+//! no pre-trusted peers.
+//!
+//! Here: 600 peers hunt for an authentic copy of a file among 600 advertised
+//! sources (12 authentic). A quarter of the peers are a malicious collective
+//! running the budget-optimal threshold-matching attack, *and* honest peers
+//! are sloppy — 5% of the time they mislabel a corrupted download as good.
+//! Per §4.1 we give every peer `f = 4` votes so that one correct vote among
+//! a few mistakes still counts.
+//!
+//! ```sh
+//! cargo run --release --example p2p_file_sharing
+//! ```
+
+use distill::prelude::*;
+
+fn run(f: usize, err: f64, seed: u64) -> SimResult {
+    let n: u32 = 600;
+    let goods = 12;
+    let honest = 450; // alpha = 0.75
+    let alpha = 0.75;
+    let world = World::binary(n, goods, 777).expect("world");
+    let params = DistillParams::new(n, n, alpha, world.beta()).expect("params");
+    let config = SimConfig::new(n, honest, seed)
+        .with_policy(VotePolicy::multi_vote(f))
+        .with_honest_error_rate(err)
+        .with_stop(StopRule::all_satisfied(100_000))
+        .with_negative_reports(true); // peers do report corrupted files
+    Engine::new(
+        config,
+        &world,
+        Box::new(Distill::new(params)),
+        Box::new(ThresholdMatcher::new()),
+    )
+    .expect("engine")
+    .run()
+}
+
+fn main() {
+    println!("P2P file sharing: 600 peers, 600 sources (12 authentic),");
+    println!("25% malicious collective (threshold-matching), sloppy honest peers.\n");
+
+    let mut table = Table::new(
+        "downloads (probes) per honest peer until an authentic copy",
+        &["votes f", "honest error rate", "mean downloads", "all peers done", "rounds"],
+    );
+    for &(f, err) in &[(1usize, 0.0f64), (1, 0.05), (4, 0.05), (4, 0.20)] {
+        let mut costs = Vec::new();
+        let mut done = 0;
+        let mut rounds = Vec::new();
+        let trials = 5;
+        for t in 0..trials {
+            let r = run(f, err, 30_000 + t);
+            costs.push(r.mean_probes());
+            rounds.push(r.rounds as f64);
+            if r.all_satisfied {
+                done += 1;
+            }
+        }
+        table.row_owned(vec![
+            f.to_string(),
+            format!("{err:.2}"),
+            fmt_f(Summary::of(&costs).mean),
+            format!("{done}/{trials}"),
+            fmt_f(Summary::of(&rounds).mean),
+        ]);
+    }
+    println!("{table}");
+    println!("With a single vote, one honest mistake permanently burns that peer's");
+    println!("voice; with f = 4 (still o(1/(1-alpha)) in spirit) the collective's");
+    println!("budget grows but the mistakes are absorbed — §4.1's trade-off.");
+}

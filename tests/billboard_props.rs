@@ -1,0 +1,156 @@
+//! Property tests for the billboard substrate: reader-side vote semantics
+//! hold for *arbitrary* post sequences, honest or Byzantine.
+
+use distill::prelude::*;
+use proptest::prelude::*;
+
+const N_PLAYERS: u32 = 8;
+const N_OBJECTS: u32 = 12;
+
+/// An arbitrary post: (round-increment, author, object, value, positive?).
+fn arb_posts() -> impl Strategy<Value = Vec<(u64, u32, u32, f64, bool)>> {
+    prop::collection::vec(
+        (
+            0u64..3,
+            0u32..N_PLAYERS,
+            0u32..N_OBJECTS,
+            0.0f64..2.0,
+            any::<bool>(),
+        ),
+        0..120,
+    )
+}
+
+fn build_board(posts: &[(u64, u32, u32, f64, bool)]) -> Billboard {
+    let mut board = Billboard::new(N_PLAYERS, N_OBJECTS);
+    let mut round = 0u64;
+    for &(dr, author, object, value, positive) in posts {
+        round += dr;
+        let kind = if positive {
+            ReportKind::Positive
+        } else {
+            ReportKind::Negative
+        };
+        board
+            .append(Round(round), PlayerId(author), ObjectId(object), value, kind)
+            .expect("valid post");
+    }
+    board
+}
+
+proptest! {
+    /// The f-cap: no author is ever counted for more than `f` votes, no
+    /// matter what it posts.
+    #[test]
+    fn vote_cap_holds(posts in arb_posts(), f in 1usize..4) {
+        let board = build_board(&posts);
+        let mut tracker = VoteTracker::new(N_PLAYERS, N_OBJECTS, VotePolicy::multi_vote(f));
+        tracker.ingest(&board);
+        for p in 0..N_PLAYERS {
+            prop_assert!(tracker.votes_of(PlayerId(p)).len() <= f);
+        }
+    }
+
+    /// Per-object current counts agree with per-player vote sets.
+    #[test]
+    fn counts_are_consistent(posts in arb_posts()) {
+        let board = build_board(&posts);
+        let mut tracker = VoteTracker::new(N_PLAYERS, N_OBJECTS, VotePolicy::single_vote());
+        tracker.ingest(&board);
+        for o in 0..N_OBJECTS {
+            let by_count = tracker.votes_for(ObjectId(o));
+            let by_players = (0..N_PLAYERS)
+                .filter(|&p| tracker.votes_of(PlayerId(p)).iter().any(|v| v.object == ObjectId(o)))
+                .count() as u32;
+            prop_assert_eq!(by_count, by_players);
+        }
+        // objects_with_votes is exactly the support of votes_for
+        let support: Vec<ObjectId> = (0..N_OBJECTS)
+            .map(ObjectId)
+            .filter(|&o| tracker.votes_for(o) > 0)
+            .collect();
+        prop_assert_eq!(tracker.objects_with_votes(), support);
+    }
+
+    /// Window tallies partition the event stream: summing disjoint windows
+    /// equals the full-range tally.
+    #[test]
+    fn window_tallies_partition(posts in arb_posts(), split in 0u64..40) {
+        let board = build_board(&posts);
+        let mut tracker = VoteTracker::new(N_PLAYERS, N_OBJECTS, VotePolicy::multi_vote(2));
+        tracker.ingest(&board);
+        let end = board.latest_round().next() + 1;
+        let mid = Round(split.min(end.as_u64()));
+        for o in 0..N_OBJECTS {
+            let o = ObjectId(o);
+            let left = tracker.window_votes_for(Window::new(Round(0), mid), o);
+            let right = tracker.window_votes_for(Window::new(mid, end), o);
+            let all = tracker.window_votes_for(Window::new(Round(0), end), o);
+            prop_assert_eq!(left + right, all);
+        }
+    }
+
+    /// Incremental ingestion is equivalent to one-shot ingestion.
+    #[test]
+    fn incremental_equals_oneshot(posts in arb_posts()) {
+        let board = build_board(&posts);
+        let mut oneshot = VoteTracker::new(N_PLAYERS, N_OBJECTS, VotePolicy::single_vote());
+        oneshot.ingest(&board);
+
+        // Re-play the same posts through a board, ingesting after every post.
+        let mut board2 = Billboard::new(N_PLAYERS, N_OBJECTS);
+        let mut incremental = VoteTracker::new(N_PLAYERS, N_OBJECTS, VotePolicy::single_vote());
+        for post in board.posts() {
+            board2
+                .append(post.round, post.author, post.object, post.value, post.kind)
+                .expect("replay");
+            incremental.ingest(&board2);
+        }
+        prop_assert_eq!(oneshot.total_vote_events(), incremental.total_vote_events());
+        for p in 0..N_PLAYERS {
+            prop_assert_eq!(
+                oneshot.vote_of(PlayerId(p)),
+                incremental.vote_of(PlayerId(p))
+            );
+        }
+    }
+
+    /// Append-only: appending more posts never changes existing log entries.
+    #[test]
+    fn log_prefix_is_immutable(posts in arb_posts()) {
+        let board = build_board(&posts);
+        let snapshot: Vec<_> = board.posts().to_vec();
+        let mut extended = board.clone();
+        let last_round = extended.latest_round();
+        extended
+            .append(last_round, PlayerId(0), ObjectId(0), 1.0, ReportKind::Positive)
+            .expect("append");
+        prop_assert_eq!(&extended.posts()[..snapshot.len()], &snapshot[..]);
+    }
+
+    /// Best-value mode: a player's vote is always its maximum reported value.
+    #[test]
+    fn best_value_vote_is_argmax(posts in arb_posts()) {
+        let board = build_board(&posts);
+        let mut tracker = VoteTracker::new(N_PLAYERS, N_OBJECTS, VotePolicy::best_value());
+        tracker.ingest(&board);
+        for p in 0..N_PLAYERS {
+            let reported: Vec<&distill::billboard::Post> =
+                board.posts_by(PlayerId(p)).collect();
+            let vote = tracker.vote_of(PlayerId(p));
+            match (reported.is_empty(), vote) {
+                (true, v) => prop_assert!(v.is_none()),
+                (false, None) => prop_assert!(false, "player with posts must have a vote"),
+                (false, Some(v)) => {
+                    let max = reported
+                        .iter()
+                        .map(|post| post.value)
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    let vote_value = tracker.votes_of(PlayerId(p))[0].value;
+                    prop_assert!((vote_value - max).abs() < 1e-12,
+                        "vote value {vote_value} must equal max reported {max} (vote {v})");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Cross-crate invariants of the DISTILL execution.
+
+use distill::adversary::gauntlet;
+use distill::core::observer;
+use distill::prelude::*;
+use std::collections::HashSet;
+
+/// The candidate chain within each ATTEMPT is a non-increasing chain of sets
+/// (Figure 1, Step 2.2: `C_{t+1} ⊆ C_t`).
+#[test]
+fn refine_chain_is_nested() {
+    let n = 256;
+    let world = World::binary(n, 1, 5).expect("world");
+    let obs = observer();
+    let params = DistillParams::new(n, n, 0.5, world.beta()).expect("params");
+    let cohort = Distill::new(params).with_observer(std::sync::Arc::clone(&obs));
+    let config = SimConfig::new(n, 128, 17).with_stop(StopRule::all_satisfied(500_000));
+    let result = Engine::new(config, &world, Box::new(cohort), Box::new(ThresholdMatcher::new()))
+        .expect("engine")
+        .run();
+    assert!(result.all_satisfied);
+
+    let snaps = obs.lock().expect("observer");
+    assert!(!snaps.is_empty(), "observer must have recorded snapshots");
+    let mut prev: Option<(u64, u32, HashSet<ObjectId>)> = None;
+    for snap in snaps.iter().filter(|s| s.label == "C" || s.label == "C0") {
+        let iter = snap.iteration.unwrap_or(0);
+        let set: HashSet<ObjectId> = snap.candidates.iter().copied().collect();
+        if let Some((attempt, prev_iter, prev_set)) = &prev {
+            if *attempt == snap.attempt && iter == prev_iter + 1 {
+                assert!(
+                    set.is_subset(prev_set),
+                    "C_{iter} must be a subset of C_{prev_iter} within attempt {attempt}"
+                );
+            }
+        }
+        prev = Some((snap.attempt, iter, set));
+    }
+}
+
+/// Equation 1's accounting: the adversary's counted votes never exceed its
+/// budget `f·(1−α)n`, no matter how hard it ballot-stuffs.
+#[test]
+fn dishonest_vote_budget_is_respected() {
+    let n = 128u32;
+    let honest = 96u32;
+    for f in [1usize, 3] {
+        let world = World::binary(n, 1, 9).expect("world");
+        let params = DistillParams::new(n, n, 0.75, world.beta()).expect("params");
+        let config = SimConfig::new(n, honest, 23)
+            .with_policy(VotePolicy::multi_vote(f))
+            .with_stop(StopRule::all_satisfied(500_000));
+        let mut engine = Engine::new(
+            config,
+            &world,
+            Box::new(Distill::new(params)),
+            Box::new(BallotStuffer::new(16)),
+        )
+        .expect("engine");
+        for _ in 0..200 {
+            engine.step();
+        }
+        let dishonest_votes = engine
+            .tracker()
+            .events()
+            .iter()
+            .filter(|e| e.player.0 >= honest)
+            .count();
+        let budget = f * (n - honest) as usize;
+        assert!(
+            dishonest_votes <= budget,
+            "counted dishonest votes {dishonest_votes} exceed budget {budget} at f={f}"
+        );
+    }
+}
+
+/// DISTILL terminates against every gauntlet strategy across a small grid of
+/// population mixes.
+#[test]
+fn distill_terminates_across_grid_and_gauntlet() {
+    for &(n, honest) in &[(64u32, 48u32), (128, 120), (128, 32)] {
+        let alpha = f64::from(honest) / f64::from(n);
+        for entry in gauntlet() {
+            let world = World::binary(n, 1, u64::from(n) + u64::from(honest)).expect("world");
+            let params = DistillParams::new(n, n, alpha, world.beta()).expect("params");
+            let config = SimConfig::new(n, honest, 31).with_stop(StopRule::all_satisfied(2_000_000));
+            let result =
+                Engine::new(config, &world, Box::new(Distill::new(params)), (entry.make)())
+                    .expect("engine")
+                    .run();
+            assert!(
+                result.all_satisfied,
+                "distill failed vs {} at n={n} honest={honest}",
+                entry.name
+            );
+            // every satisfied player probed at least once, unless pre-satisfied
+            for p in &result.players {
+                assert!(p.probes >= 1);
+                assert!(p.is_satisfied());
+            }
+        }
+    }
+}
+
+/// Probe accounting: per-player explore + advice probes equal total probes,
+/// and total cost equals total probes under unit costs.
+#[test]
+fn probe_accounting_is_consistent() {
+    let n = 128;
+    let world = World::binary(n, 2, 77).expect("world");
+    let params = DistillParams::new(n, n, 0.9, world.beta()).expect("params");
+    let config = SimConfig::new(n, 115, 3).with_stop(StopRule::all_satisfied(200_000));
+    let result = Engine::new(config, &world, Box::new(Distill::new(params)), Box::new(UniformBad::new()))
+        .expect("engine")
+        .run();
+    for p in &result.players {
+        assert_eq!(p.explore_probes + p.advice_probes, p.probes);
+        assert!((p.cost_paid - p.probes as f64).abs() < 1e-9, "unit costs");
+    }
+}
+
+/// The satisfied-per-round curve is non-decreasing and ends at the honest
+/// population size.
+#[test]
+fn satisfaction_curve_is_monotone() {
+    let n = 128;
+    let world = World::binary(n, 1, 2).expect("world");
+    let params = DistillParams::new(n, n, 0.75, world.beta()).expect("params");
+    let config = SimConfig::new(n, 96, 5).with_stop(StopRule::all_satisfied(500_000));
+    let result = Engine::new(config, &world, Box::new(Distill::new(params)), Box::new(Collusive::default()))
+        .expect("engine")
+        .run();
+    let curve = &result.satisfied_per_round;
+    assert!(curve.windows(2).all(|w| w[0] <= w[1]), "monotone satisfaction");
+    assert_eq!(*curve.last().expect("nonempty"), 96);
+}

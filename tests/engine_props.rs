@@ -1,0 +1,138 @@
+//! Property tests over randomized small simulation configurations.
+
+use distill::prelude::*;
+use proptest::prelude::*;
+
+/// A small random scenario: population mix, world size, seeds, strategy mix.
+#[derive(Debug, Clone)]
+struct Scenario {
+    n: u32,
+    honest: u32,
+    m: u32,
+    goods: u32,
+    seed: u64,
+    world_seed: u64,
+    adversary: u8,
+    f: usize,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        4u32..32,
+        1u32..32,
+        4u32..48,
+        1u32..4,
+        any::<u64>(),
+        any::<u64>(),
+        0u8..5,
+        1usize..3,
+    )
+        .prop_map(|(n, honest_raw, m, goods_raw, seed, world_seed, adversary, f)| {
+            let honest = honest_raw.min(n).max(1);
+            let goods = goods_raw.min(m);
+            Scenario {
+                n,
+                honest,
+                m,
+                goods,
+                seed,
+                world_seed,
+                adversary,
+                f,
+            }
+        })
+}
+
+fn make_adversary(kind: u8) -> Box<dyn Adversary> {
+    match kind {
+        0 => Box::new(NullAdversary),
+        1 => Box::new(UniformBad::new()),
+        2 => Box::new(ThresholdMatcher::new()),
+        3 => Box::new(BallotStuffer::new(3)),
+        _ => Box::new(Slander::new()),
+    }
+}
+
+fn run(s: &Scenario, cap: u64) -> SimResult {
+    let world = World::binary(s.m, s.goods, s.world_seed).expect("world");
+    let alpha = f64::from(s.honest) / f64::from(s.n);
+    let params = DistillParams::new(s.n, s.m, alpha, world.beta()).expect("params");
+    let config = SimConfig::new(s.n, s.honest, s.seed)
+        .with_policy(VotePolicy::multi_vote(s.f))
+        .with_stop(StopRule::all_satisfied(cap));
+    Engine::new(config, &world, Box::new(Distill::new(params)), make_adversary(s.adversary))
+        .expect("engine")
+        .run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// DISTILL terminates on every random scenario, and basic accounting
+    /// invariants hold.
+    #[test]
+    fn random_scenarios_terminate_consistently(s in arb_scenario()) {
+        let result = run(&s, 200_000);
+        prop_assert!(result.all_satisfied, "unterminated: {s:?}");
+        prop_assert_eq!(result.players.len(), s.honest as usize);
+        for p in &result.players {
+            prop_assert!(p.is_satisfied());
+            prop_assert_eq!(p.explore_probes + p.advice_probes, p.probes);
+            // a satisfied player probed at least once (nobody pre-satisfied)
+            prop_assert!(p.probes >= 1);
+            // probes never exceed rounds (one probe per round, then halt)
+            prop_assert!(p.probes <= result.rounds);
+            let sat = p.satisfied_round.expect("satisfied");
+            prop_assert!(sat.as_u64() < result.rounds);
+        }
+        // satisfaction curve monotone, ends at the honest population
+        prop_assert!(result
+            .satisfied_per_round
+            .windows(2)
+            .all(|w| w[0] <= w[1]));
+        prop_assert_eq!(
+            *result.satisfied_per_round.last().expect("ran at least a round") as usize,
+            s.honest as usize
+        );
+    }
+
+    /// Same scenario twice ⇒ identical outcome (full-stack determinism under
+    /// arbitrary parameters).
+    #[test]
+    fn random_scenarios_are_deterministic(s in arb_scenario()) {
+        let a = run(&s, 50_000);
+        let b = run(&s, 50_000);
+        prop_assert_eq!(a.rounds, b.rounds);
+        prop_assert_eq!(a.posts_total, b.posts_total);
+        prop_assert_eq!(a.satisfied_per_round, b.satisfied_per_round);
+    }
+
+    /// The adversary's counted votes never exceed `f·(n−honest)` in any
+    /// random scenario (the Equation 1 budget).
+    #[test]
+    fn budget_invariant_over_random_scenarios(s in arb_scenario()) {
+        let world = World::binary(s.m, s.goods, s.world_seed).expect("world");
+        let alpha = f64::from(s.honest) / f64::from(s.n);
+        let params = DistillParams::new(s.n, s.m, alpha, world.beta()).expect("params");
+        let config = SimConfig::new(s.n, s.honest, s.seed)
+            .with_policy(VotePolicy::multi_vote(s.f))
+            .with_stop(StopRule::all_satisfied(50_000));
+        let mut engine = Engine::new(
+            config,
+            &world,
+            Box::new(Distill::new(params)),
+            make_adversary(s.adversary),
+        )
+        .expect("engine");
+        for _ in 0..60 {
+            engine.step();
+        }
+        let dishonest_votes = engine
+            .tracker()
+            .events()
+            .iter()
+            .filter(|e| e.player.0 >= s.honest)
+            .count();
+        prop_assert!(dishonest_votes <= s.f * (s.n - s.honest) as usize);
+    }
+}

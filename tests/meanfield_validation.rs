@@ -1,0 +1,98 @@
+//! Theory-vs-simulation cross-validation: the mean-field recurrences of
+//! `distill_analysis::meanfield` must agree with the measured engine
+//! dynamics for the unstructured baselines. A disagreement here is an engine
+//! bug (or a theory bug) — this is the simulator's external calibration.
+
+use distill::analysis::meanfield;
+use distill::prelude::*;
+
+fn mean_probes(cohort_kind: &str, n: u32, goods: u32, trials: u64) -> f64 {
+    let mut costs = Vec::new();
+    for t in 0..trials {
+        let world = World::binary(n, goods, 900 + t).expect("world");
+        let cohort: Box<dyn Cohort> = match cohort_kind {
+            "random" => Box::new(RandomProbing::new()),
+            _ => Box::new(Balance::new()),
+        };
+        let config = SimConfig::new(n, n, 40 + t)
+            .with_stop(StopRule::all_satisfied(5_000_000))
+            .with_negative_reports(false);
+        let r = Engine::new(config, &world, cohort, Box::new(NullAdversary))
+            .expect("engine")
+            .run();
+        assert!(r.all_satisfied);
+        costs.push(r.mean_probes());
+    }
+    costs.iter().sum::<f64>() / costs.len() as f64
+}
+
+#[test]
+fn random_probing_matches_mean_field() {
+    let n = 256;
+    let goods = 8;
+    let beta = f64::from(goods) / f64::from(n);
+    let measured = mean_probes("random", n, goods, 8);
+    let predicted = meanfield::expected_individual_cost(&meanfield::random_probing_curve(
+        beta, 100_000,
+    ));
+    let ratio = measured / predicted;
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "random probing: measured {measured} vs mean-field {predicted} (ratio {ratio})"
+    );
+}
+
+#[test]
+fn balance_matches_mean_field() {
+    let n = 512;
+    let goods = 1;
+    let beta = 1.0 / f64::from(n);
+    let measured = mean_probes("balance", n, goods, 8);
+    let predicted =
+        meanfield::expected_individual_cost(&meanfield::balance_curve(beta, 0.5, 100_000));
+    let ratio = measured / predicted;
+    // Mean-field ignores the finite-n stochastic delay before the first
+    // discovery, so allow a wider band, but the log-flavored magnitude must
+    // match.
+    assert!(
+        (0.6..1.7).contains(&ratio),
+        "balance: measured {measured} vs mean-field {predicted} (ratio {ratio})"
+    );
+}
+
+#[test]
+fn satisfaction_curve_tracks_mean_field_shape() {
+    // Compare the engine's per-round satisfied counts against the recurrence
+    // at matched rounds.
+    let n: u32 = 1024;
+    let beta = 1.0 / f64::from(n);
+    let world = World::binary(n, 1, 5).expect("world");
+    let config = SimConfig::new(n, n, 77)
+        .with_stop(StopRule::all_satisfied(2_000_000))
+        .with_negative_reports(false);
+    let r = Engine::new(config, &world, Box::new(Balance::new()), Box::new(NullAdversary))
+        .expect("engine")
+        .run();
+    let curve = meanfield::balance_curve(beta, 0.5, r.satisfied_per_round.len());
+    // After the stochastic ignition phase (first discovery), the measured
+    // fraction must stay within an absolute band of the recurrence shifted
+    // to the ignition round.
+    let ignition = r
+        .satisfied_per_round
+        .iter()
+        .position(|&c| c > 0)
+        .expect("someone gets satisfied");
+    let mut checked = 0;
+    for (offset, &count) in r.satisfied_per_round[ignition..].iter().enumerate() {
+        let measured = f64::from(count) / f64::from(n);
+        let predicted = curve.get(offset + 1).copied().unwrap_or(1.0);
+        if (0.05..0.95).contains(&predicted) {
+            assert!(
+                (measured - predicted).abs() < 0.35,
+                "round {offset} after ignition: measured {measured} vs predicted {predicted}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "the comparison window must be non-empty");
+}

@@ -1,0 +1,56 @@
+//! The event trace and the aggregate metrics must tell the same story.
+
+use distill::prelude::*;
+use distill::sim::summarize;
+
+#[test]
+fn trace_summary_agrees_with_sim_result() {
+    let n = 96u32;
+    let world = World::binary(n, 2, 13).expect("world");
+    let params = DistillParams::new(n, n, 0.75, world.beta()).expect("params");
+    let config = SimConfig::new(n, 72, 21)
+        .with_trace(true)
+        .with_stop(StopRule::all_satisfied(200_000));
+    let result = Engine::new(
+        config,
+        &world,
+        Box::new(Distill::new(params)),
+        Box::new(UniformBad::new()),
+    )
+    .expect("engine")
+    .run();
+    assert!(result.all_satisfied);
+
+    let trace = result.trace.as_ref().expect("trace requested");
+    let summary = summarize(trace);
+
+    assert_eq!(summary.rounds, result.rounds, "round counts agree");
+    assert_eq!(summary.probes, result.total_probes(), "probe counts agree");
+    assert_eq!(
+        summary.advice_probes,
+        result.players.iter().map(|p| p.advice_probes).sum::<u64>(),
+        "advice counts agree"
+    );
+    assert_eq!(
+        summary.satisfactions as usize,
+        result.satisfied_count(),
+        "every satisfaction event corresponds to a satisfied player"
+    );
+    // Each satisfied player's satisfying probe hit a good object, and only
+    // satisfying probes hit good objects under local testing with halting.
+    assert_eq!(summary.good_hits, summary.satisfactions, "good hits = satisfactions");
+    // 24 dishonest players cast one vote each in round 0.
+    assert_eq!(summary.adversary_posts, 24);
+    assert!(summary.advice_fraction() > 0.0 && summary.advice_fraction() < 1.0);
+}
+
+#[test]
+fn trace_is_absent_unless_requested() {
+    let world = World::binary(32, 1, 3).expect("world");
+    let params = DistillParams::new(32, 32, 0.9, world.beta()).expect("params");
+    let config = SimConfig::new(32, 29, 4).with_stop(StopRule::all_satisfied(100_000));
+    let result = Engine::new(config, &world, Box::new(Distill::new(params)), Box::new(NullAdversary))
+        .expect("engine")
+        .run();
+    assert!(result.trace.is_none());
+}

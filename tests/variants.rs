@@ -1,0 +1,216 @@
+//! Integration tests for the §5 variants and the §1.2 example.
+
+use distill::core::no_local_testing;
+use distill::prelude::*;
+
+/// §5.1: the α-oblivious wrapper terminates without being told α, across
+/// very different true honest fractions.
+#[test]
+fn guess_alpha_terminates_without_knowing_alpha() {
+    let n = 128u32;
+    for &honest in &[120u32, 64, 16] {
+        let world = World::binary(n, 1, 11).expect("world");
+        let cohort = GuessAlpha::new(n, n, world.beta(), 0.5, 0.5).expect("cohort");
+        let config = SimConfig::new(n, honest, 21).with_stop(StopRule::all_satisfied(2_000_000));
+        let result = Engine::new(config, &world, Box::new(cohort), Box::new(UniformBad::new()))
+            .expect("engine")
+            .run();
+        assert!(result.all_satisfied, "guess-alpha failed at honest={honest}");
+        let epochs = result.note("guess_alpha.epochs").expect("note");
+        assert!(epochs >= 1.0);
+        // fewer honest players ⇒ more halving epochs needed
+        if honest == 16 {
+            assert!(epochs >= 3.0, "alpha=1/8 should need several epochs, got {epochs}");
+        }
+    }
+}
+
+/// §5.2 / Theorem 12: the cost-class search finds the good object and pays
+/// within a constant factor of the q₀-scaled bound.
+#[test]
+fn cost_classes_pay_proportionally_to_q0() {
+    let n = 96u32;
+    let class_sizes = [32u32; 5];
+    let m: u32 = class_sizes.iter().sum();
+    let alpha = 0.75;
+    let honest = (alpha * f64::from(n)).round() as u32;
+    let mut payments = Vec::new();
+    for &i0 in &[0usize, 3] {
+        let world = World::cost_classes(&class_sizes, i0, 2, 7).expect("world");
+        let cohort = CostClassSearch::from_world(&world, n, alpha, 0.5, 0.5).expect("cohort");
+        let config = SimConfig::new(n, honest, 9).with_stop(StopRule::all_satisfied(2_000_000));
+        let result = Engine::new(config, &world, Box::new(cohort), Box::new(UniformBad::new()))
+            .expect("engine")
+            .run();
+        assert!(result.all_satisfied, "cost-class search failed at i0={i0}");
+        payments.push(result.mean_cost());
+        let q0 = f64::from(1u32 << i0);
+        let bound = bounds::theorem12_upper(f64::from(n), f64::from(m), alpha, q0);
+        assert!(
+            result.mean_cost() <= 4.0 * bound,
+            "payment {} blew past 4x bound {bound} at i0={i0}",
+            result.mean_cost()
+        );
+    }
+    assert!(
+        payments[1] > payments[0],
+        "a pricier cheapest-good-object must cost more ({payments:?})"
+    );
+}
+
+/// §5.3 / Theorem 13: without local testing, all honest players hold a
+/// good (top-β) object at the prescribed horizon, despite an adversary
+/// claiming sky-high values for bad objects.
+#[test]
+fn no_local_testing_succeeds_at_horizon() {
+    let n = 128u32;
+    let alpha = 0.75;
+    let honest = (alpha * f64::from(n)).round() as u32;
+    let beta = 4.0 / f64::from(n);
+    let horizon = no_local_testing::prescribed_horizon(n, alpha, beta, 6.0);
+    let mut successes = 0;
+    let trials = 5;
+    for t in 0..trials {
+        let world = World::uniform_top_beta(n, beta, 100 + t).expect("world");
+        let cohort = no_local_testing::cohort(n, n, alpha, beta, 0.5).expect("cohort");
+        let config = SimConfig::new(n, honest, 200 + t)
+            .with_policy(VotePolicy::best_value())
+            .with_stop(StopRule::horizon(horizon));
+        let result = Engine::new(config, &world, Box::new(cohort), Box::new(Flooder::new(32)))
+            .expect("engine")
+            .run();
+        let eval = result.final_eval.expect("no-LT runs evaluate at the end");
+        if eval.found_good.iter().all(|&g| g) {
+            successes += 1;
+        }
+        assert!(eval.success_fraction > 0.9, "success fraction too low: {}", eval.success_fraction);
+    }
+    assert!(successes >= trials - 1, "w.h.p. means nearly every trial");
+}
+
+/// §1.2: the three-phase example distills everything → ~√n → ≤3 candidates
+/// and succeeds with constant probability against √n dishonest players.
+#[test]
+fn three_phase_example_distills() {
+    let n = 1024u32;
+    let sqrt_n = 32u32;
+    let honest = n - sqrt_n;
+    let trials = 12u64;
+    let mut successes = 0;
+    let mut c2_total = 0.0;
+    let mut c3_max: f64 = 0.0;
+    for t in 0..trials {
+        let world = World::binary(n, 1, 300 + t).expect("world");
+        let config = SimConfig::new(n, honest, 400 + t)
+            .with_stop(StopRule::all_satisfied(12))
+            .with_negative_reports(false);
+        let result = Engine::new(
+            config,
+            &world,
+            Box::new(ThreePhase::new(n)),
+            Box::new(UniformBad::new()),
+        )
+        .expect("engine")
+        .run();
+        if result.all_satisfied {
+            successes += 1;
+        }
+        c2_total += result.note("three_phase.c2_size").expect("note");
+        c3_max = c3_max.max(result.note("three_phase.c3_size").expect("note"));
+    }
+    let c2_mean = c2_total / trials as f64;
+    assert!(
+        c2_mean <= f64::from(sqrt_n) + 2.0,
+        "|C2| should be about sqrt(n): got {c2_mean}"
+    );
+    assert!(c3_max <= 3.0, "|C3| must be at most ~3, got {c3_max}");
+    assert!(
+        successes * 2 >= trials,
+        "constant success probability expected, got {successes}/{trials}"
+    );
+}
+
+/// §2.2/§5: the best-object search (no local testing, β = 1/m) finds the
+/// maximum-value object under a heavy-tailed value distribution.
+#[test]
+fn best_object_search_finds_the_maximum() {
+    let n = 128u32;
+    let m = 128u32;
+    let alpha = 0.75;
+    let honest = (alpha * f64::from(n)).round() as u32;
+    let mut found = 0;
+    let trials = 5;
+    for t in 0..trials {
+        let world = WorldBuilder::new(m)
+            .model(ObjectModel::TopBeta { beta: 1.0 / f64::from(m) })
+            .value_distribution(distill::sim::ValueDistribution::Pareto { shape: 1.2 })
+            .seed(700 + t)
+            .build()
+            .expect("world");
+        assert_eq!(world.good_count(), 1, "beta = 1/m means exactly the best object");
+        let (cohort, horizon) =
+            distill::core::no_local_testing::best_object_search(n, m, alpha, 0.5, 6.0)
+                .expect("cohort");
+        let config = SimConfig::new(n, honest, 800 + t)
+            .with_policy(VotePolicy::best_value())
+            .with_stop(StopRule::horizon(horizon));
+        let result = Engine::new(config, &world, Box::new(cohort), Box::new(Flooder::new(16)))
+            .expect("engine")
+            .run();
+        let eval = result.final_eval.expect("evaluated");
+        if eval.found_good.iter().all(|&g| g) {
+            found += 1;
+        }
+    }
+    assert!(found >= trials - 1, "w.h.p. every honest player holds the max: {found}/{trials}");
+}
+
+/// Theorem 11: DISTILL^HP's Step 1 is log-n long but its first ATTEMPT
+/// almost never fails where the constant-k variant restarts regularly.
+#[test]
+fn hp_attempts_rarely_restart() {
+    let n = 256u32;
+    let m = 4 * n; // discovery is marginal for constant k1
+    let honest = 192u32;
+    let alpha = 0.75;
+    let mut base_attempts = 0.0;
+    let mut hp_attempts = 0.0;
+    let trials = 10u64;
+    for t in 0..trials {
+        let world = World::binary(m, 1, 500 + t).expect("world");
+        for hp in [false, true] {
+            let params = if hp {
+                DistillParams::high_probability(n, m, alpha, world.beta(), 1.0).expect("params")
+            } else {
+                DistillParams::new(n, m, alpha, world.beta()).expect("params")
+            };
+            let config = SimConfig::new(n, honest, 600 + t)
+                .with_stop(StopRule::all_satisfied(2_000_000))
+                .with_negative_reports(false);
+            let result = Engine::new(
+                config,
+                &world,
+                Box::new(Distill::new(params)),
+                Box::new(UniformBad::new()),
+            )
+            .expect("engine")
+            .run();
+            assert!(result.all_satisfied);
+            let attempts = result.note("distill.attempts").expect("note");
+            if hp {
+                hp_attempts += attempts;
+            } else {
+                base_attempts += attempts;
+            }
+        }
+    }
+    assert!(
+        hp_attempts <= base_attempts,
+        "HP should not restart more than the constant-k variant \
+         (hp {hp_attempts} vs base {base_attempts})"
+    );
+    assert!(
+        hp_attempts <= trials as f64 + 1.0,
+        "HP should almost never restart, got {hp_attempts} attempts over {trials} trials"
+    );
+}
