@@ -40,11 +40,16 @@ impl MimicryInstance {
     /// Panics unless `groups_players` divides `n`, `groups_objects` divides
     /// `m`, and both group counts are ≥ 1.
     pub fn build(n: u32, m: u32, groups_players: u32, groups_objects: u32) -> Self {
-        assert!(groups_players >= 1 && groups_objects >= 1, "need at least one group");
+        assert!(
+            groups_players >= 1 && groups_objects >= 1,
+            "need at least one group"
+        );
         assert_eq!(n % groups_players, 0, "groups_players must divide n");
         assert_eq!(m % groups_objects, 0, "groups_objects must divide m");
         let group_m = m / groups_objects;
-        let values: Vec<f64> = (0..m).map(|o| if o < group_m { 1.0 } else { 0.0 }).collect();
+        let values: Vec<f64> = (0..m)
+            .map(|o| if o < group_m { 1.0 } else { 0.0 })
+            .collect();
         let world = World::from_parts(
             values,
             vec![1.0; m as usize],
@@ -195,7 +200,8 @@ mod tests {
         let inst = MimicryInstance::build(32, 32, 4, 4);
         let alpha = 1.0 / 4.0;
         let params = DistillParams::new(32, 32, alpha, inst.world.beta()).unwrap();
-        let config = SimConfig::new(32, inst.n_honest, 17).with_stop(StopRule::all_satisfied(500_000));
+        let config =
+            SimConfig::new(32, inst.n_honest, 17).with_stop(StopRule::all_satisfied(500_000));
         let result = Engine::new(
             config,
             &inst.world,

@@ -98,7 +98,11 @@ mod tests {
             )
             .unwrap()
             .run();
-            assert!(result.all_satisfied, "DISTILL failed against {}", entry.name);
+            assert!(
+                result.all_satisfied,
+                "DISTILL failed against {}",
+                entry.name
+            );
         }
     }
 }

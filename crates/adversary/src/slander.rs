@@ -111,6 +111,9 @@ mod tests {
         assert_eq!(with.rounds, without.rounds);
         assert_eq!(with.mean_probes(), without.mean_probes());
         assert_eq!(with.satisfied_per_round, without.satisfied_per_round);
-        assert!(with.posts_total > without.posts_total, "slander inflates volume only");
+        assert!(
+            with.posts_total > without.posts_total,
+            "slander inflates volume only"
+        );
     }
 }

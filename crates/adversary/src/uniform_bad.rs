@@ -78,11 +78,9 @@ impl Adversary for UniformBad {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use distill_sim::{
-        Cohort, Directive, Engine, PhaseInfo, SimConfig, World,
-    };
     use distill_billboard::BoardView;
     use distill_sim::CandidateSet;
+    use distill_sim::{Cohort, Directive, Engine, PhaseInfo, SimConfig, World};
 
     #[derive(Debug)]
     struct Trivial;
@@ -102,9 +100,14 @@ mod tests {
     fn casts_one_vote_per_dishonest_player() {
         let world = World::binary(32, 4, 1).unwrap();
         let config = SimConfig::new(16, 8, 2);
-        let result = Engine::new(config, &world, Box::new(Trivial), Box::new(UniformBad::new()))
-            .unwrap()
-            .run();
+        let result = Engine::new(
+            config,
+            &world,
+            Box::new(Trivial),
+            Box::new(UniformBad::new()),
+        )
+        .unwrap()
+        .run();
         assert!(result.all_satisfied);
         assert_eq!(result.forged_rejected, 0);
     }

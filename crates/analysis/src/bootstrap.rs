@@ -22,11 +22,22 @@ fn mix(mut z: u64) -> u64 {
 /// # Panics
 /// Panics on an empty sample, a non-finite value, `resamples == 0`, or a
 /// confidence level outside `(0, 1)`.
-pub fn bootstrap_ci_mean(xs: &[f64], resamples: usize, level: f64, seed: u64) -> ConfidenceInterval {
+pub fn bootstrap_ci_mean(
+    xs: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> ConfidenceInterval {
     assert!(!xs.is_empty(), "bootstrap of an empty sample");
-    assert!(xs.iter().all(|x| x.is_finite()), "sample contains non-finite values");
+    assert!(
+        xs.iter().all(|x| x.is_finite()),
+        "sample contains non-finite values"
+    );
     assert!(resamples > 0, "need at least one resample");
-    assert!(0.0 < level && level < 1.0, "confidence level {level} out of (0, 1)");
+    assert!(
+        0.0 < level && level < 1.0,
+        "confidence level {level} out of (0, 1)"
+    );
 
     let n = xs.len();
     let mean = xs.iter().sum::<f64>() / n as f64;
@@ -73,7 +84,10 @@ mod tests {
         let b = bootstrap_ci_mean(&xs, 300, 0.9, 11);
         assert_eq!(a, b);
         let c = bootstrap_ci_mean(&xs, 300, 0.9, 12);
-        assert!(a.lo != c.lo || a.hi != c.hi, "different seeds should perturb the interval");
+        assert!(
+            a.lo != c.lo || a.hi != c.hi,
+            "different seeds should perturb the interval"
+        );
     }
 
     #[test]
@@ -85,7 +99,7 @@ mod tests {
 
     #[test]
     fn wider_level_wider_interval() {
-        let xs: Vec<f64> = (0..40).map(|i| f64::from(i)).collect();
+        let xs: Vec<f64> = (0..40).map(f64::from).collect();
         let narrow = bootstrap_ci_mean(&xs, 800, 0.5, 3);
         let wide = bootstrap_ci_mean(&xs, 800, 0.99, 3);
         assert!(wide.half_width() >= narrow.half_width());

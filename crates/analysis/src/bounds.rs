@@ -144,7 +144,9 @@ mod tests {
         // more good objects ⇒ smaller bound
         assert!(distill_upper(1024.0, 0.5, 0.01) < distill_upper(1024.0, 0.5, 0.001));
         // richer q0 ⇒ bigger payment bound
-        assert!(theorem12_upper(1024.0, 1024.0, 0.5, 8.0) > theorem12_upper(1024.0, 1024.0, 0.5, 1.0));
+        assert!(
+            theorem12_upper(1024.0, 1024.0, 0.5, 8.0) > theorem12_upper(1024.0, 1024.0, 0.5, 1.0)
+        );
         assert_eq!(random_probing_expected(0.25), 4.0);
     }
 }

@@ -57,11 +57,11 @@
 /// # Panics
 /// Panics if any element is 0 (the lemma is about positive integers).
 pub fn f_ratio_sum(sigma: &[u64]) -> f64 {
-    assert!(sigma.iter().all(|&c| c > 0), "sequence elements must be positive");
-    sigma
-        .windows(2)
-        .map(|w| w[1] as f64 / w[0] as f64)
-        .sum()
+    assert!(
+        sigma.iter().all(|&c| c > 0),
+        "sequence elements must be positive"
+    );
+    sigma.windows(2).map(|w| w[1] as f64 / w[0] as f64).sum()
 }
 
 /// `g_a(σ) = Σ a^{1/c_t}`.
@@ -70,7 +70,10 @@ pub fn f_ratio_sum(sigma: &[u64]) -> f64 {
 /// Panics if `a ∉ (0, 1)` or any element is 0.
 pub fn g_a(sigma: &[u64], a: f64) -> f64 {
     assert!(0.0 < a && a < 1.0, "a = {a} out of (0, 1)");
-    assert!(sigma.iter().all(|&c| c > 0), "sequence elements must be positive");
+    assert!(
+        sigma.iter().all(|&c| c > 0),
+        "sequence elements must be positive"
+    );
     sigma.iter().map(|&c| a.powf(1.0 / c as f64)).sum()
 }
 
@@ -175,7 +178,10 @@ mod tests {
             g > rhs,
             "expected the documented counterexample: g={g} vs rhs={rhs}"
         );
-        assert!(lemma9_corrected_holds(&sigma, a), "corrected bound must hold");
+        assert!(
+            lemma9_corrected_holds(&sigma, a),
+            "corrected bound must hold"
+        );
     }
 
     /// Reproduction finding (see module docs): the stated inequality fails
@@ -187,8 +193,14 @@ mod tests {
         let a = (-100.0f64 / 16.0).exp(); // n = 4·c₀ = 100, a = e^{−n/16}
         let g = g_a(&sigma, a);
         let rhs = lemma9_rhs(&sigma, a);
-        assert!(g > rhs, "expected the documented counterexample: g={g} vs rhs={rhs}");
-        assert!(lemma9_corrected_holds(&sigma, a), "corrected bound must hold");
+        assert!(
+            g > rhs,
+            "expected the documented counterexample: g={g} vs rhs={rhs}"
+        );
+        assert!(
+            lemma9_corrected_holds(&sigma, a),
+            "corrected bound must hold"
+        );
     }
 
     #[test]

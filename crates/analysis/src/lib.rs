@@ -39,7 +39,7 @@ pub mod theory;
 
 pub use bootstrap::bootstrap_ci_mean;
 pub use ci::{ci95, ci_z, ConfidenceInterval};
-pub use ranksum::{rank_sum, RankSum};
 pub use fit::{linear_fit, power_fit, LinearFit};
+pub use ranksum::{rank_sum, RankSum};
 pub use stats::{quantile, Histogram, Summary};
 pub use table::{fmt_f, Table};

@@ -43,7 +43,10 @@ pub fn random_probing_curve(beta: f64, rounds: usize) -> Vec<f64> {
 /// Panics unless `0 < beta ≤ 1` and `0 ≤ explore ≤ 1`.
 pub fn balance_curve(beta: f64, explore: f64, rounds: usize) -> Vec<f64> {
     assert!(0.0 < beta && beta <= 1.0, "beta {beta} out of (0, 1]");
-    assert!((0.0..=1.0).contains(&explore), "explore {explore} out of [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&explore),
+        "explore {explore} out of [0, 1]"
+    );
     let mut curve = Vec::with_capacity(rounds + 1);
     let mut s = 0.0f64;
     curve.push(s);

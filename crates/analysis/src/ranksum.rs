@@ -26,7 +26,10 @@ pub struct RankSum {
 /// # Panics
 /// Panics if either sample is empty or contains non-finite values.
 pub fn rank_sum(a: &[f64], b: &[f64]) -> RankSum {
-    assert!(!a.is_empty() && !b.is_empty(), "rank-sum needs non-empty samples");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "rank-sum needs non-empty samples"
+    );
     assert!(
         a.iter().chain(b.iter()).all(|x| x.is_finite()),
         "rank-sum needs finite values"
@@ -89,8 +92,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -112,7 +114,7 @@ mod tests {
     #[test]
     fn clearly_shifted_samples_are_detected() {
         let a: Vec<f64> = (0..30).map(|i| 100.0 + f64::from(i)).collect();
-        let b: Vec<f64> = (0..30).map(|i| f64::from(i)).collect();
+        let b: Vec<f64> = (0..30).map(f64::from).collect();
         let r = rank_sum(&a, &b);
         assert_eq!(r.p_a_greater, 1.0, "every a exceeds every b");
         assert!(r.p_value < 1e-6, "p = {}", r.p_value);

@@ -24,7 +24,10 @@ impl Summary {
     /// Panics on an empty sample or non-finite values.
     pub fn of(xs: &[f64]) -> Summary {
         assert!(!xs.is_empty(), "summary of an empty sample");
-        assert!(xs.iter().all(|x| x.is_finite()), "sample contains non-finite values");
+        assert!(
+            xs.iter().all(|x| x.is_finite()),
+            "sample contains non-finite values"
+        );
         let count = xs.len();
         let mean = xs.iter().sum::<f64>() / count as f64;
         let var = if count > 1 {

@@ -45,7 +45,8 @@ impl Table {
             cells.len(),
             self.columns.len()
         );
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
         self
     }
 
@@ -54,7 +55,11 @@ impl Table {
     /// # Panics
     /// Panics if the cell count differs from the column count.
     pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Table {
-        assert_eq!(cells.len(), self.columns.len(), "cell/column count mismatch");
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "cell/column count mismatch"
+        );
         self.rows.push(cells);
         self
     }
@@ -81,7 +86,12 @@ impl Table {
         }
         let mut out = String::new();
         out.push_str(
-            &self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","),
+            &self
+                .columns
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
         );
         out.push('\n');
         for row in &self.rows {
@@ -195,7 +205,7 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(fmt_f(0.0), "0");
-        assert_eq!(fmt_f(3.14159), "3.142");
+        assert_eq!(fmt_f(4.14159), "4.142");
         assert_eq!(fmt_f(42.34), "42.3");
         assert_eq!(fmt_f(12345.6), "12346");
     }

@@ -38,7 +38,10 @@ fn run(n: u32, honest: u32, f: usize, err: f64, n_trials: usize) -> (f64, f64) {
                 .with_negative_reports(false)
         },
     );
-    (mean_of(&results, |r| r.mean_probes()), mean_of(&results, last_round))
+    (
+        mean_of(&results, |r| r.mean_probes()),
+        mean_of(&results, last_round),
+    )
 }
 
 fn main() {
@@ -46,18 +49,31 @@ fn main() {
     let honest = 461; // alpha ≈ 0.9
     let alpha = f64::from(honest) / f64::from(n);
     let n_trials = trials(20);
-    println!("\nE10: multiple votes (n = m = {n}, alpha ≈ 0.9, threshold-matcher, {n_trials} trials)\n");
+    println!(
+        "\nE10: multiple votes (n = m = {n}, alpha ≈ 0.9, threshold-matcher, {n_trials} trials)\n"
+    );
 
     let mut table = Table::new(
         "cost vs votes-per-player f (1/(1-alpha) ≈ 10)",
-        &["f", "adversary budget", "within o(1/(1-a))?", "mean cost", "mean last round"],
+        &[
+            "f",
+            "adversary budget",
+            "within o(1/(1-a))?",
+            "mean cost",
+            "mean last round",
+        ],
     );
     for &f in &[1usize, 2, 4, 8, 16, 32] {
         let (cost, last) = run(n, honest, f, 0.0, n_trials);
         table.row_owned(vec![
             f.to_string(),
             fmt_f(multi_vote::adversary_vote_budget(n, alpha, f)),
-            if multi_vote::f_within_budget(f, alpha, 0.5) { "yes" } else { "no" }.into(),
+            if multi_vote::f_within_budget(f, alpha, 0.5) {
+                "yes"
+            } else {
+                "no"
+            }
+            .into(),
             fmt_f(cost),
             fmt_f(last),
         ]);

@@ -25,7 +25,14 @@ fn main() {
 
     let mut table = Table::new(
         "while-loop iterations per ATTEMPT",
-        &["n", "alpha", "mean iters", "max iters", "ln n / Delta", "mean/shape"],
+        &[
+            "n",
+            "alpha",
+            "mean iters",
+            "max iters",
+            "ln n / Delta",
+            "mean/shape",
+        ],
     );
     let mut worst_ratio: f64 = 0.0;
     for &n in &[256u32, 1024, 4096] {
@@ -65,5 +72,8 @@ fn main() {
         }
     }
     println!("{table}");
-    println!("paper: mean/shape bounded by a constant across the grid (worst here: {:.2}).", worst_ratio);
+    println!(
+        "paper: mean/shape bounded by a constant across the grid (worst here: {:.2}).",
+        worst_ratio
+    );
 }

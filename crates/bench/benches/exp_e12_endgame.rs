@@ -37,7 +37,13 @@ fn main() {
 
     let mut table = Table::new(
         "straggler cost once alpha*n/2 players are satisfied",
-        &["alpha", "pre-satisfied", "mean straggler probes", "4/alpha bound", "measured/bound"],
+        &[
+            "alpha",
+            "pre-satisfied",
+            "mean straggler probes",
+            "4/alpha bound",
+            "measured/bound",
+        ],
     );
     for &alpha in &[0.9f64, 0.5, 0.25] {
         let honest = ((alpha * f64::from(n)).round()) as u32;
@@ -63,8 +69,11 @@ fn main() {
                     .with_negative_reports(false)
             },
         );
-        let measured =
-            results.iter().map(|r| straggler_probes(r, pre)).sum::<f64>() / results.len() as f64;
+        let measured = results
+            .iter()
+            .map(|r| straggler_probes(r, pre))
+            .sum::<f64>()
+            / results.len() as f64;
         let bound = 4.0 / alpha;
         table.row_owned(vec![
             format!("{alpha:.2}"),

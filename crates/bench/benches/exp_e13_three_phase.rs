@@ -27,7 +27,14 @@ fn main() {
 
     let mut table = Table::new(
         "candidate distillation: n -> |C2| -> |C3|",
-        &["n", "sqrt n", "mean |C2|", "mean |C3|", "P(success in 12 rounds)", "mean rounds"],
+        &[
+            "n",
+            "sqrt n",
+            "mean |C2|",
+            "mean |C3|",
+            "P(success in 12 rounds)",
+            "mean rounds",
+        ],
     );
     for &n in &[256u32, 1024, 4096] {
         let sqrt_n = f64::from(n).sqrt();

@@ -27,7 +27,13 @@ fn main() {
     let bound = bounds::distill_upper(f64::from(n), alpha, 1.0 / f64::from(n));
     let mut table = Table::new(
         "DISTILL individual cost under each strategy",
-        &["strategy", "mean cost", "mean last round", "cost/bound", "all satisfied"],
+        &[
+            "strategy",
+            "mean cost",
+            "mean last round",
+            "cost/bound",
+            "all satisfied",
+        ],
     );
     for entry in gauntlet() {
         let results = run_experiment(

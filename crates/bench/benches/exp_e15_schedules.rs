@@ -49,7 +49,13 @@ fn main() {
 
     let mut table = Table::new(
         "cost under non-synchronous schedules",
-        &["schedule", "mean probes", "rounds", "p0 probes", "all satisfied"],
+        &[
+            "schedule",
+            "mean probes",
+            "rounds",
+            "p0 probes",
+            "all satisfied",
+        ],
     );
     for (name, participation) in schedules {
         let results = run_experiment(

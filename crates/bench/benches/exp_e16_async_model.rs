@@ -51,12 +51,21 @@ fn run_async(n: u32, schedule_kind: &str, seed: u64) -> AsyncResult {
 
 fn main() {
     let n_trials = trials(25);
-    println!("
-E16: the asynchronous model of [1] (balance policy, {n_trials} trials)\n");
+    println!(
+        "
+E16: the asynchronous model of [1] (balance policy, {n_trials} trials)\n"
+    );
 
     let mut table = Table::new(
         "total cost (all players) under adversarial schedules",
-        &["n", "schedule", "total probes", "n ln n + 1/beta", "ratio", "victim probes"],
+        &[
+            "n",
+            "schedule",
+            "total probes",
+            "n ln n + 1/beta",
+            "ratio",
+            "victim probes",
+        ],
     );
     for &n in &[64u32, 256, 1024] {
         for schedule in ["round-robin", "random", "isolate", "starve"] {

@@ -94,8 +94,14 @@ fn main() {
     let (p_balance, _) = power_fit(&xs, &balance_means);
     let (p_random, _) = power_fit(&xs, &random_means);
     println!("fitted power-law exponents (cost ~ n^p):");
-    println!("  distill p = {:.3}   (paper: ~0, bounded by a constant)", p_distill);
-    println!("  balance p = {:.3}   (paper: log-like, so small but > distill)", p_balance);
+    println!(
+        "  distill p = {:.3}   (paper: ~0, bounded by a constant)",
+        p_distill
+    );
+    println!(
+        "  balance p = {:.3}   (paper: log-like, so small but > distill)",
+        p_balance
+    );
     println!("  random  p = {:.3}   (paper: 1.0)", p_random);
     println!(
         "  factor distill vs balance at n={}: {:.2}x",

@@ -25,7 +25,13 @@ fn main() {
 
     let mut table = Table::new(
         "individual cost vs alpha",
-        &["alpha", "measured", "measured last", "bound shape", "measured/bound"],
+        &[
+            "alpha",
+            "measured",
+            "measured last",
+            "bound shape",
+            "measured/bound",
+        ],
     );
     let mut ratios = Vec::new();
     for &alpha in &[0.95f64, 0.8, 0.6, 0.4, 0.2, 0.1, 0.05] {

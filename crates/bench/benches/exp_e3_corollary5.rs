@@ -19,7 +19,9 @@ fn main() {
     let n_trials = trials(25);
     let epsilons = [1.0f64, 0.75, 0.5, 0.25];
     let ns: [u32; 3] = [256, 1024, 4096];
-    println!("\nE3: Corollary 5 — cost O(1/eps), flat in n (dishonest = n^(1-eps), {n_trials} trials)\n");
+    println!(
+        "\nE3: Corollary 5 — cost O(1/eps), flat in n (dishonest = n^(1-eps), {n_trials} trials)\n"
+    );
 
     let mut table = Table::new(
         "mean individual cost",

@@ -83,6 +83,9 @@ fn main() {
     let fit = linear_fit(&bs[..k], &means[..k]);
     println!(
         "linear fit over B ≤ {}: measured ≈ {:.2}·B + {:.2} (R² = {:.3}); paper: slope ≥ 1/2",
-        bs[k - 1], fit.slope, fit.intercept, fit.r_squared
+        bs[k - 1],
+        fit.slope,
+        fit.intercept,
+        fit.r_squared
     );
 }

@@ -58,9 +58,20 @@ fn main() {
 
     let mut table = Table::new(
         "last-player termination round",
-        &["variant", "mean", "median", "p95", "max", "max/median", "tail>3xmed"],
+        &[
+            "variant",
+            "mean",
+            "median",
+            "p95",
+            "max",
+            "max/median",
+            "tail>3xmed",
+        ],
     );
-    for (name, xs) in [("distill (k=O(1))", &base), ("distill-hp (k=O(log n))", &hp)] {
+    for (name, xs) in [
+        ("distill (k=O(1))", &base),
+        ("distill-hp (k=O(log n))", &hp),
+    ] {
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let med = quantile(xs, 0.5);
         let p95 = quantile(xs, 0.95);

@@ -26,16 +26,20 @@ fn main() {
 
     let mut table = Table::new(
         "alpha-oblivious vs alpha-aware (mean last-player round)",
-        &["true alpha", "guessing", "knowing", "overhead", "mean epochs"],
+        &[
+            "true alpha",
+            "guessing",
+            "knowing",
+            "overhead",
+            "mean epochs",
+        ],
     );
     for &alpha in &[0.75f64, 0.25, 0.0625] {
         let honest = ((alpha * f64::from(n)).round() as u32).max(1);
         let guess = run_experiment(
             n_trials,
             move |t| World::binary(n, 1, 83_000 + t).expect("world"),
-            move |w, _t| {
-                Box::new(GuessAlpha::new(n, n, w.beta(), 0.5, 0.5).expect("params"))
-            },
+            move |w, _t| Box::new(GuessAlpha::new(n, n, w.beta(), 0.5, 0.5).expect("params")),
             |_t| Box::new(UniformBad::new()),
             move |t| {
                 SimConfig::new(n, honest, 7_000 + t)

@@ -31,7 +31,13 @@ fn main() {
 
     let mut table = Table::new(
         "mean payment per honest player vs q0",
-        &["good class i0", "q0", "measured payment", "bound shape", "measured/bound"],
+        &[
+            "good class i0",
+            "q0",
+            "measured payment",
+            "bound shape",
+            "measured/bound",
+        ],
     );
     let mut q0s = Vec::new();
     let mut payments = Vec::new();

@@ -29,7 +29,12 @@ fn main() {
 
     let mut table = Table::new(
         "success after the prescribed horizon",
-        &["beta*m", "horizon (rounds)", "success fraction", "all-found trials"],
+        &[
+            "beta*m",
+            "horizon (rounds)",
+            "success fraction",
+            "all-found trials",
+        ],
     );
     for &goods in &[1u32, 4, 16] {
         let beta = f64::from(goods) / f64::from(n);

@@ -3,7 +3,14 @@
 //! * `engine/distill_run` — a complete DISTILL execution (n = m = 512);
 //! * `engine/flooded_run` — the same under a 256-posts/round flooder;
 //! * `billboard/ingest` — tracker ingestion of a 100k-post board;
-//! * `billboard/window_tally` — the `ℓ_t(i)` tally query.
+//! * `billboard/window_tally` — the `ℓ_t(i)` tally query;
+//! * `window/...` — the incremental window counters against the event-stream
+//!   scan at n ∈ {1024, 4096} (the perf-regression gate for the incremental
+//!   tally layer: incremental must stay ≥ 2× the scan's throughput);
+//! * `engine_round/...` — one E1-sized DISTILL round at n ∈ {1024, 4096}.
+//!
+//! Results are also written to `BENCH_perf.json` at the repository root (see
+//! EXPERIMENTS.md for the format).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use distill_adversary::Flooder;
@@ -26,8 +33,13 @@ fn bench_engine(c: &mut Criterion) {
                 let config = SimConfig::new(n, 460, 99)
                     .with_stop(StopRule::all_satisfied(100_000))
                     .with_negative_reports(false);
-                Engine::new(config, &world, Box::new(Distill::new(params)), Box::new(NullAdversary))
-                    .expect("engine")
+                Engine::new(
+                    config,
+                    &world,
+                    Box::new(Distill::new(params)),
+                    Box::new(NullAdversary),
+                )
+                .expect("engine")
             },
             |engine| engine.run(),
             BatchSize::SmallInput,
@@ -68,7 +80,11 @@ fn big_board(posts: u32) -> Billboard {
                 PlayerId(i % n),
                 ObjectId(i % m),
                 f64::from(i % 7),
-                if i % 3 == 0 { ReportKind::Positive } else { ReportKind::Negative },
+                if i % 3 == 0 {
+                    ReportKind::Positive
+                } else {
+                    ReportKind::Negative
+                },
             )
             .expect("append");
     }
@@ -136,5 +152,126 @@ fn bench_async(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine, bench_billboard, bench_async);
+/// Builds a board where each of `n` players casts `votes_per_player` votes,
+/// spread over one round per player batch and concentrated on `hot_objects`
+/// distinct objects — the shape of a Step 1.3 / Step 2 tally window.
+fn voting_board(n: u32, votes_per_player: u32, hot_objects: u32) -> Billboard {
+    let m = n;
+    let mut board = Billboard::new(n, m);
+    for r in 0..votes_per_player {
+        for p in 0..n {
+            board
+                .append(
+                    Round(u64::from(r)),
+                    PlayerId(p),
+                    ObjectId((p.wrapping_mul(31).wrapping_add(r)) % hot_objects),
+                    1.0,
+                    ReportKind::Positive,
+                )
+                .expect("append");
+        }
+    }
+    board
+}
+
+fn bench_window_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window");
+    group.sample_size(20);
+    for &n in &[1024u32, 4096] {
+        let board = voting_board(n, 4, 256);
+        let mut tracker = VoteTracker::new(n, n, VotePolicy::multi_vote(4));
+        tracker.ingest(&board);
+        tracker.open_window(Round(0));
+        let w = Window::new(Round(0), board.latest_round().next());
+
+        group.bench_function(&format!("tally_incremental_n{n}"), |b| {
+            b.iter(|| std::hint::black_box(tracker.window_tally(w)))
+        });
+        group.bench_function(&format!("tally_scan_n{n}"), |b| {
+            b.iter(|| std::hint::black_box(tracker.window_tally_scan(w)))
+        });
+        group.bench_function(&format!("votes_for_incremental_n{n}"), |b| {
+            b.iter(|| std::hint::black_box(tracker.window_votes_for(w, ObjectId(42))))
+        });
+        group.bench_function(&format!("votes_for_scan_n{n}"), |b| {
+            b.iter(|| std::hint::black_box(tracker.window_votes_for_scan(w, ObjectId(42))))
+        });
+
+        // Ingest + one boundary tally, window registered up front — the
+        // engine's per-segment access pattern end to end.
+        group.bench_function(&format!("ingest_and_tally_n{n}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut t = VoteTracker::new(n, n, VotePolicy::multi_vote(4));
+                    t.open_window(Round(0));
+                    t
+                },
+                |mut t| {
+                    t.ingest(&board);
+                    std::hint::black_box(t.window_tally(w));
+                    t
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_round");
+    group.sample_size(10);
+    for &n in &[1024u32, 4096] {
+        let world = World::binary(n, 1, 7).expect("world");
+        let honest = n * 9 / 10; // E1's α = 0.9, n = m
+        group.bench_function(&format!("distill_step_n{n}"), |b| {
+            b.iter_batched(
+                || {
+                    let params = DistillParams::new(n, n, 0.9, world.beta()).expect("params");
+                    let config = SimConfig::new(n, honest, 99)
+                        .with_stop(StopRule::all_satisfied(100_000))
+                        .with_negative_reports(false);
+                    let mut engine = Engine::new(
+                        config,
+                        &world,
+                        Box::new(Distill::new(params)),
+                        Box::new(NullAdversary),
+                    )
+                    .expect("engine");
+                    // Warm the run past round 0 so the measured round carries
+                    // a populated board and vote state.
+                    for _ in 0..8 {
+                        engine.step();
+                    }
+                    engine
+                },
+                |mut engine| {
+                    engine.step();
+                    engine
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Routes the run's measurements into `BENCH_perf.json` at the repository
+/// root (a stub-criterion extension; see EXPERIMENTS.md for the schema).
+fn configure_output(c: &mut Criterion) {
+    c.set_json_output(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_perf.json"
+    ));
+}
+
+criterion_group!(
+    benches,
+    configure_output,
+    bench_engine,
+    bench_billboard,
+    bench_window_paths,
+    bench_engine_round,
+    bench_async
+);
 criterion_main!(benches);

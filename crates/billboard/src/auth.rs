@@ -71,7 +71,10 @@ impl fmt::Display for AuthError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AuthError::WrongKey { claimed, key_owner } => {
-                write!(f, "key of {key_owner} presented for a post claimed by {claimed}")
+                write!(
+                    f,
+                    "key of {key_owner} presented for a post claimed by {claimed}"
+                )
             }
             AuthError::BadSecret { claimed } => {
                 write!(f, "invalid secret presented for {claimed}")
@@ -267,10 +270,24 @@ mod tests {
         let mut sb = signed();
         let k1 = sb.authenticator().issue_key(PlayerId(1));
         let k2 = sb.authenticator().issue_key(PlayerId(2));
-        sb.append_signed(Round(0), PlayerId(1), ObjectId(3), 1.0, ReportKind::Positive, k1)
-            .unwrap();
-        sb.append_signed(Round(1), PlayerId(2), ObjectId(4), 0.0, ReportKind::Negative, k2)
-            .unwrap();
+        sb.append_signed(
+            Round(0),
+            PlayerId(1),
+            ObjectId(3),
+            1.0,
+            ReportKind::Positive,
+            k1,
+        )
+        .unwrap();
+        sb.append_signed(
+            Round(1),
+            PlayerId(2),
+            ObjectId(4),
+            0.0,
+            ReportKind::Negative,
+            k2,
+        )
+        .unwrap();
         let report = sb.audit();
         assert!(report.is_clean());
         assert_eq!(report.audited, 2);
@@ -283,7 +300,14 @@ mod tests {
         let k1 = sb.authenticator().issue_key(PlayerId(1));
         // player 1's key presented for a post claimed by player 2:
         let err = sb
-            .append_signed(Round(0), PlayerId(2), ObjectId(0), 1.0, ReportKind::Positive, k1)
+            .append_signed(
+                Round(0),
+                PlayerId(2),
+                ObjectId(0),
+                1.0,
+                ReportKind::Positive,
+                k1,
+            )
             .unwrap_err();
         assert!(matches!(err, AuthError::WrongKey { .. }));
         assert!(err.to_string().contains("p2"));
@@ -297,7 +321,14 @@ mod tests {
             secret: 12345,
         };
         let err = sb
-            .append_signed(Round(0), PlayerId(1), ObjectId(0), 1.0, ReportKind::Positive, forged)
+            .append_signed(
+                Round(0),
+                PlayerId(1),
+                ObjectId(0),
+                1.0,
+                ReportKind::Positive,
+                forged,
+            )
             .unwrap_err();
         assert!(matches!(err, AuthError::BadSecret { .. }));
     }
@@ -306,26 +337,103 @@ mod tests {
     fn board_rules_still_apply() {
         let mut sb = signed();
         let k0 = sb.authenticator().issue_key(PlayerId(0));
-        sb.append_signed(Round(5), PlayerId(0), ObjectId(0), 1.0, ReportKind::Positive, k0)
-            .unwrap();
+        sb.append_signed(
+            Round(5),
+            PlayerId(0),
+            ObjectId(0),
+            1.0,
+            ReportKind::Positive,
+            k0,
+        )
+        .unwrap();
         let err = sb
-            .append_signed(Round(4), PlayerId(0), ObjectId(0), 1.0, ReportKind::Positive, k0)
+            .append_signed(
+                Round(4),
+                PlayerId(0),
+                ObjectId(0),
+                1.0,
+                ReportKind::Positive,
+                k0,
+            )
             .unwrap_err();
-        assert!(matches!(err, AuthError::Board(BillboardError::RoundRegression { .. })));
+        assert!(matches!(
+            err,
+            AuthError::Board(BillboardError::RoundRegression { .. })
+        ));
         assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]
     fn tags_bind_all_fields() {
         let auth = Authenticator::new(2, 99);
-        let base = auth.tag(Round(1), PlayerId(0), ObjectId(2), 1.5, ReportKind::Positive);
-        assert_ne!(base, auth.tag(Round(2), PlayerId(0), ObjectId(2), 1.5, ReportKind::Positive));
-        assert_ne!(base, auth.tag(Round(1), PlayerId(1), ObjectId(2), 1.5, ReportKind::Positive));
-        assert_ne!(base, auth.tag(Round(1), PlayerId(0), ObjectId(3), 1.5, ReportKind::Positive));
-        assert_ne!(base, auth.tag(Round(1), PlayerId(0), ObjectId(2), 1.6, ReportKind::Positive));
-        assert_ne!(base, auth.tag(Round(1), PlayerId(0), ObjectId(2), 1.5, ReportKind::Negative));
+        let base = auth.tag(
+            Round(1),
+            PlayerId(0),
+            ObjectId(2),
+            1.5,
+            ReportKind::Positive,
+        );
+        assert_ne!(
+            base,
+            auth.tag(
+                Round(2),
+                PlayerId(0),
+                ObjectId(2),
+                1.5,
+                ReportKind::Positive
+            )
+        );
+        assert_ne!(
+            base,
+            auth.tag(
+                Round(1),
+                PlayerId(1),
+                ObjectId(2),
+                1.5,
+                ReportKind::Positive
+            )
+        );
+        assert_ne!(
+            base,
+            auth.tag(
+                Round(1),
+                PlayerId(0),
+                ObjectId(3),
+                1.5,
+                ReportKind::Positive
+            )
+        );
+        assert_ne!(
+            base,
+            auth.tag(
+                Round(1),
+                PlayerId(0),
+                ObjectId(2),
+                1.6,
+                ReportKind::Positive
+            )
+        );
+        assert_ne!(
+            base,
+            auth.tag(
+                Round(1),
+                PlayerId(0),
+                ObjectId(2),
+                1.5,
+                ReportKind::Negative
+            )
+        );
         // deterministic
-        assert_eq!(base, auth.tag(Round(1), PlayerId(0), ObjectId(2), 1.5, ReportKind::Positive));
+        assert_eq!(
+            base,
+            auth.tag(
+                Round(1),
+                PlayerId(0),
+                ObjectId(2),
+                1.5,
+                ReportKind::Positive
+            )
+        );
     }
 
     #[test]
@@ -333,18 +441,30 @@ mod tests {
         // Simulate a corrupted store: verify against the wrong key registry.
         let mut sb = signed();
         let k0 = sb.authenticator().issue_key(PlayerId(0));
-        sb.append_signed(Round(0), PlayerId(0), ObjectId(1), 1.0, ReportKind::Positive, k0)
-            .unwrap();
+        sb.append_signed(
+            Round(0),
+            PlayerId(0),
+            ObjectId(1),
+            1.0,
+            ReportKind::Positive,
+            k0,
+        )
+        .unwrap();
         let other = Authenticator::new(4, 0xBAD);
         let post = &sb.board().posts()[0];
-        assert!(!other.verify(post, sb.tags[0]), "different keys must not verify");
+        assert!(
+            !other.verify(post, sb.tags[0]),
+            "different keys must not verify"
+        );
         assert!(sb.audit().is_clean());
     }
 
     #[test]
     fn keys_are_distinct_per_player() {
         let auth = Authenticator::new(16, 7);
-        let mut secrets: Vec<u64> = (0..16).map(|p| auth.issue_key(PlayerId(p)).secret).collect();
+        let mut secrets: Vec<u64> = (0..16)
+            .map(|p| auth.issue_key(PlayerId(p)).secret)
+            .collect();
         secrets.sort_unstable();
         secrets.dedup();
         assert_eq!(secrets.len(), 16, "per-player secrets must be distinct");

@@ -198,10 +198,22 @@ mod tests {
     fn append_assigns_sequences() {
         let mut b = board();
         let s0 = b
-            .append(Round(0), PlayerId(0), ObjectId(1), 1.0, ReportKind::Positive)
+            .append(
+                Round(0),
+                PlayerId(0),
+                ObjectId(1),
+                1.0,
+                ReportKind::Positive,
+            )
             .unwrap();
         let s1 = b
-            .append(Round(0), PlayerId(1), ObjectId(2), 0.0, ReportKind::Negative)
+            .append(
+                Round(0),
+                PlayerId(1),
+                ObjectId(2),
+                0.0,
+                ReportKind::Negative,
+            )
             .unwrap();
         assert_eq!(s0, Seq(0));
         assert_eq!(s1, Seq(1));
@@ -213,7 +225,13 @@ mod tests {
     fn rejects_unknown_author() {
         let mut b = board();
         let err = b
-            .append(Round(0), PlayerId(3), ObjectId(0), 1.0, ReportKind::Positive)
+            .append(
+                Round(0),
+                PlayerId(3),
+                ObjectId(0),
+                1.0,
+                ReportKind::Positive,
+            )
             .unwrap_err();
         assert!(matches!(err, BillboardError::UnknownAuthor { .. }));
     }
@@ -222,7 +240,13 @@ mod tests {
     fn rejects_unknown_object() {
         let mut b = board();
         let err = b
-            .append(Round(0), PlayerId(0), ObjectId(5), 1.0, ReportKind::Positive)
+            .append(
+                Round(0),
+                PlayerId(0),
+                ObjectId(5),
+                1.0,
+                ReportKind::Positive,
+            )
             .unwrap_err();
         assert!(matches!(err, BillboardError::UnknownObject { .. }));
     }
@@ -230,15 +254,33 @@ mod tests {
     #[test]
     fn rejects_round_regression() {
         let mut b = board();
-        b.append(Round(4), PlayerId(0), ObjectId(0), 1.0, ReportKind::Positive)
-            .unwrap();
+        b.append(
+            Round(4),
+            PlayerId(0),
+            ObjectId(0),
+            1.0,
+            ReportKind::Positive,
+        )
+        .unwrap();
         let err = b
-            .append(Round(3), PlayerId(1), ObjectId(0), 1.0, ReportKind::Positive)
+            .append(
+                Round(3),
+                PlayerId(1),
+                ObjectId(0),
+                1.0,
+                ReportKind::Positive,
+            )
             .unwrap_err();
         assert!(matches!(err, BillboardError::RoundRegression { .. }));
         // same round is fine (many players post per round)
-        b.append(Round(4), PlayerId(2), ObjectId(1), 0.0, ReportKind::Negative)
-            .unwrap();
+        b.append(
+            Round(4),
+            PlayerId(2),
+            ObjectId(1),
+            0.0,
+            ReportKind::Negative,
+        )
+        .unwrap();
         assert_eq!(b.latest_round(), Round(4));
     }
 
@@ -264,12 +306,30 @@ mod tests {
     #[test]
     fn filtered_iterators() {
         let mut b = board();
-        b.append(Round(0), PlayerId(0), ObjectId(1), 1.0, ReportKind::Positive)
-            .unwrap();
-        b.append(Round(0), PlayerId(1), ObjectId(1), 1.0, ReportKind::Positive)
-            .unwrap();
-        b.append(Round(1), PlayerId(0), ObjectId(2), 0.0, ReportKind::Negative)
-            .unwrap();
+        b.append(
+            Round(0),
+            PlayerId(0),
+            ObjectId(1),
+            1.0,
+            ReportKind::Positive,
+        )
+        .unwrap();
+        b.append(
+            Round(0),
+            PlayerId(1),
+            ObjectId(1),
+            1.0,
+            ReportKind::Positive,
+        )
+        .unwrap();
+        b.append(
+            Round(1),
+            PlayerId(0),
+            ObjectId(2),
+            0.0,
+            ReportKind::Negative,
+        )
+        .unwrap();
         assert_eq!(b.posts_by(PlayerId(0)).count(), 2);
         assert_eq!(b.posts_about(ObjectId(1)).count(), 2);
         assert_eq!(b.posts_about(ObjectId(4)).count(), 0);
@@ -279,9 +339,30 @@ mod tests {
     fn stats_count_kinds_and_coverage() {
         let mut b = board();
         assert_eq!(b.stats().posts, 0);
-        b.append(Round(0), PlayerId(0), ObjectId(1), 1.0, ReportKind::Positive).unwrap();
-        b.append(Round(1), PlayerId(0), ObjectId(2), 0.0, ReportKind::Negative).unwrap();
-        b.append(Round(2), PlayerId(2), ObjectId(1), 1.0, ReportKind::Positive).unwrap();
+        b.append(
+            Round(0),
+            PlayerId(0),
+            ObjectId(1),
+            1.0,
+            ReportKind::Positive,
+        )
+        .unwrap();
+        b.append(
+            Round(1),
+            PlayerId(0),
+            ObjectId(2),
+            0.0,
+            ReportKind::Negative,
+        )
+        .unwrap();
+        b.append(
+            Round(2),
+            PlayerId(2),
+            ObjectId(1),
+            1.0,
+            ReportKind::Positive,
+        )
+        .unwrap();
         let s = b.stats();
         assert_eq!(s.posts, 3);
         assert_eq!(s.positive, 2);
@@ -295,11 +376,23 @@ mod tests {
     fn append_only_no_mutation_api() {
         // Compile-time property: posts() hands out an immutable slice.
         let mut b = board();
-        b.append(Round(0), PlayerId(0), ObjectId(0), 1.0, ReportKind::Positive)
-            .unwrap();
+        b.append(
+            Round(0),
+            PlayerId(0),
+            ObjectId(0),
+            1.0,
+            ReportKind::Positive,
+        )
+        .unwrap();
         let first = b.posts()[0];
-        b.append(Round(1), PlayerId(1), ObjectId(1), 1.0, ReportKind::Positive)
-            .unwrap();
+        b.append(
+            Round(1),
+            PlayerId(1),
+            ObjectId(1),
+            1.0,
+            ReportKind::Positive,
+        )
+        .unwrap();
         assert_eq!(b.posts()[0], first, "existing posts are never rewritten");
     }
 }

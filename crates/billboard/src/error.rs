@@ -38,13 +38,22 @@ impl fmt::Display for BillboardError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BillboardError::UnknownAuthor { author, n_players } => {
-                write!(f, "unknown author {author} (universe has {n_players} players)")
+                write!(
+                    f,
+                    "unknown author {author} (universe has {n_players} players)"
+                )
             }
             BillboardError::UnknownObject { object, n_objects } => {
-                write!(f, "unknown object {object} (universe has {n_objects} objects)")
+                write!(
+                    f,
+                    "unknown object {object} (universe has {n_objects} objects)"
+                )
             }
             BillboardError::RoundRegression { attempted, current } => {
-                write!(f, "post timestamped {attempted} but billboard is already at {current}")
+                write!(
+                    f,
+                    "post timestamped {attempted} but billboard is already at {current}"
+                )
             }
         }
     }

@@ -36,6 +36,24 @@ pub struct VoteEvent {
     pub object: ObjectId,
 }
 
+/// Incrementally-maintained tally state for one registered round window.
+///
+/// Opened via [`VoteTracker::open_window`]; absorbs each vote event exactly
+/// once as it is ingested, so tally queries over the registered window are
+/// answered from per-object counters instead of re-scanning the event stream.
+#[derive(Debug, Clone)]
+struct ActiveWindow {
+    /// First round of the window (the end is implicitly "everything ingested
+    /// so far"; queries validate their own end against the event stream).
+    start: Round,
+    /// Per-object count of vote events with `round >= start`.
+    counts: Vec<u32>,
+    /// Objects whose count is non-zero, in first-touch order.
+    touched: Vec<ObjectId>,
+    /// Prefix of the event stream already absorbed into `counts`.
+    absorbed: usize,
+}
+
 /// Incremental vote interpretation of a [`Billboard`] under a [`VotePolicy`].
 ///
 /// A `VoteTracker` consumes new posts via [`ingest`](VoteTracker::ingest)
@@ -43,11 +61,28 @@ pub struct VoteEvent {
 ///
 /// * each player's **current votes** (at most `f` in local-testing mode, at
 ///   most one — the best-value-so-far object — in best-value mode);
-/// * per-object **current vote counts**;
+/// * per-object **current vote counts**, plus the sorted set of voted
+///   objects (Figure 1's `S`) kept up to date on every count transition;
 /// * the chronological stream of **vote events**, from which the
 ///   per-iteration tallies `ℓ_t(i)` of Figure 1 are answered via
 ///   [`window_votes_for`](VoteTracker::window_votes_for) /
 ///   [`window_tally`](VoteTracker::window_tally).
+///
+/// # Incremental window tallies
+///
+/// The driver of the round loop can register the tally window the protocol is
+/// currently accumulating via [`open_window`](VoteTracker::open_window)
+/// (DISTILL opens one per segment — Step 1.3 and each Step 2 iteration).
+/// While a window `[start, ·)` is registered, every ingested vote event is
+/// also counted into a per-object counter, so
+/// [`window_votes_for`](VoteTracker::window_votes_for) is O(1) and
+/// [`window_tally`](VoteTracker::window_tally) is O(result) for queries of
+/// the form `[start, end)` with `end` beyond the last ingested event.
+/// Any other query (an adversary inspecting an arbitrary historical window,
+/// say) transparently falls back to the event-stream scan, which remains
+/// available as [`window_votes_for_scan`](VoteTracker::window_votes_for_scan)
+/// / [`window_tally_scan`](VoteTracker::window_tally_scan) and serves as the
+/// `debug_assert!` oracle for the incremental path.
 ///
 /// The tracker is pure interpretation: it never rejects a post, it just
 /// *ignores* whatever the policy says honest readers ignore (negative
@@ -59,11 +94,16 @@ pub struct VoteTracker {
     cursor: usize,
     votes_by_player: Vec<Vec<VoteRecord>>,
     votes_for_object: Vec<u32>,
+    /// Objects with at least one current vote, ascending — maintained on
+    /// every 0→1 / 1→0 transition of `votes_for_object`.
+    voted_objects: Vec<ObjectId>,
     events: Vec<VoteEvent>,
     /// Best-value mode only: per-player set of objects that have already
     /// produced a vote event (caps Byzantine event inflation at one event per
     /// (player, object) pair).
     evented: Vec<HashSet<ObjectId>>,
+    /// The registered tally window, if any.
+    active: Option<ActiveWindow>,
 }
 
 impl VoteTracker {
@@ -77,12 +117,14 @@ impl VoteTracker {
             cursor: 0,
             votes_by_player: vec![Vec::new(); n_players as usize],
             votes_for_object: vec![0; n_objects as usize],
+            voted_objects: Vec::new(),
             events: Vec::new(),
             evented: if needs_evented {
                 vec![HashSet::new(); n_players as usize]
             } else {
                 Vec::new()
             },
+            active: None,
         }
     }
 
@@ -125,7 +167,72 @@ impl VoteTracker {
             }
         }
         self.cursor += consumed;
+        self.absorb_into_window();
         consumed
+    }
+
+    /// Registers `[start, ·)` as the tally window the protocol is currently
+    /// accumulating, replacing any previously registered window.
+    ///
+    /// Already-ingested events are absorbed immediately (so opening a window
+    /// retroactively — e.g. over round-0 pre-seeded votes — is correct), and
+    /// every subsequent [`ingest`](VoteTracker::ingest) keeps the counts up
+    /// to date. See the type-level docs for which queries this accelerates.
+    pub fn open_window(&mut self, start: Round) {
+        self.active = Some(ActiveWindow {
+            start,
+            counts: vec![0; self.n_objects as usize],
+            touched: Vec::new(),
+            // Events are round-sorted, so everything before this prefix is
+            // strictly older than the window and can never enter it.
+            absorbed: self.events.partition_point(|e| e.round < start),
+        });
+        self.absorb_into_window();
+    }
+
+    /// Unregisters the active tally window; subsequent window queries scan.
+    pub fn close_window(&mut self) {
+        self.active = None;
+    }
+
+    /// The start of the registered tally window, if one is open.
+    pub fn active_window_start(&self) -> Option<Round> {
+        self.active.as_ref().map(|aw| aw.start)
+    }
+
+    /// Counts any not-yet-absorbed events into the active window.
+    fn absorb_into_window(&mut self) {
+        if let Some(aw) = self.active.as_mut() {
+            for e in &self.events[aw.absorbed..] {
+                // Events before the window start can still arrive here when a
+                // window is opened ahead of historical posts being ingested;
+                // only the window's own rounds are counted.
+                if e.round < aw.start {
+                    continue;
+                }
+                let count = &mut aw.counts[e.object.index()];
+                if *count == 0 {
+                    aw.touched.push(e.object);
+                }
+                *count += 1;
+            }
+            aw.absorbed = self.events.len();
+        }
+    }
+
+    /// `true` iff `window` can be answered from the active window's counters:
+    /// same start, and an end beyond every ingested event (the registered
+    /// window is still accumulating, so its counters cover exactly `[start,
+    /// last ingested round]`).
+    fn window_is_active(&self, window: Window) -> bool {
+        match &self.active {
+            Some(aw) => {
+                aw.start == window.start
+                    && aw.absorbed == self.events.len()
+                    && self.events.last().map_or(true, |e| e.round < window.end)
+            }
+            None => false,
+        }
     }
 
     fn ingest_local_testing(&mut self, post: &crate::post::Post) {
@@ -145,11 +252,28 @@ impl VoteTracker {
             value: post.value,
         });
         self.votes_for_object[post.object.index()] += 1;
+        if self.votes_for_object[post.object.index()] == 1 {
+            Self::note_first_vote(&mut self.voted_objects, post.object);
+        }
         self.events.push(VoteEvent {
             round: post.round,
             player: post.author,
             object: post.object,
         });
+    }
+
+    /// Inserts `object` into the sorted voted-objects set (count went 0→1).
+    fn note_first_vote(voted: &mut Vec<ObjectId>, object: ObjectId) {
+        if let Err(pos) = voted.binary_search(&object) {
+            voted.insert(pos, object);
+        }
+    }
+
+    /// Removes `object` from the sorted voted-objects set (count went 1→0).
+    fn note_last_vote_gone(voted: &mut Vec<ObjectId>, object: ObjectId) {
+        if let Ok(pos) = voted.binary_search(&object) {
+            voted.remove(pos);
+        }
     }
 
     fn ingest_best_value(&mut self, post: &crate::post::Post) {
@@ -176,6 +300,9 @@ impl VoteTracker {
         }
         if let Some(old) = current {
             self.votes_for_object[old.object.index()] -= 1;
+            if self.votes_for_object[old.object.index()] == 0 {
+                Self::note_last_vote_gone(&mut self.voted_objects, old.object);
+            }
         }
         self.votes_by_player[player] = vec![VoteRecord {
             object: post.object,
@@ -183,6 +310,9 @@ impl VoteTracker {
             value: post.value,
         }];
         self.votes_for_object[post.object.index()] += 1;
+        if self.votes_for_object[post.object.index()] == 1 {
+            Self::note_first_vote(&mut self.voted_objects, post.object);
+        }
         // One event per (player, object) pair, ever.
         if self.evented[player].insert(post.object) {
             self.events.push(VoteEvent {
@@ -198,7 +328,9 @@ impl VoteTracker {
     /// This is what `PROBE&SEEKADVICE` follows: "probe the object j votes
     /// for, if exists".
     pub fn vote_of(&self, player: PlayerId) -> Option<ObjectId> {
-        self.votes_by_player[player.index()].first().map(|v| v.object)
+        self.votes_by_player[player.index()]
+            .first()
+            .map(|v| v.object)
     }
 
     /// All current votes of `player` (at most `f`).
@@ -213,8 +345,20 @@ impl VoteTracker {
 
     /// Objects that currently hold at least one vote, ascending by id.
     ///
-    /// This is the set `S` of Figure 1 Step 1.2.
+    /// This is the set `S` of Figure 1 Step 1.2, maintained incrementally on
+    /// vote-count transitions — O(|S|) to materialize, independent of `m`.
     pub fn objects_with_votes(&self) -> Vec<ObjectId> {
+        debug_assert_eq!(
+            self.voted_objects,
+            self.objects_with_votes_scan(),
+            "incrementally-maintained voted set diverged from the count scan"
+        );
+        self.voted_objects.clone()
+    }
+
+    /// [`objects_with_votes`](VoteTracker::objects_with_votes) recomputed by
+    /// scanning all `m` per-object counts (the incremental path's oracle).
+    pub fn objects_with_votes_scan(&self) -> Vec<ObjectId> {
         self.votes_for_object
             .iter()
             .enumerate()
@@ -242,7 +386,27 @@ impl VoteTracker {
 
     /// `ℓ_t(i)`: the number of votes `object` received during `window`
     /// (Figure 1 shared variables).
+    ///
+    /// O(1) when `window` matches the registered tally window (see
+    /// [`open_window`](VoteTracker::open_window)); otherwise an event-stream
+    /// scan.
     pub fn window_votes_for(&self, window: Window, object: ObjectId) -> u32 {
+        if self.window_is_active(window) {
+            let count = self.active.as_ref().expect("active window").counts[object.index()];
+            debug_assert_eq!(
+                count,
+                self.window_votes_for_scan(window, object),
+                "incremental window count diverged from the event scan"
+            );
+            count
+        } else {
+            self.window_votes_for_scan(window, object)
+        }
+    }
+
+    /// [`window_votes_for`](VoteTracker::window_votes_for) computed by
+    /// scanning the event stream (the incremental path's oracle).
+    pub fn window_votes_for_scan(&self, window: Window, object: ObjectId) -> u32 {
         self.events_in(window)
             .iter()
             .filter(|e| e.object == object)
@@ -252,7 +416,32 @@ impl VoteTracker {
     /// The full per-object tally of vote events in `window`.
     ///
     /// Objects with no events in the window are absent from the map.
+    ///
+    /// O(result) when `window` matches the registered tally window (see
+    /// [`open_window`](VoteTracker::open_window)); otherwise an event-stream
+    /// scan.
     pub fn window_tally(&self, window: Window) -> HashMap<ObjectId, u32> {
+        if self.window_is_active(window) {
+            let aw = self.active.as_ref().expect("active window");
+            let out: HashMap<ObjectId, u32> = aw
+                .touched
+                .iter()
+                .map(|&o| (o, aw.counts[o.index()]))
+                .collect();
+            debug_assert_eq!(
+                out,
+                self.window_tally_scan(window),
+                "incremental window tally diverged from the event scan"
+            );
+            out
+        } else {
+            self.window_tally_scan(window)
+        }
+    }
+
+    /// [`window_tally`](VoteTracker::window_tally) computed by scanning the
+    /// event stream (the incremental path's oracle).
+    pub fn window_tally_scan(&self, window: Window) -> HashMap<ObjectId, u32> {
         let mut out = HashMap::new();
         for e in self.events_in(window) {
             *out.entry(e.object).or_insert(0) += 1;
@@ -262,7 +451,10 @@ impl VoteTracker {
 
     /// Number of players that currently have at least one vote.
     pub fn voters(&self) -> usize {
-        self.votes_by_player.iter().filter(|v| !v.is_empty()).count()
+        self.votes_by_player
+            .iter()
+            .filter(|v| !v.is_empty())
+            .count()
     }
 }
 
@@ -278,13 +470,38 @@ mod tests {
     #[test]
     fn single_vote_counts_first_positive_only() {
         let mut b = board(3, 4);
-        b.append(Round(0), PlayerId(0), ObjectId(1), 1.0, ReportKind::Positive).unwrap();
-        b.append(Round(1), PlayerId(0), ObjectId(2), 1.0, ReportKind::Positive).unwrap();
-        b.append(Round(1), PlayerId(1), ObjectId(2), 0.0, ReportKind::Negative).unwrap();
+        b.append(
+            Round(0),
+            PlayerId(0),
+            ObjectId(1),
+            1.0,
+            ReportKind::Positive,
+        )
+        .unwrap();
+        b.append(
+            Round(1),
+            PlayerId(0),
+            ObjectId(2),
+            1.0,
+            ReportKind::Positive,
+        )
+        .unwrap();
+        b.append(
+            Round(1),
+            PlayerId(1),
+            ObjectId(2),
+            0.0,
+            ReportKind::Negative,
+        )
+        .unwrap();
         let mut t = VoteTracker::new(3, 4, VotePolicy::single_vote());
         t.ingest(&b);
         assert_eq!(t.vote_of(PlayerId(0)), Some(ObjectId(1)));
-        assert_eq!(t.votes_for(ObjectId(2)), 0, "second vote and negative report ignored");
+        assert_eq!(
+            t.votes_for(ObjectId(2)),
+            0,
+            "second vote and negative report ignored"
+        );
         assert_eq!(t.vote_of(PlayerId(1)), None);
         assert_eq!(t.total_vote_events(), 1);
     }
@@ -293,7 +510,14 @@ mod tests {
     fn duplicate_votes_for_same_object_do_not_double_count() {
         let mut b = board(2, 2);
         for r in 0..5u64 {
-            b.append(Round(r), PlayerId(0), ObjectId(0), 1.0, ReportKind::Positive).unwrap();
+            b.append(
+                Round(r),
+                PlayerId(0),
+                ObjectId(0),
+                1.0,
+                ReportKind::Positive,
+            )
+            .unwrap();
         }
         let mut t = VoteTracker::new(2, 2, VotePolicy::multi_vote(3));
         t.ingest(&b);
@@ -305,11 +529,22 @@ mod tests {
     fn multi_vote_cap_is_enforced_by_reader() {
         let mut b = board(1, 10);
         for i in 0..10u32 {
-            b.append(Round(0), PlayerId(0), ObjectId(i), 1.0, ReportKind::Positive).unwrap();
+            b.append(
+                Round(0),
+                PlayerId(0),
+                ObjectId(i),
+                1.0,
+                ReportKind::Positive,
+            )
+            .unwrap();
         }
         let mut t = VoteTracker::new(1, 10, VotePolicy::multi_vote(3));
         t.ingest(&b);
-        assert_eq!(t.votes_of(PlayerId(0)).len(), 3, "ballot stuffing is capped at f");
+        assert_eq!(
+            t.votes_of(PlayerId(0)).len(),
+            3,
+            "ballot stuffing is capped at f"
+        );
         assert_eq!(t.total_vote_events(), 3);
         let voted: Vec<_> = t.objects_with_votes();
         assert_eq!(voted, vec![ObjectId(0), ObjectId(1), ObjectId(2)]);
@@ -319,10 +554,24 @@ mod tests {
     fn ingest_is_incremental() {
         let mut b = board(2, 2);
         let mut t = VoteTracker::new(2, 2, VotePolicy::single_vote());
-        b.append(Round(0), PlayerId(0), ObjectId(0), 1.0, ReportKind::Positive).unwrap();
+        b.append(
+            Round(0),
+            PlayerId(0),
+            ObjectId(0),
+            1.0,
+            ReportKind::Positive,
+        )
+        .unwrap();
         assert_eq!(t.ingest(&b), 1);
         assert_eq!(t.ingest(&b), 0);
-        b.append(Round(1), PlayerId(1), ObjectId(1), 1.0, ReportKind::Positive).unwrap();
+        b.append(
+            Round(1),
+            PlayerId(1),
+            ObjectId(1),
+            1.0,
+            ReportKind::Positive,
+        )
+        .unwrap();
         assert_eq!(t.ingest(&b), 1);
         assert_eq!(t.cursor(), Seq(2));
         assert_eq!(t.voters(), 2);
@@ -331,10 +580,38 @@ mod tests {
     #[test]
     fn window_tallies_match_event_rounds() {
         let mut b = board(4, 4);
-        b.append(Round(0), PlayerId(0), ObjectId(1), 1.0, ReportKind::Positive).unwrap();
-        b.append(Round(2), PlayerId(1), ObjectId(1), 1.0, ReportKind::Positive).unwrap();
-        b.append(Round(2), PlayerId(2), ObjectId(3), 1.0, ReportKind::Positive).unwrap();
-        b.append(Round(5), PlayerId(3), ObjectId(1), 1.0, ReportKind::Positive).unwrap();
+        b.append(
+            Round(0),
+            PlayerId(0),
+            ObjectId(1),
+            1.0,
+            ReportKind::Positive,
+        )
+        .unwrap();
+        b.append(
+            Round(2),
+            PlayerId(1),
+            ObjectId(1),
+            1.0,
+            ReportKind::Positive,
+        )
+        .unwrap();
+        b.append(
+            Round(2),
+            PlayerId(2),
+            ObjectId(3),
+            1.0,
+            ReportKind::Positive,
+        )
+        .unwrap();
+        b.append(
+            Round(5),
+            PlayerId(3),
+            ObjectId(1),
+            1.0,
+            ReportKind::Positive,
+        )
+        .unwrap();
         let mut t = VoteTracker::new(4, 4, VotePolicy::single_vote());
         t.ingest(&b);
         let w = Window::new(Round(1), Round(5));
@@ -350,9 +627,30 @@ mod tests {
     #[test]
     fn best_value_vote_moves_to_better_object() {
         let mut b = board(1, 3);
-        b.append(Round(0), PlayerId(0), ObjectId(0), 0.3, ReportKind::Negative).unwrap();
-        b.append(Round(1), PlayerId(0), ObjectId(1), 0.7, ReportKind::Negative).unwrap();
-        b.append(Round(2), PlayerId(0), ObjectId(2), 0.5, ReportKind::Negative).unwrap();
+        b.append(
+            Round(0),
+            PlayerId(0),
+            ObjectId(0),
+            0.3,
+            ReportKind::Negative,
+        )
+        .unwrap();
+        b.append(
+            Round(1),
+            PlayerId(0),
+            ObjectId(1),
+            0.7,
+            ReportKind::Negative,
+        )
+        .unwrap();
+        b.append(
+            Round(2),
+            PlayerId(0),
+            ObjectId(2),
+            0.5,
+            ReportKind::Negative,
+        )
+        .unwrap();
         let mut t = VoteTracker::new(1, 3, VotePolicy::best_value());
         t.ingest(&b);
         assert_eq!(t.vote_of(PlayerId(0)), Some(ObjectId(1)));
@@ -365,8 +663,22 @@ mod tests {
     #[test]
     fn best_value_same_object_refresh_is_not_an_event() {
         let mut b = board(1, 2);
-        b.append(Round(0), PlayerId(0), ObjectId(0), 0.3, ReportKind::Negative).unwrap();
-        b.append(Round(1), PlayerId(0), ObjectId(0), 0.9, ReportKind::Negative).unwrap();
+        b.append(
+            Round(0),
+            PlayerId(0),
+            ObjectId(0),
+            0.3,
+            ReportKind::Negative,
+        )
+        .unwrap();
+        b.append(
+            Round(1),
+            PlayerId(0),
+            ObjectId(0),
+            0.9,
+            ReportKind::Negative,
+        )
+        .unwrap();
         let mut t = VoteTracker::new(1, 2, VotePolicy::best_value());
         t.ingest(&b);
         assert_eq!(t.total_vote_events(), 1);
@@ -380,11 +692,16 @@ mod tests {
         let mut b = board(1, 2);
         for r in 0..10u64 {
             let obj = ObjectId((r % 2) as u32);
-            b.append(Round(r), PlayerId(0), obj, r as f64, ReportKind::Negative).unwrap();
+            b.append(Round(r), PlayerId(0), obj, r as f64, ReportKind::Negative)
+                .unwrap();
         }
         let mut t = VoteTracker::new(1, 2, VotePolicy::best_value());
         t.ingest(&b);
-        assert_eq!(t.total_vote_events(), 2, "unbounded event inflation prevented");
+        assert_eq!(
+            t.total_vote_events(),
+            2,
+            "unbounded event inflation prevented"
+        );
     }
 
     #[test]
@@ -393,5 +710,162 @@ mod tests {
         let b = board(2, 2);
         let mut t = VoteTracker::new(3, 2, VotePolicy::single_vote());
         t.ingest(&b);
+    }
+
+    #[test]
+    fn open_window_answers_matching_queries_incrementally() {
+        let mut b = board(8, 8);
+        let mut t = VoteTracker::new(8, 8, VotePolicy::single_vote());
+        // Pre-window votes land first; the window must exclude them even
+        // though it is opened retroactively.
+        b.append(
+            Round(0),
+            PlayerId(0),
+            ObjectId(5),
+            1.0,
+            ReportKind::Positive,
+        )
+        .unwrap();
+        t.ingest(&b);
+        t.open_window(Round(2));
+        assert_eq!(t.active_window_start(), Some(Round(2)));
+        for r in 2..6u64 {
+            b.append(
+                Round(r),
+                PlayerId(r as u32),
+                ObjectId(3),
+                1.0,
+                ReportKind::Positive,
+            )
+            .unwrap();
+            t.ingest(&b);
+            let w = Window::new(Round(2), Round(r + 1));
+            assert_eq!(t.window_votes_for(w, ObjectId(3)), (r - 1) as u32);
+            assert_eq!(
+                t.window_votes_for(w, ObjectId(5)),
+                0,
+                "round-0 vote excluded"
+            );
+            assert_eq!(t.window_tally(w), t.window_tally_scan(w));
+        }
+    }
+
+    #[test]
+    fn open_window_seeds_from_already_ingested_events() {
+        let mut b = board(4, 4);
+        let mut t = VoteTracker::new(4, 4, VotePolicy::single_vote());
+        for r in 0..4u64 {
+            b.append(
+                Round(r),
+                PlayerId(r as u32),
+                ObjectId(1),
+                1.0,
+                ReportKind::Positive,
+            )
+            .unwrap();
+        }
+        t.ingest(&b);
+        // Open after everything is already ingested: counts must be seeded.
+        t.open_window(Round(1));
+        let w = Window::new(Round(1), Round(9));
+        assert_eq!(t.window_votes_for(w, ObjectId(1)), 3);
+        assert_eq!(t.window_tally(w).get(&ObjectId(1)), Some(&3));
+    }
+
+    #[test]
+    fn non_matching_windows_fall_back_to_scan() {
+        let mut b = board(4, 4);
+        let mut t = VoteTracker::new(4, 4, VotePolicy::single_vote());
+        for r in 0..6u64 {
+            b.append(
+                Round(r),
+                PlayerId(r as u32 % 4),
+                ObjectId(2),
+                1.0,
+                ReportKind::Positive,
+            )
+            .unwrap();
+        }
+        t.ingest(&b); // players 0..4 vote once each (dup votes ignored)
+        t.open_window(Round(3));
+        // Different start: scan path.
+        let historical = Window::new(Round(0), Round(2));
+        assert_eq!(t.window_votes_for(historical, ObjectId(2)), 2);
+        // End inside already-ingested events: scan path.
+        let clipped = Window::new(Round(3), Round(4));
+        assert_eq!(
+            t.window_votes_for(clipped, ObjectId(2)),
+            t.window_votes_for_scan(clipped, ObjectId(2))
+        );
+        // Closing the window keeps every query on the scan path.
+        t.close_window();
+        assert_eq!(t.active_window_start(), None);
+        let w = Window::new(Round(3), Round(7));
+        assert_eq!(
+            t.window_votes_for(w, ObjectId(2)),
+            t.window_votes_for_scan(w, ObjectId(2))
+        );
+    }
+
+    #[test]
+    fn reopening_replaces_the_active_window() {
+        let mut b = board(4, 4);
+        let mut t = VoteTracker::new(4, 4, VotePolicy::single_vote());
+        t.open_window(Round(0));
+        b.append(
+            Round(0),
+            PlayerId(0),
+            ObjectId(0),
+            1.0,
+            ReportKind::Positive,
+        )
+        .unwrap();
+        b.append(
+            Round(2),
+            PlayerId(1),
+            ObjectId(0),
+            1.0,
+            ReportKind::Positive,
+        )
+        .unwrap();
+        t.ingest(&b);
+        t.open_window(Round(2));
+        assert_eq!(
+            t.window_votes_for(Window::new(Round(2), Round(3)), ObjectId(0)),
+            1
+        );
+        // The old window's queries still answer correctly via the scan.
+        assert_eq!(
+            t.window_votes_for(Window::new(Round(0), Round(3)), ObjectId(0)),
+            2
+        );
+    }
+
+    #[test]
+    fn best_value_maintains_voted_set_through_revocation() {
+        let mut b = board(2, 3);
+        let mut t = VoteTracker::new(2, 3, VotePolicy::best_value());
+        b.append(
+            Round(0),
+            PlayerId(0),
+            ObjectId(0),
+            0.2,
+            ReportKind::Negative,
+        )
+        .unwrap();
+        t.ingest(&b);
+        assert_eq!(t.objects_with_votes(), vec![ObjectId(0)]);
+        // The vote moves to object 2: object 0's count drops to zero and it
+        // must leave the incrementally-maintained set.
+        b.append(
+            Round(1),
+            PlayerId(0),
+            ObjectId(2),
+            0.9,
+            ReportKind::Negative,
+        )
+        .unwrap();
+        t.ingest(&b);
+        assert_eq!(t.objects_with_votes(), vec![ObjectId(2)]);
     }
 }

@@ -118,8 +118,14 @@ mod tests {
     #[test]
     fn view_delegates() {
         let mut b = Billboard::new(2, 3);
-        b.append(Round(0), PlayerId(1), ObjectId(2), 1.0, ReportKind::Positive)
-            .unwrap();
+        b.append(
+            Round(0),
+            PlayerId(1),
+            ObjectId(2),
+            1.0,
+            ReportKind::Positive,
+        )
+        .unwrap();
         let mut t = VoteTracker::new(2, 3, VotePolicy::single_vote());
         t.ingest(&b);
         let v = BoardView::new(&b, &t, Round(1));

@@ -46,7 +46,11 @@ impl fmt::Display for ArgError {
         match self {
             ArgError::MissingCommand => write!(f, "no command given (try `distill help`)"),
             ArgError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
-            ArgError::BadValue { flag, value, expected } => {
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => {
                 write!(f, "flag --{flag}: cannot parse {value:?} as {expected}")
             }
             ArgError::UnknownFlag(flag) => {
@@ -77,7 +81,9 @@ impl Args {
                 if switches.contains(&name) {
                     args.switches.insert(name.to_string());
                 } else {
-                    let value = iter.next().ok_or_else(|| ArgError::MissingValue(name.into()))?;
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| ArgError::MissingValue(name.into()))?;
                     args.flags.insert(name.to_string(), value);
                 }
             } else {
@@ -89,7 +95,10 @@ impl Args {
 
     /// A string flag with a default.
     pub fn str_or(&self, flag: &str, default: &str) -> String {
-        self.flags.get(flag).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(flag)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// A parsed flag with a default.
@@ -105,6 +114,7 @@ impl Args {
     }
 
     /// `true` iff the switch was given.
+    #[allow(dead_code)] // parser API parity; no command takes bare switches yet
     pub fn has(&self, switch: &str) -> bool {
         self.switches.contains(switch)
     }
@@ -156,16 +166,26 @@ mod tests {
     #[test]
     fn bad_and_unknown_values() {
         let a = Args::parse(["run", "--n", "abc"], &[]).unwrap();
-        assert!(matches!(a.get_or("n", 0u32), Err(ArgError::BadValue { .. })));
+        assert!(matches!(
+            a.get_or("n", 0u32),
+            Err(ArgError::BadValue { .. })
+        ));
         assert!(a.ensure_known(&["n"]).is_ok());
-        assert!(matches!(a.ensure_known(&["m"]), Err(ArgError::UnknownFlag(_))));
+        assert!(matches!(
+            a.ensure_known(&["m"]),
+            Err(ArgError::UnknownFlag(_))
+        ));
     }
 
     #[test]
     fn errors_render() {
         assert!(ArgError::MissingCommand.to_string().contains("help"));
-        assert!(ArgError::MissingValue("x".into()).to_string().contains("--x"));
-        assert!(ArgError::UnknownFlag("y".into()).to_string().contains("--y"));
+        assert!(ArgError::MissingValue("x".into())
+            .to_string()
+            .contains("--x"));
+        assert!(ArgError::UnknownFlag("y".into())
+            .to_string()
+            .contains("--y"));
         let e = ArgError::BadValue {
             flag: "n".into(),
             value: "zzz".into(),

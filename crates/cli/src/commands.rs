@@ -80,7 +80,13 @@ LEMMA9:       distill lemma9 <c0,c1,c2,...> --a <f64 in (0,1)>
     .to_string()
 }
 
-fn make_cohort(name: &str, n: u32, m: u32, alpha: f64, beta: f64) -> Result<Box<dyn Cohort>, CliError> {
+fn make_cohort(
+    name: &str,
+    n: u32,
+    m: u32,
+    alpha: f64,
+    beta: f64,
+) -> Result<Box<dyn Cohort>, CliError> {
     Ok(match name {
         "distill" => Box::new(Distill::new(
             DistillParams::new(n, m, alpha, beta).map_err(|e| err(e.to_string()))?,
@@ -89,13 +95,17 @@ fn make_cohort(name: &str, n: u32, m: u32, alpha: f64, beta: f64) -> Result<Box<
             DistillParams::high_probability(n, m, alpha, beta, 1.0)
                 .map_err(|e| err(e.to_string()))?,
         )),
-        "guess-alpha" => Box::new(
-            GuessAlpha::new(n, m, beta, 0.5, 0.5).map_err(|e| err(e.to_string()))?,
-        ),
+        "guess-alpha" => {
+            Box::new(GuessAlpha::new(n, m, beta, 0.5, 0.5).map_err(|e| err(e.to_string()))?)
+        }
         "balance" => Box::new(Balance::new()),
         "random" => Box::new(RandomProbing::new()),
         "three-phase" => Box::new(ThreePhase::new(n)),
-        other => return Err(err(format!("unknown algorithm {other:?} (try `distill help`)"))),
+        other => {
+            return Err(err(format!(
+                "unknown algorithm {other:?} (try `distill help`)"
+            )))
+        }
     })
 }
 
@@ -109,12 +119,25 @@ fn make_adversary(name: &str) -> Result<Box<dyn Adversary>, CliError> {
         "ballot-stuffer" => Box::<BallotStuffer>::default(),
         "advice-bait" => Box::new(AdviceBait::new()),
         "flooder" => Box::<Flooder>::default(),
-        other => return Err(err(format!("unknown adversary {other:?} (try `distill help`)"))),
+        other => {
+            return Err(err(format!(
+                "unknown adversary {other:?} (try `distill help`)"
+            )))
+        }
     })
 }
 
 const RUN_FLAGS: &[&str] = &[
-    "n", "m", "honest", "goods", "algorithm", "adversary", "trials", "seed", "f", "error-rate",
+    "n",
+    "m",
+    "honest",
+    "goods",
+    "algorithm",
+    "adversary",
+    "trials",
+    "seed",
+    "f",
+    "error-rate",
     "max-rounds",
 ];
 
@@ -148,8 +171,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let results = run_trials_threaded(trials, num_threads(), |t| {
         let world = World::binary(m, goods, seed.wrapping_add(1_000_003).wrapping_add(t))
             .expect("validated world parameters");
-        let cohort = make_cohort(&algorithm, n, m, alpha, world.beta())
-            .expect("validated algorithm");
+        let cohort =
+            make_cohort(&algorithm, n, m, alpha, world.beta()).expect("validated algorithm");
         let adversary = make_adversary(&adversary_name).expect("validated adversary");
         let config = SimConfig::new(n, honest, seed.wrapping_add(t))
             .with_policy(distill_billboard::VotePolicy::multi_vote(f))
@@ -215,7 +238,13 @@ pub fn run_gauntlet(args: &Args) -> Result<String, CliError> {
         return Err(err(format!("--honest {honest} must be in 1..={n}")));
     }
     let alpha = f64::from(honest) / f64::from(n);
-    make_cohort(&algorithm, n, n, alpha, f64::from(goods.max(1)) / f64::from(n))?;
+    make_cohort(
+        &algorithm,
+        n,
+        n,
+        alpha,
+        f64::from(goods.max(1)) / f64::from(n),
+    )?;
 
     let mut table = Table::new(
         format!("{algorithm} gauntlet — n=m={n} honest={honest} trials={trials}"),
@@ -225,8 +254,8 @@ pub fn run_gauntlet(args: &Args) -> Result<String, CliError> {
         let results = run_trials_threaded(trials, num_threads(), |t| {
             let world = World::binary(n, goods, seed.wrapping_add(7_000).wrapping_add(t))
                 .expect("validated world");
-            let cohort = make_cohort(&algorithm, n, n, alpha, world.beta())
-                .expect("validated algorithm");
+            let cohort =
+                make_cohort(&algorithm, n, n, alpha, world.beta()).expect("validated algorithm");
             let config = SimConfig::new(n, honest, seed.wrapping_add(t))
                 .with_stop(StopRule::all_satisfied(1_000_000));
             Engine::new(config, &world, cohort, (entry.make)())
@@ -257,7 +286,7 @@ pub fn run_bounds(args: &Args) -> Result<String, CliError> {
     let beta: f64 = args.get_or("beta", 1.0 / m)?;
     let q0: f64 = args.get_or("q0", 1.0)?;
     let eps: f64 = args.get_or("eps", 0.5)?;
-    if !(0.0 < alpha && alpha <= 1.0) || !(0.0 < beta && beta <= 1.0) {
+    if !(0.0 < alpha && alpha <= 1.0 && 0.0 < beta && beta <= 1.0) {
         return Err(err("alpha and beta must be in (0, 1]"));
     }
 
@@ -265,7 +294,10 @@ pub fn run_bounds(args: &Args) -> Result<String, CliError> {
         format!("paper bounds at n={n} m={m} alpha={alpha} beta={beta}"),
         &["quantity", "value"],
     );
-    table.row_owned(vec!["Delta = log(1/(1-a) + log n)".into(), fmt_f(bounds::delta(alpha, n))]);
+    table.row_owned(vec![
+        "Delta = log(1/(1-a) + log n)".into(),
+        fmt_f(bounds::delta(alpha, n)),
+    ]);
     table.row_owned(vec![
         "Thm 4 upper (DISTILL individual cost)".into(),
         fmt_f(bounds::distill_upper(n, alpha, beta)),
@@ -307,7 +339,7 @@ pub fn run_meanfield(args: &Args) -> Result<String, CliError> {
     let beta: f64 = args.get_or("beta", 1.0 / n)?;
     let explore: f64 = args.get_or("explore", 0.5)?;
     let rounds: usize = args.get_or("rounds", 200)?;
-    if !(0.0 < beta && beta <= 1.0) || !(0.0..=1.0).contains(&explore) {
+    if !(0.0 < beta && beta <= 1.0 && (0.0..=1.0).contains(&explore)) {
         return Err(err("need beta in (0,1] and explore in [0,1]"));
     }
     let random = meanfield::random_probing_curve(beta, rounds);
@@ -380,7 +412,10 @@ pub fn run_async(args: &Args) -> Result<String, CliError> {
         "total probes (all players)".into(),
         fmt_f(Summary::of(&totals).mean),
     ]);
-    table.row_owned(vec!["player-0 probes".into(), fmt_f(Summary::of(&p0s).mean)]);
+    table.row_owned(vec![
+        "player-0 probes".into(),
+        fmt_f(Summary::of(&p0s).mean),
+    ]);
     Ok(table.render())
 }
 
@@ -398,7 +433,7 @@ pub fn run_lemma9(args: &Args) -> Result<String, CliError> {
         .map(|s| s.trim().parse::<u64>())
         .collect::<Result<_, _>>()
         .map_err(|_| err(format!("cannot parse sequence {seq_raw:?}")))?;
-    if seq.is_empty() || seq.iter().any(|&c| c == 0) {
+    if seq.is_empty() || seq.contains(&0) {
         return Err(err("sequence must be non-empty positive integers"));
     }
     if seq.windows(2).any(|w| w[1] > w[0]) {
@@ -415,7 +450,11 @@ pub fn run_lemma9(args: &Args) -> Result<String, CliError> {
         format!("Lemma 9 check — sigma={seq:?}, a={a}"),
         &["quantity", "value", "holds?"],
     );
-    table.row_owned(vec!["f(sigma)".into(), fmt_f(lemma9::f_ratio_sum(&seq)), "-".into()]);
+    table.row_owned(vec![
+        "f(sigma)".into(),
+        fmt_f(lemma9::f_ratio_sum(&seq)),
+        "-".into(),
+    ]);
     table.row_owned(vec!["g_a(sigma)".into(), fmt_f(g), "-".into()]);
     table.row_owned(vec![
         "paper rhs (ceil(f)+1)·a^(1/c0)".into(),
@@ -425,13 +464,20 @@ pub fn run_lemma9(args: &Args) -> Result<String, CliError> {
     table.row_owned(vec![
         "corrected rhs (2f+log2(c0)+1)·a^(1/c0)".into(),
         fmt_f(rhs_corr),
-        if g <= rhs_corr + 1e-9 { "yes" } else { "VIOLATED" }.into(),
+        if g <= rhs_corr + 1e-9 {
+            "yes"
+        } else {
+            "VIOLATED"
+        }
+        .into(),
     ]);
     Ok(table.render())
 }
 
 fn num_threads() -> usize {
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
 }
 
 /// Dispatches a parsed command line.
@@ -444,7 +490,9 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "meanfield" => run_meanfield(args),
         "async" => run_async(args),
         "help" | "--help" | "-h" => Ok(help()),
-        other => Err(err(format!("unknown command {other:?} (try `distill help`)"))),
+        other => Err(err(format!(
+            "unknown command {other:?} (try `distill help`)"
+        ))),
     }
 }
 
@@ -467,8 +515,17 @@ mod tests {
     #[test]
     fn run_small_simulation() {
         let out = dispatch(&parse(&[
-            "run", "--n", "32", "--honest", "24", "--trials", "3", "--algorithm", "distill",
-            "--adversary", "uniform-bad",
+            "run",
+            "--n",
+            "32",
+            "--honest",
+            "24",
+            "--trials",
+            "3",
+            "--algorithm",
+            "distill",
+            "--adversary",
+            "uniform-bad",
         ]))
         .unwrap();
         assert!(out.contains("individual cost"));
@@ -491,7 +548,10 @@ mod tests {
         for entry in gauntlet() {
             assert!(out.contains(entry.name), "missing {} in {out}", entry.name);
         }
-        assert!(!out.contains("NO"), "all strategies must be survived: {out}");
+        assert!(
+            !out.contains("NO"),
+            "all strategies must be survived: {out}"
+        );
     }
 
     #[test]
@@ -504,14 +564,22 @@ mod tests {
 
     #[test]
     fn lemma9_detects_the_counterexample() {
-        let out = dispatch(&Args::parse(
-            ["lemma9", "25,23,22,18,14,7", "--a", "0.0019304541362277093"],
-            &[],
+        let out = dispatch(
+            &Args::parse(
+                ["lemma9", "25,23,22,18,14,7", "--a", "0.0019304541362277093"],
+                &[],
+            )
+            .unwrap(),
         )
-        .unwrap())
         .unwrap();
-        assert!(out.contains("VIOLATED"), "the documented counterexample: {out}");
-        assert!(out.matches("yes").count() >= 1, "corrected bound holds: {out}");
+        assert!(
+            out.contains("VIOLATED"),
+            "the documented counterexample: {out}"
+        );
+        assert!(
+            out.matches("yes").count() >= 1,
+            "corrected bound holds: {out}"
+        );
     }
 
     #[test]
@@ -526,7 +594,13 @@ mod tests {
     fn async_runs_schedules() {
         for sched in ["round-robin", "isolate", "starve"] {
             let out = dispatch(&parse(&[
-                "async", "--n", "32", "--trials", "2", "--schedule", sched,
+                "async",
+                "--n",
+                "32",
+                "--trials",
+                "2",
+                "--schedule",
+                sched,
             ]))
             .unwrap();
             assert!(out.contains("player-0 probes"), "{sched}: {out}");
@@ -538,7 +612,13 @@ mod tests {
     fn isolate_costs_player_zero_more() {
         let grab = |sched: &str| -> f64 {
             let out = dispatch(&parse(&[
-                "async", "--n", "64", "--trials", "3", "--schedule", sched,
+                "async",
+                "--n",
+                "64",
+                "--trials",
+                "3",
+                "--schedule",
+                sched,
             ]))
             .unwrap();
             let line = out
@@ -548,7 +628,10 @@ mod tests {
                 .to_string();
             line.split_whitespace().last().unwrap().parse().unwrap()
         };
-        assert!(grab("isolate") > grab("starve"), "isolation must dominate starvation");
+        assert!(
+            grab("isolate") > grab("starve"),
+            "isolation must dominate starvation"
+        );
     }
 
     #[test]
@@ -558,7 +641,8 @@ mod tests {
         assert!(dispatch(&parse(&["lemma9", "abc"])).is_err());
         assert!(dispatch(&Args::parse(["lemma9", "4,2", "--a", "1.5"], &[]).unwrap()).is_err());
         // a valid, holding case
-        let out = dispatch(&Args::parse(["lemma9", "8,4,2,1", "--a", "0.01"], &[]).unwrap()).unwrap();
+        let out =
+            dispatch(&Args::parse(["lemma9", "8,4,2,1", "--a", "0.01"], &[]).unwrap()).unwrap();
         assert!(!out.contains("VIOLATED"));
     }
 }

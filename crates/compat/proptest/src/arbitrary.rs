@@ -1,0 +1,71 @@
+//! `any::<T>()` — canonical strategies per type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws one arbitrary value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.draw_bool()
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Uniform over `[0, 1)` — not the full bit domain; the tests in this
+    /// workspace only use `any::<f64>()` where a unit draw is appropriate.
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The strategy for an [`Arbitrary`] type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_generates_varied_values() {
+        let mut rng = TestRng::for_test("arbitrary::any");
+        let strat = any::<u64>();
+        let a = strat.new_value(&mut rng);
+        let b = strat.new_value(&mut rng);
+        assert_ne!(a, b, "consecutive u64 draws almost surely differ");
+        let bools: Vec<bool> = (0..100)
+            .map(|_| any::<bool>().new_value(&mut rng))
+            .collect();
+        assert!(bools.contains(&true) && bools.contains(&false));
+    }
+}

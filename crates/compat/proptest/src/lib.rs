@@ -1,0 +1,161 @@
+//! Offline stub of the `proptest` API subset this workspace uses.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! small property-testing runner that is source-compatible with the tests in
+//! this repository: the [`proptest!`] macro (with optional
+//! `#![proptest_config(...)]`), range and tuple strategies, `prop_map`,
+//! `prop::collection::vec`, `any::<T>()`, and the `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **no shrinking** — a failing case reports its exact inputs instead of a
+//!   minimized one (inputs are `Debug`-printed in the panic message);
+//! * **deterministic seeding** — each test derives its RNG stream from the
+//!   test's module path and name (override with `PROPTEST_SEED`), so failures
+//!   reproduce without a persistence file. `*.proptest-regressions` files are
+//!   not read; pin historical regressions as explicit unit tests;
+//! * case count defaults to 256, overridable per-test with
+//!   `ProptestConfig::with_cases` or globally with `PROPTEST_CASES`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let cases = config.effective_cases();
+                let mut rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                // Evaluate each strategy expression once, reusing the
+                // argument identifiers as the strategy bindings.
+                let ($($arg,)+) = ($($strat,)+);
+                let mut passed: u32 = 0;
+                let mut rejected: u64 = 0;
+                while passed < cases {
+                    // RHS reads the outer (strategy) bindings, LHS shadows
+                    // them with this case's generated values.
+                    let ($($arg,)+) = (
+                        $($crate::strategy::Strategy::new_value(&$arg, &mut rng),)+
+                    );
+                    let inputs = $crate::test_runner::format_inputs(&[
+                        $((stringify!($arg), format!("{:?}", $arg)),)+
+                    ]);
+                    let outcome = (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => passed += 1,
+                        Err($crate::test_runner::TestCaseError::Reject) => {
+                            rejected += 1;
+                            if rejected > config.max_global_rejects {
+                                panic!(
+                                    "proptest `{}`: too many prop_assume! rejections ({rejected}) \
+                                     after {passed} passing cases",
+                                    stringify!($name),
+                                );
+                            }
+                        }
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest `{}` failed at case {passed}: {msg}\n  inputs:\n{inputs}",
+                                stringify!($name),
+                            );
+                        }
+                    }
+                }
+            }
+        )+
+    };
+    ($($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),+) $body)+
+        }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// process) so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Discards the current case (not counted towards the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,9 @@
+//! Everything a property test needs, in one import.
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+/// Namespace alias so `prop::collection::vec(...)` works as in upstream.
+pub use crate as prop;

@@ -1,0 +1,215 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no shrinking: `new_value` draws one
+/// concrete value per test case.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`; exhausts the rejection budget if
+    /// the predicate is too restrictive.
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            whence,
+            pred,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    pub(crate) source: S,
+    pub(crate) f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    pub(crate) source: S,
+    pub(crate) whence: &'static str,
+    pub(crate) pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.source.new_value(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 1000 consecutive candidates",
+            self.whence
+        );
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty => $draw:ident),+ $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[inline]
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                rng.$draw(self.start as i128, self.end as i128) as $t
+            }
+        }
+    )+};
+}
+impl_range_strategy_int!(
+    u8 => draw_int,
+    u16 => draw_int,
+    u32 => draw_int,
+    u64 => draw_int,
+    usize => draw_int,
+    i8 => draw_int,
+    i16 => draw_int,
+    i32 => draw_int,
+    i64 => draw_int,
+    isize => draw_int,
+);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    #[inline]
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    #[inline]
+    fn new_value(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_test("strategy::ranges");
+        for _ in 0..1_000 {
+            let x = (3u64..9).new_value(&mut rng);
+            assert!((3..9).contains(&x));
+            let f = (0.5f64..0.75).new_value(&mut rng);
+            assert!((0.5..0.75).contains(&f));
+            let s = (0usize..1).new_value(&mut rng);
+            assert_eq!(s, 0);
+        }
+    }
+
+    #[test]
+    fn map_and_tuples_compose() {
+        let mut rng = TestRng::for_test("strategy::compose");
+        let strat = (1u32..5, 0u8..2).prop_map(|(a, b)| a as u64 + b as u64);
+        for _ in 0..100 {
+            let v = strat.new_value(&mut rng);
+            assert!((1..7).contains(&v));
+        }
+    }
+
+    #[test]
+    fn just_clones() {
+        let mut rng = TestRng::for_test("strategy::just");
+        assert_eq!(Just(41u8).new_value(&mut rng), 41);
+    }
+
+    #[test]
+    fn filter_retries() {
+        let mut rng = TestRng::for_test("strategy::filter");
+        let even = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(even.new_value(&mut rng) % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! The case runner: config, RNG, and failure plumbing.
+
+/// Per-test configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of passing cases required.
+    pub cases: u32,
+    /// Abort after this many `prop_assume!` rejections.
+    pub max_global_rejects: u64,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` env override.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; draw fresh ones.
+    Reject,
+    /// `prop_assert!` failed with the given message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// The deterministic per-test RNG (SplitMix64-seeded xorshift-star stream).
+///
+/// Seeded from the test's fully-qualified name so every test has an
+/// independent, stable stream; `PROPTEST_SEED` perturbs all streams at once
+/// for exploratory fuzzing.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The stream for the named test.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+            if let Ok(s) = seed.parse::<u64>() {
+                h ^= s.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            }
+        }
+        TestRng { state: h }
+    }
+
+    /// The next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        // SplitMix64: full-period, passes BigCrush, and stateless enough that
+        // per-test streams cannot interfere.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[lo, hi)`. Bounds are `i128` so one code path
+    /// serves every primitive integer width.
+    #[inline]
+    pub fn draw_int(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo < hi, "empty integer range");
+        let span = (hi - lo) as u128;
+        let draw = if span.is_power_of_two() {
+            u128::from(self.next_u64()) & (span - 1)
+        } else {
+            // span < 2^64 always holds for primitive ranges except the full
+            // u64/i64 domain, which IS a power of two.
+            u128::from(self.next_u64()) % span
+        };
+        lo + draw as i128
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniformly random bool.
+    #[inline]
+    pub fn draw_bool(&mut self) -> bool {
+        self.next_u64() >> 63 == 1
+    }
+}
+
+/// Renders the generated inputs for a failure message.
+pub fn format_inputs(pairs: &[(&str, String)]) -> String {
+    pairs
+        .iter()
+        .map(|(name, value)| format!("    {name} = {value}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        let mut c = TestRng::for_test("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn draw_int_full_u64_domain() {
+        let mut rng = TestRng::for_test("full");
+        for _ in 0..100 {
+            let v = rng.draw_int(0, 1i128 << 64);
+            assert!((0..(1i128 << 64)).contains(&v));
+        }
+    }
+
+    #[test]
+    fn config_with_cases() {
+        let c = Config::with_cases(48);
+        assert_eq!(c.cases, 48);
+        assert!(c.max_global_rejects > 0);
+    }
+}

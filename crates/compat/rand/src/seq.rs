@@ -1,0 +1,69 @@
+//! Sequence helpers (`rand::seq`).
+
+use crate::{uniform_u64_below, Rng, RngCore};
+
+/// Slice shuffling and random selection.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// In-place Fisher–Yates shuffle (upstream's iteration order: high index
+    /// down to 1, partner drawn from `[0, i]`).
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` when empty.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = uniform_below(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[uniform_below(rng, self.len() as u64) as usize])
+        }
+    }
+}
+
+#[inline]
+fn uniform_below<R: RngCore>(rng: &mut R, bound: u64) -> u64 {
+    uniform_u64_below(rng, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle is a.s. not identity");
+    }
+
+    #[test]
+    fn choose_stays_in_slice() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let v = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

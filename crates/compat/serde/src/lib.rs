@@ -1,0 +1,13 @@
+//! Offline placeholder for `serde`.
+//!
+//! The build environment has no registry access. The workspace declares serde
+//! only as an *optional* dependency (billboard's `serde` feature, which no
+//! crate enables), so this placeholder merely satisfies dependency
+//! resolution. If a future change enables that feature, the `Serialize` /
+//! `Deserialize` derives must be vendored here first; the stub fails loudly
+//! rather than silently no-op serializing.
+
+#[cfg(feature = "derive")]
+compile_error!(
+    "the offline serde placeholder has no derive macros; vendor real serde before enabling the `serde` feature"
+);

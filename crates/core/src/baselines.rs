@@ -62,7 +62,10 @@ impl Balance {
     /// # Panics
     /// Panics if `p` is not within `[0, 1]`.
     pub fn with_explore_probability(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "explore probability {p} out of [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "explore probability {p} out of [0,1]"
+        );
         Balance {
             explore_probability: p,
         }
@@ -120,7 +123,10 @@ mod tests {
         tracker.ingest(&board);
         let view = BoardView::new(&board, &tracker, Round(0));
         let mut c = RandomProbing::new();
-        assert!(matches!(c.directive(&view), Directive::ProbeUniform(CandidateSet::All)));
+        assert!(matches!(
+            c.directive(&view),
+            Directive::ProbeUniform(CandidateSet::All)
+        ));
         any_view_check(RandomProbing::new(), "random-probing");
     }
 
@@ -136,7 +142,10 @@ mod tests {
             other => panic!("unexpected directive {other:?}"),
         }
         any_view_check(Balance::new(), "balance");
-        assert_eq!(Balance::with_explore_probability(0.25).explore_probability(), 0.25);
+        assert_eq!(
+            Balance::with_explore_probability(0.25).explore_probability(),
+            0.25
+        );
         assert_eq!(Balance::default().explore_probability(), 0.5);
     }
 

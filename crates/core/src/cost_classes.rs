@@ -51,11 +51,15 @@ impl CostClassSearch {
         hp_c: f64,
     ) -> Result<Self, CoreError> {
         DistillParams::high_probability(n, m, alpha, 1.0, hp_c)?;
-        if !(k3 > 0.0) {
-            return Err(CoreError::InvalidParams(format!("k3 {k3} must be positive")));
+        if k3.is_nan() || k3 <= 0.0 {
+            return Err(CoreError::InvalidParams(format!(
+                "k3 {k3} must be positive"
+            )));
         }
         if classes.iter().all(|c| c.is_empty()) {
-            return Err(CoreError::InvalidParams("all cost classes are empty".into()));
+            return Err(CoreError::InvalidParams(
+                "all cost classes are empty".into(),
+            ));
         }
         Ok(CostClassSearch {
             n,
@@ -131,9 +135,8 @@ impl CostClassSearch {
         self.classes_visited += 1;
         let members = self.classes[self.current].clone();
         let beta_i = 1.0 / members.len() as f64;
-        let params =
-            DistillParams::high_probability(self.n, self.m, self.alpha, beta_i, self.hp_c)
-                .expect("validated at construction");
+        let params = DistillParams::high_probability(self.n, self.m, self.alpha, beta_i, self.hp_c)
+            .expect("validated at construction");
         self.inner = Some(Distill::new(params).with_universe(members));
         self.rounds_left = self.class_budget(self.current);
     }
@@ -167,7 +170,11 @@ impl Cohort for CostClassSearch {
             ("cost_classes.visited".into(), self.classes_visited as f64),
             (
                 "cost_classes.current".into(),
-                if self.current == usize::MAX { -1.0 } else { self.current as f64 },
+                if self.current == usize::MAX {
+                    -1.0
+                } else {
+                    self.current as f64
+                },
             ),
             ("cost_classes.cycles".into(), f64::from(self.cycles)),
         ]
@@ -234,7 +241,14 @@ mod tests {
         // Wrap-around: back to class 0 with doubled budget.
         run_rounds(&mut s, 1, &mut round);
         assert_eq!(s.current_class(), 0);
-        assert_eq!(s.notes().iter().find(|(k, _)| k == "cost_classes.cycles").unwrap().1, 1.0);
+        assert_eq!(
+            s.notes()
+                .iter()
+                .find(|(k, _)| k == "cost_classes.cycles")
+                .unwrap()
+                .1,
+            1.0
+        );
         assert!(s.class_budget(0) >= 2 * b0 - 1);
         assert_eq!(s.name(), "cost-classes");
         assert!(s.phase_info().label.starts_with("distill"));
@@ -246,14 +260,19 @@ mod tests {
             8,
             1032,
             0.5,
-            vec![(0..8).map(ObjectId).collect(), (8..1032).map(ObjectId).collect()],
+            vec![
+                (0..8).map(ObjectId).collect(),
+                (8..1032).map(ObjectId).collect(),
+            ],
             1.0,
             1.0,
         )
         .unwrap();
         assert!(s.class_budget(1) > s.class_budget(0));
         assert_eq!(
-            CostClassSearch::new(8, 8, 0.5, classes(), 1.0, 1.0).unwrap().class_budget(1),
+            CostClassSearch::new(8, 8, 0.5, classes(), 1.0, 1.0)
+                .unwrap()
+                .class_budget(1),
             0,
             "empty class has zero budget"
         );

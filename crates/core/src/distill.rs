@@ -170,8 +170,9 @@ impl Distill {
 
     fn begin_attempt(&mut self, at: Round) {
         self.attempts += 1;
-        self.max_iterations_per_attempt =
-            self.max_iterations_per_attempt.max(self.iterations_this_attempt);
+        self.max_iterations_per_attempt = self
+            .max_iterations_per_attempt
+            .max(self.iterations_this_attempt);
         self.iterations_this_attempt = 0;
         self.segment = Some(Segment {
             kind: StepKind::Step11,
@@ -184,6 +185,14 @@ impl Distill {
 
     /// Advances past an exhausted segment, computing the next candidate set
     /// from the public billboard. May start a fresh ATTEMPT.
+    ///
+    /// The `ℓ_t(i)` queries here always use the exhausted segment's window
+    /// `[window_start, now)`. The cohort only holds a read-only view, so the
+    /// engine registers that window with the tracker (via
+    /// [`PhaseInfo::window_start`]) when the segment begins; by the time the
+    /// segment boundary is reached, [`BoardView::window_tally`] answers from
+    /// incrementally-maintained counters in O(result) instead of re-scanning
+    /// the segment's vote events.
     fn advance(&mut self, view: &BoardView<'_>) {
         let seg = self.segment.as_ref().expect("advance with no segment");
         let now = view.round();
@@ -294,9 +303,7 @@ impl Cohort for Distill {
             Some(seg) => {
                 let (label, threshold, iteration) = match seg.kind {
                     StepKind::Step11 => ("distill.step1.1", None, None),
-                    StepKind::Step13 => {
-                        ("distill.step1.3", Some(self.params.c0_threshold()), None)
-                    }
+                    StepKind::Step13 => ("distill.step1.3", Some(self.params.c0_threshold()), None),
                     StepKind::Refine(t) => (
                         "distill.refine",
                         Some(
@@ -324,7 +331,10 @@ impl Cohort for Distill {
     fn notes(&self) -> Vec<(String, f64)> {
         vec![
             ("distill.attempts".into(), self.attempts as f64),
-            ("distill.iterations_total".into(), self.iterations_total as f64),
+            (
+                "distill.iterations_total".into(),
+                self.iterations_total as f64,
+            ),
             (
                 "distill.max_iterations_per_attempt".into(),
                 self.max_iterations_per_attempt
@@ -374,7 +384,10 @@ mod tests {
             let view = BoardView::new(&board, &tracker, Round(r));
             let _ = d.directive(&view);
             let info = d.phase_info();
-            assert_eq!(info.label, "distill.step1.1", "round {r} must stay in step 1.1");
+            assert_eq!(
+                info.label, "distill.step1.1",
+                "round {r} must stay in step 1.1"
+            );
         }
         assert!(d.attempts >= 3);
     }
@@ -395,7 +408,13 @@ mod tests {
             let _ = d.directive(&view);
             if r < 8 {
                 board
-                    .append(Round(r), PlayerId(r as u32), ObjectId(3), 1.0, ReportKind::Positive)
+                    .append(
+                        Round(r),
+                        PlayerId(r as u32),
+                        ObjectId(3),
+                        1.0,
+                        ReportKind::Positive,
+                    )
                     .unwrap();
                 tracker.ingest(&board);
             }
@@ -440,7 +459,9 @@ mod tests {
 
         let snaps = obs.lock().unwrap();
         assert!(snaps.iter().any(|s| s.label == "S"));
-        assert!(snaps.iter().any(|s| s.label == "C0" && s.candidates == vec![ObjectId(3)]));
+        assert!(snaps
+            .iter()
+            .any(|s| s.label == "C0" && s.candidates == vec![ObjectId(3)]));
     }
 
     #[test]
@@ -458,7 +479,13 @@ mod tests {
             let _ = d.directive(&view);
             if i < 8 {
                 board
-                    .append(Round(r), PlayerId(i as u32), ObjectId(3), 1.0, ReportKind::Positive)
+                    .append(
+                        Round(r),
+                        PlayerId(i as u32),
+                        ObjectId(3),
+                        1.0,
+                        ReportKind::Positive,
+                    )
                     .unwrap();
                 tracker.ingest(&board);
             }
@@ -470,7 +497,13 @@ mod tests {
             let _ = d.directive(&view);
             if i < 6 {
                 board
-                    .append(Round(r), PlayerId(8 + i as u32), ObjectId(3), 1.0, ReportKind::Positive)
+                    .append(
+                        Round(r),
+                        PlayerId(8 + i as u32),
+                        ObjectId(3),
+                        1.0,
+                        ReportKind::Positive,
+                    )
                     .unwrap();
                 tracker.ingest(&board);
             }
@@ -491,7 +524,9 @@ mod tests {
         assert_eq!(d.attempts, 2);
         assert_eq!(d.iterations_total, 1);
         let notes = d.notes();
-        assert!(notes.iter().any(|(k, v)| k == "distill.attempts" && *v == 2.0));
+        assert!(notes
+            .iter()
+            .any(|(k, v)| k == "distill.attempts" && *v == 2.0));
     }
 
     #[test]
@@ -501,10 +536,22 @@ mod tests {
         let mut d = Distill::new(params()).with_universe(vec![ObjectId(1), ObjectId(2)]);
         // Votes arrive for objects 2 (inside) and 9 (outside).
         board
-            .append(Round(0), PlayerId(0), ObjectId(2), 1.0, ReportKind::Positive)
+            .append(
+                Round(0),
+                PlayerId(0),
+                ObjectId(2),
+                1.0,
+                ReportKind::Positive,
+            )
             .unwrap();
         board
-            .append(Round(0), PlayerId(1), ObjectId(9), 1.0, ReportKind::Positive)
+            .append(
+                Round(0),
+                PlayerId(1),
+                ObjectId(9),
+                1.0,
+                ReportKind::Positive,
+            )
             .unwrap();
         tracker.ingest(&board);
         let rounds_11 = 2 * d.params().invocations_step11();
@@ -514,7 +561,11 @@ mod tests {
         }
         let info = d.phase_info();
         assert_eq!(info.label, "distill.step1.3");
-        assert_eq!(info.candidates.to_vec(16), vec![ObjectId(2)], "object 9 filtered out");
+        assert_eq!(
+            info.candidates.to_vec(16),
+            vec![ObjectId(2)],
+            "object 9 filtered out"
+        );
     }
 
     #[test]

@@ -42,8 +42,10 @@ impl GuessAlpha {
     pub fn new(n: u32, m: u32, beta: f64, k3: f64, hp_c: f64) -> Result<Self, CoreError> {
         // Validate via a throw-away parameter set at α̂ = 1.
         DistillParams::high_probability(n, m, 1.0, beta, hp_c)?;
-        if !(k3 > 0.0) {
-            return Err(CoreError::InvalidParams(format!("k3 {k3} must be positive")));
+        if k3.is_nan() || k3 <= 0.0 {
+            return Err(CoreError::InvalidParams(format!(
+                "k3 {k3} must be positive"
+            )));
         }
         let max_epoch = (f64::from(n)).log2().floor().max(0.0) as u32;
         Ok(GuessAlpha {
@@ -85,8 +87,9 @@ impl GuessAlpha {
         self.epoch = Some(next);
         self.epochs_started += 1;
         let alpha_hat = self.alpha_hat(next);
-        let params = DistillParams::high_probability(self.n, self.m, alpha_hat, self.beta, self.hp_c)
-            .expect("validated at construction");
+        let params =
+            DistillParams::high_probability(self.n, self.m, alpha_hat, self.beta, self.hp_c)
+                .expect("validated at construction");
         self.inner = Some(Distill::new(params));
         self.epoch_rounds_left = self.epoch_rounds(next);
     }
@@ -149,7 +152,10 @@ mod tests {
         let r0 = g.epoch_rounds(0);
         let r1 = g.epoch_rounds(1);
         let r3 = g.epoch_rounds(3);
-        assert!(r1 >= 2 * r0 - 1, "epoch budgets roughly double: {r0} -> {r1}");
+        assert!(
+            r1 >= 2 * r0 - 1,
+            "epoch budgets roughly double: {r0} -> {r1}"
+        );
         assert!(r3 >= 4 * r1 - 3);
     }
 

@@ -79,13 +79,17 @@ impl DistillParams {
                 "n={n} and m={m} must be positive"
             )));
         }
-        if !(0.0 < alpha && alpha <= 1.0) || !alpha.is_finite() {
-            return Err(CoreError::InvalidParams(format!("alpha {alpha} out of (0, 1]")));
+        if !(0.0 < alpha && alpha <= 1.0 && alpha.is_finite()) {
+            return Err(CoreError::InvalidParams(format!(
+                "alpha {alpha} out of (0, 1]"
+            )));
         }
-        if !(0.0 < beta && beta <= 1.0) || !beta.is_finite() {
-            return Err(CoreError::InvalidParams(format!("beta {beta} out of (0, 1]")));
+        if !(0.0 < beta && beta <= 1.0 && beta.is_finite()) {
+            return Err(CoreError::InvalidParams(format!(
+                "beta {beta} out of (0, 1]"
+            )));
         }
-        if !(k1 >= 1.0) || !(k2 >= 1.0) {
+        if !(k1 >= 1.0 && k2 >= 1.0) {
             return Err(CoreError::InvalidParams(format!(
                 "k1={k1}, k2={k2} must both be at least 1"
             )));
@@ -105,9 +109,17 @@ impl DistillParams {
     ///
     /// # Errors
     /// Returns [`CoreError::InvalidParams`] on out-of-range inputs.
-    pub fn high_probability(n: u32, m: u32, alpha: f64, beta: f64, c: f64) -> Result<Self, CoreError> {
-        if !(c > 0.0) {
-            return Err(CoreError::InvalidParams(format!("hp constant c={c} must be positive")));
+    pub fn high_probability(
+        n: u32,
+        m: u32,
+        alpha: f64,
+        beta: f64,
+        c: f64,
+    ) -> Result<Self, CoreError> {
+        if c.is_nan() || c <= 0.0 {
+            return Err(CoreError::InvalidParams(format!(
+                "hp constant c={c} must be positive"
+            )));
         }
         let k = (c * f64::from(n.max(2)).ln()).ceil();
         Self::with_constants(n, m, alpha, beta, k.max(DEFAULT_K1), k.max(DEFAULT_K2))
@@ -142,7 +154,10 @@ impl DistillParams {
     /// # Panics
     /// Panics if `c_t == 0` (the while loop never runs on an empty set).
     pub fn survival_threshold(&self, c_t: usize) -> f64 {
-        assert!(c_t > 0, "survival threshold undefined for empty candidate set");
+        assert!(
+            c_t > 0,
+            "survival threshold undefined for empty candidate set"
+        );
         f64::from(self.n) / (4.0 * c_t as f64)
     }
 

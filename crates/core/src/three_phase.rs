@@ -71,13 +71,15 @@ impl ThreePhase {
 
     fn record(&self, label: &'static str, round: distill_billboard::Round, set: &[ObjectId]) {
         if let Some(obs) = &self.observer {
-            obs.lock().expect("observer lock").push(crate::CandidateSnapshot {
-                attempt: 1,
-                label,
-                iteration: Some(self.phase),
-                round,
-                candidates: set.to_vec(),
-            });
+            obs.lock()
+                .expect("observer lock")
+                .push(crate::CandidateSnapshot {
+                    attempt: 1,
+                    label,
+                    iteration: Some(self.phase),
+                    round,
+                    candidates: set.to_vec(),
+                });
         }
     }
 
@@ -171,7 +173,13 @@ mod tests {
             assert_eq!(c.phase_info().label, "three-phase.1");
             for p in 0..5u32 {
                 board
-                    .append(Round(r), PlayerId(p + 5 * r as u32), ObjectId(5), 1.0, ReportKind::Positive)
+                    .append(
+                        Round(r),
+                        PlayerId(p + 5 * r as u32),
+                        ObjectId(5),
+                        1.0,
+                        ReportKind::Positive,
+                    )
                     .unwrap();
             }
         }
@@ -196,7 +204,9 @@ mod tests {
             assert_eq!(c.phase_info().label, "three-phase.3");
         }
         let notes = c.notes();
-        assert!(notes.iter().any(|(k, v)| k == "three_phase.c3_size" && *v == 1.0));
+        assert!(notes
+            .iter()
+            .any(|(k, v)| k == "three_phase.c3_size" && *v == 1.0));
     }
 
     #[test]
@@ -212,10 +222,22 @@ mod tests {
         let mut tracker = VoteTracker::new(4, 4, VotePolicy::single_vote());
         let mut c = ThreePhase::new(4).with_observer(std::sync::Arc::clone(&obs));
         board
-            .append(Round(0), PlayerId(0), ObjectId(1), 1.0, ReportKind::Positive)
+            .append(
+                Round(0),
+                PlayerId(0),
+                ObjectId(1),
+                1.0,
+                ReportKind::Positive,
+            )
             .unwrap();
         board
-            .append(Round(0), PlayerId(1), ObjectId(1), 1.0, ReportKind::Positive)
+            .append(
+                Round(0),
+                PlayerId(1),
+                ObjectId(1),
+                1.0,
+                ReportKind::Positive,
+            )
             .unwrap();
         tracker.ingest(&board);
         for r in 0..5u64 {
@@ -223,8 +245,12 @@ mod tests {
             let _ = c.directive(&view);
         }
         let snaps = obs.lock().unwrap();
-        assert!(snaps.iter().any(|s| s.label == "C2" && s.candidates == vec![ObjectId(1)]));
+        assert!(snaps
+            .iter()
+            .any(|s| s.label == "C2" && s.candidates == vec![ObjectId(1)]));
         // θ₃ = 1 for n=4; object 1 has 2 votes
-        assert!(snaps.iter().any(|s| s.label == "C3" && s.candidates == vec![ObjectId(1)]));
+        assert!(snaps
+            .iter()
+            .any(|s| s.label == "C3" && s.candidates == vec![ObjectId(1)]));
     }
 }

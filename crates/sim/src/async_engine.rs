@@ -132,7 +132,11 @@ impl Starve {
 
 impl Schedule for Starve {
     fn next(&mut self, step: u64, active: &[PlayerId], rng: &mut SmallRng) -> PlayerId {
-        let others: Vec<PlayerId> = active.iter().copied().filter(|&p| p != self.victim).collect();
+        let others: Vec<PlayerId> = active
+            .iter()
+            .copied()
+            .filter(|&p| p != self.victim)
+            .collect();
         if others.is_empty() {
             self.victim
         } else {
@@ -189,7 +193,8 @@ impl StepPolicy for BalanceStep {
             ObjectId(rng.gen_range(0..m))
         } else {
             let j = PlayerId(rng.gen_range(0..view.n_players()));
-            view.vote_of(j).unwrap_or_else(|| ObjectId(rng.gen_range(0..m)))
+            view.vote_of(j)
+                .unwrap_or_else(|| ObjectId(rng.gen_range(0..m)))
         }
     }
 
@@ -284,6 +289,7 @@ impl<'w> AsyncEngine<'w> {
     /// Returns [`SimError::InvalidConfig`] for empty populations or a
     /// non-local-testing world (the asynchronous model of \[1\] assumes
     /// players recognize good objects).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         n: u32,
         n_honest: u32,
@@ -319,7 +325,9 @@ impl<'w> AsyncEngine<'w> {
                 };
                 n_honest as usize
             ],
-            player_rngs: (0..n_honest).map(|p| stream_rng(seed, Stream::Player(p))).collect(),
+            player_rngs: (0..n_honest)
+                .map(|p| stream_rng(seed, Stream::Player(p)))
+                .collect(),
             sched_rng: stream_rng(seed, Stream::Aux(1)),
             adv_rng: stream_rng(seed, Stream::Adversary),
             policy,
@@ -346,7 +354,10 @@ impl<'w> AsyncEngine<'w> {
                 break;
             }
             let player = self.schedule.next(self.step, &active, &mut self.sched_rng);
-            debug_assert!(active.contains(&player), "schedule must pick an active player");
+            debug_assert!(
+                active.contains(&player),
+                "schedule must pick an active player"
+            );
             let round = Round(self.step);
 
             // the player's read-probe-post step
@@ -359,7 +370,11 @@ impl<'w> AsyncEngine<'w> {
             outcome.probes += 1;
             outcome.cost_paid += self.world.cost(object);
             let good = self.world.is_good(object);
-            let kind = if good { ReportKind::Positive } else { ReportKind::Negative };
+            let kind = if good {
+                ReportKind::Positive
+            } else {
+                ReportKind::Negative
+            };
             self.board
                 .append(round, player, object, self.world.value(object), kind)
                 .expect("engine-produced posts are valid");
@@ -415,20 +430,29 @@ mod tests {
         World::binary(64, 4, 3).unwrap()
     }
 
-    fn run(
-        schedule: Box<dyn Schedule>,
-        policy: Box<dyn StepPolicy>,
-        seed: u64,
-    ) -> AsyncResult {
+    fn run(schedule: Box<dyn Schedule>, policy: Box<dyn StepPolicy>, seed: u64) -> AsyncResult {
         let w = world();
-        AsyncEngine::new(16, 16, seed, 2_000_000, &w, policy, schedule, Box::new(NullAdversary))
-            .unwrap()
-            .run()
+        AsyncEngine::new(
+            16,
+            16,
+            seed,
+            2_000_000,
+            &w,
+            policy,
+            schedule,
+            Box::new(NullAdversary),
+        )
+        .unwrap()
+        .run()
     }
 
     #[test]
     fn round_robin_finishes_everyone() {
-        let r = run(Box::new(RoundRobin::default()), Box::new(BalanceStep::new()), 1);
+        let r = run(
+            Box::new(RoundRobin::default()),
+            Box::new(BalanceStep::new()),
+            1,
+        );
         assert!(r.all_satisfied);
         assert!(r.total_probes() >= 16);
         assert_eq!(r.steps, r.total_probes(), "every step is one probe");
@@ -445,12 +469,19 @@ mod tests {
         // The victim is scheduled alone until satisfied: its probes must be
         // ≈ geometric(beta) with no help, i.e. it satisfies before anyone
         // else even takes a step.
-        let r = run(Box::new(Isolate::new(PlayerId(0))), Box::new(BalanceStep::new()), 3);
+        let r = run(
+            Box::new(Isolate::new(PlayerId(0))),
+            Box::new(BalanceStep::new()),
+            3,
+        );
         assert!(r.all_satisfied);
         let victim_done = r.players[0].satisfied_step.unwrap();
         for p in 1..16usize {
             if let Some(s) = r.players[p].satisfied_step {
-                assert!(s > victim_done, "nobody may finish before the isolated victim");
+                assert!(
+                    s > victim_done,
+                    "nobody may finish before the isolated victim"
+                );
             }
         }
         assert_eq!(
@@ -462,7 +493,11 @@ mod tests {
 
     #[test]
     fn starved_player_catches_up_cheaply() {
-        let r = run(Box::new(Starve::new(PlayerId(0))), Box::new(BalanceStep::new()), 4);
+        let r = run(
+            Box::new(Starve::new(PlayerId(0))),
+            Box::new(BalanceStep::new()),
+            4,
+        );
         assert!(r.all_satisfied);
         let victim = r.players[0].probes;
         let mean_other: f64 = r.players[1..].iter().map(|p| p.probes as f64).sum::<f64>() / 15.0;

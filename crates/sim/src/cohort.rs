@@ -227,7 +227,10 @@ mod tests {
 
     #[test]
     fn to_vec_materializes() {
-        assert_eq!(CandidateSet::All.to_vec(3), vec![ObjectId(0), ObjectId(1), ObjectId(2)]);
+        assert_eq!(
+            CandidateSet::All.to_vec(3),
+            vec![ObjectId(0), ObjectId(1), ObjectId(2)]
+        );
         let s = CandidateSet::subset(vec![ObjectId(1)]);
         assert_eq!(s.to_vec(3), vec![ObjectId(1)]);
     }
@@ -235,11 +238,18 @@ mod tests {
     #[test]
     fn displays() {
         assert_eq!(CandidateSet::All.to_string(), "ALL");
-        assert!(CandidateSet::subset(vec![ObjectId(0)]).to_string().contains("1 objects"));
+        assert!(CandidateSet::subset(vec![ObjectId(0)])
+            .to_string()
+            .contains("1 objects"));
         assert!(Directive::Idle.to_string().contains("idle"));
-        let d = Directive::SeekAdvice { fallback: CandidateSet::All };
+        let d = Directive::SeekAdvice {
+            fallback: CandidateSet::All,
+        };
         assert!(d.to_string().contains("seek-advice"));
-        let d = Directive::Mixed { explore: 0.5, set: CandidateSet::All };
+        let d = Directive::Mixed {
+            explore: 0.5,
+            set: CandidateSet::All,
+        };
         assert!(d.to_string().contains("0.5"));
         let d = Directive::ProbeUniform(CandidateSet::All);
         assert!(d.to_string().contains("probe-uniform"));

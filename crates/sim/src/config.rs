@@ -78,9 +78,10 @@ impl fmt::Display for StopRule {
 /// participation patterns let experiments quantify exactly that (E15):
 /// slowing players down degrades collaboration gracefully, and a straggler
 /// that wakes up late still catches up in `O(1/α)` rounds via advice probes.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Participation {
     /// The synchronous model: every unsatisfied honest player acts each round.
+    #[default]
     Full,
     /// Each honest player independently acts with probability `p` per round
     /// (players running at `p`× speed).
@@ -104,19 +105,16 @@ pub enum Participation {
     },
 }
 
-impl Default for Participation {
-    fn default() -> Self {
-        Participation::Full
-    }
-}
-
 impl fmt::Display for Participation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Participation::Full => f.write_str("full"),
             Participation::RandomSubset { p } => write!(f, "random-subset(p={p})"),
             Participation::RoundRobin { groups } => write!(f, "round-robin({groups})"),
-            Participation::Straggler { player, until_round } => {
+            Participation::Straggler {
+                player,
+                until_round,
+            } => {
                 write!(f, "straggler({player} until r{until_round})")
             }
         }
@@ -159,6 +157,12 @@ pub struct SimConfig {
     pub participation: Participation,
     /// Record a full event trace (memory-heavy; tests/debugging only).
     pub record_trace: bool,
+    /// Register the cohort's tally window with the vote tracker so that
+    /// segment-boundary `ℓ_t(i)` queries are answered from incremental
+    /// counters (default). Disabling forces every window query onto the
+    /// event-stream scan — results must be bit-identical either way, which is
+    /// what the determinism oracle tests assert.
+    pub register_tally_windows: bool,
 }
 
 impl SimConfig {
@@ -179,6 +183,7 @@ impl SimConfig {
             pre_satisfied: Vec::new(),
             participation: Participation::Full,
             record_trace: false,
+            register_tally_windows: true,
         }
     }
 
@@ -228,6 +233,14 @@ impl SimConfig {
     /// Sets the participation pattern.
     pub fn with_participation(mut self, participation: Participation) -> Self {
         self.participation = participation;
+        self
+    }
+
+    /// Enables or disables incremental tally-window registration (see
+    /// [`SimConfig::register_tally_windows`]). Mostly for equivalence tests;
+    /// production runs should leave it on.
+    pub fn with_tally_window_registration(mut self, on: bool) -> Self {
+        self.register_tally_windows = on;
         self
     }
 
@@ -388,8 +401,12 @@ mod tests {
             .is_ok());
         assert_eq!(Participation::default(), Participation::Full);
         assert!(Participation::Full.to_string().contains("full"));
-        assert!(Participation::RoundRobin { groups: 3 }.to_string().contains('3'));
-        assert!(Participation::RandomSubset { p: 0.5 }.to_string().contains("0.5"));
+        assert!(Participation::RoundRobin { groups: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(Participation::RandomSubset { p: 0.5 }
+            .to_string()
+            .contains("0.5"));
         assert!(Participation::Straggler {
             player: PlayerId(1),
             until_round: 9

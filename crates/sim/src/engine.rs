@@ -16,6 +16,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 /// A pending honest probe, resolved against the start-of-round view.
+#[derive(Clone, Copy)]
 struct HonestProbe {
     player: PlayerId,
     object: ObjectId,
@@ -48,6 +49,12 @@ pub struct Engine<'w> {
     board: Billboard,
     tracker: VoteTracker,
     satisfied: Vec<bool>,
+    /// Running count of `true`s in `satisfied` — keeps the stop rules and the
+    /// per-round satisfaction curve O(1) instead of an O(n) rescan per round.
+    n_satisfied: usize,
+    /// Unsatisfied honest players, ascending. Ascending order matters: it is
+    /// the board append order, which advice probes observe.
+    active_players: Vec<u32>,
     outcomes: Vec<PlayerOutcome>,
     best_probe: Vec<Option<(ObjectId, f64)>>,
     player_rngs: Vec<SmallRng>,
@@ -58,6 +65,11 @@ pub struct Engine<'w> {
     trace: Option<Vec<TraceEvent>>,
     round: Round,
     rounds_executed: u64,
+    /// Reused across rounds to avoid a per-round allocation.
+    probe_buf: Vec<HonestProbe>,
+    /// Start of the tally window currently registered with the tracker
+    /// (mirrors the cohort's `PhaseInfo::window_start`).
+    open_window_start: Option<Round>,
 }
 
 impl std::fmt::Debug for Engine<'_> {
@@ -106,6 +118,12 @@ impl<'w> Engine<'w> {
             }
         }
         for &(p, o) in &config.pre_satisfied {
+            if p.0 >= config.n_honest {
+                return Err(SimError::InvalidConfig(format!(
+                    "pre-satisfied player {p} out of range (honest players are p0..p{})",
+                    config.n_honest
+                )));
+            }
             if o.0 >= world.m() {
                 return Err(SimError::InvalidConfig(format!(
                     "pre-satisfied vote {o} out of range"
@@ -144,6 +162,10 @@ impl<'w> Engine<'w> {
         let adv_rng = stream_rng(config.seed, Stream::Adversary);
         let dishonest = config.dishonest_players();
         let trace = config.record_trace.then(Vec::new);
+        let n_satisfied = satisfied.iter().filter(|&&s| s).count();
+        let active_players: Vec<u32> = (0..config.n_honest)
+            .filter(|&p| !satisfied[p as usize])
+            .collect();
 
         Ok(Engine {
             config,
@@ -153,6 +175,8 @@ impl<'w> Engine<'w> {
             board,
             tracker,
             satisfied,
+            n_satisfied,
+            active_players,
             outcomes,
             best_probe: vec![None; n_honest],
             player_rngs,
@@ -163,6 +187,8 @@ impl<'w> Engine<'w> {
             trace,
             round,
             rounds_executed: 0,
+            probe_buf: Vec::new(),
+            open_window_start: None,
         })
     }
 
@@ -171,9 +197,15 @@ impl<'w> Engine<'w> {
         self.round
     }
 
-    /// Number of satisfied honest players so far.
+    /// Number of satisfied honest players so far. O(1): maintained as a
+    /// running counter rather than rescanning the satisfaction flags.
     pub fn satisfied_count(&self) -> usize {
-        self.satisfied.iter().filter(|&&s| s).count()
+        debug_assert_eq!(
+            self.n_satisfied,
+            self.satisfied.iter().filter(|&&s| s).count(),
+            "running satisfied counter diverged from the flag scan"
+        );
+        self.n_satisfied
     }
 
     /// The billboard (read-only).
@@ -187,7 +219,7 @@ impl<'w> Engine<'w> {
     }
 
     fn all_honest_satisfied(&self) -> bool {
-        self.satisfied.iter().all(|&s| s)
+        self.n_satisfied == self.satisfied.len()
     }
 
     fn should_stop(&self) -> bool {
@@ -197,7 +229,7 @@ impl<'w> Engine<'w> {
             }
             StopRule::Horizon { rounds } => self.rounds_executed >= rounds,
             StopRule::AnySatisfied { max_rounds } => {
-                self.satisfied.iter().any(|&s| s) || self.rounds_executed >= max_rounds
+                self.n_satisfied > 0 || self.rounds_executed >= max_rounds
             }
         }
     }
@@ -217,27 +249,20 @@ impl<'w> Engine<'w> {
         let m = self.world.m();
 
         if let Some(t) = self.trace.as_mut() {
-            let active = self.satisfied.iter().filter(|&&s| !s).count() as u32;
             t.push(TraceEvent::RoundStart {
                 round,
-                active_honest: active,
+                active_honest: self.active_players.len() as u32,
             });
         }
 
-        // 1+2: cohort directive and honest probe resolution against the
-        // end-of-previous-round snapshot.
-        let directive = {
-            let view = BoardView::new(&self.board, &self.tracker, round);
-            self.cohort.directive(&view)
-        };
-        let phase = self.cohort.phase_info();
-        let mut probes: Vec<HonestProbe> = Vec::new();
+        // 1+2: cohort directive and honest probe resolution, both against the
+        // same end-of-previous-round snapshot (built once per round).
+        self.probe_buf.clear();
         {
             let view = BoardView::new(&self.board, &self.tracker, round);
-            for p in 0..self.config.n_honest {
-                if self.satisfied[p as usize] {
-                    continue;
-                }
+            let directive = self.cohort.directive(&view);
+            for idx in 0..self.active_players.len() {
+                let p = self.active_players[idx];
                 let rng = &mut self.player_rngs[p as usize];
                 let participates = match self.config.participation {
                     crate::config::Participation::Full => true,
@@ -247,9 +272,10 @@ impl<'w> Engine<'w> {
                     crate::config::Participation::RoundRobin { groups } => {
                         (round.as_u64() + u64::from(p)) % u64::from(groups) == 0
                     }
-                    crate::config::Participation::Straggler { player, until_round } => {
-                        player.0 != p || round.as_u64() >= until_round
-                    }
+                    crate::config::Participation::Straggler {
+                        player,
+                        until_round,
+                    } => player.0 != p || round.as_u64() >= until_round,
                 };
                 if !participates {
                     continue;
@@ -269,13 +295,24 @@ impl<'w> Engine<'w> {
                     Directive::Idle => None,
                 };
                 if let Some((object, via_advice)) = resolved {
-                    probes.push(HonestProbe {
+                    self.probe_buf.push(HonestProbe {
                         player: PlayerId(p),
                         object,
                         via_advice,
                     });
                 }
             }
+        }
+        let phase = self.cohort.phase_info();
+
+        // Keep the tracker's registered tally window in lock-step with the
+        // protocol's: cohorts only hold read-only views, so the engine opens
+        // each segment's window on their behalf, making the `ℓ_t(i)` queries
+        // at the next segment boundary O(1)/O(result).
+        if self.config.register_tally_windows && self.open_window_start != Some(phase.window_start)
+        {
+            self.tracker.open_window(phase.window_start);
+            self.open_window_start = Some(phase.window_start);
         }
 
         // 3a: non-strongly-adaptive adversaries act before honest posts land.
@@ -288,7 +325,9 @@ impl<'w> Engine<'w> {
 
         // 4a: honest posts.
         let local_testing = self.world.model().has_local_testing();
-        for probe in &probes {
+        let mut any_satisfied_this_round = false;
+        for idx in 0..self.probe_buf.len() {
+            let probe = self.probe_buf[idx];
             let p = probe.player;
             let outcome = &mut self.outcomes[p.index()];
             let value = self.world.value(probe.object);
@@ -333,6 +372,8 @@ impl<'w> Engine<'w> {
                 }
                 if good {
                     self.satisfied[p.index()] = true;
+                    self.n_satisfied += 1;
+                    any_satisfied_this_round = true;
                     outcome.satisfied_round = Some(round);
                     if let Some(t) = self.trace.as_mut() {
                         t.push(TraceEvent::Satisfied {
@@ -381,7 +422,11 @@ impl<'w> Engine<'w> {
         }
 
         self.tracker.ingest(&self.board);
-        self.satisfied_per_round.push(self.satisfied_count() as u32);
+        if any_satisfied_this_round {
+            let satisfied = &self.satisfied;
+            self.active_players.retain(|&p| !satisfied[p as usize]);
+        }
+        self.satisfied_per_round.push(self.n_satisfied as u32);
         self.round = round.next();
         self.rounds_executed += 1;
     }
@@ -430,7 +475,7 @@ impl<'w> Engine<'w> {
             let found_good: Vec<bool> = self
                 .best_probe
                 .iter()
-                .map(|bp| bp.map_or(false, |(o, _)| self.world.is_good(o)))
+                .map(|bp| bp.is_some_and(|(o, _)| self.world.is_good(o)))
                 .collect();
             let success_fraction = if found_good.is_empty() {
                 0.0
@@ -444,7 +489,7 @@ impl<'w> Engine<'w> {
         };
         SimResult {
             rounds: self.rounds_executed,
-            all_satisfied: self.satisfied.iter().all(|&s| s),
+            all_satisfied: self.n_satisfied == self.satisfied.len(),
             players: self.outcomes,
             satisfied_per_round: self.satisfied_per_round,
             posts_total: self.board.len(),
@@ -518,7 +563,8 @@ mod tests {
     fn trivial_cohort_satisfies_everyone() {
         let world = small_world();
         let config = SimConfig::new(8, 8, 3).with_stop(StopRule::all_satisfied(100_000));
-        let engine = Engine::new(config, &world, Box::new(Trivial), Box::new(NullAdversary)).unwrap();
+        let engine =
+            Engine::new(config, &world, Box::new(Trivial), Box::new(NullAdversary)).unwrap();
         let result = engine.run();
         assert!(result.all_satisfied);
         assert_eq!(result.satisfied_count(), 8);
@@ -543,7 +589,11 @@ mod tests {
         assert_eq!(a.mean_probes(), b.mean_probes());
         assert_eq!(a.satisfied_per_round, b.satisfied_per_round);
         // different seeds almost surely diverge in some statistic
-        assert!(a.rounds != c.rounds || a.mean_probes() != c.mean_probes() || a.posts_total != c.posts_total);
+        assert!(
+            a.rounds != c.rounds
+                || a.mean_probes() != c.mean_probes()
+                || a.posts_total != c.posts_total
+        );
     }
 
     #[test]
@@ -555,8 +605,13 @@ mod tests {
         let config = SimConfig::new(8, 8, 9)
             .with_pre_satisfied(vec![(PlayerId(0), good)])
             .with_stop(StopRule::all_satisfied(10_000));
-        let engine =
-            Engine::new(config, &world, Box::new(AdviceOnly), Box::new(NullAdversary)).unwrap();
+        let engine = Engine::new(
+            config,
+            &world,
+            Box::new(AdviceOnly),
+            Box::new(NullAdversary),
+        )
+        .unwrap();
         let result = engine.run();
         assert!(result.all_satisfied);
         // player 0 never probed
@@ -583,7 +638,8 @@ mod tests {
         let config = SimConfig::new(8, 8, 2)
             .with_policy(VotePolicy::best_value())
             .with_stop(StopRule::horizon(50));
-        let engine = Engine::new(config, &world, Box::new(Trivial), Box::new(NullAdversary)).unwrap();
+        let engine =
+            Engine::new(config, &world, Box::new(Trivial), Box::new(NullAdversary)).unwrap();
         let result = engine.run();
         assert_eq!(result.rounds, 50);
         let eval = result.final_eval.expect("no-LT runs produce a final eval");
@@ -635,6 +691,35 @@ mod tests {
     }
 
     #[test]
+    fn pre_satisfied_player_must_be_honest() {
+        // Regression: a pre-satisfied entry naming a player id ≥ n_honest
+        // used to panic with index-out-of-bounds when seeding the
+        // satisfaction flags; it must be an InvalidConfig error like the
+        // object-side checks above.
+        let world = small_world();
+        let good = world.good_objects()[0];
+        for player in [PlayerId(4), PlayerId(7), PlayerId(99)] {
+            let err = Engine::new(
+                SimConfig::new(8, 4, 0).with_pre_satisfied(vec![(player, good)]),
+                &world,
+                Box::new(Trivial),
+                Box::new(NullAdversary),
+            )
+            .err()
+            .unwrap_or_else(|| panic!("pre-satisfied {player} must be rejected"));
+            assert!(matches!(err, SimError::InvalidConfig(_)));
+        }
+        // Boundary: the last honest player is fine.
+        assert!(Engine::new(
+            SimConfig::new(8, 4, 0).with_pre_satisfied(vec![(PlayerId(3), good)]),
+            &world,
+            Box::new(Trivial),
+            Box::new(NullAdversary),
+        )
+        .is_ok());
+    }
+
+    #[test]
     fn max_rounds_safety_valve() {
         // A world where the only good object exists but the cohort idles:
         #[derive(Debug)]
@@ -670,9 +755,13 @@ mod tests {
             .unwrap()
             .run();
         let trace = result.trace.as_ref().expect("trace requested");
-        assert!(trace.iter().any(|e| matches!(e, TraceEvent::RoundStart { .. })));
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::RoundStart { .. })));
         assert!(trace.iter().any(|e| matches!(e, TraceEvent::Probe { .. })));
-        assert!(trace.iter().any(|e| matches!(e, TraceEvent::Satisfied { .. })));
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Satisfied { .. })));
         let probes = trace
             .iter()
             .filter(|e| matches!(e, TraceEvent::Probe { .. }))
@@ -734,13 +823,22 @@ mod tests {
             let result = Engine::new(config, &world, Box::new(Trivial), Box::new(probe))
                 .unwrap()
                 .run();
-            (result, std::sync::Arc::try_unwrap(seen).unwrap().into_inner().unwrap())
+            (
+                result,
+                std::sync::Arc::try_unwrap(seen)
+                    .unwrap()
+                    .into_inner()
+                    .unwrap(),
+            )
         };
         let (res_a, seen_adaptive) = run(InfoModel::Adaptive);
         let (res_s, seen_strong) = run(InfoModel::StronglyAdaptive);
         // Adaptive: in round 0 the adversary sees an empty board (honest
         // round-0 posts land after its call).
-        assert_eq!(seen_adaptive[0], 0, "adaptive must not see round-0 honest posts");
+        assert_eq!(
+            seen_adaptive[0], 0,
+            "adaptive must not see round-0 honest posts"
+        );
         // Strongly adaptive: round 0's honest posts are already visible.
         assert!(
             seen_strong[0] >= 6,
@@ -762,9 +860,14 @@ mod tests {
                 until_round: 10,
             })
             .with_stop(StopRule::all_satisfied(10_000));
-        let result = Engine::new(config, &world, Box::new(AdviceOnly), Box::new(NullAdversary))
-            .unwrap()
-            .run();
+        let result = Engine::new(
+            config,
+            &world,
+            Box::new(AdviceOnly),
+            Box::new(NullAdversary),
+        )
+        .unwrap()
+        .run();
         assert!(result.all_satisfied);
         // Player 0 did nothing for its first 10 rounds.
         if let Some(r) = result.players[0].satisfied_round {
@@ -819,7 +922,8 @@ mod tests {
             .with_honest_error_rate(1.0) // always err on bad probes
             .with_policy(VotePolicy::multi_vote(4))
             .with_stop(StopRule::all_satisfied(10_000));
-        let engine = Engine::new(config, &world, Box::new(Trivial), Box::new(NullAdversary)).unwrap();
+        let engine =
+            Engine::new(config, &world, Box::new(Trivial), Box::new(NullAdversary)).unwrap();
         let result = engine.run();
         assert!(result.all_satisfied);
         // With error rate 1.0 every bad probe posted a positive report, so

@@ -46,7 +46,11 @@ pub struct FinalEval {
 }
 
 /// The complete outcome of one simulated execution.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field, so two results are equal only if the
+/// executions were observably identical — the comparison the determinism
+/// oracles (fixed seed ⇒ bit-identical result) rely on.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Rounds executed.
     pub rounds: u64,
@@ -96,7 +100,10 @@ impl SimResult {
         }
         self.players
             .iter()
-            .map(|p| p.satisfied_round.map_or(self.rounds as f64, |r| r.as_u64() as f64 + 1.0))
+            .map(|p| {
+                p.satisfied_round
+                    .map_or(self.rounds as f64, |r| r.as_u64() as f64 + 1.0)
+            })
             .sum::<f64>()
             / self.players.len() as f64
     }
@@ -160,10 +167,7 @@ mod tests {
 
     #[test]
     fn aggregates() {
-        let r = result_with(
-            vec![outcome(2, 2.0, Some(1)), outcome(4, 8.0, Some(3))],
-            5,
-        );
+        let r = result_with(vec![outcome(2, 2.0, Some(1)), outcome(4, 8.0, Some(3))], 5);
         assert!((r.mean_probes() - 3.0).abs() < 1e-12);
         assert!((r.mean_cost() - 5.0).abs() < 1e-12);
         assert_eq!(r.last_satisfaction_round(), Some(Round(3)));

@@ -94,8 +94,8 @@ mod tests {
 
     #[test]
     fn degenerate_thread_counts() {
-        assert_eq!(run_trials_threaded(3, 0, |t| fake_result(t)).len(), 3);
-        assert_eq!(run_trials_threaded(0, 8, |t| fake_result(t)).len(), 0);
-        assert_eq!(run_trials_threaded(2, 100, |t| fake_result(t)).len(), 2);
+        assert_eq!(run_trials_threaded(3, 0, fake_result).len(), 3);
+        assert_eq!(run_trials_threaded(0, 8, fake_result).len(), 0);
+        assert_eq!(run_trials_threaded(2, 100, fake_result).len(), 2);
     }
 }

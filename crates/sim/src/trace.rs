@@ -96,7 +96,9 @@ pub fn summarize(trace: &[TraceEvent]) -> TraceSummary {
     for event in trace {
         match *event {
             TraceEvent::RoundStart { .. } => s.rounds += 1,
-            TraceEvent::Probe { via_advice, good, .. } => {
+            TraceEvent::Probe {
+                via_advice, good, ..
+            } => {
                 s.probes += 1;
                 if via_advice {
                     s.advice_probes += 1;
@@ -124,7 +126,10 @@ mod tests {
     #[test]
     fn summary_counts_all_kinds() {
         let trace = vec![
-            TraceEvent::RoundStart { round: Round(0), active_honest: 2 },
+            TraceEvent::RoundStart {
+                round: Round(0),
+                active_honest: 2,
+            },
             TraceEvent::Probe {
                 round: Round(0),
                 player: PlayerId(0),
@@ -139,9 +144,19 @@ mod tests {
                 via_advice: true,
                 good: true,
             },
-            TraceEvent::Satisfied { round: Round(0), player: PlayerId(1), object: ObjectId(2) },
-            TraceEvent::AdversaryPosts { round: Round(0), count: 3 },
-            TraceEvent::RoundStart { round: Round(1), active_honest: 1 },
+            TraceEvent::Satisfied {
+                round: Round(0),
+                player: PlayerId(1),
+                object: ObjectId(2),
+            },
+            TraceEvent::AdversaryPosts {
+                round: Round(0),
+                count: 3,
+            },
+            TraceEvent::RoundStart {
+                round: Round(1),
+                active_honest: 1,
+            },
             TraceEvent::Probe {
                 round: Round(1),
                 player: PlayerId(0),
@@ -149,7 +164,11 @@ mod tests {
                 via_advice: true,
                 good: true,
             },
-            TraceEvent::Satisfied { round: Round(1), player: PlayerId(0), object: ObjectId(2) },
+            TraceEvent::Satisfied {
+                round: Round(1),
+                player: PlayerId(0),
+                object: ObjectId(2),
+            },
         ];
         let s = summarize(&trace);
         assert_eq!(s.rounds, 2);

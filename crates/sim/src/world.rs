@@ -64,7 +64,11 @@ impl World {
                 costs.len()
             )));
         }
-        if values.iter().chain(costs.iter()).any(|v| !v.is_finite() || *v < 0.0) {
+        if values
+            .iter()
+            .chain(costs.iter())
+            .any(|v| !v.is_finite() || *v < 0.0)
+        {
             return Err(SimError::InvalidWorld(
                 "values and costs must be finite and non-negative".into(),
             ));
@@ -129,9 +133,11 @@ impl World {
         for &i in ids.iter().take(n_good as usize) {
             values[i] = 1.0;
         }
-        World::from_parts(values, vec![1.0; m as usize], ObjectModel::LocalTesting {
-            threshold: 0.5,
-        })
+        World::from_parts(
+            values,
+            vec![1.0; m as usize],
+            ObjectModel::LocalTesting { threshold: 0.5 },
+        )
     }
 
     /// A world with i.i.d. `U[0,1)` values and unit costs, good = top `βm`
@@ -599,7 +605,11 @@ mod tests {
 
     #[test]
     fn builder_defaults_and_overrides() {
-        let w = WorldBuilder::new(20).seed(4).good_objects(3).build().unwrap();
+        let w = WorldBuilder::new(20)
+            .seed(4)
+            .good_objects(3)
+            .build()
+            .unwrap();
         assert_eq!(w.good_count(), 3);
         let w = WorldBuilder::new(3)
             .values(vec![0.0, 1.0, 0.0])

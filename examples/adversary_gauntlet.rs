@@ -34,9 +34,14 @@ fn main() {
             let config = SimConfig::new(n, honest, 70_000 + t)
                 .with_stop(StopRule::all_satisfied(500_000))
                 .with_negative_reports(false);
-            let r = Engine::new(config, &world, Box::new(Distill::new(params)), (entry.make)())
-                .expect("engine")
-                .run();
+            let r = Engine::new(
+                config,
+                &world,
+                Box::new(Distill::new(params)),
+                (entry.make)(),
+            )
+            .expect("engine")
+            .run();
             costs.push(r.mean_probes());
             ok &= r.all_satisfied;
         }

@@ -25,7 +25,12 @@ fn main() {
 
     let mut table = Table::new(
         "per-schedule costs (averaged over 10 runs)",
-        &["schedule", "total probes", "player-0 probes", "mean player probes"],
+        &[
+            "schedule",
+            "total probes",
+            "player-0 probes",
+            "mean player probes",
+        ],
     );
     for name in ["round-robin", "random", "isolate", "starve"] {
         let mut totals = Vec::new();

@@ -28,7 +28,13 @@ fn main() {
 
     let mut table = Table::new(
         "mean spend per honest buyer",
-        &["genuine band i0", "q0", "cost-class search", "flat distill", "savings"],
+        &[
+            "genuine band i0",
+            "q0",
+            "cost-class search",
+            "flat distill",
+            "savings",
+        ],
     );
 
     for &i0 in &[0usize, 2, 4] {
@@ -41,9 +47,14 @@ fn main() {
             let config = SimConfig::new(n, honest, 6_000 + t)
                 .with_stop(StopRule::all_satisfied(500_000))
                 .with_negative_reports(false);
-            let r = Engine::new(config, &world, Box::new(cohort), Box::new(UniformBad::new()))
-                .expect("engine")
-                .run();
+            let r = Engine::new(
+                config,
+                &world,
+                Box::new(cohort),
+                Box::new(UniformBad::new()),
+            )
+            .expect("engine")
+            .run();
             assert!(r.all_satisfied, "cost-class search must finish");
             classed.push(r.mean_cost());
 

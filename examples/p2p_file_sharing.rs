@@ -47,7 +47,13 @@ fn main() {
 
     let mut table = Table::new(
         "downloads (probes) per honest peer until an authentic copy",
-        &["votes f", "honest error rate", "mean downloads", "all peers done", "rounds"],
+        &[
+            "votes f",
+            "honest error rate",
+            "mean downloads",
+            "all peers done",
+            "rounds",
+        ],
     );
     for &(f, err) in &[(1usize, 0.0f64), (1, 0.05), (4, 0.05), (4, 0.20)] {
         let mut costs = Vec::new();

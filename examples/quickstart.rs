@@ -34,7 +34,13 @@ fn main() {
     println!("DISTILL vs baselines — one good object among m = n, sqrt(n) dishonest players\n");
     let mut table = Table::new(
         "mean individual cost (probes per honest player)",
-        &["n", "distill", "balance [1]", "random", "paper shape: ln(n)"],
+        &[
+            "n",
+            "distill",
+            "balance [1]",
+            "random",
+            "paper shape: ln(n)",
+        ],
     );
 
     for &n in &[64u32, 256, 1024, 4096, 16384] {
@@ -44,8 +50,7 @@ fn main() {
         let alpha = f64::from(honest) / f64::from(n);
 
         let distill = mean_cost_over_trials(n, honest, trials, &|w: &World| {
-            let params =
-                DistillParams::new(n, n, alpha, w.beta()).expect("valid params");
+            let params = DistillParams::new(n, n, alpha, w.beta()).expect("valid params");
             Box::new(Distill::new(params))
         });
         let balance =

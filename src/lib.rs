@@ -75,8 +75,8 @@ pub mod prelude {
         Window,
     };
     pub use distill_core::{
-        multi_vote, no_local_testing, Balance, CostClassSearch, Distill, DistillParams,
-        GuessAlpha, RandomProbing, ThreePhase,
+        multi_vote, no_local_testing, Balance, CostClassSearch, Distill, DistillParams, GuessAlpha,
+        RandomProbing, ThreePhase,
     };
     pub use distill_sim::{
         run_trials, run_trials_threaded, Adversary, CandidateSet, Cohort, Directive, Engine,

@@ -31,7 +31,14 @@ fn full_execution_replays_onto_a_signed_billboard() {
     for post in &posts {
         let key = signed.authenticator().issue_key(post.author);
         signed
-            .append_signed(post.round, post.author, post.object, post.value, post.kind, key)
+            .append_signed(
+                post.round,
+                post.author,
+                post.object,
+                post.value,
+                post.kind,
+                key,
+            )
             .expect("authentic replay must be accepted");
     }
     assert_eq!(signed.board().len(), posts.len());
@@ -55,7 +62,16 @@ fn full_execution_replays_onto_a_signed_billboard() {
     // 4. A corrupted tag is detected by verification.
     let auth = signed.authenticator();
     let first = &signed.board().posts()[0];
-    let good_tag = auth.tag(first.round, first.author, first.object, first.value, first.kind);
+    let good_tag = auth.tag(
+        first.round,
+        first.author,
+        first.object,
+        first.value,
+        first.kind,
+    );
     assert!(auth.verify(first, good_tag));
-    assert!(!auth.verify(first, Tag(good_tag.0 ^ 1)), "bit-flipped tag must fail");
+    assert!(
+        !auth.verify(first, Tag(good_tag.0 ^ 1)),
+        "bit-flipped tag must fail"
+    );
 }

@@ -32,7 +32,13 @@ fn build_board(posts: &[(u64, u32, u32, f64, bool)]) -> Billboard {
             ReportKind::Negative
         };
         board
-            .append(Round(round), PlayerId(author), ObjectId(object), value, kind)
+            .append(
+                Round(round),
+                PlayerId(author),
+                ObjectId(object),
+                value,
+                kind,
+            )
             .expect("valid post");
     }
     board
@@ -126,6 +132,52 @@ proptest! {
             .append(last_round, PlayerId(0), ObjectId(0), 1.0, ReportKind::Positive)
             .expect("append");
         prop_assert_eq!(&extended.posts()[..snapshot.len()], &snapshot[..]);
+    }
+
+    /// Incremental window tallies agree with the from-scratch event scan for
+    /// arbitrary post sequences, window starts, and ingestion schedules.
+    #[test]
+    fn incremental_window_tally_matches_scan(posts in arb_posts(), start in 0u64..20) {
+        let board = build_board(&posts);
+        let start = Round(start);
+
+        // Path 1: window opened up front, posts streamed in one at a time.
+        let mut streamed = VoteTracker::new(N_PLAYERS, N_OBJECTS, VotePolicy::multi_vote(2));
+        streamed.open_window(start);
+        let mut replay = Billboard::new(N_PLAYERS, N_OBJECTS);
+        for post in board.posts() {
+            replay
+                .append(post.round, post.author, post.object, post.value, post.kind)
+                .expect("replay");
+            streamed.ingest(&replay);
+        }
+
+        // Path 2: everything ingested first, window opened retroactively.
+        let mut retro = VoteTracker::new(N_PLAYERS, N_OBJECTS, VotePolicy::multi_vote(2));
+        retro.ingest(&board);
+        retro.open_window(start);
+
+        let end = board.latest_round().next();
+        let window = Window::new(start.min(end), end);
+        let scan = retro.window_tally_scan(window);
+        prop_assert_eq!(&streamed.window_tally(window), &scan);
+        prop_assert_eq!(&retro.window_tally(window), &scan);
+        for o in 0..N_OBJECTS {
+            let o = ObjectId(o);
+            let by_scan = retro.window_votes_for_scan(window, o);
+            prop_assert_eq!(streamed.window_votes_for(window, o), by_scan);
+            prop_assert_eq!(retro.window_votes_for(window, o), by_scan);
+        }
+    }
+
+    /// The incrementally-maintained voted-object set matches the count scan
+    /// under the vote-revoking best-value policy.
+    #[test]
+    fn voted_set_matches_scan_under_best_value(posts in arb_posts()) {
+        let board = build_board(&posts);
+        let mut tracker = VoteTracker::new(N_PLAYERS, N_OBJECTS, VotePolicy::best_value());
+        tracker.ingest(&board);
+        prop_assert_eq!(tracker.objects_with_votes(), tracker.objects_with_votes_scan());
     }
 
     /// Best-value mode: a player's vote is always its maximum reported value.

@@ -27,7 +27,10 @@ fn identical_seeds_identical_everything() {
     assert_eq!(a.posts_total, b.posts_total);
     assert_eq!(a.satisfied_per_round, b.satisfied_per_round);
     assert_eq!(a.notes, b.notes);
-    assert_eq!(a.trace.as_deref().map(<[_]>::len), b.trace.as_deref().map(<[_]>::len));
+    assert_eq!(
+        a.trace.as_deref().map(<[_]>::len),
+        b.trace.as_deref().map(<[_]>::len)
+    );
     for (pa, pb) in a.players.iter().zip(&b.players) {
         assert_eq!(pa, pb);
     }
@@ -40,7 +43,10 @@ fn different_player_seed_diverges() {
     let same = a.rounds == c.rounds
         && a.posts_total == c.posts_total
         && a.satisfied_per_round == c.satisfied_per_round;
-    assert!(!same, "independent coin flips must (a.s.) change the execution");
+    assert!(
+        !same,
+        "independent coin flips must (a.s.) change the execution"
+    );
 }
 
 #[test]
@@ -48,7 +54,10 @@ fn different_world_seed_diverges() {
     let a = run_once(42, 7);
     let c = run_once(42, 8);
     let same = a.rounds == c.rounds && a.satisfied_per_round == c.satisfied_per_round;
-    assert!(!same, "a different good-object placement must change the execution");
+    assert!(
+        !same,
+        "a different good-object placement must change the execution"
+    );
 }
 
 #[test]

@@ -15,9 +15,14 @@ fn refine_chain_is_nested() {
     let params = DistillParams::new(n, n, 0.5, world.beta()).expect("params");
     let cohort = Distill::new(params).with_observer(std::sync::Arc::clone(&obs));
     let config = SimConfig::new(n, 128, 17).with_stop(StopRule::all_satisfied(500_000));
-    let result = Engine::new(config, &world, Box::new(cohort), Box::new(ThresholdMatcher::new()))
-        .expect("engine")
-        .run();
+    let result = Engine::new(
+        config,
+        &world,
+        Box::new(cohort),
+        Box::new(ThresholdMatcher::new()),
+    )
+    .expect("engine")
+    .run();
     assert!(result.all_satisfied);
 
     let snaps = obs.lock().expect("observer");
@@ -83,11 +88,16 @@ fn distill_terminates_across_grid_and_gauntlet() {
         for entry in gauntlet() {
             let world = World::binary(n, 1, u64::from(n) + u64::from(honest)).expect("world");
             let params = DistillParams::new(n, n, alpha, world.beta()).expect("params");
-            let config = SimConfig::new(n, honest, 31).with_stop(StopRule::all_satisfied(2_000_000));
-            let result =
-                Engine::new(config, &world, Box::new(Distill::new(params)), (entry.make)())
-                    .expect("engine")
-                    .run();
+            let config =
+                SimConfig::new(n, honest, 31).with_stop(StopRule::all_satisfied(2_000_000));
+            let result = Engine::new(
+                config,
+                &world,
+                Box::new(Distill::new(params)),
+                (entry.make)(),
+            )
+            .expect("engine")
+            .run();
             assert!(
                 result.all_satisfied,
                 "distill failed vs {} at n={n} honest={honest}",
@@ -110,9 +120,14 @@ fn probe_accounting_is_consistent() {
     let world = World::binary(n, 2, 77).expect("world");
     let params = DistillParams::new(n, n, 0.9, world.beta()).expect("params");
     let config = SimConfig::new(n, 115, 3).with_stop(StopRule::all_satisfied(200_000));
-    let result = Engine::new(config, &world, Box::new(Distill::new(params)), Box::new(UniformBad::new()))
-        .expect("engine")
-        .run();
+    let result = Engine::new(
+        config,
+        &world,
+        Box::new(Distill::new(params)),
+        Box::new(UniformBad::new()),
+    )
+    .expect("engine")
+    .run();
     for p in &result.players {
         assert_eq!(p.explore_probes + p.advice_probes, p.probes);
         assert!((p.cost_paid - p.probes as f64).abs() < 1e-9, "unit costs");
@@ -127,10 +142,18 @@ fn satisfaction_curve_is_monotone() {
     let world = World::binary(n, 1, 2).expect("world");
     let params = DistillParams::new(n, n, 0.75, world.beta()).expect("params");
     let config = SimConfig::new(n, 96, 5).with_stop(StopRule::all_satisfied(500_000));
-    let result = Engine::new(config, &world, Box::new(Distill::new(params)), Box::new(Collusive::default()))
-        .expect("engine")
-        .run();
+    let result = Engine::new(
+        config,
+        &world,
+        Box::new(Distill::new(params)),
+        Box::new(Collusive::default()),
+    )
+    .expect("engine")
+    .run();
     let curve = &result.satisfied_per_round;
-    assert!(curve.windows(2).all(|w| w[0] <= w[1]), "monotone satisfaction");
+    assert!(
+        curve.windows(2).all(|w| w[0] <= w[1]),
+        "monotone satisfaction"
+    );
     assert_eq!(*curve.last().expect("nonempty"), 96);
 }

@@ -27,20 +27,22 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
         0u8..5,
         1usize..3,
     )
-        .prop_map(|(n, honest_raw, m, goods_raw, seed, world_seed, adversary, f)| {
-            let honest = honest_raw.min(n).max(1);
-            let goods = goods_raw.min(m);
-            Scenario {
-                n,
-                honest,
-                m,
-                goods,
-                seed,
-                world_seed,
-                adversary,
-                f,
-            }
-        })
+        .prop_map(
+            |(n, honest_raw, m, goods_raw, seed, world_seed, adversary, f)| {
+                let honest = honest_raw.min(n).max(1);
+                let goods = goods_raw.min(m);
+                Scenario {
+                    n,
+                    honest,
+                    m,
+                    goods,
+                    seed,
+                    world_seed,
+                    adversary,
+                    f,
+                }
+            },
+        )
 }
 
 fn make_adversary(kind: u8) -> Box<dyn Adversary> {
@@ -60,9 +62,14 @@ fn run(s: &Scenario, cap: u64) -> SimResult {
     let config = SimConfig::new(s.n, s.honest, s.seed)
         .with_policy(VotePolicy::multi_vote(s.f))
         .with_stop(StopRule::all_satisfied(cap));
-    Engine::new(config, &world, Box::new(Distill::new(params)), make_adversary(s.adversary))
-        .expect("engine")
-        .run()
+    Engine::new(
+        config,
+        &world,
+        Box::new(Distill::new(params)),
+        make_adversary(s.adversary),
+    )
+    .expect("engine")
+    .run()
 }
 
 proptest! {
@@ -105,6 +112,43 @@ proptest! {
         prop_assert_eq!(a.rounds, b.rounds);
         prop_assert_eq!(a.posts_total, b.posts_total);
         prop_assert_eq!(a.satisfied_per_round, b.satisfied_per_round);
+    }
+
+    /// Determinism oracle across tally paths: the incremental window
+    /// counters and the from-scratch event scan drive bit-identical
+    /// executions for fixed seeds — every field of the `SimResult`, probes,
+    /// satisfaction curve, and post counts included.
+    #[test]
+    fn tally_paths_produce_identical_results(s in arb_scenario()) {
+        let world = World::binary(s.m, s.goods, s.world_seed).expect("world");
+        let alpha = f64::from(s.honest) / f64::from(s.n);
+        let params = DistillParams::new(s.n, s.m, alpha, world.beta()).expect("params");
+        let run_with = |register: bool| {
+            let config = SimConfig::new(s.n, s.honest, s.seed)
+                .with_policy(VotePolicy::multi_vote(s.f))
+                .with_stop(StopRule::all_satisfied(50_000))
+                .with_tally_window_registration(register);
+            Engine::new(config, &world, Box::new(Distill::new(params)), make_adversary(s.adversary))
+                .expect("engine")
+                .run()
+        };
+        let incremental = run_with(true);
+        let scan = run_with(false);
+        prop_assert_eq!(incremental, scan);
+    }
+
+    /// `run_trials_threaded` returns byte-identical results to `run_trials`
+    /// on real engine executions, independent of thread count.
+    #[test]
+    fn threaded_trials_match_sequential_on_real_runs(s in arb_scenario(), threads in 2usize..5) {
+        let trial = |t: u64| {
+            let mut s = s.clone();
+            s.seed = s.seed.wrapping_add(t);
+            run(&s, 50_000)
+        };
+        let sequential = run_trials(4, trial);
+        let threaded = run_trials_threaded(4, threads, trial);
+        prop_assert_eq!(sequential, threaded);
     }
 
     /// The adversary's counted votes never exceed `f·(n−honest)` in any

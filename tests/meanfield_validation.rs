@@ -32,9 +32,8 @@ fn random_probing_matches_mean_field() {
     let goods = 8;
     let beta = f64::from(goods) / f64::from(n);
     let measured = mean_probes("random", n, goods, 8);
-    let predicted = meanfield::expected_individual_cost(&meanfield::random_probing_curve(
-        beta, 100_000,
-    ));
+    let predicted =
+        meanfield::expected_individual_cost(&meanfield::random_probing_curve(beta, 100_000));
     let ratio = measured / predicted;
     assert!(
         (0.8..1.25).contains(&ratio),
@@ -70,9 +69,14 @@ fn satisfaction_curve_tracks_mean_field_shape() {
     let config = SimConfig::new(n, n, 77)
         .with_stop(StopRule::all_satisfied(2_000_000))
         .with_negative_reports(false);
-    let r = Engine::new(config, &world, Box::new(Balance::new()), Box::new(NullAdversary))
-        .expect("engine")
-        .run();
+    let r = Engine::new(
+        config,
+        &world,
+        Box::new(Balance::new()),
+        Box::new(NullAdversary),
+    )
+    .expect("engine")
+    .run();
     let curve = meanfield::balance_curve(beta, 0.5, r.satisfied_per_round.len());
     // After the stochastic ignition phase (first discovery), the measured
     // fraction must stay within an absolute band of the recurrence shifted

@@ -38,7 +38,10 @@ fn trace_summary_agrees_with_sim_result() {
     );
     // Each satisfied player's satisfying probe hit a good object, and only
     // satisfying probes hit good objects under local testing with halting.
-    assert_eq!(summary.good_hits, summary.satisfactions, "good hits = satisfactions");
+    assert_eq!(
+        summary.good_hits, summary.satisfactions,
+        "good hits = satisfactions"
+    );
     // 24 dishonest players cast one vote each in round 0.
     assert_eq!(summary.adversary_posts, 24);
     assert!(summary.advice_fraction() > 0.0 && summary.advice_fraction() < 1.0);
@@ -49,8 +52,13 @@ fn trace_is_absent_unless_requested() {
     let world = World::binary(32, 1, 3).expect("world");
     let params = DistillParams::new(32, 32, 0.9, world.beta()).expect("params");
     let config = SimConfig::new(32, 29, 4).with_stop(StopRule::all_satisfied(100_000));
-    let result = Engine::new(config, &world, Box::new(Distill::new(params)), Box::new(NullAdversary))
-        .expect("engine")
-        .run();
+    let result = Engine::new(
+        config,
+        &world,
+        Box::new(Distill::new(params)),
+        Box::new(NullAdversary),
+    )
+    .expect("engine")
+    .run();
     assert!(result.trace.is_none());
 }

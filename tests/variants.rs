@@ -12,15 +12,26 @@ fn guess_alpha_terminates_without_knowing_alpha() {
         let world = World::binary(n, 1, 11).expect("world");
         let cohort = GuessAlpha::new(n, n, world.beta(), 0.5, 0.5).expect("cohort");
         let config = SimConfig::new(n, honest, 21).with_stop(StopRule::all_satisfied(2_000_000));
-        let result = Engine::new(config, &world, Box::new(cohort), Box::new(UniformBad::new()))
-            .expect("engine")
-            .run();
-        assert!(result.all_satisfied, "guess-alpha failed at honest={honest}");
+        let result = Engine::new(
+            config,
+            &world,
+            Box::new(cohort),
+            Box::new(UniformBad::new()),
+        )
+        .expect("engine")
+        .run();
+        assert!(
+            result.all_satisfied,
+            "guess-alpha failed at honest={honest}"
+        );
         let epochs = result.note("guess_alpha.epochs").expect("note");
         assert!(epochs >= 1.0);
         // fewer honest players ⇒ more halving epochs needed
         if honest == 16 {
-            assert!(epochs >= 3.0, "alpha=1/8 should need several epochs, got {epochs}");
+            assert!(
+                epochs >= 3.0,
+                "alpha=1/8 should need several epochs, got {epochs}"
+            );
         }
     }
 }
@@ -39,9 +50,14 @@ fn cost_classes_pay_proportionally_to_q0() {
         let world = World::cost_classes(&class_sizes, i0, 2, 7).expect("world");
         let cohort = CostClassSearch::from_world(&world, n, alpha, 0.5, 0.5).expect("cohort");
         let config = SimConfig::new(n, honest, 9).with_stop(StopRule::all_satisfied(2_000_000));
-        let result = Engine::new(config, &world, Box::new(cohort), Box::new(UniformBad::new()))
-            .expect("engine")
-            .run();
+        let result = Engine::new(
+            config,
+            &world,
+            Box::new(cohort),
+            Box::new(UniformBad::new()),
+        )
+        .expect("engine")
+        .run();
         assert!(result.all_satisfied, "cost-class search failed at i0={i0}");
         payments.push(result.mean_cost());
         let q0 = f64::from(1u32 << i0);
@@ -83,7 +99,11 @@ fn no_local_testing_succeeds_at_horizon() {
         if eval.found_good.iter().all(|&g| g) {
             successes += 1;
         }
-        assert!(eval.success_fraction > 0.9, "success fraction too low: {}", eval.success_fraction);
+        assert!(
+            eval.success_fraction > 0.9,
+            "success fraction too low: {}",
+            eval.success_fraction
+        );
     }
     assert!(successes >= trials - 1, "w.h.p. means nearly every trial");
 }
@@ -142,12 +162,18 @@ fn best_object_search_finds_the_maximum() {
     let trials = 5;
     for t in 0..trials {
         let world = WorldBuilder::new(m)
-            .model(ObjectModel::TopBeta { beta: 1.0 / f64::from(m) })
+            .model(ObjectModel::TopBeta {
+                beta: 1.0 / f64::from(m),
+            })
             .value_distribution(distill::sim::ValueDistribution::Pareto { shape: 1.2 })
             .seed(700 + t)
             .build()
             .expect("world");
-        assert_eq!(world.good_count(), 1, "beta = 1/m means exactly the best object");
+        assert_eq!(
+            world.good_count(),
+            1,
+            "beta = 1/m means exactly the best object"
+        );
         let (cohort, horizon) =
             distill::core::no_local_testing::best_object_search(n, m, alpha, 0.5, 6.0)
                 .expect("cohort");
@@ -162,7 +188,10 @@ fn best_object_search_finds_the_maximum() {
             found += 1;
         }
     }
-    assert!(found >= trials - 1, "w.h.p. every honest player holds the max: {found}/{trials}");
+    assert!(
+        found >= trials - 1,
+        "w.h.p. every honest player holds the max: {found}/{trials}"
+    );
 }
 
 /// Theorem 11: DISTILL^HP's Step 1 is log-n long but its first ATTEMPT
