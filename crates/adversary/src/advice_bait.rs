@@ -65,11 +65,11 @@ mod tests {
             Box::new(AdviceBait::new()),
         )
         .unwrap();
-        engine.step();
+        engine.step().unwrap();
         // 16 dishonest players voted for 16 distinct bad objects.
         let voted = engine.tracker().objects_with_votes();
         assert!(voted.len() >= 16);
-        let result = engine.run();
+        let result = engine.run().unwrap();
         assert!(result.all_satisfied, "DISTILL survives advice bait");
     }
 }

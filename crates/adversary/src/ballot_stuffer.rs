@@ -74,7 +74,7 @@ mod tests {
             Box::new(BallotStuffer::new(8)),
         )
         .unwrap();
-        let result = engine.run();
+        let result = engine.run().unwrap();
         assert!(result.all_satisfied);
         // Billboard volume is huge, yet vote influence stays capped at one
         // per dishonest player.
@@ -95,7 +95,7 @@ mod tests {
         )
         .unwrap();
         for _ in 0..20 {
-            engine.step();
+            engine.step().unwrap();
         }
         for p in 12..16u32 {
             assert!(

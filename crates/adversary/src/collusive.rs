@@ -99,7 +99,8 @@ mod tests {
             Box::new(Collusive::new(2, 0)),
         )
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
         assert!(result.all_satisfied);
         // 8 dishonest players voted; honest players each voted once on
         // satisfaction. Posts exist and none were forged.
@@ -118,7 +119,8 @@ mod tests {
             Box::new(Collusive::new(1, 3)),
         )
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
         assert!(result.all_satisfied);
     }
 

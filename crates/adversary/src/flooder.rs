@@ -81,7 +81,8 @@ mod tests {
             Box::new(Flooder::new(100)),
         )
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
         assert!(result.all_satisfied);
         assert!(result.posts_total as u64 >= 100 * result.rounds / 2);
     }

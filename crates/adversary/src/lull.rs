@@ -89,7 +89,7 @@ mod tests {
         )
         .unwrap();
         // Early on, no dishonest votes exist.
-        engine.step();
+        engine.step().unwrap();
         let early_dishonest_votes = engine
             .tracker()
             .events()
@@ -97,7 +97,7 @@ mod tests {
             .filter(|e| e.player.0 >= 48)
             .count();
         assert_eq!(early_dishonest_votes, 0, "lull must start silent");
-        let result = engine.run();
+        let result = engine.run().unwrap();
         assert!(result.all_satisfied, "DISTILL must survive the lull attack");
     }
 

@@ -37,12 +37,18 @@ impl MimicryInstance {
     /// `m` objects in `groups_objects` groups.
     ///
     /// # Panics
-    /// Panics unless `groups_players` divides `n`, `groups_objects` divides
-    /// `m`, and both group counts are ≥ 1.
+    /// Panics unless `groups_players` divides `n` with a non-empty quotient,
+    /// `groups_objects` divides `m` with a non-empty quotient, and both group
+    /// counts are ≥ 1.
+    #[allow(clippy::expect_used)]
     pub fn build(n: u32, m: u32, groups_players: u32, groups_objects: u32) -> Self {
         assert!(
             groups_players >= 1 && groups_objects >= 1,
             "need at least one group"
+        );
+        assert!(
+            n >= groups_players && m >= groups_objects,
+            "every group must be non-empty"
         );
         assert_eq!(n % groups_players, 0, "groups_players must divide n");
         assert_eq!(m % groups_objects, 0, "groups_objects must divide m");
@@ -55,6 +61,7 @@ impl MimicryInstance {
             vec![1.0; m as usize],
             distill_sim::ObjectModel::LocalTesting { threshold: 0.5 },
         )
+        // lint: allow(panic) — the asserts above force group_m ≥ 1, so object group 0 is non-empty, every value is finite, and every cost is positive: from_parts cannot fail
         .expect("group 0 is non-empty");
         MimicryInstance {
             world,
@@ -209,7 +216,8 @@ mod tests {
             Box::new(inst.adversary()),
         )
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
         assert!(result.all_satisfied);
     }
 }

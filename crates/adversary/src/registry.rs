@@ -97,7 +97,8 @@ mod tests {
                 (entry.make)(),
             )
             .unwrap()
-            .run();
+            .run()
+            .unwrap();
             assert!(
                 result.all_satisfied,
                 "DISTILL failed against {}",

@@ -105,6 +105,7 @@ mod tests {
             Engine::new(config, &world, Box::new(Distill::new(params)), adversary)
                 .unwrap()
                 .run()
+                .unwrap()
         };
         let with = run(Some(3));
         let without = run(None);

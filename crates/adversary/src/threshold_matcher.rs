@@ -216,7 +216,8 @@ mod tests {
             Box::new(ThresholdMatcher::new()),
         )
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
         assert!(result.all_satisfied, "DISTILL must beat the matcher");
         assert_eq!(result.forged_rejected, 0);
     }
@@ -234,7 +235,8 @@ mod tests {
             Box::new(ThresholdMatcher::new()),
         )
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
         // The matcher should have produced posts beyond the honest ones:
         // honest posts ≤ total probes + pre-seeded votes.
         assert!(result.posts_total as u64 > result.total_probes() / 2);
@@ -253,7 +255,8 @@ mod tests {
             Box::new(ThresholdMatcher::with_aggressiveness(0.25)),
         )
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
         assert!(result.all_satisfied);
     }
 

@@ -107,7 +107,8 @@ mod tests {
             Box::new(UniformBad::new()),
         )
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
         assert!(result.all_satisfied);
         assert_eq!(result.forged_rejected, 0);
     }
@@ -123,7 +124,8 @@ mod tests {
             Box::new(UniformBad::spread_over(4)),
         )
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
         assert!(result.all_satisfied);
     }
 

@@ -52,7 +52,7 @@ pub fn bootstrap_ci_mean(
         }
         means.push(sum / n as f64);
     }
-    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    means.sort_by(f64::total_cmp);
     let tail = (1.0 - level) / 2.0;
     let lo_idx = ((tail * resamples as f64).floor() as usize).min(resamples - 1);
     let hi_idx = (((1.0 - tail) * resamples as f64).ceil() as usize)

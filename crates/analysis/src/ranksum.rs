@@ -54,7 +54,7 @@ pub fn rank_sum(a: &[f64], b: &[f64]) -> RankSum {
     // Normal approximation with tie correction.
     let mean_u = na * nb / 2.0;
     let mut all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
-    all.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    all.sort_by(f64::total_cmp);
     let n = na + nb;
     let mut tie_term = 0.0;
     let mut i = 0;

@@ -36,7 +36,7 @@ impl Summary {
             0.0
         };
         let mut sorted = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted.sort_by(f64::total_cmp);
         Summary {
             count,
             mean,
@@ -64,7 +64,7 @@ impl Summary {
 pub fn quantile(xs: &[f64], q: f64) -> f64 {
     assert!(!xs.is_empty(), "quantile of an empty sample");
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    sorted.sort_by(f64::total_cmp);
     quantile_sorted(&sorted, q)
 }
 

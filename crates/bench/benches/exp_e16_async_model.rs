@@ -47,6 +47,7 @@ fn run_async(n: u32, schedule_kind: &str, seed: u64) -> AsyncResult {
     )
     .expect("engine")
     .run()
+    .unwrap()
 }
 
 fn main() {

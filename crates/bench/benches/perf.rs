@@ -41,7 +41,7 @@ fn bench_engine(c: &mut Criterion) {
                 )
                 .expect("engine")
             },
-            |engine| engine.run(),
+            |engine| engine.run().expect("run"),
             BatchSize::SmallInput,
         )
     });
@@ -61,7 +61,7 @@ fn bench_engine(c: &mut Criterion) {
                 )
                 .expect("engine")
             },
-            |engine| engine.run(),
+            |engine| engine.run().expect("run"),
             BatchSize::SmallInput,
         )
     });
@@ -145,7 +145,7 @@ fn bench_async(c: &mut Criterion) {
                 )
                 .expect("engine")
             },
-            |engine| engine.run(),
+            |engine| engine.run().expect("run"),
             BatchSize::SmallInput,
         )
     });
@@ -241,12 +241,12 @@ fn bench_engine_round(c: &mut Criterion) {
                     // Warm the run past round 0 so the measured round carries
                     // a populated board and vote state.
                     for _ in 0..8 {
-                        engine.step();
+                        engine.step().expect("step");
                     }
                     engine
                 },
                 |mut engine| {
-                    engine.step();
+                    engine.step().expect("step");
                     engine
                 },
                 BatchSize::LargeInput,

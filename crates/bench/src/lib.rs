@@ -12,6 +12,8 @@
 //! * `DISTILL_THREADS` — override worker-thread count (defaults to available
 //!   parallelism).
 
+#![forbid(unsafe_code)]
+
 use distill_sim::{run_trials_threaded, Adversary, Cohort, SimConfig, SimResult, World};
 
 /// The per-experiment default trial count, overridable via `DISTILL_TRIALS`.
@@ -39,8 +41,8 @@ pub fn threads() -> usize {
 /// from `config(t)`; results return in trial order, deterministically.
 ///
 /// # Panics
-/// Panics if any trial's engine construction fails — experiment setups are
-/// programmer-controlled, so a failure is a bug in the harness.
+/// Panics if any trial's engine construction or execution fails — experiment
+/// setups are programmer-controlled, so a failure is a bug in the harness.
 pub fn run_experiment<W, C, A, F>(
     n_trials: usize,
     world: W,
@@ -61,6 +63,7 @@ where
         distill_sim::Engine::new(config(t), &w, c, a)
             .expect("experiment setup must be valid")
             .run()
+            .expect("experiment run must succeed")
     })
 }
 

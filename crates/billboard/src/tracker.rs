@@ -4,7 +4,7 @@ use crate::board::Billboard;
 use crate::ids::{ObjectId, PlayerId, Round, Seq};
 use crate::policy::{VoteMode, VotePolicy};
 use crate::window::Window;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One of a player's currently-counted votes.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -100,8 +100,9 @@ pub struct VoteTracker {
     events: Vec<VoteEvent>,
     /// Best-value mode only: per-player set of objects that have already
     /// produced a vote event (caps Byzantine event inflation at one event per
-    /// (player, object) pair).
-    evented: Vec<HashSet<ObjectId>>,
+    /// (player, object) pair). Ordered so that iteration (and hence any
+    /// derived statistic) is independent of insertion history.
+    evented: Vec<BTreeSet<ObjectId>>,
     /// The registered tally window, if any.
     active: Option<ActiveWindow>,
 }
@@ -120,7 +121,7 @@ impl VoteTracker {
             voted_objects: Vec::new(),
             events: Vec::new(),
             evented: if needs_evented {
-                vec![HashSet::new(); n_players as usize]
+                vec![BTreeSet::new(); n_players as usize]
             } else {
                 Vec::new()
             },
@@ -220,19 +221,16 @@ impl VoteTracker {
         }
     }
 
-    /// `true` iff `window` can be answered from the active window's counters:
-    /// same start, and an end beyond every ingested event (the registered
-    /// window is still accumulating, so its counters cover exactly `[start,
-    /// last ingested round]`).
-    fn window_is_active(&self, window: Window) -> bool {
-        match &self.active {
-            Some(aw) => {
-                aw.start == window.start
-                    && aw.absorbed == self.events.len()
-                    && self.events.last().map_or(true, |e| e.round < window.end)
-            }
-            None => false,
-        }
+    /// The active window's counters, iff they can answer `window`: same
+    /// start, and an end beyond every ingested event (the registered window
+    /// is still accumulating, so its counters cover exactly `[start, last
+    /// ingested round]`).
+    fn active_for(&self, window: Window) -> Option<&ActiveWindow> {
+        self.active.as_ref().filter(|aw| {
+            aw.start == window.start
+                && aw.absorbed == self.events.len()
+                && self.events.last().map_or(true, |e| e.round < window.end)
+        })
     }
 
     fn ingest_local_testing(&mut self, post: &crate::post::Post) {
@@ -391,8 +389,8 @@ impl VoteTracker {
     /// [`open_window`](VoteTracker::open_window)); otherwise an event-stream
     /// scan.
     pub fn window_votes_for(&self, window: Window, object: ObjectId) -> u32 {
-        if self.window_is_active(window) {
-            let count = self.active.as_ref().expect("active window").counts[object.index()];
+        if let Some(aw) = self.active_for(window) {
+            let count = aw.counts[object.index()];
             debug_assert_eq!(
                 count,
                 self.window_votes_for_scan(window, object),
@@ -413,17 +411,18 @@ impl VoteTracker {
             .count() as u32
     }
 
-    /// The full per-object tally of vote events in `window`.
+    /// The full per-object tally of vote events in `window`, ascending by
+    /// object id (an ordered map, so iterating the tally is deterministic —
+    /// seeded runs must not depend on hash-iteration order).
     ///
     /// Objects with no events in the window are absent from the map.
     ///
     /// O(result) when `window` matches the registered tally window (see
     /// [`open_window`](VoteTracker::open_window)); otherwise an event-stream
     /// scan.
-    pub fn window_tally(&self, window: Window) -> HashMap<ObjectId, u32> {
-        if self.window_is_active(window) {
-            let aw = self.active.as_ref().expect("active window");
-            let out: HashMap<ObjectId, u32> = aw
+    pub fn window_tally(&self, window: Window) -> BTreeMap<ObjectId, u32> {
+        if let Some(aw) = self.active_for(window) {
+            let out: BTreeMap<ObjectId, u32> = aw
                 .touched
                 .iter()
                 .map(|&o| (o, aw.counts[o.index()]))
@@ -441,8 +440,8 @@ impl VoteTracker {
 
     /// [`window_tally`](VoteTracker::window_tally) computed by scanning the
     /// event stream (the incremental path's oracle).
-    pub fn window_tally_scan(&self, window: Window) -> HashMap<ObjectId, u32> {
-        let mut out = HashMap::new();
+    pub fn window_tally_scan(&self, window: Window) -> BTreeMap<ObjectId, u32> {
+        let mut out = BTreeMap::new();
         for e in self.events_in(window) {
             *out.entry(e.object).or_insert(0) += 1;
         }

@@ -5,7 +5,7 @@ use crate::ids::{ObjectId, PlayerId, Round};
 use crate::post::Post;
 use crate::tracker::{VoteEvent, VoteRecord, VoteTracker};
 use crate::window::Window;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A read-only snapshot facade over a [`Billboard`] and its [`VoteTracker`].
 ///
@@ -84,9 +84,9 @@ impl<'a> BoardView<'a> {
         self.tracker.window_votes_for(window, object)
     }
 
-    /// Per-object vote-event tally for the given window.
+    /// Per-object vote-event tally for the given window, ascending by id.
     #[inline]
-    pub fn window_tally(&self, window: Window) -> HashMap<ObjectId, u32> {
+    pub fn window_tally(&self, window: Window) -> BTreeMap<ObjectId, u32> {
         self.tracker.window_tally(window)
     }
 

@@ -181,6 +181,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         Engine::new(config, &world, cohort, adversary)
             .expect("validated configuration")
             .run()
+            .expect("engine run on validated inputs")
     });
 
     let costs: Vec<f64> = results.iter().map(|r| r.mean_probes()).collect();
@@ -261,6 +262,7 @@ pub fn run_gauntlet(args: &Args) -> Result<String, CliError> {
             Engine::new(config, &world, cohort, (entry.make)())
                 .expect("validated configuration")
                 .run()
+                .expect("engine run on validated inputs")
         });
         let cost = results.iter().map(|r| r.mean_probes()).sum::<f64>() / results.len() as f64;
         let rounds = results.iter().map(|r| r.rounds as f64).sum::<f64>() / results.len() as f64;
@@ -400,7 +402,8 @@ pub fn run_async(args: &Args) -> Result<String, CliError> {
             Box::new(NullAdversary),
         )
         .map_err(|e| err(e.to_string()))?
-        .run();
+        .run()
+        .map_err(|e| err(e.to_string()))?;
         totals.push(result.total_probes() as f64);
         p0s.push(result.probes_of(PlayerId(0)) as f64);
     }

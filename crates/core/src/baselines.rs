@@ -1,5 +1,6 @@
 //! Baseline cohorts the paper compares against.
 
+use crate::error::CoreError;
 use distill_billboard::BoardView;
 use distill_sim::{CandidateSet, Cohort, Directive, PhaseInfo};
 
@@ -59,16 +60,17 @@ impl Balance {
 
     /// A biased variant (for ablations).
     ///
-    /// # Panics
-    /// Panics if `p` is not within `[0, 1]`.
-    pub fn with_explore_probability(p: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&p),
-            "explore probability {p} out of [0,1]"
-        );
-        Balance {
-            explore_probability: p,
+    /// # Errors
+    /// Returns [`CoreError::InvalidParams`] if `p` is NaN or outside `[0, 1]`.
+    pub fn with_explore_probability(p: f64) -> Result<Self, CoreError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(CoreError::InvalidParams(format!(
+                "explore probability {p} out of [0,1]"
+            )));
         }
+        Ok(Balance {
+            explore_probability: p,
+        })
     }
 
     /// The probability of the exploration branch.
@@ -143,15 +145,26 @@ mod tests {
         }
         any_view_check(Balance::new(), "balance");
         assert_eq!(
-            Balance::with_explore_probability(0.25).explore_probability(),
+            Balance::with_explore_probability(0.25)
+                .unwrap()
+                .explore_probability(),
             0.25
         );
         assert_eq!(Balance::default().explore_probability(), 0.5);
     }
 
+    // These inputs used to abort the whole process via `assert!`; they now
+    // surface as recoverable `CoreError::InvalidParams` values.
     #[test]
-    #[should_panic(expected = "out of [0,1]")]
     fn balance_rejects_bad_probability() {
-        let _ = Balance::with_explore_probability(1.5);
+        for bad in [1.5, -0.1, f64::NAN, f64::INFINITY] {
+            let err = Balance::with_explore_probability(bad).unwrap_err();
+            assert!(
+                matches!(err, CoreError::InvalidParams(ref msg) if msg.contains("out of [0,1]")),
+                "input {bad} should be rejected, got {err:?}"
+            );
+        }
+        assert!(Balance::with_explore_probability(0.0).is_ok());
+        assert!(Balance::with_explore_probability(1.0).is_ok());
     }
 }

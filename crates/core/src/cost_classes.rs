@@ -22,11 +22,12 @@ use distill_sim::{Cohort, Directive, PhaseInfo, World};
 #[derive(Debug)]
 pub struct CostClassSearch {
     n: u32,
-    m: u32,
     alpha: f64,
     k3: f64,
-    hp_c: f64,
     classes: Vec<Vec<ObjectId>>,
+    /// Per-class DISTILL^HP parameter sets, validated once at construction
+    /// (`None` for empty classes, which the schedule skips).
+    class_params: Vec<Option<DistillParams>>,
     current: usize,
     inner: Option<Distill>,
     rounds_left: u64,
@@ -61,13 +62,23 @@ impl CostClassSearch {
                 "all cost classes are empty".into(),
             ));
         }
+        let class_params = classes
+            .iter()
+            .map(|members| {
+                if members.is_empty() {
+                    Ok(None)
+                } else {
+                    let beta_i = 1.0 / members.len() as f64;
+                    DistillParams::high_probability(n, m, alpha, beta_i, hp_c).map(Some)
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(CostClassSearch {
             n,
-            m,
             alpha,
             k3,
-            hp_c,
             classes,
+            class_params,
             current: usize::MAX, // advanced to 0 on first directive
             inner: None,
             rounds_left: 0,
@@ -119,7 +130,10 @@ impl CostClassSearch {
     }
 
     fn advance_class(&mut self) {
-        loop {
+        // Parameter sets were validated and stored at construction, so the
+        // scan for the next non-empty class never has to re-derive (or
+        // re-validate) anything; `new` guarantees at least one `Some`.
+        let params = loop {
             self.current = if self.current == usize::MAX {
                 0
             } else if self.current + 1 >= self.classes.len() {
@@ -128,15 +142,12 @@ impl CostClassSearch {
             } else {
                 self.current + 1
             };
-            if !self.classes[self.current].is_empty() {
-                break;
+            if let Some(params) = self.class_params[self.current] {
+                break params;
             }
-        }
+        };
         self.classes_visited += 1;
         let members = self.classes[self.current].clone();
-        let beta_i = 1.0 / members.len() as f64;
-        let params = DistillParams::high_probability(self.n, self.m, self.alpha, beta_i, self.hp_c)
-            .expect("validated at construction");
         self.inner = Some(Distill::new(params).with_universe(members));
         self.rounds_left = self.class_budget(self.current);
     }
@@ -148,10 +159,11 @@ impl Cohort for CostClassSearch {
             self.advance_class();
         }
         self.rounds_left -= 1;
-        self.inner
-            .as_mut()
-            .expect("inner set by advance_class")
-            .directive(view)
+        let Some(inner) = self.inner.as_mut() else {
+            debug_assert!(false, "advance_class always sets an inner cohort");
+            return Directive::Idle;
+        };
+        inner.directive(view)
     }
 
     fn phase_info(&self) -> PhaseInfo {

@@ -3,7 +3,7 @@
 use crate::params::DistillParams;
 use distill_billboard::{BoardView, ObjectId, Round, Window};
 use distill_sim::{CandidateSet, Cohort, Directive, PhaseInfo};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Which step of subroutine ATTEMPT a segment belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,29 +158,33 @@ impl Distill {
         candidates: &[ObjectId],
     ) {
         if let Some(obs) = &self.observer {
-            obs.lock().expect("observer lock").push(CandidateSnapshot {
-                attempt: self.attempts,
-                label,
-                iteration,
-                round,
-                candidates: candidates.to_vec(),
-            });
+            // A panicked observer thread must not poison the cohort: the
+            // snapshot vector stays usable (lock-poison recovery, not unwrap).
+            obs.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(CandidateSnapshot {
+                    attempt: self.attempts,
+                    label,
+                    iteration,
+                    round,
+                    candidates: candidates.to_vec(),
+                });
         }
     }
 
-    fn begin_attempt(&mut self, at: Round) {
+    fn begin_attempt(&mut self, at: Round) -> Segment {
         self.attempts += 1;
         self.max_iterations_per_attempt = self
             .max_iterations_per_attempt
             .max(self.iterations_this_attempt);
         self.iterations_this_attempt = 0;
-        self.segment = Some(Segment {
+        Segment {
             kind: StepKind::Step11,
             candidates: self.universe_set(),
             window_start: at,
             rounds_total: 2 * self.params.invocations_step11(),
             rounds_done: 0,
-        });
+        }
     }
 
     /// Advances past an exhausted segment, computing the next candidate set
@@ -193,8 +197,7 @@ impl Distill {
     /// segment boundary is reached, [`BoardView::window_tally`] answers from
     /// incrementally-maintained counters in O(result) instead of re-scanning
     /// the segment's vote events.
-    fn advance(&mut self, view: &BoardView<'_>) {
-        let seg = self.segment.as_ref().expect("advance with no segment");
+    fn advance(&mut self, seg: &Segment, view: &BoardView<'_>) -> Segment {
         let now = view.round();
         match seg.kind {
             StepKind::Step11 => {
@@ -208,16 +211,15 @@ impl Distill {
                 if s.is_empty() {
                     // Nobody has voted at all — a fresh ATTEMPT is the only
                     // action the algorithm defines on an empty S.
-                    self.begin_attempt(now);
-                    return;
+                    return self.begin_attempt(now);
                 }
-                self.segment = Some(Segment {
+                Segment {
                     kind: StepKind::Step13,
                     candidates: CandidateSet::subset(s),
                     window_start: now,
                     rounds_total: 2 * self.params.invocations_step13(),
                     rounds_done: 0,
-                });
+                }
             }
             StepKind::Step13 => {
                 // Step 1.4: C₀ = objects with at least k₂/4 votes in the
@@ -234,18 +236,17 @@ impl Distill {
                 self.record_snapshot("C0", None, now, &c0);
                 self.max_c0 = self.max_c0.max(c0.len());
                 if c0.is_empty() {
-                    self.begin_attempt(now);
-                    return;
+                    return self.begin_attempt(now);
                 }
                 self.iterations_this_attempt += 1;
                 self.iterations_total += 1;
-                self.segment = Some(Segment {
+                Segment {
                     kind: StepKind::Refine(0),
                     candidates: CandidateSet::subset(c0),
                     window_start: now,
                     rounds_total: 2 * self.params.invocations_step2(),
                     rounds_done: 0,
-                });
+                }
             }
             StepKind::Refine(t) => {
                 // Step 2.2: C_{t+1} = { i ∈ C_t : ℓ_t(i) > n/(4·c_t) }.
@@ -260,18 +261,17 @@ impl Distill {
                     .collect();
                 self.record_snapshot("C", Some(t + 1), now, &next);
                 if next.is_empty() {
-                    self.begin_attempt(now);
-                    return;
+                    return self.begin_attempt(now);
                 }
                 self.iterations_this_attempt += 1;
                 self.iterations_total += 1;
-                self.segment = Some(Segment {
+                Segment {
                     kind: StepKind::Refine(t + 1),
                     candidates: CandidateSet::subset(next),
                     window_start: now,
                     rounds_total: 2 * self.params.invocations_step2(),
                     rounds_done: 0,
-                });
+                }
             }
         }
     }
@@ -279,22 +279,27 @@ impl Distill {
 
 impl Cohort for Distill {
     fn directive(&mut self, view: &BoardView<'_>) -> Directive {
-        if self.segment.is_none() {
-            self.begin_attempt(view.round());
+        // The schedule segment is threaded by value: it is taken out of the
+        // cohort, advanced past any exhausted boundaries, consumed for one
+        // round, and put back — no "segment must be set" unwrapping anywhere.
+        let mut seg = match self.segment.take() {
+            Some(seg) => seg,
+            None => self.begin_attempt(view.round()),
+        };
+        while seg.exhausted() {
+            seg = self.advance(&seg, view);
         }
-        while self.segment.as_ref().expect("segment set").exhausted() {
-            self.advance(view);
-        }
-        let seg = self.segment.as_mut().expect("segment set");
         let advice_round = seg.rounds_done % 2 == 1;
         seg.rounds_done += 1;
-        if advice_round {
+        let directive = if advice_round {
             Directive::SeekAdvice {
                 fallback: seg.candidates.clone(),
             }
         } else {
             Directive::ProbeUniform(seg.candidates.clone())
-        }
+        };
+        self.segment = Some(seg);
+        directive
     }
 
     fn phase_info(&self) -> PhaseInfo {

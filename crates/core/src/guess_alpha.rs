@@ -87,11 +87,19 @@ impl GuessAlpha {
         self.epoch = Some(next);
         self.epochs_started += 1;
         let alpha_hat = self.alpha_hat(next);
-        let params =
-            DistillParams::high_probability(self.n, self.m, alpha_hat, self.beta, self.hp_c)
-                .expect("validated at construction");
-        self.inner = Some(Distill::new(params));
-        self.epoch_rounds_left = self.epoch_rounds(next);
+        // α̂ ∈ (0, 1] by construction and the remaining inputs were validated
+        // in `new`, so this cannot fail; if the invariant is ever broken the
+        // wrapper keeps its previous epoch instead of panicking mid-run.
+        match DistillParams::high_probability(self.n, self.m, alpha_hat, self.beta, self.hp_c) {
+            Ok(params) => {
+                self.inner = Some(Distill::new(params));
+                self.epoch_rounds_left = self.epoch_rounds(next);
+            }
+            Err(_) => {
+                debug_assert!(false, "epoch parameters validated at construction");
+                self.epoch_rounds_left = self.epoch_rounds(next);
+            }
+        }
     }
 }
 
@@ -101,10 +109,11 @@ impl Cohort for GuessAlpha {
             self.next_epoch();
         }
         self.epoch_rounds_left -= 1;
-        self.inner
-            .as_mut()
-            .expect("inner set by next_epoch")
-            .directive(view)
+        let Some(inner) = self.inner.as_mut() else {
+            debug_assert!(false, "next_epoch always sets an inner cohort");
+            return Directive::Idle;
+        };
+        inner.directive(view)
     }
 
     fn phase_info(&self) -> PhaseInfo {

@@ -28,7 +28,7 @@
 //! let params = DistillParams::new(n, n, 0.9, world.beta())?;
 //! let config = SimConfig::new(n, 58, 42);              // 58 of 64 players honest
 //! let result = Engine::new(config, &world,
-//!     Box::new(Distill::new(params)), Box::new(NullAdversary))?.run();
+//!     Box::new(Distill::new(params)), Box::new(NullAdversary))?.run()?;
 //! assert!(result.all_satisfied);
 //! println!("mean individual cost: {:.1} probes", result.mean_probes());
 //! # Ok(())

@@ -71,8 +71,10 @@ impl ThreePhase {
 
     fn record(&self, label: &'static str, round: distill_billboard::Round, set: &[ObjectId]) {
         if let Some(obs) = &self.observer {
+            // Lock-poison recovery: a panicked observer thread must not take
+            // the cohort down with it.
             obs.lock()
-                .expect("observer lock")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .push(crate::CandidateSnapshot {
                     attempt: 1,
                     label,

@@ -3,6 +3,9 @@
 use distill_core::{DistillParams, DEFAULT_K1, DEFAULT_K2};
 use proptest::prelude::*;
 
+// Test-only helper; `allow-expect-in-tests` does not reach strategy
+// constructors outside `#[test]` functions.
+#[allow(clippy::expect_used)]
 fn arb_params() -> impl Strategy<Value = DistillParams> {
     (
         1u32..100_000,

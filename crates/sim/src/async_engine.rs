@@ -347,7 +347,12 @@ impl<'w> AsyncEngine<'w> {
     }
 
     /// Runs to completion.
-    pub fn run(mut self) -> AsyncResult {
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidDirective`] if a step policy probes an
+    /// object outside the universe, or [`SimError::Billboard`] if a post
+    /// violates the billboard's append discipline (an engine bug guard).
+    pub fn run(mut self) -> Result<AsyncResult, SimError> {
         loop {
             let active = self.active();
             if active.is_empty() || self.step >= self.max_steps {
@@ -366,6 +371,13 @@ impl<'w> AsyncEngine<'w> {
                 self.policy
                     .probe(player, &view, &mut self.player_rngs[player.index()])
             };
+            if object.0 >= self.world.m() {
+                return Err(SimError::InvalidDirective(format!(
+                    "step policy probed object {} outside universe of {} objects",
+                    object.0,
+                    self.world.m()
+                )));
+            }
             let outcome = &mut self.outcomes[player.index()];
             outcome.probes += 1;
             outcome.cost_paid += self.world.cost(object);
@@ -376,8 +388,7 @@ impl<'w> AsyncEngine<'w> {
                 ReportKind::Negative
             };
             self.board
-                .append(round, player, object, self.world.value(object), kind)
-                .expect("engine-produced posts are valid");
+                .append(round, player, object, self.world.value(object), kind)?;
             if good {
                 self.satisfied[player.index()] = true;
                 outcome.satisfied_step = Some(self.step);
@@ -406,18 +417,17 @@ impl<'w> AsyncEngine<'w> {
                     && post.value.is_finite()
                 {
                     self.board
-                        .append(round, post.author, post.object, post.value, post.kind)
-                        .expect("validated adversary post");
+                        .append(round, post.author, post.object, post.value, post.kind)?;
                 }
             }
             self.tracker.ingest(&self.board);
             self.step += 1;
         }
-        AsyncResult {
+        Ok(AsyncResult {
             steps: self.step,
             all_satisfied: self.satisfied.iter().all(|&s| s),
             players: self.outcomes,
-        }
+        })
     }
 }
 
@@ -444,6 +454,7 @@ mod tests {
         )
         .unwrap()
         .run()
+        .unwrap()
     }
 
     #[test]

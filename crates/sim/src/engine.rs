@@ -235,15 +235,24 @@ impl<'w> Engine<'w> {
     }
 
     /// Runs the execution to completion and returns the measurements.
-    pub fn run(mut self) -> SimResult {
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidDirective`] if the cohort emits a directive
+    /// the engine cannot execute (e.g. a candidate set naming an object
+    /// outside the universe), or [`SimError::Billboard`] if a post violates
+    /// the billboard's append discipline (an engine bug guard).
+    pub fn run(mut self) -> Result<SimResult, SimError> {
         while !self.should_stop() {
-            self.step();
+            self.step()?;
         }
-        self.finalize()
+        Ok(self.finalize())
     }
 
     /// Executes a single round. Public for fine-grained tests.
-    pub fn step(&mut self) {
+    ///
+    /// # Errors
+    /// See [`Engine::run`].
+    pub fn step(&mut self) -> Result<(), SimError> {
         let round = self.round;
         let n = self.config.n_players;
         let m = self.world.m();
@@ -295,6 +304,15 @@ impl<'w> Engine<'w> {
                     Directive::Idle => None,
                 };
                 if let Some((object, via_advice)) = resolved {
+                    // A hostile (or buggy) cohort can hand back a Subset with
+                    // out-of-range ids; indexing the world with one would
+                    // panic, so reject the directive instead.
+                    if object.0 >= m {
+                        return Err(SimError::InvalidDirective(format!(
+                            "cohort produced object {} outside universe of {m} objects",
+                            object.0
+                        )));
+                    }
                     self.probe_buf.push(HonestProbe {
                         player: PlayerId(p),
                         object,
@@ -366,9 +384,7 @@ impl<'w> Engine<'w> {
                     ReportKind::Negative
                 };
                 if kind == ReportKind::Positive || self.config.post_negative_reports {
-                    self.board
-                        .append(round, p, probe.object, value, kind)
-                        .expect("engine-produced posts are always valid");
+                    self.board.append(round, p, probe.object, value, kind)?;
                 }
                 if good {
                     self.satisfied[p.index()] = true;
@@ -387,8 +403,7 @@ impl<'w> Engine<'w> {
                 // §5.3: no local testing — every probe's true value is
                 // posted; the tracker derives best-value votes from it.
                 self.board
-                    .append(round, p, probe.object, value, ReportKind::Negative)
-                    .expect("engine-produced posts are always valid");
+                    .append(round, p, probe.object, value, ReportKind::Negative)?;
             }
         }
 
@@ -410,8 +425,7 @@ impl<'w> Engine<'w> {
                 continue;
             }
             self.board
-                .append(round, post.author, post.object, post.value, post.kind)
-                .expect("validated adversary post");
+                .append(round, post.author, post.object, post.value, post.kind)?;
             accepted += 1;
         }
         if let Some(t) = self.trace.as_mut() {
@@ -429,6 +443,7 @@ impl<'w> Engine<'w> {
         self.satisfied_per_round.push(self.n_satisfied as u32);
         self.round = round.next();
         self.rounds_executed += 1;
+        Ok(())
     }
 
     fn advice_probe(
@@ -565,7 +580,7 @@ mod tests {
         let config = SimConfig::new(8, 8, 3).with_stop(StopRule::all_satisfied(100_000));
         let engine =
             Engine::new(config, &world, Box::new(Trivial), Box::new(NullAdversary)).unwrap();
-        let result = engine.run();
+        let result = engine.run().unwrap();
         assert!(result.all_satisfied);
         assert_eq!(result.satisfied_count(), 8);
         assert!(result.mean_probes() >= 1.0);
@@ -581,6 +596,7 @@ mod tests {
             Engine::new(config, &world, Box::new(Trivial), Box::new(NullAdversary))
                 .unwrap()
                 .run()
+                .unwrap()
         };
         let a = mk(5);
         let b = mk(5);
@@ -612,7 +628,7 @@ mod tests {
             Box::new(NullAdversary),
         )
         .unwrap();
-        let result = engine.run();
+        let result = engine.run().unwrap();
         assert!(result.all_satisfied);
         // player 0 never probed
         assert_eq!(result.players[0].probes, 0);
@@ -627,7 +643,7 @@ mod tests {
         let world = small_world();
         let config = SimConfig::new(8, 6, 1).with_stop(StopRule::all_satisfied(1_000));
         let engine = Engine::new(config, &world, Box::new(Trivial), Box::new(Forger)).unwrap();
-        let result = engine.run();
+        let result = engine.run().unwrap();
         assert!(result.forged_rejected > 0);
         assert!(result.all_satisfied);
     }
@@ -640,7 +656,7 @@ mod tests {
             .with_stop(StopRule::horizon(50));
         let engine =
             Engine::new(config, &world, Box::new(Trivial), Box::new(NullAdversary)).unwrap();
-        let result = engine.run();
+        let result = engine.run().unwrap();
         assert_eq!(result.rounds, 50);
         let eval = result.final_eval.expect("no-LT runs produce a final eval");
         assert_eq!(eval.found_good.len(), 8);
@@ -739,7 +755,8 @@ mod tests {
         let config = SimConfig::new(4, 4, 0).with_stop(StopRule::all_satisfied(25));
         let result = Engine::new(config, &world, Box::new(Idler), Box::new(NullAdversary))
             .unwrap()
-            .run();
+            .run()
+            .unwrap();
         assert_eq!(result.rounds, 25);
         assert!(!result.all_satisfied);
         assert_eq!(result.total_probes(), 0);
@@ -753,7 +770,8 @@ mod tests {
             .with_stop(StopRule::all_satisfied(10_000));
         let result = Engine::new(config, &world, Box::new(Trivial), Box::new(NullAdversary))
             .unwrap()
-            .run();
+            .run()
+            .unwrap();
         let trace = result.trace.as_ref().expect("trace requested");
         assert!(trace
             .iter()
@@ -779,7 +797,8 @@ mod tests {
             Box::new(NullAdversary),
         )
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
         let off = Engine::new(
             SimConfig::new(8, 8, 4).with_negative_reports(false),
             &world,
@@ -787,7 +806,8 @@ mod tests {
             Box::new(NullAdversary),
         )
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
         // Identical executions (same seeds, negatives never change votes),
         // but fewer posts without negatives.
         assert_eq!(on.rounds, off.rounds);
@@ -822,7 +842,8 @@ mod tests {
                 .with_stop(StopRule::all_satisfied(50));
             let result = Engine::new(config, &world, Box::new(Trivial), Box::new(probe))
                 .unwrap()
-                .run();
+                .run()
+                .unwrap();
             (
                 result,
                 std::sync::Arc::try_unwrap(seen)
@@ -867,7 +888,8 @@ mod tests {
             Box::new(NullAdversary),
         )
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
         assert!(result.all_satisfied);
         // Player 0 did nothing for its first 10 rounds.
         if let Some(r) = result.players[0].satisfied_round {
@@ -890,6 +912,7 @@ mod tests {
             Engine::new(config, &world, Box::new(Trivial), Box::new(NullAdversary))
                 .unwrap()
                 .run()
+                .unwrap()
         };
         let full = horizonful(Participation::Full);
         let quartered = horizonful(Participation::RoundRobin { groups: 4 });
@@ -911,8 +934,40 @@ mod tests {
             .with_stop(StopRule::all_satisfied(100_000));
         let result = Engine::new(config, &world, Box::new(Trivial), Box::new(NullAdversary))
             .unwrap()
-            .run();
+            .run()
+            .unwrap();
         assert!(result.all_satisfied);
+    }
+
+    #[test]
+    fn out_of_range_candidate_set_is_an_error_not_a_panic() {
+        // Regression: a hostile (or buggy) cohort handing back a Subset with
+        // an object id outside the universe used to crash the engine with an
+        // index-out-of-bounds panic when the world was consulted for the
+        // probe's value; it must surface as SimError::InvalidDirective.
+        #[derive(Debug)]
+        struct Rogue;
+        impl Cohort for Rogue {
+            fn directive(&mut self, _v: &BoardView<'_>) -> Directive {
+                Directive::ProbeUniform(CandidateSet::subset(vec![ObjectId(999)]))
+            }
+            fn phase_info(&self) -> PhaseInfo {
+                PhaseInfo::plain("rogue")
+            }
+            fn name(&self) -> &'static str {
+                "rogue"
+            }
+        }
+        let world = small_world();
+        let config = SimConfig::new(4, 4, 0).with_stop(StopRule::all_satisfied(25));
+        let err = Engine::new(config, &world, Box::new(Rogue), Box::new(NullAdversary))
+            .unwrap()
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(err, SimError::InvalidDirective(ref msg) if msg.contains("999")),
+            "expected InvalidDirective, got {err:?}"
+        );
     }
 
     #[test]
@@ -924,7 +979,7 @@ mod tests {
             .with_stop(StopRule::all_satisfied(10_000));
         let engine =
             Engine::new(config, &world, Box::new(Trivial), Box::new(NullAdversary)).unwrap();
-        let result = engine.run();
+        let result = engine.run().unwrap();
         assert!(result.all_satisfied);
         // With error rate 1.0 every bad probe posted a positive report, so
         // there must be more posts than probes-of-good-objects.

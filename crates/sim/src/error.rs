@@ -15,6 +15,9 @@ pub enum SimError {
     /// A billboard integrity violation surfaced where it should be impossible
     /// (engine bug guard).
     Billboard(BillboardError),
+    /// A cohort (honest or adversarial) issued a directive the engine cannot
+    /// execute, e.g. a candidate set naming an out-of-range object.
+    InvalidDirective(String),
 }
 
 impl fmt::Display for SimError {
@@ -23,6 +26,7 @@ impl fmt::Display for SimError {
             SimError::InvalidConfig(msg) => write!(f, "invalid simulation config: {msg}"),
             SimError::InvalidWorld(msg) => write!(f, "invalid world: {msg}"),
             SimError::Billboard(e) => write!(f, "billboard integrity violation: {e}"),
+            SimError::InvalidDirective(msg) => write!(f, "invalid directive: {msg}"),
         }
     }
 }

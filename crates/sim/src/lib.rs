@@ -48,7 +48,7 @@
 //! let config = SimConfig::new(16, 16, 42)        // n=16 players, all honest
 //!     .with_stop(StopRule::all_satisfied(10_000));
 //! let result = Engine::new(config, &world, Box::new(Trivial), Box::new(NullAdversary))?
-//!     .run();
+//!     .run()?;
 //! assert!(result.all_satisfied);
 //! # Ok(())
 //! # }

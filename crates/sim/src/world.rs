@@ -85,12 +85,7 @@ impl World {
                 let k = ((beta * m as f64).ceil() as usize).clamp(1, m);
                 let mut idx: Vec<usize> = (0..m).collect();
                 // highest value first; ties broken by lower id
-                idx.sort_by(|&a, &b| {
-                    values[b]
-                        .partial_cmp(&values[a])
-                        .expect("values are finite")
-                        .then(a.cmp(&b))
-                });
+                idx.sort_by(|&a, &b| values[b].total_cmp(&values[a]).then(a.cmp(&b)));
                 let mut good = vec![false; m];
                 for &i in idx.iter().take(k) {
                     good[i] = true;

@@ -1,0 +1,18 @@
+// Missing #![forbid(unsafe_code)]: rule D3 fires for this crate root.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn lookup(map: &HashMap<u32, u32>, k: u32) -> u32 {
+    *map.get(&k).unwrap()
+}
+
+pub fn racy_elapsed() -> bool {
+    let start = Instant::now();
+    if start.elapsed().as_secs() > 60 {
+        panic!("fixture clock ran away")
+    }
+    // lint: allow(panic)
+    std::env::var("FIXTURE").expect("a bare allowance has no reason, so D1 still fires");
+    false
+}

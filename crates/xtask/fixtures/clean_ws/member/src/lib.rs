@@ -1,0 +1,44 @@
+//! A crate that passes every distill-lint rule: panicking constructs appear
+//! only in strings, comments, test code, or under a justified allowance.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+/// Deterministic tally: BTreeMap keeps iteration order stable.
+pub fn tally(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut out = BTreeMap::new();
+    for &x in xs {
+        *out.entry(x).or_insert(0) += 1;
+    }
+    out
+}
+
+/// A justified panic site: the allowance comment carries a reason, so rule
+/// D1 must not fire here.
+pub fn head(xs: &[u32]) -> u32 {
+    // lint: allow(panic) — fixture callers always pass a non-empty slice
+    xs.first().copied().expect("non-empty input")
+}
+
+/// Panic-looking text inside literals must not fire: it is data, not code.
+pub fn decoy() -> &'static str {
+    // Calling .unwrap() or panic!() in this comment is fine, and HashMap too.
+    "so is .expect(\"inside a string\") or a HashMap mention"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn tests_may_unwrap_and_hash() {
+        let v: Result<u32, ()> = Ok(3);
+        assert_eq!(v.unwrap(), 3);
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(tally(&[1, 1]).get(&1), Some(&2));
+        assert_eq!(head(&[7]), 7);
+    }
+}

@@ -1,0 +1,920 @@
+//! distill-lint: a from-scratch, offline, token-level invariant checker for
+//! this workspace.
+//!
+//! The checker enforces four repo-wide invariants (see `DESIGN.md`):
+//!
+//! * **D1 — panic-freedom.** Non-test code in the protected crates must not
+//!   call `unwrap()`/`expect()` or invoke `panic!`/`unreachable!`/`todo!`/
+//!   `unimplemented!`/`dbg!`, unless the site carries a justification
+//!   comment: `// lint: allow(panic) — <reason>`.
+//! * **D2 — determinism.** Non-test code in the protected crates must not
+//!   use `HashMap`/`HashSet` (iteration order is randomized per process),
+//!   wall-clock time (`Instant`/`SystemTime`), or ambient randomness
+//!   (`thread_rng`/`from_entropy`), unless justified with
+//!   `// lint: allow(nondet) — <reason>`.
+//! * **D3 — unsafe hygiene.** Every workspace crate (except the vendored
+//!   compat stubs) carries `#![forbid(unsafe_code)]` in its crate roots.
+//! * **D4 — lint policy.** The root manifest pins the clippy panic-lint
+//!   denies under `[workspace.lints]`, and every protected crate opts in
+//!   with `lints.workspace = true`.
+//!
+//! The pass is deliberately *token-level*, not a full parser: sources are
+//! lexed just enough to blank out strings, char literals, and comments
+//! (comments are kept on the side for justification lookup), `#[cfg(test)]`
+//! spans are masked by brace matching, and the rules then run plain
+//! word-boundary token scans. That keeps the checker dependency-free,
+//! offline, and fast, at the cost of being advisory about exotic syntax —
+//! which `cargo clippy` (rule D4) backstops at the semantic level.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The four invariants distill-lint enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// D1: no panicking constructs in protected non-test code.
+    PanicFreedom,
+    /// D2: no nondeterministic containers, clocks, or ambient RNG.
+    Determinism,
+    /// D3: `#![forbid(unsafe_code)]` in every non-exempt crate root.
+    UnsafeHygiene,
+    /// D4: workspace lint policy present and inherited.
+    LintPolicy,
+}
+
+impl Rule {
+    /// Short rule code used in reports.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::PanicFreedom => "D1",
+            Rule::Determinism => "D2",
+            Rule::UnsafeHygiene => "D3",
+            Rule::LintPolicy => "D4",
+        }
+    }
+}
+
+/// A single invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// File the violation is in, relative to the linted workspace root.
+    pub file: PathBuf,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{}: {}",
+            self.rule.code(),
+            self.file.display(),
+            self.line,
+            self.message
+        )
+    }
+}
+
+/// An I/O or manifest-shape error that prevented linting.
+#[derive(Debug)]
+pub struct LintError(pub String);
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for LintError {}
+
+impl From<std::io::Error> for LintError {
+    fn from(e: std::io::Error) -> Self {
+        LintError(e.to_string())
+    }
+}
+
+/// What to lint and how strictly.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Workspace root (the directory holding the root `Cargo.toml`).
+    pub root: PathBuf,
+    /// Member paths (relative, as written in `members = [...]`) whose
+    /// sources are D1/D2-protected and must opt into the workspace lints.
+    pub protected: Vec<String>,
+    /// Member path prefixes exempt from the D3 `forbid(unsafe_code)` check
+    /// (vendored compat stubs that mirror upstream APIs).
+    pub unsafe_exempt: Vec<String>,
+}
+
+impl LintConfig {
+    /// The configuration for this repository's own workspace.
+    pub fn for_repo(root: PathBuf) -> Self {
+        LintConfig {
+            root,
+            protected: [
+                "crates/core",
+                "crates/billboard",
+                "crates/sim",
+                "crates/adversary",
+                "crates/analysis",
+            ]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect(),
+            unsafe_exempt: vec!["crates/compat".to_string()],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexing: blank strings/chars/comments, keep comments for justifications.
+// ---------------------------------------------------------------------------
+
+/// A source file reduced to bare code plus its comments.
+#[derive(Debug, Default)]
+pub struct Stripped {
+    /// The source with strings, char literals, and comments blanked to
+    /// spaces. Newlines are preserved, so line numbers match the original.
+    pub code: String,
+    /// `(1-based line, comment text)` for every comment line encountered.
+    pub comments: Vec<(usize, String)>,
+}
+
+/// Returns true when `c` can appear in a Rust identifier.
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into [`Stripped`] form. Handles line and nested block
+/// comments, plain/byte/raw strings, and char literals (telling them apart
+/// from lifetimes by lookahead).
+pub fn strip_source(src: &str) -> Stripped {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out = String::with_capacity(src.len());
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    while i < n {
+        let c = chars[i];
+        // Line comment.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let mut text = String::new();
+            while i < n && chars[i] != '\n' {
+                text.push(chars[i]);
+                out.push(' ');
+                i += 1;
+            }
+            comments.push((line, text));
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 0usize;
+            let mut text = String::new();
+            let mut text_line = line;
+            while i < n {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    text.push_str("/*");
+                    out.push_str("  ");
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth = depth.saturating_sub(1);
+                    text.push_str("*/");
+                    out.push_str("  ");
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if chars[i] == '\n' {
+                    comments.push((text_line, std::mem::take(&mut text)));
+                    out.push('\n');
+                    line += 1;
+                    text_line = line;
+                    i += 1;
+                } else {
+                    text.push(chars[i]);
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            comments.push((text_line, text));
+            continue;
+        }
+        // Raw / byte / C string prefixes: r" r#" br" b" c" cr#" ...
+        if (c == 'r' || c == 'b' || c == 'c') && (i == 0 || !is_ident(chars[i - 1])) {
+            if let Some((quote_idx, hashes)) = string_after_prefix(&chars, i) {
+                let raw = chars[i..quote_idx].contains(&'r');
+                // Blank the prefix and opening quote.
+                for _ in i..=quote_idx {
+                    out.push(' ');
+                }
+                i = quote_idx + 1;
+                blank_string_body(&chars, &mut i, &mut out, &mut line, raw, hashes);
+                continue;
+            }
+        }
+        // Plain string.
+        if c == '"' {
+            out.push(' ');
+            i += 1;
+            blank_string_body(&chars, &mut i, &mut out, &mut line, false, 0);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if i + 1 < n && chars[i + 1] == '\\' {
+                // Escaped char literal: blank to the closing quote.
+                out.push(' ');
+                i += 1;
+                out.push(' ');
+                i += 1; // the backslash
+                if i < n {
+                    out.push(' ');
+                    i += 1; // the escaped char (first of possibly many)
+                }
+                while i < n && chars[i] != '\'' {
+                    push_blank(&mut out, chars[i], &mut line);
+                    i += 1;
+                }
+                if i < n {
+                    out.push(' ');
+                    i += 1;
+                }
+                continue;
+            }
+            if i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
+                // 'x' char literal.
+                out.push_str("   ");
+                i += 3;
+                continue;
+            }
+            // Lifetime or loop label: plain code.
+            out.push('\'');
+            i += 1;
+            continue;
+        }
+        if c == '\n' {
+            line += 1;
+        }
+        out.push(c);
+        i += 1;
+    }
+
+    Stripped {
+        code: out,
+        comments,
+    }
+}
+
+/// Emits a space for `c` (or a newline, bumping `line`).
+fn push_blank(out: &mut String, c: char, line: &mut usize) {
+    if c == '\n' {
+        out.push('\n');
+        *line += 1;
+    } else {
+        out.push(' ');
+    }
+}
+
+/// If `chars[start..]` begins a prefixed string literal (`r"`, `br#"`,
+/// `b"`, …), returns `(index of the opening quote, hash count)`.
+fn string_after_prefix(chars: &[char], start: usize) -> Option<(usize, usize)> {
+    let n = chars.len();
+    let mut j = start;
+    let mut letters = 0usize;
+    while j < n && matches!(chars[j], 'r' | 'b' | 'c') && letters < 2 {
+        j += 1;
+        letters += 1;
+    }
+    let mut hashes = 0usize;
+    while j < n && chars[j] == '#' {
+        j += 1;
+        hashes += 1;
+    }
+    if j < n && chars[j] == '"' {
+        let raw = chars[start..j].contains(&'r');
+        if hashes > 0 && !raw {
+            return None; // `b#"` is not a string start
+        }
+        Some((j, hashes))
+    } else {
+        None
+    }
+}
+
+/// Blanks a string body starting just after the opening quote; leaves `i`
+/// just past the closing delimiter.
+fn blank_string_body(
+    chars: &[char],
+    i: &mut usize,
+    out: &mut String,
+    line: &mut usize,
+    raw: bool,
+    hashes: usize,
+) {
+    let n = chars.len();
+    while *i < n {
+        let c = chars[*i];
+        if !raw && c == '\\' {
+            out.push(' ');
+            *i += 1;
+            if *i < n {
+                push_blank(out, chars[*i], line);
+                *i += 1;
+            }
+            continue;
+        }
+        if c == '"' {
+            if raw {
+                let mut k = 0usize;
+                while k < hashes && *i + 1 + k < n && chars[*i + 1 + k] == '#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    for _ in 0..=hashes {
+                        out.push(' ');
+                    }
+                    *i += 1 + hashes;
+                    return;
+                }
+                out.push(' ');
+                *i += 1;
+                continue;
+            }
+            out.push(' ');
+            *i += 1;
+            return;
+        }
+        push_blank(out, c, line);
+        *i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// #[cfg(test)] masking.
+// ---------------------------------------------------------------------------
+
+/// Blanks every `#[cfg(test)]`-gated item (module, function, or `use`) in
+/// already-stripped code, so the rules only see non-test code. Newlines are
+/// preserved.
+pub fn mask_cfg_test(code: &str) -> String {
+    const MARKER: &str = "#[cfg(test)]";
+    let mut chars: Vec<char> = code.chars().collect();
+    let marker: Vec<char> = MARKER.chars().collect();
+    let mut from = 0usize;
+    while let Some(start) = find_chars(&chars, &marker, from) {
+        let n = chars.len();
+        let mut j = start + marker.len();
+        // Find the gated item's body start (`{`) or terminator (`;`).
+        let mut open = None;
+        while j < n {
+            match chars[j] {
+                '{' => {
+                    open = Some(j);
+                    break;
+                }
+                ';' => break,
+                _ => j += 1,
+            }
+        }
+        let end = match open {
+            Some(o) => {
+                let mut depth = 0usize;
+                let mut k = o;
+                loop {
+                    if k >= n {
+                        break n.saturating_sub(1);
+                    }
+                    match chars[k] {
+                        '{' => depth += 1,
+                        '}' => {
+                            depth = depth.saturating_sub(1);
+                            if depth == 0 {
+                                break k;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+            None => j.min(n.saturating_sub(1)),
+        };
+        for slot in chars.iter_mut().take(end + 1).skip(start) {
+            if *slot != '\n' {
+                *slot = ' ';
+            }
+        }
+        from = end + 1;
+    }
+    chars.into_iter().collect()
+}
+
+/// Finds `needle` in `haystack` starting at `from`.
+fn find_chars(haystack: &[char], needle: &[char], from: usize) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    (from..=haystack.len() - needle.len()).find(|&s| &haystack[s..s + needle.len()] == needle)
+}
+
+// ---------------------------------------------------------------------------
+// Token scanning.
+// ---------------------------------------------------------------------------
+
+/// How a token must be anchored to count as a finding.
+#[derive(Debug, Clone, Copy)]
+enum Anchor {
+    /// `.word(` — a method call (e.g. `.unwrap()`).
+    Method,
+    /// `word!` — a macro invocation (e.g. `panic!`).
+    Macro,
+    /// A bare word-bounded occurrence (e.g. `HashMap`).
+    Word,
+}
+
+/// The D1 (panic-freedom) token set.
+const PANIC_TOKENS: &[(&str, Anchor)] = &[
+    ("unwrap", Anchor::Method),
+    ("expect", Anchor::Method),
+    ("unwrap_err", Anchor::Method),
+    ("expect_err", Anchor::Method),
+    ("panic", Anchor::Macro),
+    ("unreachable", Anchor::Macro),
+    ("todo", Anchor::Macro),
+    ("unimplemented", Anchor::Macro),
+    ("dbg", Anchor::Macro),
+];
+
+/// The D2 (determinism) token set.
+const NONDET_TOKENS: &[(&str, Anchor)] = &[
+    ("HashMap", Anchor::Word),
+    ("HashSet", Anchor::Word),
+    ("thread_rng", Anchor::Word),
+    ("from_entropy", Anchor::Word),
+    ("Instant", Anchor::Word),
+    ("SystemTime", Anchor::Word),
+];
+
+/// Scans one line of masked code for anchored tokens; returns matched names.
+fn scan_line(line: &str, tokens: &[(&'static str, Anchor)]) -> Vec<&'static str> {
+    let chars: Vec<char> = line.chars().collect();
+    let mut hits = Vec::new();
+    for &(word, anchor) in tokens {
+        let needle: Vec<char> = word.chars().collect();
+        let mut from = 0usize;
+        while let Some(at) = find_chars(&chars, &needle, from) {
+            from = at + 1;
+            let before = at.checked_sub(1).map(|b| chars[b]);
+            let after = chars.get(at + needle.len()).copied();
+            if before.is_some_and(is_ident) || after.is_some_and(is_ident) {
+                continue; // part of a longer identifier
+            }
+            let anchored = match anchor {
+                Anchor::Word => true,
+                Anchor::Macro => after == Some('!'),
+                Anchor::Method => {
+                    let prev = chars[..at].iter().rev().find(|c| !c.is_whitespace());
+                    let next = chars[at + needle.len()..]
+                        .iter()
+                        .find(|c| !c.is_whitespace());
+                    prev == Some(&'.') && next == Some(&'(')
+                }
+            };
+            if anchored {
+                hits.push(word);
+            }
+        }
+    }
+    hits
+}
+
+// ---------------------------------------------------------------------------
+// Justification comments.
+// ---------------------------------------------------------------------------
+
+/// Returns true when `comment` carries `lint: allow(<kind>)` *with* a
+/// non-empty reason after it (a bare allowance never suppresses).
+fn comment_allows(comment: &str, kind: &str) -> bool {
+    let marker = format!("lint: allow({kind})");
+    let Some(at) = comment.find(&marker) else {
+        return false;
+    };
+    let rest = comment[at + marker.len()..]
+        .trim_start_matches([' ', '\t', '—', '–', '-', ':', ','])
+        .trim();
+    rest.chars().filter(|c| !c.is_whitespace()).count() >= 3
+}
+
+/// Checks whether the violation at `line` (1-based) is covered by a
+/// justification comment of `kind` on the same line or on the contiguous
+/// run of comment/attribute lines directly above it.
+fn allowed_at(src_lines: &[&str], comments: &[(usize, String)], line: usize, kind: &str) -> bool {
+    let on = |l: usize| {
+        comments
+            .iter()
+            .filter(|(cl, _)| *cl == l)
+            .any(|(_, text)| comment_allows(text, kind))
+    };
+    if on(line) {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        let raw = src_lines.get(l - 1).map_or("", |s| s.trim_start());
+        let is_annotation = raw.starts_with("//") || raw.starts_with("#[") || raw.starts_with("#!");
+        if !is_annotation {
+            return false;
+        }
+        if on(l) {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Manifest parsing (just enough TOML).
+// ---------------------------------------------------------------------------
+
+/// Extracts the body of `[header]` (lines until the next `[` section).
+fn toml_section(text: &str, header: &str) -> Option<String> {
+    let mut body = String::new();
+    let mut inside = false;
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            if inside {
+                break;
+            }
+            inside = t == format!("[{header}]");
+            continue;
+        }
+        if inside {
+            body.push_str(line);
+            body.push('\n');
+        }
+    }
+    if body.is_empty() && !text.lines().any(|l| l.trim() == format!("[{header}]")) {
+        None
+    } else {
+        Some(body)
+    }
+}
+
+/// True when the section body assigns `key` to `value` (quoted or bare).
+fn section_assigns(body: &str, key: &str, value: &str) -> bool {
+    body.lines().any(|line| {
+        let t = line.trim();
+        let Some((k, v)) = t.split_once('=') else {
+            return false;
+        };
+        k.trim() == key && v.trim().trim_matches('"') == value
+    })
+}
+
+/// Parses `members = [...]` out of the `[workspace]` section and expands
+/// trailing `/*` globs one directory level.
+fn workspace_members(root: &Path, manifest: &str) -> Result<Vec<String>, LintError> {
+    let section = toml_section(manifest, "workspace").ok_or_else(|| {
+        LintError(format!(
+            "{}: no [workspace] section",
+            root.join("Cargo.toml").display()
+        ))
+    })?;
+    let Some(open) = section.find("members") else {
+        return Ok(Vec::new());
+    };
+    let after = &section[open..];
+    let Some(lb) = after.find('[') else {
+        return Ok(Vec::new());
+    };
+    let Some(rb) = after.find(']') else {
+        return Err(LintError("unterminated members list".to_string()));
+    };
+    let list = &after[lb + 1..rb];
+    let mut members = Vec::new();
+    for raw in list.split(',') {
+        let entry = raw.trim().trim_matches('"').trim();
+        if entry.is_empty() {
+            continue;
+        }
+        if let Some(prefix) = entry.strip_suffix("/*") {
+            let dir = root.join(prefix);
+            let mut expanded: Vec<String> = Vec::new();
+            for child in std::fs::read_dir(&dir)? {
+                let child = child?;
+                if child.path().join("Cargo.toml").is_file() {
+                    expanded.push(format!("{prefix}/{}", child.file_name().to_string_lossy()));
+                }
+            }
+            expanded.sort();
+            members.extend(expanded);
+        } else {
+            members.push(entry.to_string());
+        }
+    }
+    Ok(members)
+}
+
+// ---------------------------------------------------------------------------
+// The lint pass.
+// ---------------------------------------------------------------------------
+
+/// The clippy lints rule D4 requires at `deny` in `[workspace.lints.clippy]`.
+const REQUIRED_CLIPPY_DENIES: &[&str] = &["unwrap_used", "expect_used", "dbg_macro"];
+
+/// Runs all four rules over the workspace described by `config`. Returns the
+/// violations sorted by `(file, line, rule)`; an empty vector means the
+/// workspace passes the gate.
+pub fn lint_workspace(config: &LintConfig) -> Result<Vec<Violation>, LintError> {
+    let root_manifest_path = config.root.join("Cargo.toml");
+    let root_manifest = std::fs::read_to_string(&root_manifest_path)
+        .map_err(|e| LintError(format!("{}: {e}", root_manifest_path.display())))?;
+    let mut violations = Vec::new();
+
+    // D4 (root): the clippy panic-lint denies must be pinned.
+    match toml_section(&root_manifest, "workspace.lints.clippy") {
+        None => violations.push(Violation {
+            rule: Rule::LintPolicy,
+            file: PathBuf::from("Cargo.toml"),
+            line: 0,
+            message: "missing [workspace.lints.clippy] table".to_string(),
+        }),
+        Some(body) => {
+            for lint in REQUIRED_CLIPPY_DENIES {
+                if !section_assigns(&body, lint, "deny") {
+                    violations.push(Violation {
+                        rule: Rule::LintPolicy,
+                        file: PathBuf::from("Cargo.toml"),
+                        line: 0,
+                        message: format!("[workspace.lints.clippy] must set {lint} = \"deny\""),
+                    });
+                }
+            }
+        }
+    }
+
+    let mut members = workspace_members(&config.root, &root_manifest)?;
+    if toml_section(&root_manifest, "package").is_some() {
+        members.push(".".to_string());
+    }
+
+    for member in &members {
+        let member_dir = config.root.join(member);
+        let manifest_path = member_dir.join("Cargo.toml");
+        let manifest = std::fs::read_to_string(&manifest_path)
+            .map_err(|e| LintError(format!("{}: {e}", manifest_path.display())))?;
+        let is_protected = config.protected.iter().any(|p| p == member);
+        let rel_manifest = if member == "." {
+            PathBuf::from("Cargo.toml")
+        } else {
+            PathBuf::from(member).join("Cargo.toml")
+        };
+
+        // D4 (member): protected crates must inherit the workspace lints.
+        if is_protected {
+            let inherits = toml_section(&manifest, "lints")
+                .is_some_and(|body| section_assigns(&body, "workspace", "true"))
+                || manifest
+                    .lines()
+                    .any(|l| l.trim().replace(' ', "") == "lints.workspace=true");
+            if !inherits {
+                violations.push(Violation {
+                    rule: Rule::LintPolicy,
+                    file: rel_manifest.clone(),
+                    line: 0,
+                    message: "protected crate must set lints.workspace = true".to_string(),
+                });
+            }
+        }
+
+        // D3: crate roots must forbid unsafe code.
+        let exempt = config
+            .unsafe_exempt
+            .iter()
+            .any(|p| member == p || member.starts_with(&format!("{p}/")));
+        if !exempt {
+            for crate_root in ["src/lib.rs", "src/main.rs"] {
+                let path = member_dir.join(crate_root);
+                if !path.is_file() {
+                    continue;
+                }
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| LintError(format!("{}: {e}", path.display())))?;
+                let stripped = strip_source(&text);
+                if !stripped.code.contains("#![forbid(unsafe_code)]") {
+                    violations.push(Violation {
+                        rule: Rule::UnsafeHygiene,
+                        file: rel_source_path(member, crate_root),
+                        line: 1,
+                        message: "crate root is missing #![forbid(unsafe_code)]".to_string(),
+                    });
+                }
+            }
+        }
+
+        // D1 + D2: token scan of protected non-test sources.
+        if is_protected {
+            let src_dir = member_dir.join("src");
+            let mut files = Vec::new();
+            collect_rs_files(&src_dir, &mut files)?;
+            for path in files {
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| LintError(format!("{}: {e}", path.display())))?;
+                let rel = path
+                    .strip_prefix(&config.root)
+                    .unwrap_or(&path)
+                    .to_path_buf();
+                lint_source(&text, &rel, &mut violations);
+            }
+        }
+    }
+
+    violations.sort_by(|a, b| {
+        (&a.file, a.line, a.rule)
+            .cmp(&(&b.file, b.line, b.rule))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+    Ok(violations)
+}
+
+/// Joins a member path and an in-crate source path for reporting.
+fn rel_source_path(member: &str, source: &str) -> PathBuf {
+    if member == "." {
+        PathBuf::from(source)
+    } else {
+        PathBuf::from(member).join(source)
+    }
+}
+
+/// Recursively gathers `.rs` files under `dir` in sorted order.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the D1 and D2 token rules over one source file, appending findings.
+pub fn lint_source(text: &str, rel_path: &Path, violations: &mut Vec<Violation>) {
+    let stripped = strip_source(text);
+    let masked = mask_cfg_test(&stripped.code);
+    let src_lines: Vec<&str> = text.lines().collect();
+    for (idx, line) in masked.lines().enumerate() {
+        let line_no = idx + 1;
+        for token in scan_line(line, PANIC_TOKENS) {
+            if !allowed_at(&src_lines, &stripped.comments, line_no, "panic") {
+                violations.push(Violation {
+                    rule: Rule::PanicFreedom,
+                    file: rel_path.to_path_buf(),
+                    line: line_no,
+                    message: format!(
+                        "`{token}` can panic; return an error or justify with \
+                         `// lint: allow(panic) — <reason>`"
+                    ),
+                });
+            }
+        }
+        for token in scan_line(line, NONDET_TOKENS) {
+            if !allowed_at(&src_lines, &stripped.comments, line_no, "nondet") {
+                violations.push(Violation {
+                    rule: Rule::Determinism,
+                    file: rel_path.to_path_buf(),
+                    line: line_no,
+                    message: format!(
+                        "`{token}` is nondeterministic; use an ordered/seeded \
+                         alternative or justify with `// lint: allow(nondet) — <reason>`"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let a = \"call .unwrap() now\"; // and .expect( too\nlet b = 'x';";
+        let s = strip_source(src);
+        assert!(!s.code.contains("unwrap"));
+        assert!(!s.code.contains("expect"));
+        assert!(!s.code.contains('x'));
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].1.contains(".expect("));
+        // Line structure is preserved.
+        assert_eq!(s.code.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nlet r = r#\"panic!(\"no\")\"#;";
+        let s = strip_source(src);
+        assert!(s.code.contains("fn f<'a>"));
+        assert!(!s.code.contains("panic"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner panic!() */ still comment */ let x = 1;";
+        let s = strip_source(src);
+        assert!(!s.code.contains("panic"));
+        assert!(s.code.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_spans_are_masked() {
+        let src =
+            "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn more() {}";
+        let masked = mask_cfg_test(&strip_source(src).code);
+        assert!(!masked.contains("unwrap"));
+        assert!(masked.contains("fn ok"));
+        assert!(masked.contains("fn more"));
+        assert_eq!(masked.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn method_anchor_requires_dot_and_paren() {
+        assert_eq!(scan_line("x.unwrap()", PANIC_TOKENS), vec!["unwrap"]);
+        assert!(scan_line("x.unwrap_or(0)", PANIC_TOKENS).is_empty());
+        assert!(scan_line("fn unwrap(x: u32) {}", PANIC_TOKENS).is_empty());
+        assert!(scan_line("#[allow(clippy::expect_used)]", PANIC_TOKENS).is_empty());
+        assert_eq!(scan_line("panic!(\"boom\")", PANIC_TOKENS), vec!["panic"]);
+        assert!(scan_line("debug_assert!(true)", PANIC_TOKENS).is_empty());
+    }
+
+    #[test]
+    fn word_anchor_bounds() {
+        assert_eq!(
+            scan_line("use std::collections::HashMap;", NONDET_TOKENS).len(),
+            1
+        );
+        assert!(scan_line("let MyHashMapLike = 3;", NONDET_TOKENS).is_empty());
+        assert_eq!(scan_line("Instant::now()", NONDET_TOKENS), vec!["Instant"]);
+    }
+
+    #[test]
+    fn justification_requires_a_reason() {
+        assert!(comment_allows(
+            "// lint: allow(panic) — scoped threads fill every slot",
+            "panic"
+        ));
+        assert!(comment_allows(
+            "// lint: allow(nondet): cache only",
+            "nondet"
+        ));
+        assert!(!comment_allows("// lint: allow(panic)", "panic"));
+        assert!(!comment_allows("// lint: allow(panic) — ", "panic"));
+        assert!(!comment_allows("// lint: allow(nondet) x", "nondet"));
+    }
+
+    #[test]
+    fn allowance_looks_upward_through_annotations() {
+        let src = "// lint: allow(panic) — provably infallible here\n#[allow(clippy::expect_used)]\nlet v = x.expect(\"set\");\n";
+        let mut v = Vec::new();
+        lint_source(src, Path::new("t.rs"), &mut v);
+        assert!(v.is_empty(), "justified site must not fire: {v:?}");
+
+        let src2 = "let ready = true;\n// lint: allow(panic) — reason\nlet a = 1;\nlet v = x.expect(\"set\");\n";
+        let mut v2 = Vec::new();
+        lint_source(src2, Path::new("t.rs"), &mut v2);
+        assert_eq!(v2.len(), 1, "non-adjacent comment must not suppress");
+    }
+
+    #[test]
+    fn toml_helpers() {
+        let manifest = "[workspace]\nmembers = [\n  \"a\",\n  \"b\",\n]\n\n[workspace.lints.clippy]\nunwrap_used = \"deny\"\n";
+        let body = toml_section(manifest, "workspace.lints.clippy").unwrap();
+        assert!(section_assigns(&body, "unwrap_used", "deny"));
+        assert!(!section_assigns(&body, "expect_used", "deny"));
+        assert!(toml_section(manifest, "package").is_none());
+    }
+}

@@ -1,0 +1,108 @@
+//! Command-line entry point for the workspace tasks.
+//!
+//! `cargo run -p xtask -- lint` runs distill-lint over the workspace and
+//! exits non-zero when any invariant is violated. See `xtask::lint_workspace`
+//! and `DESIGN.md` for the rule set.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use xtask::{lint_workspace, LintConfig};
+
+const USAGE: &str = "usage: cargo run -p xtask -- lint [--root <dir>] [--protected a,b,c]
+
+Runs distill-lint, the workspace invariant checker:
+  D1  panic-freedom in protected non-test code
+  D2  determinism (no hash containers, clocks, or ambient RNG)
+  D3  #![forbid(unsafe_code)] in every non-exempt crate root
+  D4  [workspace.lints] policy present and inherited
+
+Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.";
+
+fn main() {
+    std::process::exit(run(std::env::args().skip(1).collect()));
+}
+
+fn run(args: Vec<String>) -> i32 {
+    let mut args = args.into_iter();
+    match args.next().as_deref() {
+        Some("lint") => {}
+        Some("--help" | "-h") | None => {
+            println!("{USAGE}");
+            return if args.next().is_none() { 0 } else { 2 };
+        }
+        Some(other) => {
+            eprintln!("unknown task `{other}`\n{USAGE}");
+            return 2;
+        }
+    }
+
+    let mut root: Option<PathBuf> = None;
+    let mut protected: Option<Vec<String>> = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory\n{USAGE}");
+                    return 2;
+                }
+            },
+            "--protected" => match args.next() {
+                Some(list) => {
+                    protected = Some(
+                        list.split(',')
+                            .map(str::trim)
+                            .filter(|s| !s.is_empty())
+                            .map(String::from)
+                            .collect(),
+                    )
+                }
+                None => {
+                    eprintln!("--protected needs a comma-separated list\n{USAGE}");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+
+    let root = root.unwrap_or_else(default_root);
+    let mut config = LintConfig::for_repo(root);
+    if let Some(p) = protected {
+        config.protected = p;
+    }
+
+    match lint_workspace(&config) {
+        Ok(violations) if violations.is_empty() => {
+            println!("distill-lint: workspace clean (rules D1–D4)");
+            0
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("distill-lint: {} violation(s)", violations.len());
+            1
+        }
+        Err(e) => {
+            eprintln!("distill-lint: error: {e}");
+            2
+        }
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest dir, which is
+/// where `cargo run -p xtask` executes from under any working directory.
+fn default_root() -> PathBuf {
+    let manifest_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest_dir
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}

@@ -1,0 +1,95 @@
+//! Fixture and self-gate tests for distill-lint.
+//!
+//! The fixtures under `crates/xtask/fixtures/` are tiny workspaces that are
+//! parsed as text (never compiled): `clean_ws` satisfies every rule and
+//! `bad_ws` violates every rule at least once.
+
+use std::path::PathBuf;
+use xtask::{lint_workspace, LintConfig, Rule};
+
+fn fixture_config(name: &str) -> LintConfig {
+    LintConfig {
+        root: PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join(name),
+        protected: vec!["member".to_string()],
+        unsafe_exempt: Vec::new(),
+    }
+}
+
+#[test]
+fn clean_fixture_passes_every_rule() {
+    let violations = lint_workspace(&fixture_config("clean_ws")).unwrap();
+    assert!(
+        violations.is_empty(),
+        "clean fixture must lint clean, got:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn bad_fixture_fires_every_rule() {
+    let violations = lint_workspace(&fixture_config("bad_ws")).unwrap();
+    let count = |rule: Rule| violations.iter().filter(|v| v.rule == rule).count();
+    assert_eq!(count(Rule::LintPolicy), 2, "root table + member opt-in");
+    assert_eq!(count(Rule::UnsafeHygiene), 1, "missing forbid(unsafe_code)");
+    assert_eq!(
+        count(Rule::PanicFreedom),
+        3,
+        "unwrap + panic! + reasonless-allowance expect: {violations:#?}"
+    );
+    assert_eq!(
+        count(Rule::Determinism),
+        4,
+        "two HashMap uses + two Instant uses: {violations:#?}"
+    );
+}
+
+#[test]
+fn bare_allowance_without_reason_does_not_suppress() {
+    let violations = lint_workspace(&fixture_config("bad_ws")).unwrap();
+    // The fixture's `.expect(...)` on line 16 sits directly under a
+    // `// lint: allow(panic)` comment with no reason — it must still fire.
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.rule == Rule::PanicFreedom && v.line == 16),
+        "reasonless allowance must not suppress D1: {violations:#?}"
+    );
+}
+
+#[test]
+fn violations_are_deterministically_ordered() {
+    let a = lint_workspace(&fixture_config("bad_ws")).unwrap();
+    let b = lint_workspace(&fixture_config("bad_ws")).unwrap();
+    assert_eq!(a, b);
+    let mut sorted = a.clone();
+    sorted.sort_by(|x, y| {
+        (&x.file, x.line, x.rule)
+            .cmp(&(&y.file, y.line, y.rule))
+            .then_with(|| x.message.cmp(&y.message))
+    });
+    assert_eq!(a, sorted, "report order must be (file, line, rule)");
+}
+
+#[test]
+fn the_workspace_passes_its_own_gate() {
+    // CARGO_MANIFEST_DIR = <repo>/crates/xtask; the repo root is two up.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let violations = lint_workspace(&LintConfig::for_repo(root)).unwrap();
+    assert!(
+        violations.is_empty(),
+        "the workspace must pass distill-lint, got:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

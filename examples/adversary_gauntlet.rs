@@ -41,7 +41,8 @@ fn main() {
                 (entry.make)(),
             )
             .expect("engine")
-            .run();
+            .run()
+            .unwrap();
             costs.push(r.mean_probes());
             ok &= r.all_satisfied;
         }
@@ -72,7 +73,8 @@ fn main() {
                 Box::new(inst.adversary()),
             )
             .expect("engine")
-            .run();
+            .run()
+            .unwrap();
             costs.push(r.mean_probes());
             ok &= r.all_satisfied;
         }

@@ -54,7 +54,8 @@ fn main() {
                 Box::new(NullAdversary),
             )
             .expect("engine")
-            .run();
+            .run()
+            .unwrap();
             assert!(result.all_satisfied);
             totals.push(result.total_probes() as f64);
             p0.push(result.probes_of(PlayerId(0)) as f64);

@@ -54,7 +54,8 @@ fn main() {
                 Box::new(UniformBad::new()),
             )
             .expect("engine")
-            .run();
+            .run()
+            .unwrap();
             assert!(r.all_satisfied, "cost-class search must finish");
             classed.push(r.mean_cost());
 
@@ -69,7 +70,8 @@ fn main() {
                 Box::new(UniformBad::new()),
             )
             .expect("engine")
-            .run();
+            .run()
+            .unwrap();
             assert!(r.all_satisfied, "flat distill must finish");
             flat.push(r.mean_cost());
         }

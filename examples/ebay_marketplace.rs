@@ -57,6 +57,7 @@ fn stage(n: u32, cohort: Box<dyn Cohort>, seed: u64, cap: u64) -> SimResult {
     Engine::new(config, &world, cohort, Box::new(Collusive::new(3, 0)))
         .expect("engine")
         .run()
+        .unwrap()
 }
 
 fn main() {

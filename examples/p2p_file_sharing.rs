@@ -39,6 +39,7 @@ fn run(f: usize, err: f64, seed: u64) -> SimResult {
     )
     .expect("engine")
     .run()
+    .unwrap()
 }
 
 fn main() {

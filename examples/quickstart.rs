@@ -25,6 +25,7 @@ fn mean_cost_over_trials(
         Engine::new(config, &world, cohort, Box::new(UniformBad::new()))
             .expect("valid engine")
             .run()
+            .unwrap()
     });
     let costs: Vec<f64> = results.iter().map(|r| r.mean_probes()).collect();
     Summary::of(&costs).mean

@@ -44,7 +44,7 @@
 //! let config = SimConfig::new(n, 115, 7);          // ≈ 90% honest
 //! let result = Engine::new(config, &world,
 //!     Box::new(Distill::new(params)),
-//!     Box::new(UniformBad::new()))?.run();
+//!     Box::new(UniformBad::new()))?.run()?;
 //! assert!(result.all_satisfied);
 //! println!("mean individual cost: {:.1} probes", result.mean_probes());
 //! # Ok(())
@@ -100,7 +100,8 @@ mod tests {
             Box::new(NullAdversary),
         )
         .unwrap()
-        .run();
+        .run()
+        .unwrap();
         assert!(result.all_satisfied);
     }
 }

@@ -20,7 +20,7 @@ fn full_execution_replays_onto_a_signed_billboard() {
     )
     .expect("engine");
     for _ in 0..60 {
-        engine.step();
+        engine.step().unwrap();
     }
     let posts: Vec<_> = engine.board().posts().to_vec();
     assert!(!posts.is_empty());

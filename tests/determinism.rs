@@ -17,6 +17,7 @@ fn run_once(seed: u64, world_seed: u64) -> SimResult {
     )
     .expect("engine")
     .run()
+    .unwrap()
 }
 
 #[test]
@@ -34,6 +35,10 @@ fn identical_seeds_identical_everything() {
     for (pa, pb) in a.players.iter().zip(&b.players) {
         assert_eq!(pa, pb);
     }
+    // The whole result — every field, every trace event — must be
+    // bit-identical: the billboard's ordered containers leave no room for
+    // iteration-order drift.
+    assert_eq!(a, b);
 }
 
 #[test]

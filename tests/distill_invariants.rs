@@ -22,7 +22,8 @@ fn refine_chain_is_nested() {
         Box::new(ThresholdMatcher::new()),
     )
     .expect("engine")
-    .run();
+    .run()
+    .unwrap();
     assert!(result.all_satisfied);
 
     let snaps = obs.lock().expect("observer");
@@ -63,7 +64,7 @@ fn dishonest_vote_budget_is_respected() {
         )
         .expect("engine");
         for _ in 0..200 {
-            engine.step();
+            engine.step().unwrap();
         }
         let dishonest_votes = engine
             .tracker()
@@ -97,7 +98,8 @@ fn distill_terminates_across_grid_and_gauntlet() {
                 (entry.make)(),
             )
             .expect("engine")
-            .run();
+            .run()
+            .unwrap();
             assert!(
                 result.all_satisfied,
                 "distill failed vs {} at n={n} honest={honest}",
@@ -127,7 +129,8 @@ fn probe_accounting_is_consistent() {
         Box::new(UniformBad::new()),
     )
     .expect("engine")
-    .run();
+    .run()
+    .unwrap();
     for p in &result.players {
         assert_eq!(p.explore_probes + p.advice_probes, p.probes);
         assert!((p.cost_paid - p.probes as f64).abs() < 1e-9, "unit costs");
@@ -149,7 +152,8 @@ fn satisfaction_curve_is_monotone() {
         Box::new(Collusive::default()),
     )
     .expect("engine")
-    .run();
+    .run()
+    .unwrap();
     let curve = &result.satisfied_per_round;
     assert!(
         curve.windows(2).all(|w| w[0] <= w[1]),

@@ -70,6 +70,7 @@ fn run(s: &Scenario, cap: u64) -> SimResult {
     )
     .expect("engine")
     .run()
+    .unwrap()
 }
 
 proptest! {
@@ -130,7 +131,7 @@ proptest! {
                 .with_tally_window_registration(register);
             Engine::new(config, &world, Box::new(Distill::new(params)), make_adversary(s.adversary))
                 .expect("engine")
-                .run()
+                .run().unwrap()
         };
         let incremental = run_with(true);
         let scan = run_with(false);
@@ -169,7 +170,7 @@ proptest! {
         )
         .expect("engine");
         for _ in 0..60 {
-            engine.step();
+            engine.step().unwrap();
         }
         let dishonest_votes = engine
             .tracker()

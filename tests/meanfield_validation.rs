@@ -19,7 +19,8 @@ fn mean_probes(cohort_kind: &str, n: u32, goods: u32, trials: u64) -> f64 {
             .with_negative_reports(false);
         let r = Engine::new(config, &world, cohort, Box::new(NullAdversary))
             .expect("engine")
-            .run();
+            .run()
+            .unwrap();
         assert!(r.all_satisfied);
         costs.push(r.mean_probes());
     }
@@ -76,7 +77,8 @@ fn satisfaction_curve_tracks_mean_field_shape() {
         Box::new(NullAdversary),
     )
     .expect("engine")
-    .run();
+    .run()
+    .unwrap();
     let curve = meanfield::balance_curve(beta, 0.5, r.satisfied_per_round.len());
     // After the stochastic ignition phase (first discovery), the measured
     // fraction must stay within an absolute band of the recurrence shifted

@@ -18,7 +18,8 @@ fn trace_summary_agrees_with_sim_result() {
         Box::new(UniformBad::new()),
     )
     .expect("engine")
-    .run();
+    .run()
+    .unwrap();
     assert!(result.all_satisfied);
 
     let trace = result.trace.as_ref().expect("trace requested");
@@ -59,6 +60,7 @@ fn trace_is_absent_unless_requested() {
         Box::new(NullAdversary),
     )
     .expect("engine")
-    .run();
+    .run()
+    .unwrap();
     assert!(result.trace.is_none());
 }

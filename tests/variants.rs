@@ -19,7 +19,8 @@ fn guess_alpha_terminates_without_knowing_alpha() {
             Box::new(UniformBad::new()),
         )
         .expect("engine")
-        .run();
+        .run()
+        .unwrap();
         assert!(
             result.all_satisfied,
             "guess-alpha failed at honest={honest}"
@@ -57,7 +58,8 @@ fn cost_classes_pay_proportionally_to_q0() {
             Box::new(UniformBad::new()),
         )
         .expect("engine")
-        .run();
+        .run()
+        .unwrap();
         assert!(result.all_satisfied, "cost-class search failed at i0={i0}");
         payments.push(result.mean_cost());
         let q0 = f64::from(1u32 << i0);
@@ -94,7 +96,8 @@ fn no_local_testing_succeeds_at_horizon() {
             .with_stop(StopRule::horizon(horizon));
         let result = Engine::new(config, &world, Box::new(cohort), Box::new(Flooder::new(32)))
             .expect("engine")
-            .run();
+            .run()
+            .unwrap();
         let eval = result.final_eval.expect("no-LT runs evaluate at the end");
         if eval.found_good.iter().all(|&g| g) {
             successes += 1;
@@ -131,7 +134,8 @@ fn three_phase_example_distills() {
             Box::new(UniformBad::new()),
         )
         .expect("engine")
-        .run();
+        .run()
+        .unwrap();
         if result.all_satisfied {
             successes += 1;
         }
@@ -182,7 +186,8 @@ fn best_object_search_finds_the_maximum() {
             .with_stop(StopRule::horizon(horizon));
         let result = Engine::new(config, &world, Box::new(cohort), Box::new(Flooder::new(16)))
             .expect("engine")
-            .run();
+            .run()
+            .unwrap();
         let eval = result.final_eval.expect("evaluated");
         if eval.found_good.iter().all(|&g| g) {
             found += 1;
@@ -223,7 +228,8 @@ fn hp_attempts_rarely_restart() {
                 Box::new(UniformBad::new()),
             )
             .expect("engine")
-            .run();
+            .run()
+            .unwrap();
             assert!(result.all_satisfied);
             let attempts = result.note("distill.attempts").expect("note");
             if hp {
