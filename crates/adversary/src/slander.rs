@@ -58,7 +58,7 @@ impl Adversary for Slander {
         }
 
         // Every round: slander the most-voted objects (the honest consensus).
-        let mut voted = ctx.view.objects_with_votes();
+        let mut voted = ctx.view.objects_with_votes().to_vec();
         voted.sort_by_key(|&o| std::cmp::Reverse(ctx.view.votes_for(o)));
         voted.truncate(4);
         if voted.is_empty() {

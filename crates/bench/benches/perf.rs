@@ -7,10 +7,19 @@
 //! * `window/...` — the incremental window counters against the event-stream
 //!   scan at n ∈ {1024, 4096} (the perf-regression gate for the incremental
 //!   tally layer: incremental must stay ≥ 2× the scan's throughput);
-//! * `engine_round/...` — one E1-sized DISTILL round at n ∈ {1024, 4096}.
+//! * `engine_round/...` — one E1-sized DISTILL round at n ∈ {1024, 4096};
+//! * `trials/...` — multi-trial throughput: fresh engine per trial vs the
+//!   scoped runner's per-worker engine arena (`Engine::reset`), sequential
+//!   and work-stealing threaded;
+//! * `alloc/...` — steady-state round timing plus the *measured* heap
+//!   acquisitions per round (reported via the stub's `report_value`; the
+//!   tier-1 gate `tests/alloc_steady_state.rs` asserts the count is 0).
 //!
 //! Results are also written to `BENCH_perf.json` at the repository root (see
-//! EXPERIMENTS.md for the format).
+//! EXPERIMENTS.md for the format). This binary runs under the counting
+//! global allocator so the `alloc/` group can report real counts; the
+//! counter is two thread-local `Cell` bumps per heap event, noise-level for
+//! every timed group.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use distill_adversary::Flooder;
@@ -18,7 +27,13 @@ use distill_billboard::{
     Billboard, ObjectId, PlayerId, ReportKind, Round, VotePolicy, VoteTracker, Window,
 };
 use distill_core::{Distill, DistillParams};
-use distill_sim::{Engine, NullAdversary, SimConfig, StopRule, World};
+use distill_sim::{
+    run_trials, run_trials_scoped, run_trials_threaded, Engine, NullAdversary, SimConfig, StopRule,
+    World,
+};
+
+#[global_allocator]
+static ALLOC: alloc_count::CountingAllocator = alloc_count::CountingAllocator;
 
 fn bench_engine(c: &mut Criterion) {
     let n: u32 = 512;
@@ -256,6 +271,125 @@ fn bench_engine_round(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_trials(c: &mut Criterion) {
+    const TRIALS: usize = 8;
+    let n: u32 = 128;
+    let honest = n * 9 / 10;
+    let world = World::binary(n, 1, 7).expect("world");
+    let params = DistillParams::new(n, n, 0.9, world.beta()).expect("params");
+    let config_with = |seed: u64| {
+        SimConfig::new(n, honest, seed)
+            .with_stop(StopRule::all_satisfied(100_000))
+            .with_negative_reports(false)
+    };
+    let fresh_trial = |t: u64| {
+        Engine::new(
+            config_with(1000 + t),
+            &world,
+            Box::new(Distill::new(params)),
+            Box::new(NullAdversary),
+        )
+        .expect("engine")
+        .run()
+        .expect("run")
+    };
+    let scoped_trials = |threads: usize| {
+        run_trials_scoped(
+            TRIALS,
+            threads,
+            || None,
+            |slot: &mut Option<Engine<'_>>, t| {
+                let engine = match slot {
+                    Some(engine) => {
+                        engine
+                            .reset(
+                                1000 + t,
+                                Box::new(Distill::new(params)),
+                                Box::new(NullAdversary),
+                            )
+                            .expect("reset");
+                        engine
+                    }
+                    None => slot.insert(
+                        Engine::new(
+                            config_with(1000 + t),
+                            &world,
+                            Box::new(Distill::new(params)),
+                            Box::new(NullAdversary),
+                        )
+                        .expect("engine"),
+                    ),
+                };
+                engine.run_mut().expect("run")
+            },
+        )
+    };
+
+    let mut group = c.benchmark_group("trials");
+    group.sample_size(10);
+    group.bench_function("sequential_fresh_8x_n128", |b| {
+        b.iter(|| run_trials(TRIALS, fresh_trial))
+    });
+    group.bench_function("sequential_reuse_8x_n128", |b| b.iter(|| scoped_trials(1)));
+    group.bench_function("threaded_fresh_t2_8x_n128", |b| {
+        b.iter(|| run_trials_threaded(TRIALS, 2, fresh_trial))
+    });
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    group.bench_function(&format!("threaded_reuse_t{cores}_8x_n128"), |b| {
+        b.iter(|| scoped_trials(cores))
+    });
+    group.finish();
+}
+
+fn bench_alloc(c: &mut Criterion) {
+    // The never-satisfying configuration of tests/alloc_steady_state.rs:
+    // every round past warm-up is pure steady state (no posts, no votes, no
+    // satisfactions), so both the timing and the allocation count isolate
+    // the round loop itself.
+    let n: u32 = 256;
+    let world = World::binary(n, 1, 2026).expect("world");
+    let bad: Vec<ObjectId> = (0..world.m())
+        .map(ObjectId)
+        .filter(|&o| !world.is_good(o))
+        .collect();
+    let params = DistillParams::new(n, world.m(), 1.0, world.beta()).expect("params");
+    let config = SimConfig::new(n, n, 0xA110C)
+        .with_negative_reports(false)
+        .with_stop(StopRule::all_satisfied(u64::MAX));
+    let mut engine = Engine::new(
+        config,
+        &world,
+        Box::new(Distill::new(params).with_universe(bad)),
+        Box::new(NullAdversary),
+    )
+    .expect("engine");
+    for _ in 0..64 {
+        engine.step().expect("warm-up step");
+    }
+
+    let mut group = c.benchmark_group("alloc");
+    group.sample_size(20);
+    // Count first, while the satisfaction-curve buffer is far from its
+    // reserve: the timing loop below runs thousands of rounds, and the
+    // (amortized, off-path) curve growth past 4096 entries would otherwise
+    // leak into an unlucky 32-round counting window.
+    const MEASURED: u64 = 32;
+    let (delta, ()) = alloc_count::measure(|| {
+        for _ in 0..MEASURED {
+            engine.step().expect("measured step");
+        }
+    });
+    #[allow(clippy::cast_precision_loss)]
+    group.report_value(
+        "steady_state_allocs_per_round_n256",
+        delta.acquisitions() as f64 / MEASURED as f64,
+    );
+    group.bench_function("steady_state_round_n256", |b| {
+        b.iter(|| engine.step().expect("step"))
+    });
+    group.finish();
+}
+
 /// Routes the run's measurements into `BENCH_perf.json` at the repository
 /// root (a stub-criterion extension; see EXPERIMENTS.md for the schema).
 fn configure_output(c: &mut Criterion) {
@@ -272,6 +406,8 @@ criterion_group!(
     bench_billboard,
     bench_window_paths,
     bench_engine_round,
-    bench_async
+    bench_async,
+    bench_trials,
+    bench_alloc
 );
 criterion_main!(benches);

@@ -100,6 +100,18 @@ impl Billboard {
         Ok(seq)
     }
 
+    /// Rewinds the board to its freshly-constructed (empty) state **in
+    /// place**, retaining the post log's heap capacity.
+    ///
+    /// This does not weaken the append-only guarantee *within* an execution:
+    /// it exists for simulation harnesses that reuse one board arena across
+    /// independent trials (each trial is a new execution with its own empty
+    /// board), not for mutating history mid-run.
+    pub fn reset(&mut self) {
+        self.posts.clear();
+        self.latest_round = Round(0);
+    }
+
     /// Total number of posts ever appended.
     #[inline]
     pub fn len(&self) -> usize {

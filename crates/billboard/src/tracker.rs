@@ -105,6 +105,11 @@ pub struct VoteTracker {
     evented: Vec<BTreeSet<ObjectId>>,
     /// The registered tally window, if any.
     active: Option<ActiveWindow>,
+    /// Retired window buffers (counts/touched) kept for reuse, so reopening a
+    /// window in a long run or after a [`reset`](VoteTracker::reset) does not
+    /// allocate. Invariant: a spare's counts are all zero and its touched
+    /// list empty.
+    spare: Option<ActiveWindow>,
 }
 
 impl VoteTracker {
@@ -126,7 +131,44 @@ impl VoteTracker {
                 Vec::new()
             },
             active: None,
+            spare: None,
         }
+    }
+
+    /// Rewinds the tracker to its freshly-constructed state **in place**,
+    /// retaining every heap buffer (per-player vote vecs, per-object counts,
+    /// the event stream's capacity, and any window counters) so a simulation
+    /// harness can reuse one tracker arena across many trials.
+    ///
+    /// Observable state afterwards is exactly that of
+    /// [`VoteTracker::new`] with the same universe and policy.
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+        for votes in &mut self.votes_by_player {
+            votes.clear();
+        }
+        for count in &mut self.votes_for_object {
+            *count = 0;
+        }
+        self.voted_objects.clear();
+        self.events.clear();
+        for set in &mut self.evented {
+            set.clear();
+        }
+        if let Some(aw) = self.active.take() {
+            self.spare = Some(Self::retire_window(aw));
+        }
+    }
+
+    /// Zeroes a window's counters (via its touched list, O(touched)) so its
+    /// buffers can be handed out again without reallocating.
+    fn retire_window(mut aw: ActiveWindow) -> ActiveWindow {
+        for &o in &aw.touched {
+            aw.counts[o.index()] = 0;
+        }
+        aw.touched.clear();
+        aw.absorbed = 0;
+        aw
     }
 
     /// The policy this tracker interprets under.
@@ -180,20 +222,34 @@ impl VoteTracker {
     /// every subsequent [`ingest`](VoteTracker::ingest) keeps the counts up
     /// to date. See the type-level docs for which queries this accelerates.
     pub fn open_window(&mut self, start: Round) {
-        self.active = Some(ActiveWindow {
-            start,
-            counts: vec![0; self.n_objects as usize],
-            touched: Vec::new(),
-            // Events are round-sorted, so everything before this prefix is
-            // strictly older than the window and can never enter it.
-            absorbed: self.events.partition_point(|e| e.round < start),
-        });
+        // Events are round-sorted, so everything before this prefix is
+        // strictly older than the window and can never enter it.
+        let absorbed = self.events.partition_point(|e| e.round < start);
+        // Reuse the previous window's buffers (or a retired spare) instead of
+        // allocating: zeroing via the touched list is O(previously touched),
+        // so reopening is allocation-free in the steady state.
+        let mut aw = match self.active.take().or_else(|| self.spare.take()) {
+            Some(old) => Self::retire_window(old),
+            None => ActiveWindow {
+                start,
+                counts: vec![0; self.n_objects as usize],
+                touched: Vec::new(),
+                absorbed,
+            },
+        };
+        aw.start = start;
+        aw.absorbed = absorbed;
+        self.active = Some(aw);
         self.absorb_into_window();
     }
 
     /// Unregisters the active tally window; subsequent window queries scan.
+    /// The window's buffers are retained for the next
+    /// [`open_window`](VoteTracker::open_window).
     pub fn close_window(&mut self) {
-        self.active = None;
+        if let Some(aw) = self.active.take() {
+            self.spare = Some(Self::retire_window(aw));
+        }
     }
 
     /// The start of the registered tally window, if one is open.
@@ -344,14 +400,16 @@ impl VoteTracker {
     /// Objects that currently hold at least one vote, ascending by id.
     ///
     /// This is the set `S` of Figure 1 Step 1.2, maintained incrementally on
-    /// vote-count transitions — O(|S|) to materialize, independent of `m`.
-    pub fn objects_with_votes(&self) -> Vec<ObjectId> {
+    /// vote-count transitions and handed out as a **borrow** — O(1), no
+    /// allocation, independent of `m`. Callers that need ownership can
+    /// `.to_vec()` explicitly.
+    pub fn objects_with_votes(&self) -> &[ObjectId] {
         debug_assert_eq!(
             self.voted_objects,
             self.objects_with_votes_scan(),
             "incrementally-maintained voted set diverged from the count scan"
         );
-        self.voted_objects.clone()
+        &self.voted_objects
     }
 
     /// [`objects_with_votes`](VoteTracker::objects_with_votes) recomputed by
@@ -435,6 +493,33 @@ impl VoteTracker {
             out
         } else {
             self.window_tally_scan(window)
+        }
+    }
+
+    /// Fills `out` with the per-object tally of vote events in `window`,
+    /// ascending by object id — the buffer-reuse counterpart of
+    /// [`window_tally`](VoteTracker::window_tally).
+    ///
+    /// `out` is cleared first; objects with no events in the window are
+    /// absent. Beyond `out`'s own growth (amortized away when the caller
+    /// reuses the buffer across rounds) this performs **no allocation** on
+    /// the incremental path.
+    pub fn window_tally_into(&self, window: Window, out: &mut Vec<(ObjectId, u32)>) {
+        out.clear();
+        if let Some(aw) = self.active_for(window) {
+            out.extend(aw.touched.iter().map(|&o| (o, aw.counts[o.index()])));
+            // `touched` is first-touch order; sort in place to the ascending
+            // object-id order the BTreeMap API promises.
+            out.sort_unstable_by_key(|&(o, _)| o);
+            debug_assert_eq!(
+                *out,
+                self.window_tally_scan(window)
+                    .into_iter()
+                    .collect::<Vec<_>>(),
+                "incremental window tally diverged from the event scan"
+            );
+        } else {
+            out.extend(self.window_tally_scan(window));
         }
     }
 
@@ -545,8 +630,8 @@ mod tests {
             "ballot stuffing is capped at f"
         );
         assert_eq!(t.total_vote_events(), 3);
-        let voted: Vec<_> = t.objects_with_votes();
-        assert_eq!(voted, vec![ObjectId(0), ObjectId(1), ObjectId(2)]);
+        let voted = t.objects_with_votes();
+        assert_eq!(voted, [ObjectId(0), ObjectId(1), ObjectId(2)]);
     }
 
     #[test]
@@ -837,6 +922,122 @@ mod tests {
         assert_eq!(
             t.window_votes_for(Window::new(Round(0), Round(3)), ObjectId(0)),
             2
+        );
+    }
+
+    #[test]
+    fn window_tally_into_matches_map_on_both_paths() {
+        let mut b = board(6, 6);
+        let mut t = VoteTracker::new(6, 6, VotePolicy::single_vote());
+        for r in 0..6u64 {
+            b.append(
+                Round(r),
+                PlayerId(r as u32),
+                ObjectId((r % 3) as u32),
+                1.0,
+                ReportKind::Positive,
+            )
+            .unwrap();
+        }
+        t.open_window(Round(2));
+        t.ingest(&b);
+        let mut buf = Vec::new();
+        // Incremental path (registered window).
+        let fast = Window::new(Round(2), Round(7));
+        t.window_tally_into(fast, &mut buf);
+        let expect: Vec<_> = t.window_tally(fast).into_iter().collect();
+        assert_eq!(buf, expect);
+        // Scan path (historical window) reuses the same buffer.
+        let slow = Window::new(Round(0), Round(4));
+        t.window_tally_into(slow, &mut buf);
+        let expect: Vec<_> = t.window_tally(slow).into_iter().collect();
+        assert_eq!(buf, expect);
+    }
+
+    #[test]
+    fn reopening_windows_reuses_buffers_and_stays_correct() {
+        let mut b = board(4, 4);
+        let mut t = VoteTracker::new(4, 4, VotePolicy::single_vote());
+        t.open_window(Round(0));
+        b.append(
+            Round(0),
+            PlayerId(0),
+            ObjectId(3),
+            1.0,
+            ReportKind::Positive,
+        )
+        .unwrap();
+        t.ingest(&b);
+        // Close → spare; reopen must start from zeroed counts.
+        t.close_window();
+        t.open_window(Round(1));
+        b.append(
+            Round(1),
+            PlayerId(1),
+            ObjectId(2),
+            1.0,
+            ReportKind::Positive,
+        )
+        .unwrap();
+        t.ingest(&b);
+        let w = Window::new(Round(1), Round(2));
+        assert_eq!(t.window_votes_for(w, ObjectId(2)), 1);
+        assert_eq!(t.window_votes_for(w, ObjectId(3)), 0, "stale count leaked");
+        // Reopen directly over an active window too.
+        t.open_window(Round(2));
+        b.append(
+            Round(2),
+            PlayerId(2),
+            ObjectId(2),
+            1.0,
+            ReportKind::Positive,
+        )
+        .unwrap();
+        t.ingest(&b);
+        let w2 = Window::new(Round(2), Round(3));
+        assert_eq!(t.window_votes_for(w2, ObjectId(2)), 1);
+    }
+
+    #[test]
+    fn reset_restores_fresh_observable_state() {
+        let mut b = board(3, 4);
+        let mut t = VoteTracker::new(3, 4, VotePolicy::multi_vote(2));
+        t.open_window(Round(0));
+        for r in 0..3u64 {
+            b.append(
+                Round(r),
+                PlayerId(r as u32),
+                ObjectId(r as u32),
+                1.0,
+                ReportKind::Positive,
+            )
+            .unwrap();
+        }
+        t.ingest(&b);
+        assert_eq!(t.total_vote_events(), 3);
+        t.reset();
+        assert_eq!(t.cursor(), Seq(0));
+        assert_eq!(t.total_vote_events(), 0);
+        assert!(t.objects_with_votes().is_empty());
+        assert_eq!(t.voters(), 0);
+        assert_eq!(t.active_window_start(), None);
+        // Re-ingesting a fresh board replays identically to a fresh tracker.
+        b.reset();
+        assert!(b.is_empty());
+        b.append(
+            Round(0),
+            PlayerId(1),
+            ObjectId(2),
+            1.0,
+            ReportKind::Positive,
+        )
+        .unwrap();
+        t.open_window(Round(0));
+        t.ingest(&b);
+        assert_eq!(t.vote_of(PlayerId(1)), Some(ObjectId(2)));
+        assert_eq!(
+            t.window_votes_for(Window::new(Round(0), Round(1)), ObjectId(2)),
+            1
         );
     }
 

@@ -72,9 +72,11 @@ impl<'a> BoardView<'a> {
         self.tracker.votes_for(object)
     }
 
-    /// Objects currently holding at least one vote (Step 1.2's set `S`).
+    /// Objects currently holding at least one vote (Step 1.2's set `S`),
+    /// borrowed from the tracker's incrementally-maintained set — no
+    /// allocation. Call `.to_vec()` for ownership.
     #[inline]
-    pub fn objects_with_votes(&self) -> Vec<ObjectId> {
+    pub fn objects_with_votes(&self) -> &'a [ObjectId] {
         self.tracker.objects_with_votes()
     }
 
@@ -88,6 +90,14 @@ impl<'a> BoardView<'a> {
     #[inline]
     pub fn window_tally(&self, window: Window) -> BTreeMap<ObjectId, u32> {
         self.tracker.window_tally(window)
+    }
+
+    /// Buffer-reuse variant of [`window_tally`](BoardView::window_tally):
+    /// clears and fills `out` (ascending by object id) instead of building a
+    /// fresh map — allocation-free on the registered-window fast path.
+    #[inline]
+    pub fn window_tally_into(&self, window: Window, out: &mut Vec<(ObjectId, u32)>) {
+        self.tracker.window_tally_into(window, out);
     }
 
     /// Chronological vote events.

@@ -8,7 +8,8 @@ use distill_adversary::{
 use distill_analysis::{bounds, fmt_f, lemma9, Summary, Table};
 use distill_core::{Balance, Distill, DistillParams, GuessAlpha, RandomProbing, ThreePhase};
 use distill_sim::{
-    run_trials_threaded, Adversary, Cohort, Engine, NullAdversary, SimConfig, StopRule, World,
+    run_trials_scoped, run_trials_threaded, Adversary, Cohort, Engine, NullAdversary, SimConfig,
+    StopRule, World,
 };
 
 /// A command failure, rendered to the user.
@@ -168,21 +169,46 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     make_cohort(&algorithm, n, m, alpha, f64::from(goods) / f64::from(m))?;
     make_adversary(&adversary_name)?;
 
-    let results = run_trials_threaded(trials, num_threads(), |t| {
-        let world = World::binary(m, goods, seed.wrapping_add(1_000_003).wrapping_add(t))
-            .expect("validated world parameters");
-        let cohort =
-            make_cohort(&algorithm, n, m, alpha, world.beta()).expect("validated algorithm");
-        let adversary = make_adversary(&adversary_name).expect("validated adversary");
-        let config = SimConfig::new(n, honest, seed.wrapping_add(t))
-            .with_policy(distill_billboard::VotePolicy::multi_vote(f))
-            .with_honest_error_rate(error_rate)
-            .with_stop(StopRule::all_satisfied(max_rounds));
-        Engine::new(config, &world, cohort, adversary)
-            .expect("validated configuration")
-            .run()
-            .expect("engine run on validated inputs")
-    });
+    // Per-trial worlds are built up front so each worker can keep one engine
+    // arena alive for its whole share of the trials (`Engine::reset_with_world`
+    // swaps the world in without reallocating the board/tracker buffers).
+    let worlds: Vec<World> = (0..trials as u64)
+        .map(|t| {
+            World::binary(m, goods, seed.wrapping_add(1_000_003).wrapping_add(t))
+                .expect("validated world parameters")
+        })
+        .collect();
+    let results = run_trials_scoped(
+        trials,
+        num_threads(),
+        || None,
+        |slot: &mut Option<Engine<'_>>, t| {
+            let world = &worlds[t as usize];
+            let cohort =
+                make_cohort(&algorithm, n, m, alpha, world.beta()).expect("validated algorithm");
+            let adversary = make_adversary(&adversary_name).expect("validated adversary");
+            let trial_seed = seed.wrapping_add(t);
+            let engine = match slot {
+                Some(engine) => {
+                    engine
+                        .reset_with_world(trial_seed, world, cohort, adversary)
+                        .expect("validated configuration");
+                    engine
+                }
+                None => {
+                    let config = SimConfig::new(n, honest, trial_seed)
+                        .with_policy(distill_billboard::VotePolicy::multi_vote(f))
+                        .with_honest_error_rate(error_rate)
+                        .with_stop(StopRule::all_satisfied(max_rounds));
+                    slot.insert(
+                        Engine::new(config, world, cohort, adversary)
+                            .expect("validated configuration"),
+                    )
+                }
+            };
+            engine.run_mut().expect("engine run on validated inputs")
+        },
+    );
 
     let costs: Vec<f64> = results.iter().map(|r| r.mean_probes()).collect();
     let rounds: Vec<f64> = results.iter().map(|r| r.rounds as f64).collect();

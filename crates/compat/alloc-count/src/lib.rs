@@ -1,0 +1,155 @@
+//! A counting global allocator for allocation-regression tests and benches.
+//!
+//! Wraps [`std::alloc::System`] and counts every allocation on a
+//! **per-thread** basis, so parallel test threads don't pollute each other's
+//! measurements. Install it with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: alloc_count::CountingAllocator = alloc_count::CountingAllocator;
+//! ```
+//!
+//! and measure a region with [`measure`] (or sample [`snapshot`] manually).
+//!
+//! This crate lives under `crates/compat/` because implementing
+//! [`GlobalAlloc`] requires `unsafe`, and every other crate in the workspace
+//! carries `#![forbid(unsafe_code)]` (enforced by `cargo run -p xtask --
+//! lint`, which exempts only this directory prefix). Unlike its siblings it
+//! is not an upstream-API stub — it is a first-party test utility that simply
+//! needs to live in the unsafe-exempt zone.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static DEALLOCS: Cell<u64> = const { Cell::new(0) };
+    static REALLOCS: Cell<u64> = const { Cell::new(0) };
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Bumps a thread-local counter, silently skipping the count if the TLS slot
+/// is being torn down (allocator hooks must never panic).
+fn bump(cell: &'static std::thread::LocalKey<Cell<u64>>, by: u64) {
+    let _ = cell.try_with(|c| c.set(c.get() + by));
+}
+
+/// A `#[global_allocator]` that forwards to [`System`] and counts per-thread
+/// allocation traffic.
+pub struct CountingAllocator;
+
+// SAFETY: every method forwards verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the counter bumps touch only thread-local `Cell`s
+// and never allocate, unwind, or alias the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump(&ALLOCS, 1);
+        bump(&BYTES, layout.size() as u64);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        bump(&DEALLOCS, 1);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump(&ALLOCS, 1);
+        bump(&BYTES, layout.size() as u64);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump(&REALLOCS, 1);
+        bump(&BYTES, new_size as u64);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// A point-in-time reading of this thread's allocation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Calls to `alloc`/`alloc_zeroed` on this thread.
+    pub allocs: u64,
+    /// Calls to `dealloc` on this thread.
+    pub deallocs: u64,
+    /// Calls to `realloc` on this thread.
+    pub reallocs: u64,
+    /// Bytes requested by `alloc`/`alloc_zeroed`/`realloc` on this thread.
+    pub bytes: u64,
+}
+
+impl Snapshot {
+    /// Heap events that acquire or grow memory — the signal an
+    /// allocation-regression test asserts on. (`deallocs` are excluded:
+    /// dropping warm-up garbage inside a measured region is not a
+    /// regression.)
+    pub fn acquisitions(&self) -> u64 {
+        self.allocs + self.reallocs
+    }
+}
+
+impl std::ops::Sub for Snapshot {
+    type Output = Snapshot;
+
+    fn sub(self, earlier: Snapshot) -> Snapshot {
+        Snapshot {
+            allocs: self.allocs.wrapping_sub(earlier.allocs),
+            deallocs: self.deallocs.wrapping_sub(earlier.deallocs),
+            reallocs: self.reallocs.wrapping_sub(earlier.reallocs),
+            bytes: self.bytes.wrapping_sub(earlier.bytes),
+        }
+    }
+}
+
+/// Reads this thread's counters. Meaningful only when [`CountingAllocator`]
+/// is installed as the global allocator (otherwise everything stays 0).
+pub fn snapshot() -> Snapshot {
+    Snapshot {
+        allocs: ALLOCS.with(Cell::get),
+        deallocs: DEALLOCS.with(Cell::get),
+        reallocs: REALLOCS.with(Cell::get),
+        bytes: BYTES.with(Cell::get),
+    }
+}
+
+/// Runs `f` and returns `(what it allocated on this thread, its result)`.
+pub fn measure<R>(f: impl FnOnce() -> R) -> (Snapshot, R) {
+    let before = snapshot();
+    let out = f();
+    (snapshot() - before, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Installed for this test binary only; the library itself never
+    // registers the allocator (that is the downstream binary's choice).
+    #[global_allocator]
+    static ALLOC: CountingAllocator = CountingAllocator;
+
+    #[test]
+    fn counts_a_box_and_a_vec_grow() {
+        let (delta, len) = measure(|| {
+            let mut v = vec![1u64]; // capacity 1, so the next push must grow
+            v.push(2u64); // forces a grow (realloc or alloc+copy)
+            v.len()
+        });
+        assert_eq!(len, 2);
+        assert!(delta.acquisitions() >= 2, "got {delta:?}");
+        assert!(delta.bytes >= 16);
+    }
+
+    #[test]
+    fn alloc_free_region_measures_zero() {
+        let mut acc = 0u64;
+        let (delta, ()) = measure(|| {
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+        });
+        assert_eq!(delta.acquisitions(), 0, "got {delta:?}");
+        std::hint::black_box(acc);
+    }
+}

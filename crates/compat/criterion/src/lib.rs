@@ -158,6 +158,27 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Records a raw, already-measured value under this group (stub
+    /// extension; upstream has no equivalent). Used for non-time metrics
+    /// such as allocation counts — the value lands in the JSON dump in the
+    /// `mean_ns`/`median_ns`/`min_ns` fields verbatim with `samples = 1`,
+    /// so the id should carry the unit (e.g. `steady_state_allocs_per_round`).
+    pub fn report_value(&mut self, id: &str, value: f64) -> &mut Self {
+        let result = BenchResult {
+            id: format!("{}/{}", self.name, id),
+            mean_ns: value,
+            median_ns: value,
+            min_ns: value,
+            samples: 1,
+        };
+        println!(
+            "{:<44} value {:>12.1}        (reported, not timed)",
+            result.id, value
+        );
+        self.criterion.results.push(result);
+        self
+    }
+
     /// Ends the group (measurements are recorded eagerly; this is a no-op for
     /// source compatibility).
     pub fn finish(self) {}

@@ -99,6 +99,10 @@ pub struct Distill {
     max_iterations_per_attempt: u64,
     max_c0: usize,
     observer: Option<Observer>,
+    /// Scratch tally buffer reused across segment boundaries, filled via
+    /// [`BoardView::window_tally_into`] — boundary tallies allocate nothing
+    /// once the buffer has grown to its working size.
+    tally_buf: Vec<(ObjectId, u32)>,
 }
 
 impl Distill {
@@ -114,6 +118,7 @@ impl Distill {
             max_iterations_per_attempt: 0,
             max_c0: 0,
             observer: None,
+            tally_buf: Vec::new(),
         }
     }
 
@@ -201,10 +206,14 @@ impl Distill {
         let now = view.round();
         match seg.kind {
             StepKind::Step11 => {
-                // Step 1.2: S = objects with at least one vote.
+                // Step 1.2: S = objects with at least one vote. The view
+                // hands out a borrow of the incrementally-maintained set;
+                // the only allocation is the candidate vector the new
+                // segment owns for its whole lifetime.
                 let s: Vec<ObjectId> = view
                     .objects_with_votes()
-                    .into_iter()
+                    .iter()
+                    .copied()
                     .filter(|&o| self.in_universe(o))
                     .collect();
                 self.record_snapshot("S", None, now, &s);
@@ -223,16 +232,17 @@ impl Distill {
             }
             StepKind::Step13 => {
                 // Step 1.4: C₀ = objects with at least k₂/4 votes in the
-                // Step 1.3 window.
+                // Step 1.3 window. The tally lands in the reused scratch
+                // buffer (ascending by id, so C₀ comes out sorted for free).
                 let window = Window::new(seg.window_start, now);
-                let tally = view.window_tally(window);
+                view.window_tally_into(window, &mut self.tally_buf);
                 let threshold = self.params.c0_threshold();
-                let mut c0: Vec<ObjectId> = tally
-                    .into_iter()
-                    .filter(|&(o, count)| f64::from(count) >= threshold && self.in_universe(o))
-                    .map(|(o, _)| o)
+                let c0: Vec<ObjectId> = self
+                    .tally_buf
+                    .iter()
+                    .filter(|&&(o, count)| f64::from(count) >= threshold && self.in_universe(o))
+                    .map(|&(o, _)| o)
                     .collect();
-                c0.sort_unstable();
                 self.record_snapshot("C0", None, now, &c0);
                 self.max_c0 = self.max_c0.max(c0.len());
                 if c0.is_empty() {
@@ -250,15 +260,31 @@ impl Distill {
             }
             StepKind::Refine(t) => {
                 // Step 2.2: C_{t+1} = { i ∈ C_t : ℓ_t(i) > n/(4·c_t) }.
+                // The window tally lands in the reused scratch buffer
+                // (ascending by id), so membership lookups are binary
+                // searches and C_t is iterated in place — the only
+                // allocation is C_{t+1} itself.
                 let window = Window::new(seg.window_start, now);
-                let c_t = seg.candidates.to_vec(self.params.m);
-                let threshold = self.params.survival_threshold(c_t.len());
-                let tally = view.window_tally(window);
-                let next: Vec<ObjectId> = c_t
-                    .iter()
-                    .copied()
-                    .filter(|o| f64::from(tally.get(o).copied().unwrap_or(0)) > threshold)
-                    .collect();
+                view.window_tally_into(window, &mut self.tally_buf);
+                let threshold = self
+                    .params
+                    .survival_threshold(seg.candidates.len(self.params.m));
+                let tally = &self.tally_buf;
+                let votes_in_window = |o: ObjectId| {
+                    tally
+                        .binary_search_by_key(&o, |&(obj, _)| obj)
+                        .map_or(0, |i| tally[i].1)
+                };
+                let survives = |o: ObjectId| f64::from(votes_in_window(o)) > threshold;
+                let next: Vec<ObjectId> = match &seg.candidates {
+                    CandidateSet::All => (0..self.params.m)
+                        .map(ObjectId)
+                        .filter(|&o| survives(o))
+                        .collect(),
+                    CandidateSet::Subset(c_t) => {
+                        c_t.iter().copied().filter(|&o| survives(o)).collect()
+                    }
+                };
                 self.record_snapshot("C", Some(t + 1), now, &next);
                 if next.is_empty() {
                     return self.begin_attempt(now);

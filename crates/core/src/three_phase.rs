@@ -94,7 +94,7 @@ impl ThreePhase {
             }
             2 => {
                 // θ₂ = 1: everything with at least one vote so far.
-                let c2 = view.objects_with_votes();
+                let c2 = view.objects_with_votes().to_vec();
                 self.c2_size = c2.len();
                 self.record("C2", view.round(), &c2);
                 self.candidates = CandidateSet::subset(c2);
@@ -104,7 +104,8 @@ impl ThreePhase {
                 let theta = self.theta3();
                 let c3: Vec<ObjectId> = view
                     .objects_with_votes()
-                    .into_iter()
+                    .iter()
+                    .copied()
                     .filter(|&o| f64::from(view.votes_for(o)) >= theta)
                     .collect();
                 self.c3_size = c3.len();

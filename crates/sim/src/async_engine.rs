@@ -29,7 +29,12 @@ use rand::Rng;
 /// controlled schedule of the asynchronous model.
 pub trait Schedule {
     /// Picks the player for step `step` among the still-active honest
-    /// players (`active` is non-empty and ascending).
+    /// players.
+    ///
+    /// Contract (upheld by [`AsyncEngine`], relied upon by implementations):
+    /// `active` is **non-empty** — the engine halts before scheduling an
+    /// empty population — and **ascending by player id**, so membership
+    /// checks may binary-search.
     fn next(&mut self, step: u64, active: &[PlayerId], rng: &mut SmallRng) -> PlayerId;
 
     /// A short stable name for reporting.
@@ -52,8 +57,21 @@ pub struct RoundRobin {
 
 impl Schedule for RoundRobin {
     fn next(&mut self, _step: u64, active: &[PlayerId], _rng: &mut SmallRng) -> PlayerId {
-        let p = active[self.cursor % active.len()];
-        self.cursor = (self.cursor + 1) % active.len().max(1);
+        // Invariant (documented on the trait): `active` is non-empty — the
+        // engine stops before scheduling an empty population.
+        debug_assert!(
+            !active.is_empty(),
+            "RoundRobin scheduled with no active players"
+        );
+        // Wrap explicitly *before* indexing: `active` may have shrunk since
+        // the last call, which previously made the `cursor % len` position
+        // drift arbitrarily (and carried a dead `.max(1)` guard — the index
+        // on the line above it would already have panicked on empty input).
+        if self.cursor >= active.len() {
+            self.cursor = 0;
+        }
+        let p = active[self.cursor];
+        self.cursor += 1;
         p
     }
 
@@ -97,7 +115,9 @@ impl Isolate {
 
 impl Schedule for Isolate {
     fn next(&mut self, step: u64, active: &[PlayerId], rng: &mut SmallRng) -> PlayerId {
-        if active.contains(&self.victim) {
+        // `active` is ascending (trait contract), so victim membership is a
+        // binary search, not a linear scan per step.
+        if active.binary_search(&self.victim).is_ok() {
             self.victim
         } else {
             self.fallback.next(step, active, rng)
@@ -114,10 +134,13 @@ impl Schedule for Isolate {
 /// billboard full of votes — with a collaboration-aware policy it finishes
 /// almost immediately, which is why *starving* is a much weaker attack than
 /// *isolating* (timestamped billboards let latecomers catch up, §1.2).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Starve {
     victim: PlayerId,
     fallback: RoundRobin,
+    /// Scratch: the active set minus the victim, rebuilt in place each step
+    /// so starving allocates nothing after the first call.
+    others: Vec<PlayerId>,
 }
 
 impl Starve {
@@ -126,21 +149,20 @@ impl Starve {
         Starve {
             victim,
             fallback: RoundRobin::default(),
+            others: Vec::new(),
         }
     }
 }
 
 impl Schedule for Starve {
     fn next(&mut self, step: u64, active: &[PlayerId], rng: &mut SmallRng) -> PlayerId {
-        let others: Vec<PlayerId> = active
-            .iter()
-            .copied()
-            .filter(|&p| p != self.victim)
-            .collect();
-        if others.is_empty() {
+        self.others.clear();
+        self.others
+            .extend(active.iter().copied().filter(|&p| p != self.victim));
+        if self.others.is_empty() {
             self.victim
         } else {
-            self.fallback.next(step, &others, rng)
+            self.fallback.next(step, &self.others, rng)
         }
     }
 
@@ -260,6 +282,10 @@ pub struct AsyncEngine<'w> {
     board: Billboard,
     tracker: VoteTracker,
     satisfied: Vec<bool>,
+    /// Unsatisfied honest players, ascending — maintained incrementally on
+    /// satisfaction instead of being re-collected every step (the dominant
+    /// cost of the old per-step `active()` scan at large `n`).
+    active: Vec<PlayerId>,
     outcomes: Vec<AsyncPlayerOutcome>,
     player_rngs: Vec<SmallRng>,
     sched_rng: SmallRng,
@@ -317,6 +343,7 @@ impl<'w> AsyncEngine<'w> {
             board: Billboard::new(n, world.m()),
             tracker: VoteTracker::new(n, world.m(), VotePolicy::single_vote()),
             satisfied: vec![false; n_honest as usize],
+            active: (0..n_honest).map(PlayerId).collect(),
             outcomes: vec![
                 AsyncPlayerOutcome {
                     probes: 0,
@@ -339,7 +366,9 @@ impl<'w> AsyncEngine<'w> {
         })
     }
 
-    fn active(&self) -> Vec<PlayerId> {
+    /// The incrementally-maintained active list's oracle: a from-scratch
+    /// rescan of the satisfaction flags.
+    fn active_scan(&self) -> Vec<PlayerId> {
         (0..self.n_honest)
             .filter(|&p| !self.satisfied[p as usize])
             .map(PlayerId)
@@ -354,13 +383,19 @@ impl<'w> AsyncEngine<'w> {
     /// violates the billboard's append discipline (an engine bug guard).
     pub fn run(mut self) -> Result<AsyncResult, SimError> {
         loop {
-            let active = self.active();
-            if active.is_empty() || self.step >= self.max_steps {
+            if self.active.is_empty() || self.step >= self.max_steps {
                 break;
             }
-            let player = self.schedule.next(self.step, &active, &mut self.sched_rng);
+            debug_assert_eq!(
+                self.active,
+                self.active_scan(),
+                "incrementally-maintained active list diverged from the flag scan"
+            );
+            let player = self
+                .schedule
+                .next(self.step, &self.active, &mut self.sched_rng);
             debug_assert!(
-                active.contains(&player),
+                self.active.binary_search(&player).is_ok(),
                 "schedule must pick an active player"
             );
             let round = Round(self.step);
@@ -392,6 +427,9 @@ impl<'w> AsyncEngine<'w> {
             if good {
                 self.satisfied[player.index()] = true;
                 outcome.satisfied_step = Some(self.step);
+                if let Ok(pos) = self.active.binary_search(&player) {
+                    self.active.remove(pos);
+                }
             }
             self.tracker.ingest(&self.board);
 
@@ -410,6 +448,7 @@ impl<'w> AsyncEngine<'w> {
                 };
                 self.adversary.on_round(&mut ctx)
             };
+            let mut appended = false;
             for post in posts {
                 if post.author.0 >= self.n_honest
                     && post.author.0 < self.n
@@ -418,9 +457,12 @@ impl<'w> AsyncEngine<'w> {
                 {
                     self.board
                         .append(round, post.author, post.object, post.value, post.kind)?;
+                    appended = true;
                 }
             }
-            self.tracker.ingest(&self.board);
+            if appended {
+                self.tracker.ingest(&self.board);
+            }
             self.step += 1;
         }
         Ok(AsyncResult {

@@ -166,6 +166,7 @@ impl<'w> Engine<'w> {
         let active_players: Vec<u32> = (0..config.n_honest)
             .filter(|&p| !satisfied[p as usize])
             .collect();
+        let curve_capacity = Self::curve_capacity(&config.stop);
 
         Ok(Engine {
             config,
@@ -182,14 +183,25 @@ impl<'w> Engine<'w> {
             player_rngs,
             adv_rng,
             dishonest,
-            satisfied_per_round: Vec::new(),
+            satisfied_per_round: Vec::with_capacity(curve_capacity),
             forged_rejected: 0,
             trace,
             round,
             rounds_executed: 0,
-            probe_buf: Vec::new(),
+            probe_buf: Vec::with_capacity(n_honest),
             open_window_start: None,
         })
+    }
+
+    /// Capacity reserved up front for the per-round satisfaction curve, so a
+    /// steady-state round's `push` never reallocates. Bounded so degenerate
+    /// round caps don't pre-allocate megabytes; runs longer than the bound
+    /// fall back to amortized growth.
+    fn curve_capacity(stop: &StopRule) -> usize {
+        const CURVE_RESERVE_CAP: usize = 4096;
+        usize::try_from(stop.round_cap())
+            .unwrap_or(CURVE_RESERVE_CAP)
+            .min(CURVE_RESERVE_CAP)
     }
 
     /// The current round.
@@ -242,10 +254,129 @@ impl<'w> Engine<'w> {
     /// outside the universe), or [`SimError::Billboard`] if a post violates
     /// the billboard's append discipline (an engine bug guard).
     pub fn run(mut self) -> Result<SimResult, SimError> {
+        self.run_mut()
+    }
+
+    /// [`run`](Engine::run) by mutable reference: runs the execution to
+    /// completion and drains the measurements out of the engine, leaving the
+    /// arena (board, tracker, per-player buffers) allocated for reuse.
+    ///
+    /// After this returns the engine is *spent* — call
+    /// [`reset`](Engine::reset) before running it again.
+    ///
+    /// # Errors
+    /// See [`Engine::run`].
+    pub fn run_mut(&mut self) -> Result<SimResult, SimError> {
         while !self.should_stop() {
             self.step()?;
         }
         Ok(self.finalize())
+    }
+
+    /// Rewinds the engine to the start of a fresh execution with a new seed,
+    /// **reusing every heap buffer** (billboard log, tracker state, probe and
+    /// curve buffers, per-player RNG table) instead of reconstructing them.
+    ///
+    /// The cohort and adversary carry protocol state, so fresh boxes must be
+    /// supplied; everything else — config (except the seed) and world — is
+    /// kept. The resulting execution is bit-identical to one from a freshly
+    /// constructed engine with the same arguments (property-tested in
+    /// `tests/engine_props.rs`).
+    ///
+    /// # Errors
+    /// Propagates [`SimError::Billboard`] if re-seeding the pre-satisfied
+    /// votes fails (unreachable for a config that passed [`Engine::new`]).
+    pub fn reset(
+        &mut self,
+        seed: u64,
+        cohort: Box<dyn Cohort>,
+        adversary: Box<dyn Adversary>,
+    ) -> Result<(), SimError> {
+        self.reset_with_world(seed, self.world, cohort, adversary)
+    }
+
+    /// [`reset`](Engine::reset), additionally swapping in a different world
+    /// of the same universe size (per-trial worlds in a multi-trial sweep).
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`] if the new world's size or object
+    /// model is incompatible with the engine's config, or if a pre-satisfied
+    /// vote is not good in the new world.
+    pub fn reset_with_world(
+        &mut self,
+        seed: u64,
+        world: &'w World,
+        cohort: Box<dyn Cohort>,
+        adversary: Box<dyn Adversary>,
+    ) -> Result<(), SimError> {
+        if world.m() != self.world.m() {
+            return Err(SimError::InvalidConfig(format!(
+                "reset world has {} objects, engine arena was built for {}",
+                world.m(),
+                self.world.m()
+            )));
+        }
+        match (world.model(), self.config.policy.mode) {
+            (ObjectModel::LocalTesting { .. }, VoteMode::LocalTesting) => {}
+            (ObjectModel::TopBeta { .. }, VoteMode::BestValue) => {}
+            (model, mode) => {
+                return Err(SimError::InvalidConfig(format!(
+                    "object model {model} is incompatible with vote mode {mode:?}"
+                )));
+            }
+        }
+        for &(p, o) in &self.config.pre_satisfied {
+            if !world.is_good(o) {
+                return Err(SimError::InvalidConfig(format!(
+                    "pre-satisfied player {p} holds vote for bad object {o}; honest votes are \
+                     truthful"
+                )));
+            }
+        }
+
+        self.config.seed = seed;
+        self.world = world;
+        self.cohort = cohort;
+        self.adversary = adversary;
+        self.board.reset();
+        self.tracker.reset();
+        let n_honest = self.config.n_honest as usize;
+        self.satisfied.clear();
+        self.satisfied.resize(n_honest, false);
+        self.outcomes.clear();
+        self.outcomes.resize(n_honest, PlayerOutcome::new());
+        self.best_probe.clear();
+        self.best_probe.resize(n_honest, None);
+        self.round = Round(0);
+        if !self.config.pre_satisfied.is_empty() {
+            for &(p, o) in &self.config.pre_satisfied {
+                self.board
+                    .append(Round(0), p, o, world.value(o), ReportKind::Positive)?;
+                self.satisfied[p.index()] = true;
+                self.outcomes[p.index()].satisfied_round = Some(Round(0));
+            }
+            self.tracker.ingest(&self.board);
+            self.round = Round(1);
+        }
+        for (p, rng) in self.player_rngs.iter_mut().enumerate() {
+            *rng = stream_rng(seed, Stream::Player(p as u32));
+        }
+        self.adv_rng = stream_rng(seed, Stream::Adversary);
+        self.n_satisfied = self.satisfied.iter().filter(|&&s| s).count();
+        let satisfied = &self.satisfied;
+        let n_honest_u32 = self.config.n_honest;
+        self.active_players.clear();
+        self.active_players
+            .extend((0..n_honest_u32).filter(|&p| !satisfied[p as usize]));
+        self.satisfied_per_round.clear();
+        self.satisfied_per_round
+            .reserve(Self::curve_capacity(&self.config.stop));
+        self.forged_rejected = 0;
+        self.trace = self.config.record_trace.then(Vec::new);
+        self.rounds_executed = 0;
+        self.probe_buf.clear();
+        self.open_window_start = None;
+        Ok(())
     }
 
     /// Executes a single round. Public for fine-grained tests.
@@ -483,7 +614,10 @@ impl<'w> Engine<'w> {
         self.adversary.on_round(&mut ctx)
     }
 
-    fn finalize(self) -> SimResult {
+    /// Drains the measurements into a [`SimResult`]. Buffers that escape into
+    /// the result (`outcomes`, `satisfied_per_round`, `trace`) are taken;
+    /// [`reset`](Engine::reset) re-establishes them.
+    fn finalize(&mut self) -> SimResult {
         let final_eval = if self.world.model().has_local_testing() {
             None
         } else {
@@ -505,13 +639,13 @@ impl<'w> Engine<'w> {
         SimResult {
             rounds: self.rounds_executed,
             all_satisfied: self.n_satisfied == self.satisfied.len(),
-            players: self.outcomes,
-            satisfied_per_round: self.satisfied_per_round,
+            players: std::mem::take(&mut self.outcomes),
+            satisfied_per_round: std::mem::take(&mut self.satisfied_per_round),
             posts_total: self.board.len(),
             forged_rejected: self.forged_rejected,
             notes: self.cohort.notes(),
             final_eval,
-            trace: self.trace,
+            trace: self.trace.take(),
         }
     }
 }

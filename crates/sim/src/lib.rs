@@ -77,7 +77,7 @@ pub use engine::Engine;
 pub use error::SimError;
 pub use metrics::{FinalEval, PlayerOutcome, SimResult};
 pub use object_model::ObjectModel;
-pub use runner::{run_trials, run_trials_threaded};
+pub use runner::{run_trials, run_trials_scoped, run_trials_threaded};
 pub use trace::{summarize, TraceEvent, TraceSummary};
 pub use world::{Probe, ValueDistribution, World, WorldBuilder};
 

@@ -18,49 +18,69 @@ where
 
 /// Runs `trials` independent simulations on `threads` OS threads.
 ///
-/// Results come back in trial order regardless of scheduling, so threaded and
-/// sequential runs of the same closure are byte-identical. `threads == 0` is
+/// Work-stealing: workers pull the next trial index from a shared atomic
+/// counter, so an uneven trial-duration mix cannot idle a thread the way a
+/// static slot split would. Results are tagged with their trial index and
+/// sorted once at the end, so threaded and sequential runs of the same
+/// closure are byte-identical regardless of scheduling. `threads == 0` is
 /// treated as 1.
-// The final slot-collection expect is genuinely infallible (see the lint
-// justification at the call site), so the clippy deny is lifted for this one
-// function rather than weakening the workspace policy.
-#[allow(clippy::expect_used)]
 pub fn run_trials_threaded<R, F>(trials: usize, threads: usize, make: F) -> Vec<R>
 where
     R: Send,
     F: Fn(u64) -> R + Sync,
 {
+    run_trials_scoped(trials, threads, || (), |(), t| make(t))
+}
+
+/// [`run_trials_threaded`] with a per-worker state arena.
+///
+/// Each worker thread calls `init` exactly once and threads the resulting
+/// state through every trial it steals — the intended use is reusing one
+/// [`Engine`](crate::engine::Engine) arena per worker (via
+/// [`Engine::reset`](crate::engine::Engine::reset)) instead of
+/// reconstructing board/tracker/RNG tables per trial. With `threads <= 1`
+/// this degenerates to a sequential loop over one state, no threads spawned.
+///
+/// Determinism contract: `run(&mut state, t)` must depend only on `t`, never
+/// on which trials the state saw before (an engine freshly `reset` for trial
+/// `t` satisfies this; property-tested in `tests/engine_props.rs`). Results
+/// come back in trial order.
+pub fn run_trials_scoped<R, S, I, F>(trials: usize, threads: usize, init: I, run: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, u64) -> R + Sync,
+{
     let threads = threads.max(1).min(trials.max(1));
     if threads <= 1 {
-        return run_trials(trials, make);
+        let mut state = init();
+        return (0..trials as u64).map(|t| run(&mut state, t)).collect();
     }
-    let mut slots: Vec<Option<R>> = Vec::new();
-    slots.resize_with(trials, || None);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots_mutex: Vec<std::sync::Mutex<&mut Option<R>>> =
-        slots.iter_mut().map(std::sync::Mutex::new).collect();
+    let done: std::sync::Mutex<Vec<(usize, R)>> = std::sync::Mutex::new(Vec::with_capacity(trials));
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if t >= trials {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if t >= trials {
+                        break;
+                    }
+                    let result = run(&mut state, t as u64);
+                    // Indices are unique, so ordering recovery only needs the
+                    // tags; recover rather than propagate poison if another
+                    // worker panicked mid-push.
+                    done.lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push((t, result));
                 }
-                let result = make(t as u64);
-                // Each slot is locked exactly once; recover rather than
-                // propagate poison if another worker panicked mid-store.
-                **slots_mutex[t]
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner) = Some(result);
             });
         }
     });
-    drop(slots_mutex);
-    slots
-        .into_iter()
-        // lint: allow(panic) — scoped threads either fill every slot or propagate their panic out of `scope`, so an empty slot is unreachable
-        .map(|s| s.expect("every trial slot filled"))
-        .collect()
+    let mut tagged = done.into_inner().unwrap_or_else(PoisonError::into_inner);
+    tagged.sort_unstable_by_key(|&(t, _)| t);
+    tagged.into_iter().map(|(_, r)| r).collect()
 }
 
 #[cfg(test)]
@@ -117,6 +137,33 @@ mod tests {
         });
         assert_eq!(out.iter().filter(|r| r.is_ok()).count(), 4);
         assert_eq!(out[3], Err("3".to_string()));
+    }
+
+    #[test]
+    fn scoped_runner_reuses_worker_state_and_preserves_order() {
+        // State counts how many trials this worker ran; the result must not
+        // depend on it (determinism contract), but init must run per worker.
+        let out = run_trials_scoped(
+            12,
+            3,
+            || 0u64,
+            |seen, t| {
+                *seen += 1;
+                t * 2
+            },
+        );
+        assert_eq!(out, (0..12u64).map(|t| t * 2).collect::<Vec<_>>());
+        // Sequential path: exactly one state sees every trial.
+        let out = run_trials_scoped(
+            5,
+            1,
+            || 0u64,
+            |seen, t| {
+                *seen += 1;
+                (*seen, t)
+            },
+        );
+        assert_eq!(out.last(), Some(&(5, 4)));
     }
 
     #[test]

@@ -27,7 +27,7 @@ struct PopularityFollower;
 
 impl Cohort for PopularityFollower {
     fn directive(&mut self, view: &BoardView<'_>) -> Directive {
-        let mut voted = view.objects_with_votes();
+        let mut voted = view.objects_with_votes().to_vec();
         voted.sort_by_key(|&o| std::cmp::Reverse(view.votes_for(o)));
         voted.truncate(1);
         if voted.is_empty() {

@@ -79,8 +79,9 @@ pub mod prelude {
         RandomProbing, ThreePhase,
     };
     pub use distill_sim::{
-        run_trials, run_trials_threaded, Adversary, CandidateSet, Cohort, Directive, Engine,
-        InfoModel, ObjectModel, PhaseInfo, SimConfig, SimResult, StopRule, World, WorldBuilder,
+        run_trials, run_trials_scoped, run_trials_threaded, Adversary, CandidateSet, Cohort,
+        Directive, Engine, InfoModel, ObjectModel, PhaseInfo, SimConfig, SimResult, StopRule,
+        World, WorldBuilder,
     };
 }
 

@@ -1,0 +1,71 @@
+//! Allocation-regression gate for the steady-state round loop.
+//!
+//! Installs the counting global allocator (this file is its own test binary,
+//! so the hook is invisible to every other test) and drives a DISTILL
+//! execution that never satisfies anyone: the cohort's universe is restricted
+//! to the bad objects and negative reports are disabled, so after warm-up no
+//! posts, votes, satisfactions, or window events occur — every round exercises
+//! exactly the steady-state path. The gate asserts that path performs **zero
+//! heap acquisitions per round** (PR 3 tentpole; `cargo bench` reports the
+//! same number under `alloc/steady_state_round`).
+
+use distill::prelude::*;
+
+#[global_allocator]
+static ALLOC: alloc_count::CountingAllocator = alloc_count::CountingAllocator;
+
+const N: u32 = 256;
+const WARMUP_ROUNDS: u32 = 64;
+const MEASURED_ROUNDS: u32 = 32;
+
+/// An engine in the never-satisfying configuration: n = 256 honest players
+/// distilling over the 255 bad objects of a 256-object binary world.
+fn steady_state_engine(world: &World) -> Engine<'_> {
+    let bad: Vec<ObjectId> = (0..world.m())
+        .map(ObjectId)
+        .filter(|&o| !world.is_good(o))
+        .collect();
+    let params = DistillParams::new(N, world.m(), 1.0, world.beta()).expect("params");
+    let config = SimConfig::new(N, N, 0xA110C)
+        .with_negative_reports(false)
+        .with_stop(StopRule::all_satisfied(1_000_000));
+    Engine::new(
+        config,
+        world,
+        Box::new(Distill::new(params).with_universe(bad)),
+        Box::new(NullAdversary),
+    )
+    .expect("engine")
+}
+
+/// The allocator is actually installed and counting in this binary —
+/// otherwise the zero-alloc assertion below would pass vacuously.
+#[test]
+fn counting_allocator_is_live() {
+    let (delta, b) = alloc_count::measure(|| Box::new(42u64));
+    assert!(
+        delta.acquisitions() >= 1,
+        "allocator not counting: {delta:?}"
+    );
+    assert_eq!(*b, 42);
+}
+
+/// After warm-up, a steady-state DISTILL round performs zero heap
+/// acquisitions (no `alloc`, no `realloc`) on the synchronous engine.
+#[test]
+fn steady_state_round_is_allocation_free() {
+    let world = World::binary(N, 1, 2026).expect("world");
+    let mut engine = steady_state_engine(&world);
+    for _ in 0..WARMUP_ROUNDS {
+        engine.step().expect("warm-up step");
+    }
+    for round in 0..MEASURED_ROUNDS {
+        let (delta, step) = alloc_count::measure(|| engine.step());
+        step.expect("measured step");
+        assert_eq!(
+            delta.acquisitions(),
+            0,
+            "measured round {round} allocated: {delta:?}"
+        );
+    }
+}
