@@ -19,25 +19,22 @@ fn mix(mut z: u64) -> u64 {
 /// level (e.g. `0.95`), using `resamples` bootstrap replicates and `seed`
 /// for the deterministic resampling stream.
 ///
-/// # Panics
-/// Panics on an empty sample, a non-finite value, `resamples == 0`, or a
-/// confidence level outside `(0, 1)`.
+/// Returns `None` on an empty sample, a non-finite value, `resamples == 0`,
+/// or a confidence level outside `(0, 1)` — inputs with no defined interval.
+#[must_use]
 pub fn bootstrap_ci_mean(
     xs: &[f64],
     resamples: usize,
     level: f64,
     seed: u64,
-) -> ConfidenceInterval {
-    assert!(!xs.is_empty(), "bootstrap of an empty sample");
-    assert!(
-        xs.iter().all(|x| x.is_finite()),
-        "sample contains non-finite values"
-    );
-    assert!(resamples > 0, "need at least one resample");
-    assert!(
-        0.0 < level && level < 1.0,
-        "confidence level {level} out of (0, 1)"
-    );
+) -> Option<ConfidenceInterval> {
+    if xs.is_empty()
+        || xs.iter().any(|x| !x.is_finite())
+        || resamples == 0
+        || !(0.0 < level && level < 1.0)
+    {
+        return None;
+    }
 
     let n = xs.len();
     let mean = xs.iter().sum::<f64>() / n as f64;
@@ -58,11 +55,11 @@ pub fn bootstrap_ci_mean(
     let hi_idx = (((1.0 - tail) * resamples as f64).ceil() as usize)
         .saturating_sub(1)
         .min(resamples - 1);
-    ConfidenceInterval {
+    Some(ConfidenceInterval {
         mean,
         lo: means[lo_idx],
         hi: means[hi_idx],
-    }
+    })
 }
 
 #[cfg(test)]
@@ -72,7 +69,7 @@ mod tests {
     #[test]
     fn brackets_the_sample_mean() {
         let xs: Vec<f64> = (0..60).map(|i| f64::from(i % 12)).collect();
-        let ci = bootstrap_ci_mean(&xs, 500, 0.95, 7);
+        let ci = bootstrap_ci_mean(&xs, 500, 0.95, 7).unwrap();
         assert!(ci.lo <= ci.mean && ci.mean <= ci.hi);
         assert!(ci.half_width() > 0.0);
     }
@@ -80,10 +77,10 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let xs = [1.0, 5.0, 2.0, 9.0, 3.0, 3.0, 7.0];
-        let a = bootstrap_ci_mean(&xs, 300, 0.9, 11);
-        let b = bootstrap_ci_mean(&xs, 300, 0.9, 11);
+        let a = bootstrap_ci_mean(&xs, 300, 0.9, 11).unwrap();
+        let b = bootstrap_ci_mean(&xs, 300, 0.9, 11).unwrap();
         assert_eq!(a, b);
-        let c = bootstrap_ci_mean(&xs, 300, 0.9, 12);
+        let c = bootstrap_ci_mean(&xs, 300, 0.9, 12).unwrap();
         assert!(
             a.lo != c.lo || a.hi != c.hi,
             "different seeds should perturb the interval"
@@ -92,7 +89,7 @@ mod tests {
 
     #[test]
     fn constant_sample_collapses() {
-        let ci = bootstrap_ci_mean(&[4.0; 20], 200, 0.95, 0);
+        let ci = bootstrap_ci_mean(&[4.0; 20], 200, 0.95, 0).unwrap();
         assert_eq!(ci.lo, 4.0);
         assert_eq!(ci.hi, 4.0);
     }
@@ -100,20 +97,18 @@ mod tests {
     #[test]
     fn wider_level_wider_interval() {
         let xs: Vec<f64> = (0..40).map(f64::from).collect();
-        let narrow = bootstrap_ci_mean(&xs, 800, 0.5, 3);
-        let wide = bootstrap_ci_mean(&xs, 800, 0.99, 3);
+        let narrow = bootstrap_ci_mean(&xs, 800, 0.5, 3).unwrap();
+        let wide = bootstrap_ci_mean(&xs, 800, 0.99, 3).unwrap();
         assert!(wide.half_width() >= narrow.half_width());
     }
 
     #[test]
-    #[should_panic(expected = "empty sample")]
-    fn empty_rejected() {
-        let _ = bootstrap_ci_mean(&[], 10, 0.95, 0);
-    }
-
-    #[test]
-    #[should_panic(expected = "out of (0, 1)")]
-    fn silly_level_rejected() {
-        let _ = bootstrap_ci_mean(&[1.0], 10, 1.0, 0);
+    fn degenerate_inputs_are_none_not_a_panic() {
+        // Regression: these four used to assert.
+        assert_eq!(bootstrap_ci_mean(&[], 10, 0.95, 0), None);
+        assert_eq!(bootstrap_ci_mean(&[1.0, f64::NAN], 10, 0.95, 0), None);
+        assert_eq!(bootstrap_ci_mean(&[1.0], 0, 0.95, 0), None);
+        assert_eq!(bootstrap_ci_mean(&[1.0], 10, 1.0, 0), None);
+        assert_eq!(bootstrap_ci_mean(&[1.0], 10, 0.0, 0), None);
     }
 }

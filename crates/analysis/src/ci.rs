@@ -29,24 +29,24 @@ impl ConfidenceInterval {
 /// (`mean ± 1.96 · stderr`). Experiments with dozens-to-hundreds of trials
 /// are comfortably in normal-approximation territory.
 ///
-/// # Panics
-/// Panics on an empty sample (see [`Summary::of`]).
-pub fn ci95(xs: &[f64]) -> ConfidenceInterval {
+/// Returns `None` on an empty or non-finite sample (see [`Summary::of`]).
+#[must_use]
+pub fn ci95(xs: &[f64]) -> Option<ConfidenceInterval> {
     ci_z(xs, 1.96)
 }
 
 /// A `z`-score confidence interval for the mean of `xs`.
 ///
-/// # Panics
-/// Panics on an empty sample.
-pub fn ci_z(xs: &[f64], z: f64) -> ConfidenceInterval {
-    let s = Summary::of(xs);
+/// Returns `None` on an empty or non-finite sample.
+#[must_use]
+pub fn ci_z(xs: &[f64], z: f64) -> Option<ConfidenceInterval> {
+    let s = Summary::of(xs)?;
     let half = z * s.std_err();
-    ConfidenceInterval {
+    Some(ConfidenceInterval {
         mean: s.mean,
         lo: s.mean - half,
         hi: s.mean + half,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -56,7 +56,7 @@ mod tests {
     #[test]
     fn interval_brackets_the_mean() {
         let xs: Vec<f64> = (0..100).map(|i| f64::from(i % 10)).collect();
-        let ci = ci95(&xs);
+        let ci = ci95(&xs).unwrap();
         assert!(ci.contains(ci.mean));
         assert!(ci.lo < ci.mean && ci.mean < ci.hi);
         assert!((ci.mean - 4.5).abs() < 1e-12);
@@ -65,7 +65,7 @@ mod tests {
 
     #[test]
     fn degenerate_sample_has_zero_width() {
-        let ci = ci95(&[3.0, 3.0, 3.0]);
+        let ci = ci95(&[3.0, 3.0, 3.0]).unwrap();
         assert_eq!(ci.lo, 3.0);
         assert_eq!(ci.hi, 3.0);
         assert_eq!(ci.half_width(), 0.0);
@@ -76,6 +76,13 @@ mod tests {
     #[test]
     fn wider_z_wider_interval() {
         let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
-        assert!(ci_z(&xs, 2.58).half_width() > ci_z(&xs, 1.96).half_width());
+        assert!(ci_z(&xs, 2.58).unwrap().half_width() > ci_z(&xs, 1.96).unwrap().half_width());
+    }
+
+    #[test]
+    fn empty_sample_is_none_not_a_panic() {
+        assert_eq!(ci95(&[]), None);
+        assert_eq!(ci_z(&[], 1.0), None);
+        assert_eq!(ci95(&[f64::NAN]), None);
     }
 }

@@ -19,7 +19,7 @@
 //! // …grows sublogarithmically: the fitted power-law exponent is tiny.
 //! let (p, _) = fit::power_fit(&ns, &ys);
 //! assert!(p < 0.3);
-//! let s = stats::Summary::of(&ys);
+//! let s = stats::Summary::of(&ys).unwrap();
 //! assert!(s.mean.is_finite());
 //! ```
 

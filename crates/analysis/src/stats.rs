@@ -1,4 +1,11 @@
 //! Summary statistics over trial measurements.
+//!
+//! Every entry point here is total: empty samples yield `None` (not a
+//! panic), singleton samples saturate (zero standard deviation), and
+//! out-of-range quantile positions clamp into `[0, 1]`. The degradation
+//! experiments aggregate per-fault-plan subsets that can legitimately be
+//! empty (e.g. "survivors" when every player crashed), so a panicking
+//! statistics layer would corrupt exactly the numbers those runs report.
 
 /// Summary statistics of a sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,16 +27,18 @@ pub struct Summary {
 impl Summary {
     /// Computes summary statistics of `xs`.
     ///
-    /// # Panics
-    /// Panics on an empty sample or non-finite values.
-    pub fn of(xs: &[f64]) -> Summary {
-        assert!(!xs.is_empty(), "summary of an empty sample");
-        assert!(
-            xs.iter().all(|x| x.is_finite()),
-            "sample contains non-finite values"
-        );
+    /// Returns `None` on an empty sample or when any value is non-finite —
+    /// the two inputs for which no meaningful summary exists. A singleton
+    /// sample saturates: its standard deviation is 0, and min, max, mean,
+    /// and median all equal the one value.
+    #[must_use]
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() || xs.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
         let count = xs.len();
         let mean = xs.iter().sum::<f64>() / count as f64;
+        // `count - 1` is guarded: the branch only divides when count > 1.
         let var = if count > 1 {
             xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
         } else {
@@ -37,14 +46,14 @@ impl Summary {
         };
         let mut sorted = xs.to_vec();
         sorted.sort_by(f64::total_cmp);
-        Summary {
+        Some(Summary {
             count,
             mean,
             std_dev: var.sqrt(),
             min: sorted[0],
             max: sorted[count - 1],
             median: quantile_sorted(&sorted, 0.5),
-        }
+        })
     }
 
     /// Standard error of the mean.
@@ -57,19 +66,24 @@ impl Summary {
     }
 }
 
-/// The `q`-quantile (0 ≤ q ≤ 1) of a sample, with linear interpolation.
+/// The `q`-quantile of a sample, with linear interpolation. `q` saturates
+/// into `[0, 1]` (so `q = 1.5` is the maximum, not a panic); `NaN` `q` is
+/// treated as the median.
 ///
-/// # Panics
-/// Panics on an empty sample or `q ∉ [0, 1]`.
-pub fn quantile(xs: &[f64], q: f64) -> f64 {
-    assert!(!xs.is_empty(), "quantile of an empty sample");
+/// Returns `None` on an empty sample.
+#[must_use]
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
     let mut sorted = xs.to_vec();
     sorted.sort_by(f64::total_cmp);
-    quantile_sorted(&sorted, q)
+    Some(quantile_sorted(&sorted, q))
 }
 
+/// `sorted` must be non-empty and ascending; `q` is clamped into `[0, 1]`.
 fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0, 1]");
+    let q = if q.is_nan() { 0.5 } else { q.clamp(0.0, 1.0) };
     if sorted.len() == 1 {
         return sorted[0];
     }
@@ -95,18 +109,20 @@ pub struct Histogram {
 impl Histogram {
     /// Builds a histogram of `xs`.
     ///
-    /// # Panics
-    /// Panics if `bins == 0` or `hi <= lo`.
-    pub fn build(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Histogram {
-        assert!(bins > 0, "histogram needs at least one bin");
-        assert!(hi > lo, "histogram range must be non-empty");
+    /// Returns `None` if `bins == 0` or `hi <= lo` — there is no bucket
+    /// geometry to build.
+    #[must_use]
+    pub fn build(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Option<Histogram> {
+        if bins == 0 || hi <= lo {
+            return None;
+        }
         let mut counts = vec![0u64; bins];
         let width = (hi - lo) / bins as f64;
         for &x in xs {
             let idx = (((x - lo) / width).floor() as i64).clamp(0, bins as i64 - 1) as usize;
             counts[idx] += 1;
         }
-        Histogram { lo, hi, counts }
+        Some(Histogram { lo, hi, counts })
     }
 
     /// Total observations.
@@ -133,7 +149,7 @@ mod tests {
 
     #[test]
     fn summary_of_known_sample() {
-        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
         assert_eq!(s.count, 4);
         assert!((s.mean - 2.5).abs() < 1e-12);
         assert!((s.median - 2.5).abs() < 1e-12);
@@ -145,41 +161,63 @@ mod tests {
     }
 
     #[test]
-    fn singleton_sample() {
-        let s = Summary::of(&[7.0]);
+    fn singleton_sample_saturates() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.count, 1);
         assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.std_err(), 0.0);
         assert_eq!(s.median, 7.0);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
     }
 
     #[test]
-    #[should_panic(expected = "empty sample")]
-    fn empty_sample_panics() {
-        let _ = Summary::of(&[]);
+    fn empty_sample_is_none_not_a_panic() {
+        // Regression: `Summary::of` used to assert on empty input, so an
+        // all-crashed degradation run aborted instead of reporting.
+        assert_eq!(Summary::of(&[]), None);
     }
 
     #[test]
-    #[should_panic(expected = "non-finite")]
-    fn nan_rejected() {
-        let _ = Summary::of(&[1.0, f64::NAN]);
+    fn non_finite_sample_is_none() {
+        assert_eq!(Summary::of(&[1.0, f64::NAN]), None);
+        assert_eq!(Summary::of(&[f64::INFINITY]), None);
     }
 
     #[test]
     fn quantiles_interpolate() {
         let xs = [0.0, 10.0];
-        assert_eq!(quantile(&xs, 0.0), 0.0);
-        assert_eq!(quantile(&xs, 1.0), 10.0);
-        assert_eq!(quantile(&xs, 0.25), 2.5);
-        assert_eq!(quantile(&[5.0], 0.9), 5.0);
+        assert_eq!(quantile(&xs, 0.0), Some(0.0));
+        assert_eq!(quantile(&xs, 1.0), Some(10.0));
+        assert_eq!(quantile(&xs, 0.25), Some(2.5));
+        assert_eq!(quantile(&[5.0], 0.9), Some(5.0));
+    }
+
+    #[test]
+    fn quantile_saturates_instead_of_panicking() {
+        // Regression: out-of-range q used to assert; empty input too.
+        let xs = [0.0, 10.0];
+        assert_eq!(quantile(&xs, 1.5), Some(10.0));
+        assert_eq!(quantile(&xs, -0.5), Some(0.0));
+        assert_eq!(quantile(&xs, f64::NAN), Some(5.0));
+        assert_eq!(quantile(&[], 0.5), None);
     }
 
     #[test]
     fn histogram_counts_and_tail() {
         let xs = [0.5, 1.5, 2.5, 3.5, 9.5, 42.0, -3.0];
-        let h = Histogram::build(&xs, 0.0, 10.0, 10);
+        let h = Histogram::build(&xs, 0.0, 10.0, 10).unwrap();
         assert_eq!(h.total(), 7);
         assert_eq!(h.counts[0], 2); // 0.5 and the clamped -3.0
         assert_eq!(h.counts[9], 2); // 9.5 and the clamped 42.0
         assert!((h.tail_fraction(9.0) - 2.0 / 7.0).abs() < 1e-12);
         assert!((h.tail_fraction(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_histogram_geometry_is_none() {
+        assert_eq!(Histogram::build(&[1.0], 0.0, 10.0, 0), None);
+        assert_eq!(Histogram::build(&[1.0], 5.0, 5.0, 4), None);
+        assert_eq!(Histogram::build(&[1.0], 9.0, 1.0, 4), None);
     }
 }

@@ -142,9 +142,13 @@ impl fmt::Display for Table {
 }
 
 /// Formats a float compactly for table cells (3 significant decimals, no
-/// trailing noise).
+/// trailing noise). Non-finite values render as `"-"` — a missing-cell
+/// marker — so a `None` statistic mapped to `f64::NAN` upstream degrades to
+/// a readable blank instead of `NaN` noise in experiment tables.
 pub fn fmt_f(x: f64) -> String {
-    if x == 0.0 {
+    if !x.is_finite() {
+        "-".to_string()
+    } else if x == 0.0 {
         "0".to_string()
     } else if x.abs() >= 1000.0 {
         format!("{x:.0}")
@@ -208,5 +212,9 @@ mod tests {
         assert_eq!(fmt_f(4.14159), "4.142");
         assert_eq!(fmt_f(42.34), "42.3");
         assert_eq!(fmt_f(12345.6), "12346");
+        // non-finite statistics render as a missing-cell marker
+        assert_eq!(fmt_f(f64::NAN), "-");
+        assert_eq!(fmt_f(f64::INFINITY), "-");
+        assert_eq!(fmt_f(f64::NEG_INFINITY), "-");
     }
 }

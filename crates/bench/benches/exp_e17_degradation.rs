@@ -1,0 +1,143 @@
+//! E17 — graceful degradation under faults (not from the paper).
+//!
+//! **Claim under test.** Theorem 4 assumes a perfectly reliable synchronous
+//! billboard: every honest post lands, every read is fresh, honest players
+//! never leave. The fault-injection layer relaxes each assumption; the
+//! protocol should degrade *gracefully* — measured cost tracking the
+//! Theorem-4 bound evaluated at the **effective** honest fraction
+//! `α′ = α·(1 − crash)` within a constant factor, with no cliff — rather
+//! than collapsing.
+//!
+//! **Workload.** `n = m = 256`, one good object, α = 0.9, against the
+//! budget-optimal [`ThresholdMatcher`]. Three sweeps from the same base
+//! point: crash-stop churn (crash at round 0, no recovery, so the honest
+//! fraction is `α′` for the whole run), dropped posts, and stale reads.
+//! Crash-stop rows report the **survivors'** mean probes — crashed players
+//! stop probing, so their truncated counts are not comparable.
+
+use distill_adversary::ThresholdMatcher;
+use distill_analysis::{bounds, fmt_f, Table};
+use distill_bench::{mean_of, run_experiment, trials};
+use distill_core::{Distill, DistillParams};
+use distill_sim::{FaultPlan, SimConfig, SimResult, StopRule, World};
+
+const N: u32 = 256;
+const ALPHA: f64 = 0.9;
+
+fn run_with(plan: FaultPlan, n_trials: usize, seed0: u64) -> Vec<SimResult> {
+    let honest = ((ALPHA * f64::from(N)).round()) as u32;
+    run_experiment(
+        n_trials,
+        move |t| World::binary(N, 1, 170_000 + t).expect("world"),
+        move |w, _t| {
+            Box::new(Distill::new(
+                DistillParams::new(N, N, ALPHA, w.beta()).expect("params"),
+            ))
+        },
+        |_t| Box::new(ThresholdMatcher::new()),
+        move |t| {
+            SimConfig::new(N, honest, seed0 + t)
+                .with_faults(plan)
+                .with_stop(StopRule::all_satisfied(2_000_000))
+                .with_negative_reports(false)
+        },
+    )
+}
+
+fn main() {
+    let n_trials = trials(20);
+    println!(
+        "\nE17: graceful degradation under faults (n = m = {N}, alpha = {ALPHA}, \
+         threshold-matcher adversary, {n_trials} trials)\n"
+    );
+
+    // --- crash-stop churn: cost vs the bound at effective alpha' ---------
+    let mut table = Table::new(
+        "crash-stop churn — survivor cost vs Theorem 4 at alpha' = alpha(1 - crash)",
+        &[
+            "crash",
+            "alpha'",
+            "survivor cost",
+            "bound(alpha')",
+            "measured/bound",
+            "crashes/run",
+        ],
+    );
+    let mut ratios = Vec::new();
+    for &crash in &[0.0f64, 0.1, 0.25, 0.5] {
+        // Crash at round 0: the cohort runs at alpha' from the first probe,
+        // so the comparison against bound(alpha') is exact, not amortized.
+        let plan = FaultPlan::none()
+            .with_crash_rate(crash)
+            .with_crash_window(1);
+        let results = run_with(plan, n_trials, 9_000);
+        let alpha_eff = ALPHA * (1.0 - crash);
+        let measured = mean_of(&results, |r| r.mean_probes_survivors());
+        let bound = bounds::distill_upper(f64::from(N), alpha_eff, 1.0 / f64::from(N));
+        let ratio = measured / bound;
+        ratios.push(ratio);
+        table.row_owned(vec![
+            format!("{crash:.2}"),
+            format!("{alpha_eff:.3}"),
+            fmt_f(measured),
+            fmt_f(bound),
+            fmt_f(ratio),
+            fmt_f(mean_of(&results, |r| r.faults.crashes as f64)),
+        ]);
+    }
+    println!("{table}");
+    let spread = ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        / ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "measured/bound(alpha') ratio spread across crash rates 0..0.5: {spread:.2}x \
+         (graceful: constant-factor tracking, no cliff)\n"
+    );
+
+    // --- dropped posts: lost votes slow distillation smoothly ------------
+    let mut table = Table::new(
+        "dropped posts — cost vs drop rate (bound fixed at alpha)",
+        &["drop", "cost", "rounds", "dropped/run", "cost vs drop=0"],
+    );
+    let mut base_cost = f64::NAN;
+    for &drop in &[0.0f64, 0.1, 0.25, 0.5] {
+        let plan = FaultPlan::none().with_drop_rate(drop);
+        let results = run_with(plan, n_trials, 9_500);
+        let measured = mean_of(&results, |r| r.mean_probes());
+        if drop == 0.0 {
+            base_cost = measured;
+        }
+        table.row_owned(vec![
+            format!("{drop:.2}"),
+            fmt_f(measured),
+            fmt_f(mean_of(&results, |r| r.rounds as f64)),
+            fmt_f(mean_of(&results, |r| r.faults.posts_dropped as f64)),
+            fmt_f(measured / base_cost),
+        ]);
+    }
+    println!("{table}");
+
+    // --- stale reads: lag L delays convergence by O(L) rounds ------------
+    let mut table = Table::new(
+        "stale reads — cost vs view lag (bound fixed at alpha)",
+        &["lag", "cost", "rounds", "cost vs lag=0"],
+    );
+    let mut base_cost = f64::NAN;
+    for &lag in &[0u64, 1, 2, 4] {
+        let plan = FaultPlan::none().with_view_lag(lag);
+        let results = run_with(plan, n_trials, 9_900);
+        let measured = mean_of(&results, |r| r.mean_probes());
+        if lag == 0 {
+            base_cost = measured;
+        }
+        table.row_owned(vec![
+            format!("{lag}"),
+            fmt_f(measured),
+            fmt_f(mean_of(&results, |r| r.rounds as f64)),
+            fmt_f(measured / base_cost),
+        ]);
+    }
+    println!("{table}");
+    println!("paper (extension): none of the three fault axes produces a cliff —");
+    println!("each degrades cost smoothly, and crash-stop tracks the Theorem-4");
+    println!("bound evaluated at the effective honest fraction alpha'.");
+}

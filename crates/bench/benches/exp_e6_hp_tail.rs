@@ -73,8 +73,8 @@ fn main() {
         ("distill-hp (k=O(log n))", &hp),
     ] {
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let med = quantile(xs, 0.5);
-        let p95 = quantile(xs, 0.95);
+        let med = quantile(xs, 0.5).unwrap_or(f64::NAN);
+        let p95 = quantile(xs, 0.95).unwrap_or(f64::NAN);
         let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let tail = xs.iter().filter(|&&x| x > 3.0 * med).count() as f64 / xs.len() as f64;
         table.row_owned(vec![
@@ -91,8 +91,8 @@ fn main() {
     // Distribution-level comparison of the upper tails (values above each
     // variant's own median): does base DISTILL's tail stochastically
     // dominate HP's?
-    let med_base = quantile(&base, 0.5);
-    let med_hp = quantile(&hp, 0.5);
+    let med_base = quantile(&base, 0.5).unwrap_or(f64::NAN);
+    let med_hp = quantile(&hp, 0.5).unwrap_or(f64::NAN);
     let tail_base: Vec<f64> = base.iter().map(|&x| x / med_base).collect();
     let tail_hp: Vec<f64> = hp.iter().map(|&x| x / med_hp).collect();
     let rs = rank_sum(&tail_base, &tail_hp);

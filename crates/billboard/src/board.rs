@@ -145,6 +145,20 @@ impl Billboard {
         &self.posts[idx..]
     }
 
+    /// The prefix of the log visible to a reader whose view lags behind:
+    /// every post stamped with a round strictly before `before`.
+    ///
+    /// Because rounds are monotone along the log (enforced by [`append`]'s
+    /// `RoundRegression` check), that prefix is contiguous and found by
+    /// binary search — O(log posts), no allocation. This is the primitive
+    /// behind lagged [`BoardView`](crate::BoardView)s.
+    ///
+    /// [`append`]: Billboard::append
+    pub fn posts_before(&self, before: Round) -> &[Post] {
+        let visible = self.posts.partition_point(|p| p.round < before);
+        &self.posts[..visible]
+    }
+
     /// Iterator over the posts authored by `player`, in append order.
     ///
     /// This is a linear scan; prefer [`VoteTracker`](crate::VoteTracker) for
@@ -313,6 +327,37 @@ mod tests {
         assert_eq!(b.posts_since(Seq(2)).len(), 2);
         assert_eq!(b.posts_since(Seq(4)).len(), 0);
         assert_eq!(b.posts_since(Seq(99)).len(), 0);
+    }
+
+    #[test]
+    fn posts_before_is_the_round_prefix() {
+        let mut b = board();
+        for (round, player) in [(0u64, 0u32), (0, 1), (2, 2), (3, 0), (3, 1)] {
+            b.append(
+                Round(round),
+                PlayerId(player),
+                ObjectId(0),
+                1.0,
+                ReportKind::Positive,
+            )
+            .unwrap();
+        }
+        assert_eq!(b.posts_before(Round(0)).len(), 0);
+        assert_eq!(b.posts_before(Round(1)).len(), 2);
+        assert_eq!(b.posts_before(Round(2)).len(), 2);
+        assert_eq!(b.posts_before(Round(3)).len(), 3);
+        assert_eq!(b.posts_before(Round(4)).len(), 5);
+        assert_eq!(b.posts_before(Round(99)), b.posts());
+        // agrees with the linear-scan oracle at every cut
+        for cut in 0..5u64 {
+            let oracle: Vec<_> = b
+                .posts()
+                .iter()
+                .filter(|p| p.round < Round(cut))
+                .copied()
+                .collect();
+            assert_eq!(b.posts_before(Round(cut)), oracle.as_slice());
+        }
     }
 
     #[test]

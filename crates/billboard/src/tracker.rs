@@ -202,16 +202,51 @@ impl VoteTracker {
             "tracker/board object universe mismatch"
         );
         let new_posts = board.posts_since(Seq(self.cursor as u64));
-        let consumed = new_posts.len();
-        for post in new_posts {
+        self.consume(new_posts, new_posts.len())
+    }
+
+    /// Like [`ingest`](VoteTracker::ingest), but only consumes posts stamped
+    /// with a round strictly before `before`, leaving the rest for a later
+    /// call. Returns the number of posts consumed.
+    ///
+    /// This is the incremental primitive behind lagged views: a tracker fed
+    /// exclusively through `ingest_until(board, r − L)` holds exactly the
+    /// vote state a reader `L` rounds behind would see. Rounds are monotone
+    /// along the log, so the cut is a contiguous prefix found by binary
+    /// search; the cursor advances past it and never regresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `board` has a different universe size than the tracker was
+    /// created for (mixing boards is a programming error).
+    pub fn ingest_until(&mut self, board: &Billboard, before: Round) -> usize {
+        assert_eq!(
+            board.n_players() as usize,
+            self.votes_by_player.len(),
+            "tracker/board player universe mismatch"
+        );
+        assert_eq!(
+            board.n_objects(),
+            self.n_objects,
+            "tracker/board object universe mismatch"
+        );
+        let new_posts = board.posts_since(Seq(self.cursor as u64));
+        let upto = new_posts.partition_point(|p| p.round < before);
+        self.consume(new_posts, upto)
+    }
+
+    /// Dispatches the first `upto` of `new_posts` into the vote state and
+    /// advances the cursor past them.
+    fn consume(&mut self, new_posts: &[crate::post::Post], upto: usize) -> usize {
+        for post in &new_posts[..upto] {
             match self.policy.mode {
                 VoteMode::LocalTesting => self.ingest_local_testing(post),
                 VoteMode::BestValue => self.ingest_best_value(post),
             }
         }
-        self.cursor += consumed;
+        self.cursor += upto;
         self.absorb_into_window();
-        consumed
+        upto
     }
 
     /// Registers `[start, ·)` as the tally window the protocol is currently
@@ -588,6 +623,41 @@ mod tests {
         );
         assert_eq!(t.vote_of(PlayerId(1)), None);
         assert_eq!(t.total_vote_events(), 1);
+    }
+
+    #[test]
+    fn ingest_until_consumes_only_the_round_prefix() {
+        let mut b = board(4, 4);
+        for (r, p, o) in [(0u64, 0u32, 0u32), (1, 1, 1), (1, 2, 1), (3, 3, 2)] {
+            b.append(
+                Round(r),
+                PlayerId(p),
+                ObjectId(o),
+                1.0,
+                ReportKind::Positive,
+            )
+            .unwrap();
+        }
+        let mut lagged = VoteTracker::new(4, 4, VotePolicy::single_vote());
+        // Nothing visible before round 1: only the round-0 post lands.
+        assert_eq!(lagged.ingest_until(&b, Round(1)), 1);
+        assert_eq!(lagged.vote_of(PlayerId(0)), Some(ObjectId(0)));
+        assert_eq!(lagged.vote_of(PlayerId(1)), None);
+        // Advancing the cut consumes exactly the newly visible posts.
+        assert_eq!(lagged.ingest_until(&b, Round(2)), 2);
+        assert_eq!(lagged.votes_for(ObjectId(1)), 2);
+        assert_eq!(lagged.vote_of(PlayerId(3)), None);
+        // A cut that uncovers nothing new is a no-op; cursor never regresses.
+        assert_eq!(lagged.ingest_until(&b, Round(2)), 0);
+        assert_eq!(lagged.ingest_until(&b, Round(1)), 0);
+        // Once the cut passes every round, state matches a fresh full ingest.
+        assert_eq!(lagged.ingest_until(&b, Round(99)), 1);
+        let mut fresh = VoteTracker::new(4, 4, VotePolicy::single_vote());
+        fresh.ingest(&b);
+        for p in 0..4u32 {
+            assert_eq!(lagged.vote_of(PlayerId(p)), fresh.vote_of(PlayerId(p)));
+        }
+        assert_eq!(lagged.cursor(), fresh.cursor());
     }
 
     #[test]

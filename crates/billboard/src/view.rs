@@ -13,21 +13,57 @@ use std::collections::BTreeMap;
 /// round: "consulting the billboard is free" (§1.1), so the view exposes
 /// everything readable — the raw log and the policy-interpreted vote state —
 /// but no way to write.
+///
+/// A view may be **lagged** (see [`new_lagged`](BoardView::new_lagged)): the
+/// raw log is then truncated to the posts a stale reader would have seen,
+/// modelling propagation delay in a real billboard.
 #[derive(Debug, Clone, Copy)]
 pub struct BoardView<'a> {
     board: &'a Billboard,
     tracker: &'a VoteTracker,
     round: Round,
+    /// When `Some(before)`, only posts with `round < before` are visible.
+    visible_before: Option<Round>,
 }
 
 impl<'a> BoardView<'a> {
-    /// Bundles a board and tracker into a view at round `round`.
+    /// Bundles a board and tracker into a fresh (unlagged) view at round
+    /// `round`.
     pub fn new(board: &'a Billboard, tracker: &'a VoteTracker, round: Round) -> Self {
         BoardView {
             board,
             tracker,
             round,
+            visible_before: None,
         }
+    }
+
+    /// A stale view at round `round` that only sees posts stamped strictly
+    /// before `before` — the log a reader lagging `round − before` rounds
+    /// behind would observe.
+    ///
+    /// The caller must hand in a tracker whose state matches the same cut,
+    /// i.e. one fed exclusively through
+    /// [`VoteTracker::ingest_until`]`(board, before)`; the view cannot
+    /// re-interpret the tracker's aggregates, only truncate the raw log.
+    pub fn new_lagged(
+        board: &'a Billboard,
+        tracker: &'a VoteTracker,
+        round: Round,
+        before: Round,
+    ) -> Self {
+        BoardView {
+            board,
+            tracker,
+            round,
+            visible_before: Some(before),
+        }
+    }
+
+    /// The exclusive round bound on visible posts, if this view is lagged.
+    #[inline]
+    pub fn lag_cutoff(&self) -> Option<Round> {
+        self.visible_before
     }
 
     /// The current round.
@@ -48,10 +84,14 @@ impl<'a> BoardView<'a> {
         self.board.n_objects()
     }
 
-    /// The raw append-only log.
+    /// The raw append-only log — truncated to the visible prefix when the
+    /// view is lagged.
     #[inline]
     pub fn posts(&self) -> &'a [Post] {
-        self.board.posts()
+        match self.visible_before {
+            Some(before) => self.board.posts_before(before),
+            None => self.board.posts(),
+        }
     }
 
     /// The current vote of `player` (what an advice probe follows).
@@ -155,5 +195,39 @@ mod tests {
         assert_eq!(v.window_tally(Window::new(Round(0), Round(1))).len(), 1);
         assert_eq!(v.tracker().total_vote_events(), 1);
         assert_eq!(v.votes_of(PlayerId(1)).len(), 1);
+        assert_eq!(v.lag_cutoff(), None);
+    }
+
+    #[test]
+    fn lagged_view_truncates_log_and_tracks_the_same_cut() {
+        let mut b = Billboard::new(3, 3);
+        for (r, p, o) in [(0u64, 0u32, 0u32), (1, 1, 1), (2, 2, 2)] {
+            b.append(
+                Round(r),
+                PlayerId(p),
+                ObjectId(o),
+                1.0,
+                ReportKind::Positive,
+            )
+            .unwrap();
+        }
+        // A reader 2 rounds behind at round 3 sees only posts before round 1.
+        let mut lagged = VoteTracker::new(3, 3, VotePolicy::single_vote());
+        lagged.ingest_until(&b, Round(1));
+        let v = BoardView::new_lagged(&b, &lagged, Round(3), Round(1));
+        assert_eq!(v.round(), Round(3));
+        assert_eq!(v.lag_cutoff(), Some(Round(1)));
+        assert_eq!(v.posts().len(), 1);
+        assert_eq!(v.posts()[0].author, PlayerId(0));
+        // Vote aggregates agree with the truncated log.
+        assert_eq!(v.vote_of(PlayerId(0)), Some(ObjectId(0)));
+        assert_eq!(v.vote_of(PlayerId(2)), None);
+        assert_eq!(v.votes_for(ObjectId(2)), 0);
+        // The fresh view over the same board still sees everything.
+        let mut fresh = VoteTracker::new(3, 3, VotePolicy::single_vote());
+        fresh.ingest(&b);
+        let full = BoardView::new(&b, &fresh, Round(3));
+        assert_eq!(full.posts().len(), 3);
+        assert_eq!(full.votes_for(ObjectId(2)), 1);
     }
 }

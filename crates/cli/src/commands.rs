@@ -8,8 +8,8 @@ use distill_adversary::{
 use distill_analysis::{bounds, fmt_f, lemma9, Summary, Table};
 use distill_core::{Balance, Distill, DistillParams, GuessAlpha, RandomProbing, ThreePhase};
 use distill_sim::{
-    run_trials_scoped, run_trials_threaded, Adversary, Cohort, Engine, NullAdversary, SimConfig,
-    StopRule, World,
+    run_trials_scoped, run_trials_threaded, Adversary, Cohort, Engine, FaultPlan, NullAdversary,
+    SimConfig, StopRule, World,
 };
 
 /// A command failure, rendered to the user.
@@ -36,6 +36,20 @@ impl From<ArgError> for CliError {
     fn from(e: ArgError) -> Self {
         CliError::Args(e)
     }
+}
+
+/// Summary for CLI tables, total over empty inputs: a sample with no data
+/// yields all-NaN fields, which `fmt_f` renders as `-` (missing cells)
+/// instead of aborting the command.
+fn summary_or_blank(xs: &[f64]) -> Summary {
+    Summary::of(xs).unwrap_or(Summary {
+        count: 0,
+        mean: f64::NAN,
+        std_dev: f64::NAN,
+        min: f64::NAN,
+        max: f64::NAN,
+        median: f64::NAN,
+    })
 }
 
 fn err(msg: impl Into<String>) -> CliError {
@@ -74,6 +88,11 @@ RUN FLAGS (defaults in parentheses):
     --f <usize>          votes per player (1)
     --error-rate <f64>   honest erroneous-vote probability (0)
     --max-rounds <u64>   safety cap (1000000)
+    --drop-rate <f64>    fault injection: honest-post drop probability (0)
+    --view-lag <u64>     fault injection: honest read staleness in rounds (0)
+    --crash-rate <f64>   fault injection: P(player ever crash-stops) (0)
+    --crash-window <u64> fault injection: crash rounds drawn from [0, w) (64)
+    --recovery-rate <f64> fault injection: per-round rejoin probability (0)
 
 BOUNDS FLAGS: --n --m --alpha --beta --q0 --eps
 LEMMA9:       distill lemma9 <c0,c1,c2,...> --a <f64 in (0,1)>
@@ -140,6 +159,11 @@ const RUN_FLAGS: &[&str] = &[
     "f",
     "error-rate",
     "max-rounds",
+    "drop-rate",
+    "view-lag",
+    "crash-rate",
+    "crash-window",
+    "recovery-rate",
 ];
 
 /// `distill run` — simulate one configuration.
@@ -155,6 +179,15 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let f: usize = args.get_or("f", 1)?;
     let error_rate: f64 = args.get_or("error-rate", 0.0)?;
     let max_rounds: u64 = args.get_or("max-rounds", 1_000_000)?;
+    let faults = FaultPlan::none()
+        .with_drop_rate(args.get_or("drop-rate", 0.0)?)
+        .with_view_lag(args.get_or("view-lag", 0)?)
+        .with_crash_rate(args.get_or("crash-rate", 0.0)?)
+        .with_crash_window(args.get_or("crash-window", 64)?)
+        .with_recovery_rate(args.get_or("recovery-rate", 0.0)?);
+    faults
+        .validate()
+        .map_err(|msg| err(format!("fault plan: {msg}")))?;
     let algorithm = args.str_or("algorithm", "distill");
     let adversary_name = args.str_or("adversary", "uniform-bad");
     if honest == 0 || honest > n {
@@ -199,6 +232,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
                     let config = SimConfig::new(n, honest, trial_seed)
                         .with_policy(distill_billboard::VotePolicy::multi_vote(f))
                         .with_honest_error_rate(error_rate)
+                        .with_faults(faults)
                         .with_stop(StopRule::all_satisfied(max_rounds));
                     slot.insert(
                         Engine::new(config, world, cohort, adversary)
@@ -213,8 +247,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let costs: Vec<f64> = results.iter().map(|r| r.mean_probes()).collect();
     let rounds: Vec<f64> = results.iter().map(|r| r.rounds as f64).collect();
     let done = results.iter().filter(|r| r.all_satisfied).count();
-    let cost = Summary::of(&costs);
-    let rds = Summary::of(&rounds);
+    let cost = summary_or_blank(&costs);
+    let rds = summary_or_blank(&rounds);
 
     let mut table = Table::new(
         format!(
@@ -241,12 +275,56 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "-".into(),
         "-".into(),
     ]);
-    let bound = bounds::distill_upper(f64::from(n), alpha, f64::from(goods) / f64::from(m));
-    Ok(format!(
+    if !faults.is_noop() {
+        let survivor = summary_or_blank(
+            &results
+                .iter()
+                .map(|r| r.mean_probes_survivors())
+                .collect::<Vec<f64>>(),
+        );
+        table.row_owned(vec![
+            "survivor cost (probes)".into(),
+            fmt_f(survivor.mean),
+            fmt_f(survivor.min),
+            fmt_f(survivor.max),
+        ]);
+        type CounterGet = fn(&distill_sim::FaultCounters) -> u64;
+        let counter_rows: [(&str, CounterGet); 3] = [
+            ("posts dropped", |c| c.posts_dropped),
+            ("crashes", |c| c.crashes),
+            ("recoveries", |c| c.recoveries),
+        ];
+        for (label, get) in counter_rows {
+            let xs: Vec<f64> = results.iter().map(|r| get(&r.faults) as f64).collect();
+            let s = summary_or_blank(&xs);
+            table.row_owned(vec![
+                label.into(),
+                fmt_f(s.mean),
+                fmt_f(s.min),
+                fmt_f(s.max),
+            ]);
+        }
+    }
+    let beta = f64::from(goods) / f64::from(m);
+    let bound = bounds::distill_upper(f64::from(n), alpha, beta);
+    let mut out = format!(
         "{table}\nTheorem 4 shape for these parameters: {} (measured/bound = {})\n",
         fmt_f(bound),
         fmt_f(cost.mean / bound)
-    ))
+    );
+    // Crash-stop churn shrinks the honest fraction to α′ = α(1 − crash):
+    // the degradation experiments compare survivor cost to the bound there.
+    if faults.crash_rate > 0.0 && faults.recovery_rate == 0.0 {
+        let alpha_eff = alpha * (1.0 - faults.crash_rate);
+        if alpha_eff > 0.0 {
+            let bound_eff = bounds::distill_upper(f64::from(n), alpha_eff, beta);
+            out.push_str(&format!(
+                "Theorem 4 shape at effective alpha' = {alpha_eff:.3}: {}\n",
+                fmt_f(bound_eff)
+            ));
+        }
+    }
+    Ok(out)
 }
 
 const GAUNTLET_FLAGS: &[&str] = &["n", "honest", "goods", "trials", "seed", "algorithm"];
@@ -439,11 +517,11 @@ pub fn run_async(args: &Args) -> Result<String, CliError> {
     );
     table.row_owned(vec![
         "total probes (all players)".into(),
-        fmt_f(Summary::of(&totals).mean),
+        fmt_f(summary_or_blank(&totals).mean),
     ]);
     table.row_owned(vec![
         "player-0 probes".into(),
-        fmt_f(Summary::of(&p0s).mean),
+        fmt_f(summary_or_blank(&p0s).mean),
     ]);
     Ok(table.render())
 }
@@ -563,10 +641,52 @@ mod tests {
     }
 
     #[test]
+    fn run_with_faults_reports_counters_and_alpha_eff() {
+        let out = dispatch(&parse(&[
+            "run",
+            "--n",
+            "32",
+            "--honest",
+            "28",
+            "--trials",
+            "3",
+            "--drop-rate",
+            "0.2",
+            "--crash-rate",
+            "0.25",
+            "--view-lag",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("posts dropped"), "fault rows missing: {out}");
+        assert!(out.contains("survivor cost"));
+        assert!(out.contains("effective alpha'"), "no alpha' line: {out}");
+    }
+
+    #[test]
+    fn noop_fault_flags_print_no_fault_rows() {
+        let out = dispatch(&parse(&[
+            "run", "--n", "32", "--honest", "24", "--trials", "2",
+        ]))
+        .unwrap();
+        assert!(!out.contains("posts dropped"));
+        assert!(!out.contains("effective alpha'"));
+    }
+
+    #[test]
     fn run_rejects_nonsense() {
         assert!(dispatch(&parse(&["run", "--algorithm", "nope"])).is_err());
         assert!(dispatch(&parse(&["run", "--adversary", "nope"])).is_err());
         assert!(dispatch(&parse(&["run", "--honest", "0"])).is_err());
+        assert!(dispatch(&parse(&["run", "--drop-rate", "1.5"])).is_err());
+        assert!(dispatch(&parse(&[
+            "run",
+            "--crash-rate",
+            "0.5",
+            "--crash-window",
+            "0"
+        ]))
+        .is_err());
         assert!(dispatch(&parse(&["run", "--bogus-flag", "1"])).is_err());
         assert!(dispatch(&parse(&["frobnicate"])).is_err());
     }

@@ -17,6 +17,7 @@
 use crate::adversary::{Adversary, AdversaryCtx, InfoModel};
 use crate::cohort::PhaseInfo;
 use crate::error::SimError;
+use crate::faults::{FaultCounters, FaultPlan};
 use crate::rng::{stream_rng, Stream};
 use crate::world::World;
 use distill_billboard::{
@@ -259,6 +260,8 @@ pub struct AsyncResult {
     pub all_satisfied: bool,
     /// Per honest player.
     pub players: Vec<AsyncPlayerOutcome>,
+    /// Fault-injection event counts (all zero in fault-free runs).
+    pub faults: FaultCounters,
 }
 
 impl AsyncResult {
@@ -296,6 +299,16 @@ pub struct AsyncEngine<'w> {
     dishonest: Vec<PlayerId>,
     step: u64,
     max_steps: u64,
+    faults: FaultPlan,
+    faults_rng: SmallRng,
+    /// Predetermined crash step per honest player (`None` = never crashes);
+    /// cleared on crash so a recovered player does not crash again.
+    crash_at_step: Vec<Option<u64>>,
+    crashed: Vec<bool>,
+    fault_counters: FaultCounters,
+    /// Stale-read tracker, fed via `ingest_until` at the lag cutoff; present
+    /// only when the plan sets `view_lag > 0`.
+    lagged_tracker: Option<VoteTracker>,
 }
 
 impl std::fmt::Debug for AsyncEngine<'_> {
@@ -363,14 +376,85 @@ impl<'w> AsyncEngine<'w> {
             dishonest: (n_honest..n).map(PlayerId).collect(),
             step: 0,
             max_steps,
+            faults: FaultPlan::default(),
+            faults_rng: stream_rng(seed, Stream::Faults),
+            crash_at_step: vec![None; n_honest as usize],
+            crashed: vec![false; n_honest as usize],
+            fault_counters: FaultCounters::default(),
+            lagged_tracker: None,
         })
+    }
+
+    /// Installs a fault plan (asynchronous semantics: `crash_window` and
+    /// `view_lag` are measured in *steps* rather than rounds; drop and
+    /// recovery probabilities are per step).
+    ///
+    /// Crash schedules are drawn here from the dedicated fault stream, so an
+    /// engine built without `with_faults` — or with a no-op plan — consumes
+    /// nothing from it and executes bit-identically to the pre-fault engine.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`] when the plan's probabilities are
+    /// out of range.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Result<Self, SimError> {
+        plan.validate()
+            .map_err(|msg| SimError::InvalidConfig(format!("fault plan: {msg}")))?;
+        self.faults = plan;
+        if plan.crash_rate > 0.0 {
+            for slot in &mut self.crash_at_step {
+                *slot = (self.faults_rng.gen::<f64>() < plan.crash_rate)
+                    .then(|| self.faults_rng.gen_range(0..plan.crash_window));
+            }
+        }
+        self.lagged_tracker = (plan.view_lag > 0)
+            .then(|| VoteTracker::new(self.n, self.world.m(), VotePolicy::single_vote()));
+        Ok(self)
+    }
+
+    /// Crash/recovery bookkeeping for the step that is about to execute.
+    fn process_churn(&mut self) {
+        for p in 0..self.crashed.len() {
+            if self.crashed[p] {
+                if self.faults.recovery_rate > 0.0
+                    && self.faults_rng.gen::<f64>() < self.faults.recovery_rate
+                {
+                    self.crashed[p] = false;
+                    self.fault_counters.recoveries += 1;
+                    // Rejoin with pre-crash votes intact: the billboard kept
+                    // every post, so only schedulability changes.
+                    if !self.satisfied[p] {
+                        let player = PlayerId(p as u32);
+                        if let Err(pos) = self.active.binary_search(&player) {
+                            self.active.insert(pos, player);
+                        }
+                    }
+                }
+            } else if self.crash_at_step[p].is_some_and(|at| at <= self.step) {
+                self.crash_at_step[p] = None;
+                self.crashed[p] = true;
+                self.fault_counters.crashes += 1;
+                if let Ok(pos) = self.active.binary_search(&PlayerId(p as u32)) {
+                    self.active.remove(pos);
+                }
+            }
+        }
+    }
+
+    /// `true` while some crashed player could still rejoin and probe.
+    fn awaiting_recovery(&self) -> bool {
+        self.faults.recovery_rate > 0.0
+            && self
+                .crashed
+                .iter()
+                .zip(&self.satisfied)
+                .any(|(&c, &s)| c && !s)
     }
 
     /// The incrementally-maintained active list's oracle: a from-scratch
     /// rescan of the satisfaction flags.
     fn active_scan(&self) -> Vec<PlayerId> {
         (0..self.n_honest)
-            .filter(|&p| !self.satisfied[p as usize])
+            .filter(|&p| !self.satisfied[p as usize] && !self.crashed[p as usize])
             .map(PlayerId)
             .collect()
     }
@@ -383,7 +467,20 @@ impl<'w> AsyncEngine<'w> {
     /// violates the billboard's append discipline (an engine bug guard).
     pub fn run(mut self) -> Result<AsyncResult, SimError> {
         loop {
-            if self.active.is_empty() || self.step >= self.max_steps {
+            if self.step >= self.max_steps {
+                break;
+            }
+            if self.faults.crash_rate > 0.0 {
+                self.process_churn();
+            }
+            if self.active.is_empty() {
+                // With recoverable crashed players outstanding the clock
+                // keeps ticking (an idle step) until someone rejoins;
+                // otherwise the population is terminal and the run ends.
+                if self.awaiting_recovery() {
+                    self.step += 1;
+                    continue;
+                }
                 break;
             }
             debug_assert_eq!(
@@ -400,9 +497,17 @@ impl<'w> AsyncEngine<'w> {
             );
             let round = Round(self.step);
 
-            // the player's read-probe-post step
+            // the player's read-probe-post step (through a lagged view when
+            // the fault plan delays reads)
+            let lag_cutoff = Round(self.step.saturating_sub(self.faults.view_lag));
+            if let Some(lt) = self.lagged_tracker.as_mut() {
+                lt.ingest_until(&self.board, lag_cutoff);
+            }
             let object = {
-                let view = BoardView::new(&self.board, &self.tracker, round);
+                let view = match self.lagged_tracker.as_ref() {
+                    Some(lt) => BoardView::new_lagged(&self.board, lt, round, lag_cutoff),
+                    None => BoardView::new(&self.board, &self.tracker, round),
+                };
                 self.policy
                     .probe(player, &view, &mut self.player_rngs[player.index()])
             };
@@ -422,8 +527,16 @@ impl<'w> AsyncEngine<'w> {
             } else {
                 ReportKind::Negative
             };
-            self.board
-                .append(round, player, object, self.world.value(object), kind)?;
+            // Drop faults suppress the *post*, never the probe: testing is
+            // local, so the player still learns the object's goodness.
+            let dropped =
+                self.faults.drop_rate > 0.0 && self.faults_rng.gen::<f64>() < self.faults.drop_rate;
+            if dropped {
+                self.fault_counters.posts_dropped += 1;
+            } else {
+                self.board
+                    .append(round, player, object, self.world.value(object), kind)?;
+            }
             if good {
                 self.satisfied[player.index()] = true;
                 outcome.satisfied_step = Some(self.step);
@@ -469,6 +582,7 @@ impl<'w> AsyncEngine<'w> {
             steps: self.step,
             all_satisfied: self.satisfied.iter().all(|&s| s),
             players: self.outcomes,
+            faults: self.fault_counters,
         })
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::adversary::InfoModel;
 use crate::error::SimError;
+use crate::faults::FaultPlan;
 use distill_billboard::{ObjectId, PlayerId, VotePolicy};
 use std::fmt;
 
@@ -163,6 +164,10 @@ pub struct SimConfig {
     /// event-stream scan — results must be bit-identical either way, which is
     /// what the determinism oracle tests assert.
     pub register_tally_windows: bool,
+    /// Deterministic fault injection: dropped posts, stale reads, crash
+    /// churn. The default plan disables every fault and leaves executions
+    /// bit-identical to a fault-free engine.
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -184,6 +189,7 @@ impl SimConfig {
             participation: Participation::Full,
             record_trace: false,
             register_tally_windows: true,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -241,6 +247,12 @@ impl SimConfig {
     /// production runs should leave it on.
     pub fn with_tally_window_registration(mut self, on: bool) -> Self {
         self.register_tally_windows = on;
+        self
+    }
+
+    /// Sets the fault-injection plan (see [`FaultPlan`]).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -317,6 +329,9 @@ impl SimConfig {
                 }
             }
         }
+        self.faults
+            .validate()
+            .map_err(|msg| SimError::InvalidConfig(format!("fault plan: {msg}")))?;
         Ok(())
     }
 }
@@ -364,6 +379,18 @@ mod tests {
             .with_pre_satisfied(vec![(PlayerId(3), ObjectId(0))])
             .validate()
             .is_err());
+        assert!(SimConfig::new(5, 5, 0)
+            .with_faults(FaultPlan::none().with_drop_rate(1.2))
+            .validate()
+            .is_err());
+        assert!(SimConfig::new(5, 5, 0)
+            .with_faults(FaultPlan::none().with_crash_rate(0.5).with_crash_window(0))
+            .validate()
+            .is_err());
+        assert!(SimConfig::new(5, 5, 0)
+            .with_faults(FaultPlan::none().with_drop_rate(0.5).with_view_lag(2))
+            .validate()
+            .is_ok());
     }
 
     #[test]

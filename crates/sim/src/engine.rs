@@ -4,6 +4,7 @@ use crate::adversary::{Adversary, AdversaryCtx, InfoModel};
 use crate::cohort::{Cohort, Directive};
 use crate::config::{SimConfig, StopRule};
 use crate::error::SimError;
+use crate::faults::{FaultCounters, FaultPlan};
 use crate::metrics::{FinalEval, PlayerOutcome, SimResult};
 use crate::object_model::ObjectModel;
 use crate::rng::{stream_rng, Stream};
@@ -41,6 +42,12 @@ struct HonestProbe {
 /// 3. the adversary acts: under [`InfoModel::StronglyAdaptive`] it first sees
 ///    the honest round-`r` posts; otherwise it sees only rounds `< r`;
 /// 4. all round-`r` posts are appended and ingested.
+///
+/// When the config carries a non-noop [`FaultPlan`], the engine additionally
+/// processes crash/recovery churn at each round start, serves honest reads
+/// from a lagged view, and may drop honest posts — all driven by the
+/// dedicated [`Stream::Faults`] RNG, so the no-fault path is bit-identical
+/// to an engine without the fault layer.
 pub struct Engine<'w> {
     config: SimConfig,
     world: &'w World,
@@ -70,6 +77,21 @@ pub struct Engine<'w> {
     /// Start of the tally window currently registered with the tracker
     /// (mirrors the cohort's `PhaseInfo::window_start`).
     open_window_start: Option<Round>,
+    /// Fault-injection coins (dedicated stream; never touched by the
+    /// no-fault path).
+    faults_rng: SmallRng,
+    /// Predetermined crash round per honest player (`None`: never crashes).
+    /// Cleared on crash so a recovered player does not re-crash.
+    crash_at: Vec<Option<Round>>,
+    /// Whether each honest player is currently crashed.
+    crashed: Vec<bool>,
+    /// Crashed players that are not satisfied — with recovery disabled these
+    /// are terminal, and the all-satisfied stop rule treats them as such.
+    n_crashed_unsatisfied: usize,
+    fault_counters: FaultCounters,
+    /// Vote state as seen by a reader `view_lag` rounds behind; `None` when
+    /// reads are fresh. Fed exclusively through `ingest_until`.
+    lagged_tracker: Option<VoteTracker>,
 }
 
 impl std::fmt::Debug for Engine<'_> {
@@ -160,6 +182,11 @@ impl<'w> Engine<'w> {
             .map(|p| stream_rng(config.seed, Stream::Player(p)))
             .collect();
         let adv_rng = stream_rng(config.seed, Stream::Adversary);
+        let mut faults_rng = stream_rng(config.seed, Stream::Faults);
+        let mut crash_at = Vec::new();
+        Self::draw_crash_schedule(&config.faults, &mut faults_rng, &mut crash_at, n_honest);
+        let lagged_tracker =
+            (config.faults.view_lag > 0).then(|| VoteTracker::new(n, m, config.policy));
         let dishonest = config.dishonest_players();
         let trace = config.record_trace.then(Vec::new);
         let n_satisfied = satisfied.iter().filter(|&&s| s).count();
@@ -190,7 +217,40 @@ impl<'w> Engine<'w> {
             rounds_executed: 0,
             probe_buf: Vec::with_capacity(n_honest),
             open_window_start: None,
+            faults_rng,
+            crash_at,
+            crashed: vec![false; n_honest],
+            n_crashed_unsatisfied: 0,
+            fault_counters: FaultCounters::default(),
+            lagged_tracker,
         })
+    }
+
+    /// Fills `out` with each honest player's predetermined crash round
+    /// (ascending player order, so the draw sequence is deterministic).
+    /// `crash_rate` is the probability of ever crashing; the crash round is
+    /// uniform over `[0, crash_window)`, which is what makes the effective
+    /// honest fraction α′ = α·(1 − crash_rate) once the window has passed.
+    fn draw_crash_schedule(
+        plan: &FaultPlan,
+        rng: &mut SmallRng,
+        out: &mut Vec<Option<Round>>,
+        n_honest: usize,
+    ) {
+        out.clear();
+        if plan.crash_rate <= 0.0 {
+            out.resize(n_honest, None);
+            return;
+        }
+        for _ in 0..n_honest {
+            let crashes = rng.gen::<f64>() < plan.crash_rate;
+            let at = if crashes {
+                Some(Round(rng.gen_range(0..plan.crash_window)))
+            } else {
+                None
+            };
+            out.push(at);
+        }
     }
 
     /// Capacity reserved up front for the per-round satisfaction curve, so a
@@ -230,14 +290,20 @@ impl<'w> Engine<'w> {
         &self.tracker
     }
 
-    fn all_honest_satisfied(&self) -> bool {
-        self.n_satisfied == self.satisfied.len()
-    }
-
     fn should_stop(&self) -> bool {
         match self.config.stop {
             StopRule::AllSatisfied { max_rounds } => {
-                self.all_honest_satisfied() || self.rounds_executed >= max_rounds
+                // A crashed player with recovery disabled can never probe
+                // again: treating it as terminal is what lets crash-stop
+                // runs finish instead of spinning to the round cap. Without
+                // faults `n_crashed_unsatisfied` is always 0, so the rule is
+                // unchanged.
+                let terminal = if self.config.faults.recovery_rate == 0.0 {
+                    self.n_satisfied + self.n_crashed_unsatisfied
+                } else {
+                    self.n_satisfied
+                };
+                terminal == self.satisfied.len() || self.rounds_executed >= max_rounds
             }
             StopRule::Horizon { rounds } => self.rounds_executed >= rounds,
             StopRule::AnySatisfied { max_rounds } => {
@@ -362,6 +428,20 @@ impl<'w> Engine<'w> {
             *rng = stream_rng(seed, Stream::Player(p as u32));
         }
         self.adv_rng = stream_rng(seed, Stream::Adversary);
+        self.faults_rng = stream_rng(seed, Stream::Faults);
+        Self::draw_crash_schedule(
+            &self.config.faults,
+            &mut self.faults_rng,
+            &mut self.crash_at,
+            n_honest,
+        );
+        self.crashed.clear();
+        self.crashed.resize(n_honest, false);
+        self.n_crashed_unsatisfied = 0;
+        self.fault_counters = FaultCounters::default();
+        if let Some(lt) = self.lagged_tracker.as_mut() {
+            lt.reset();
+        }
         self.n_satisfied = self.satisfied.iter().filter(|&&s| s).count();
         let satisfied = &self.satisfied;
         let n_honest_u32 = self.config.n_honest;
@@ -395,14 +475,39 @@ impl<'w> Engine<'w> {
             });
         }
 
+        // Fault churn first: crashes and recoveries take effect at the start
+        // of the round, before anyone probes.
+        let churn = self.config.faults.crash_rate > 0.0;
+        if churn {
+            self.process_churn(round);
+        }
+
+        // Honest reads may lag behind the billboard: bring the lagged vote
+        // state up to the visibility cutoff for this round. No posts are
+        // uncovered in the steady state, so this is allocation-free there.
+        let lag = self.config.faults.view_lag;
+        let lag_cutoff = Round(round.as_u64().saturating_sub(lag));
+        if lag > 0 {
+            if let Some(lt) = self.lagged_tracker.as_mut() {
+                lt.ingest_until(&self.board, lag_cutoff);
+            }
+        }
+
         // 1+2: cohort directive and honest probe resolution, both against the
-        // same end-of-previous-round snapshot (built once per round).
+        // same snapshot (built once per round): the end-of-previous-round
+        // board when reads are fresh, or the stale prefix under view lag.
         self.probe_buf.clear();
         {
-            let view = BoardView::new(&self.board, &self.tracker, round);
+            let view = match self.lagged_tracker.as_ref() {
+                Some(lt) if lag > 0 => BoardView::new_lagged(&self.board, lt, round, lag_cutoff),
+                _ => BoardView::new(&self.board, &self.tracker, round),
+            };
             let directive = self.cohort.directive(&view);
             for idx in 0..self.active_players.len() {
                 let p = self.active_players[idx];
+                if churn && self.crashed[p as usize] {
+                    continue;
+                }
                 let rng = &mut self.player_rngs[p as usize];
                 let participates = match self.config.participation {
                     crate::config::Participation::Full => true,
@@ -461,6 +566,9 @@ impl<'w> Engine<'w> {
         if self.config.register_tally_windows && self.open_window_start != Some(phase.window_start)
         {
             self.tracker.open_window(phase.window_start);
+            if let Some(lt) = self.lagged_tracker.as_mut() {
+                lt.open_window(phase.window_start);
+            }
             self.open_window_start = Some(phase.window_start);
         }
 
@@ -515,7 +623,22 @@ impl<'w> Engine<'w> {
                     ReportKind::Negative
                 };
                 if kind == ReportKind::Positive || self.config.post_negative_reports {
-                    self.board.append(round, p, probe.object, value, kind)?;
+                    // Fault injection may lose the post in transit; the probe
+                    // (and any satisfaction) already happened locally.
+                    let dropped = self.config.faults.drop_rate > 0.0
+                        && self.faults_rng.gen::<f64>() < self.config.faults.drop_rate;
+                    if dropped {
+                        self.fault_counters.posts_dropped += 1;
+                        if let Some(t) = self.trace.as_mut() {
+                            t.push(TraceEvent::PostDropped {
+                                round,
+                                player: p,
+                                object: probe.object,
+                            });
+                        }
+                    } else {
+                        self.board.append(round, p, probe.object, value, kind)?;
+                    }
                 }
                 if good {
                     self.satisfied[p.index()] = true;
@@ -533,8 +656,21 @@ impl<'w> Engine<'w> {
             } else {
                 // §5.3: no local testing — every probe's true value is
                 // posted; the tracker derives best-value votes from it.
-                self.board
-                    .append(round, p, probe.object, value, ReportKind::Negative)?;
+                let dropped = self.config.faults.drop_rate > 0.0
+                    && self.faults_rng.gen::<f64>() < self.config.faults.drop_rate;
+                if dropped {
+                    self.fault_counters.posts_dropped += 1;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.push(TraceEvent::PostDropped {
+                            round,
+                            player: p,
+                            object: probe.object,
+                        });
+                    }
+                } else {
+                    self.board
+                        .append(round, p, probe.object, value, ReportKind::Negative)?;
+                }
             }
         }
 
@@ -575,6 +711,52 @@ impl<'w> Engine<'w> {
         self.round = round.next();
         self.rounds_executed += 1;
         Ok(())
+    }
+
+    /// Applies this round's crash and recovery events (only called when the
+    /// fault plan has churn enabled).
+    ///
+    /// Crashes fire when the player's predetermined crash round is reached
+    /// (`<=` so schedules starting before a pre-satisfied run's first round
+    /// still fire); the schedule slot is cleared so a recovered player never
+    /// re-crashes. Recovery is a per-round geometric draw. Satisfied players
+    /// can crash too (the machine dies either way) but only unsatisfied
+    /// crashes count toward the terminal-player total the stop rule uses.
+    fn process_churn(&mut self, round: Round) {
+        let recovery = self.config.faults.recovery_rate;
+        for p in 0..self.crashed.len() {
+            if self.crashed[p] {
+                if recovery > 0.0 && self.faults_rng.gen::<f64>() < recovery {
+                    self.crashed[p] = false;
+                    if !self.satisfied[p] {
+                        self.n_crashed_unsatisfied -= 1;
+                    }
+                    self.fault_counters.recoveries += 1;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.push(TraceEvent::PlayerRecovered {
+                            round,
+                            player: PlayerId(p as u32),
+                        });
+                    }
+                }
+            } else if self.crash_at[p].is_some_and(|at| at <= round) {
+                self.crash_at[p] = None;
+                self.crashed[p] = true;
+                if !self.satisfied[p] {
+                    self.n_crashed_unsatisfied += 1;
+                }
+                self.fault_counters.crashes += 1;
+                if self.outcomes[p].crash_round.is_none() {
+                    self.outcomes[p].crash_round = Some(round);
+                }
+                if let Some(t) = self.trace.as_mut() {
+                    t.push(TraceEvent::PlayerCrashed {
+                        round,
+                        player: PlayerId(p as u32),
+                    });
+                }
+            }
+        }
     }
 
     fn advice_probe(
@@ -645,6 +827,7 @@ impl<'w> Engine<'w> {
             forged_rejected: self.forged_rejected,
             notes: self.cohort.notes(),
             final_eval,
+            faults: self.fault_counters,
             trace: self.trace.take(),
         }
     }
@@ -1102,6 +1285,228 @@ mod tests {
             matches!(err, SimError::InvalidDirective(ref msg) if msg.contains("999")),
             "expected InvalidDirective, got {err:?}"
         );
+    }
+
+    #[test]
+    fn dropped_posts_never_reach_the_board_but_probes_still_count() {
+        let world = small_world();
+        let config = SimConfig::new(8, 8, 21)
+            .with_faults(FaultPlan::none().with_drop_rate(1.0))
+            .with_trace(true)
+            .with_stop(StopRule::all_satisfied(10_000));
+        let result = Engine::new(config, &world, Box::new(Trivial), Box::new(NullAdversary))
+            .unwrap()
+            .run()
+            .unwrap();
+        // Local testing is local: everyone still satisfies themselves …
+        assert!(result.all_satisfied);
+        assert!(result.total_probes() > 0);
+        // … but with every post dropped, nothing ever lands on the board.
+        assert_eq!(result.posts_total, 0);
+        assert_eq!(result.faults.posts_dropped, result.total_probes());
+        let trace = result.trace.as_ref().expect("trace requested");
+        let dropped = trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::PostDropped { .. }))
+            .count() as u64;
+        assert_eq!(dropped, result.faults.posts_dropped);
+    }
+
+    #[test]
+    fn crash_stop_shrinks_the_cohort_and_still_terminates() {
+        let world = small_world();
+        let config = SimConfig::new(8, 8, 13)
+            .with_faults(
+                FaultPlan::none()
+                    .with_crash_rate(1.0)
+                    .with_crash_window(1)
+                    .with_recovery_rate(0.0),
+            )
+            .with_trace(true)
+            .with_stop(StopRule::all_satisfied(10_000));
+        let result = Engine::new(config, &world, Box::new(Trivial), Box::new(NullAdversary))
+            .unwrap()
+            .run()
+            .unwrap();
+        // Everyone crashes in round 0 and never probes: the run must stop
+        // immediately (terminal players) instead of spinning to the cap.
+        assert!(!result.all_satisfied);
+        assert_eq!(result.faults.crashes, 8);
+        assert_eq!(result.total_probes(), 0);
+        assert!(result.rounds <= 1);
+        for p in &result.players {
+            assert_eq!(p.crash_round, Some(Round(0)));
+        }
+        assert!(result
+            .trace
+            .as_ref()
+            .unwrap()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::PlayerCrashed { .. })));
+    }
+
+    #[test]
+    fn crash_recovery_rejoins_with_votes_intact() {
+        let world = small_world();
+        let config = SimConfig::new(8, 8, 17)
+            .with_faults(
+                FaultPlan::none()
+                    .with_crash_rate(1.0)
+                    .with_crash_window(2)
+                    .with_recovery_rate(1.0),
+            )
+            .with_trace(true)
+            .with_stop(StopRule::all_satisfied(100_000));
+        let result = Engine::new(config, &world, Box::new(Trivial), Box::new(NullAdversary))
+            .unwrap()
+            .run()
+            .unwrap();
+        // With certain recovery the whole cohort eventually satisfies.
+        assert!(result.all_satisfied);
+        assert!(result.faults.crashes > 0);
+        assert!(result.faults.recoveries > 0);
+        assert!(result
+            .trace
+            .as_ref()
+            .unwrap()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::PlayerRecovered { .. })));
+    }
+
+    /// Records the number of visible posts on every directive call.
+    #[derive(Debug, Default)]
+    struct LenRecorder {
+        seen: std::sync::Arc<std::sync::Mutex<Vec<usize>>>,
+    }
+    impl Cohort for LenRecorder {
+        fn directive(&mut self, view: &BoardView<'_>) -> Directive {
+            self.seen.lock().unwrap().push(view.posts().len());
+            Directive::ProbeUniform(CandidateSet::All)
+        }
+        fn phase_info(&self) -> PhaseInfo {
+            PhaseInfo::plain("len-recorder")
+        }
+        fn name(&self) -> &'static str {
+            "len-recorder"
+        }
+    }
+
+    #[test]
+    fn lagged_views_trail_fresh_views_by_exactly_the_lag() {
+        // The recorder ignores what it sees, so the lagged and fresh runs
+        // execute identically and their per-round visible-post counts are
+        // directly comparable: lagged round r sees what fresh round r − L saw.
+        let world = small_world();
+        const LAG: u64 = 2;
+        let record = |lag: u64| {
+            let recorder = LenRecorder::default();
+            let seen = std::sync::Arc::clone(&recorder.seen);
+            let config = SimConfig::new(8, 8, 19)
+                .with_faults(FaultPlan::none().with_view_lag(lag))
+                .with_stop(StopRule::all_satisfied(10_000));
+            let result = Engine::new(config, &world, Box::new(recorder), Box::new(NullAdversary))
+                .unwrap()
+                .run()
+                .unwrap();
+            let seen = std::sync::Arc::try_unwrap(seen)
+                .unwrap()
+                .into_inner()
+                .unwrap();
+            (result, seen)
+        };
+        let (fresh_result, fresh_seen) = record(0);
+        let (lagged_result, lagged_seen) = record(LAG);
+        // identical executions (the view is never consulted)
+        assert_eq!(fresh_result.rounds, lagged_result.rounds);
+        assert_eq!(fresh_result.posts_total, lagged_result.posts_total);
+        for (r, &len) in lagged_seen.iter().enumerate() {
+            let expected = if (r as u64) < LAG {
+                0
+            } else {
+                fresh_seen[r - LAG as usize]
+            };
+            assert_eq!(len, expected, "lagged view at round {r}");
+        }
+    }
+
+    #[test]
+    fn noop_fault_plan_is_bit_identical_to_no_plan() {
+        let world = small_world();
+        let run = |config: SimConfig| {
+            Engine::new(config, &world, Box::new(Trivial), Box::new(NullAdversary))
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        let plain = run(SimConfig::new(8, 6, 23).with_trace(true));
+        let with_noop_plan = run(SimConfig::new(8, 6, 23)
+            .with_trace(true)
+            .with_faults(FaultPlan::none()));
+        assert_eq!(plain, with_noop_plan);
+        assert!(plain.faults.is_empty());
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_in_seed() {
+        let world = small_world();
+        let run = |seed: u64| {
+            let config = SimConfig::new(8, 6, seed)
+                .with_faults(
+                    FaultPlan::none()
+                        .with_drop_rate(0.3)
+                        .with_view_lag(1)
+                        .with_crash_rate(0.25)
+                        .with_crash_window(8)
+                        .with_recovery_rate(0.2),
+                )
+                .with_trace(true)
+                .with_stop(StopRule::all_satisfied(50_000));
+            Engine::new(config, &world, Box::new(Trivial), Box::new(NullAdversary))
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        let a = run(31);
+        let b = run(31);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn faulted_reset_rerun_matches_fresh() {
+        let world = small_world();
+        let plan = FaultPlan::none()
+            .with_drop_rate(0.2)
+            .with_view_lag(2)
+            .with_crash_rate(0.5)
+            .with_crash_window(4)
+            .with_recovery_rate(0.5);
+        let config = |seed: u64| {
+            SimConfig::new(8, 8, seed)
+                .with_faults(plan)
+                .with_stop(StopRule::all_satisfied(50_000))
+        };
+        let fresh = Engine::new(
+            config(41),
+            &world,
+            Box::new(Trivial),
+            Box::new(NullAdversary),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let mut engine = Engine::new(
+            config(40),
+            &world,
+            Box::new(Trivial),
+            Box::new(NullAdversary),
+        )
+        .unwrap();
+        engine.run_mut().unwrap();
+        engine
+            .reset(41, Box::new(Trivial), Box::new(NullAdversary))
+            .unwrap();
+        let rerun = engine.run_mut().unwrap();
+        assert_eq!(fresh, rerun);
     }
 
     #[test]

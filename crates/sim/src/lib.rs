@@ -63,6 +63,7 @@ mod cohort;
 mod config;
 mod engine;
 mod error;
+mod faults;
 mod metrics;
 mod object_model;
 pub mod rng;
@@ -75,6 +76,7 @@ pub use cohort::{CandidateSet, Cohort, Directive, PhaseInfo};
 pub use config::{Participation, SimConfig, StopRule};
 pub use engine::Engine;
 pub use error::SimError;
+pub use faults::{FaultCounters, FaultPlan};
 pub use metrics::{FinalEval, PlayerOutcome, SimResult};
 pub use object_model::ObjectModel;
 pub use runner::{run_trials, run_trials_scoped, run_trials_threaded};

@@ -1,5 +1,6 @@
 //! Per-run measurements.
 
+use crate::faults::FaultCounters;
 use crate::trace::TraceEvent;
 use distill_billboard::Round;
 
@@ -16,6 +17,9 @@ pub struct PlayerOutcome {
     pub advice_probes: u64,
     /// Probes drawn uniformly from a candidate set.
     pub explore_probes: u64,
+    /// The round the player crash-stopped, if fault injection crashed it
+    /// (`None` in fault-free runs and for survivors).
+    pub crash_round: Option<Round>,
 }
 
 impl PlayerOutcome {
@@ -26,6 +30,7 @@ impl PlayerOutcome {
             satisfied_round: None,
             advice_probes: 0,
             explore_probes: 0,
+            crash_round: None,
         }
     }
 
@@ -69,6 +74,8 @@ pub struct SimResult {
     pub notes: Vec<(String, f64)>,
     /// Present for no-local-testing horizon runs.
     pub final_eval: Option<FinalEval>,
+    /// Fault-injection event counts (all zero in fault-free runs).
+    pub faults: FaultCounters,
     /// Event trace, when the config requested one.
     pub trace: Option<Vec<TraceEvent>>,
 }
@@ -131,6 +138,24 @@ impl SimResult {
         self.players.iter().map(|p| p.probes).sum()
     }
 
+    /// Mean probes over the players that never crashed — the survivors whose
+    /// individual cost the degradation experiments compare against the
+    /// Theorem-4 bound at the effective honest fraction α′. Equals
+    /// [`mean_probes`](SimResult::mean_probes) in fault-free runs; `0.0`
+    /// when nobody survived.
+    pub fn mean_probes_survivors(&self) -> f64 {
+        let mut probes = 0u64;
+        let mut survivors = 0u64;
+        for p in self.players.iter().filter(|p| p.crash_round.is_none()) {
+            probes += p.probes;
+            survivors += 1;
+        }
+        if survivors == 0 {
+            return 0.0;
+        }
+        probes as f64 / survivors as f64
+    }
+
     /// Looks up a cohort note by key.
     pub fn note(&self, key: &str) -> Option<f64> {
         self.notes.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
@@ -151,6 +176,7 @@ mod tests {
             forged_rejected: 0,
             notes: vec![("x".into(), 2.5)],
             final_eval: None,
+            faults: FaultCounters::default(),
             trace: None,
         }
     }
@@ -162,6 +188,7 @@ mod tests {
             satisfied_round: sat.map(Round),
             advice_probes: 0,
             explore_probes: probes,
+            crash_round: None,
         }
     }
 
@@ -192,10 +219,41 @@ mod tests {
 
     #[test]
     fn empty_result_is_zeroes() {
+        // Regression for the NaN bug: `mean_*` divided by `players.len()`
+        // with no empty guard, so a result with zero honest players yielded
+        // NaN. An all-zeroes report is the correct degenerate answer.
         let r = result_with(vec![], 0);
         assert_eq!(r.mean_probes(), 0.0);
         assert_eq!(r.mean_cost(), 0.0);
         assert_eq!(r.mean_satisfaction_round(), 0.0);
+        assert_eq!(r.mean_probes_survivors(), 0.0);
         assert_eq!(r.last_satisfaction_round(), Some(Round(0)));
+        assert!(r.mean_probes().is_finite());
+        assert!(r.mean_cost().is_finite());
+        assert!(r.mean_satisfaction_round().is_finite());
+    }
+
+    #[test]
+    fn zero_honest_players_cannot_reach_the_engine() {
+        // The engine can never produce an empty `players` vector because the
+        // config layer rejects n_honest = 0; the guard above is defense in
+        // depth for directly constructed results.
+        use crate::config::SimConfig;
+        assert!(SimConfig::new(4, 0, 7).validate().is_err());
+    }
+
+    #[test]
+    fn survivor_mean_excludes_crashed_players() {
+        let mut crashed = outcome(2, 2.0, None);
+        crashed.crash_round = Some(Round(1));
+        let r = result_with(vec![outcome(6, 6.0, Some(5)), crashed], 8);
+        assert!((r.mean_probes_survivors() - 6.0).abs() < 1e-12);
+        // the plain mean still counts everyone
+        assert!((r.mean_probes() - 4.0).abs() < 1e-12);
+        // all players crashed ⇒ no survivors ⇒ 0.0, not NaN
+        let mut a = outcome(1, 1.0, None);
+        a.crash_round = Some(Round(0));
+        let r = result_with(vec![a], 3);
+        assert_eq!(r.mean_probes_survivors(), 0.0);
     }
 }

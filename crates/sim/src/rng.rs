@@ -47,17 +47,26 @@ pub enum Stream {
     Adversary,
     /// World generation (object values, good-set placement).
     World,
+    /// Fault-injection draws (post drops, crash schedule, recoveries).
+    Faults,
     /// Free-form auxiliary stream.
     Aux(u64),
 }
 
 impl Stream {
+    /// The tag namespace: players occupy `[0, 2^32)`, the fixed singleton
+    /// streams sit at `2^40 + i`, and `Aux(k)` maps to `2^41 + k` with
+    /// wrapping arithmetic. `Aux` tags are disjoint from every other stream
+    /// for `k < 2^64 − 2^41 − 2^32` (wrap-around past that re-enters the
+    /// player range); in practice auxiliary keys are tiny, and wrapping
+    /// keeps the map total — no overflow panic for any `k`.
     fn tag(self) -> u64 {
         match self {
             Stream::Player(p) => u64::from(p),
             Stream::Adversary => 1 << 40,
             Stream::World => (1 << 40) + 1,
-            Stream::Aux(k) => (1 << 41) + k,
+            Stream::Faults => (1 << 40) + 2,
+            Stream::Aux(k) => (1u64 << 41).wrapping_add(k),
         }
     }
 }
@@ -88,6 +97,7 @@ mod tests {
             Stream::Player(u32::MAX).tag(),
             Stream::Adversary.tag(),
             Stream::World.tag(),
+            Stream::Faults.tag(),
             Stream::Aux(0).tag(),
             Stream::Aux(99).tag(),
         ];
@@ -101,6 +111,15 @@ mod tests {
     }
 
     #[test]
+    fn aux_tag_never_panics_on_extreme_keys() {
+        // Regression: `(1 << 41) + k` overflowed in debug builds for large
+        // k. Wrapping arithmetic keeps the map total.
+        for k in [0, 1, u64::MAX / 2, u64::MAX - (1 << 41), u64::MAX] {
+            let _ = Stream::Aux(k).tag();
+        }
+    }
+
+    #[test]
     fn stream_rngs_are_reproducible() {
         let mut r1 = stream_rng(7, Stream::Player(3));
         let mut r2 = stream_rng(7, Stream::Player(3));
@@ -110,6 +129,35 @@ mod tests {
         let mut r3 = stream_rng(7, Stream::Player(4));
         let x3: u64 = r3.gen();
         assert_ne!(x1, x3);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Tag disjointness over the representative ranges: any player
+            /// tag, any fixed singleton tag, and any `Aux` key below the
+            /// wrap-around threshold map to pairwise-distinct values.
+            #[test]
+            fn tags_are_disjoint_over_representative_ranges(
+                p in any::<u32>(),
+                k in 0u64..(1u64 << 62),
+            ) {
+                let player = Stream::Player(p).tag();
+                let aux = Stream::Aux(k).tag();
+                let fixed = [
+                    Stream::Adversary.tag(),
+                    Stream::World.tag(),
+                    Stream::Faults.tag(),
+                ];
+                prop_assert_ne!(player, aux);
+                for tag in fixed {
+                    prop_assert_ne!(player, tag);
+                    prop_assert_ne!(aux, tag);
+                }
+            }
+        }
     }
 
     #[test]

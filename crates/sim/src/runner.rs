@@ -86,6 +86,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultCounters;
     use crate::metrics::{PlayerOutcome, SimResult};
 
     fn fake_result(rounds: u64) -> SimResult {
@@ -98,12 +99,14 @@ mod tests {
                 satisfied_round: None,
                 advice_probes: 0,
                 explore_probes: rounds,
+                crash_round: None,
             }],
             satisfied_per_round: vec![],
             posts_total: 0,
             forged_rejected: 0,
             notes: vec![],
             final_eval: None,
+            faults: FaultCounters::default(),
             trace: None,
         }
     }

@@ -45,6 +45,30 @@ pub enum TraceEvent {
         /// Number of posts it made.
         count: u32,
     },
+    /// Fault injection suppressed an honest post before it reached the
+    /// billboard (the probe still happened and counted).
+    PostDropped {
+        /// The round.
+        round: Round,
+        /// The author whose post was lost.
+        player: PlayerId,
+        /// The object the lost post reported on.
+        object: ObjectId,
+    },
+    /// Fault injection crash-stopped an honest player.
+    PlayerCrashed {
+        /// The round.
+        round: Round,
+        /// The crashed player.
+        player: PlayerId,
+    },
+    /// A crashed player recovered and rejoined (pre-crash votes intact).
+    PlayerRecovered {
+        /// The round.
+        round: Round,
+        /// The recovered player.
+        player: PlayerId,
+    },
 }
 
 /// Aggregate statistics over a recorded trace.
@@ -66,6 +90,12 @@ pub struct TraceSummary {
     pub satisfactions: u64,
     /// Total adversary posts.
     pub adversary_posts: u64,
+    /// Honest posts dropped by fault injection.
+    pub posts_dropped: u64,
+    /// Crash events.
+    pub crashes: u64,
+    /// Recovery events.
+    pub recoveries: u64,
     /// Honest probes per round, averaged.
     pub mean_probes_per_round: f64,
 }
@@ -91,6 +121,9 @@ pub fn summarize(trace: &[TraceEvent]) -> TraceSummary {
         good_hits: 0,
         satisfactions: 0,
         adversary_posts: 0,
+        posts_dropped: 0,
+        crashes: 0,
+        recoveries: 0,
         mean_probes_per_round: 0.0,
     };
     for event in trace {
@@ -109,6 +142,9 @@ pub fn summarize(trace: &[TraceEvent]) -> TraceSummary {
             }
             TraceEvent::Satisfied { .. } => s.satisfactions += 1,
             TraceEvent::AdversaryPosts { count, .. } => s.adversary_posts += u64::from(count),
+            TraceEvent::PostDropped { .. } => s.posts_dropped += 1,
+            TraceEvent::PlayerCrashed { .. } => s.crashes += 1,
+            TraceEvent::PlayerRecovered { .. } => s.recoveries += 1,
         }
     }
     s.mean_probes_per_round = if s.rounds == 0 {
@@ -169,6 +205,19 @@ mod tests {
                 player: PlayerId(0),
                 object: ObjectId(2),
             },
+            TraceEvent::PostDropped {
+                round: Round(1),
+                player: PlayerId(0),
+                object: ObjectId(2),
+            },
+            TraceEvent::PlayerCrashed {
+                round: Round(1),
+                player: PlayerId(1),
+            },
+            TraceEvent::PlayerRecovered {
+                round: Round(1),
+                player: PlayerId(1),
+            },
         ];
         let s = summarize(&trace);
         assert_eq!(s.rounds, 2);
@@ -177,6 +226,9 @@ mod tests {
         assert_eq!(s.good_hits, 2);
         assert_eq!(s.satisfactions, 2);
         assert_eq!(s.adversary_posts, 3);
+        assert_eq!(s.posts_dropped, 1);
+        assert_eq!(s.crashes, 1);
+        assert_eq!(s.recoveries, 1);
         assert!((s.advice_fraction() - 2.0 / 3.0).abs() < 1e-12);
         assert!((s.mean_probes_per_round - 1.5).abs() < 1e-12);
     }

@@ -821,6 +821,30 @@ pub fn lint_source(text: &str, rel_path: &Path, violations: &mut Vec<Violation>)
 mod tests {
     use super::*;
 
+    /// The fault-injection module rides inside `crates/sim`, which must stay
+    /// on the protected list, and the source walker must actually visit it —
+    /// otherwise a rename could silently drop the fault layer out of the
+    /// D1/D2 gates.
+    #[test]
+    fn fault_module_is_under_lint_protection() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root")
+            .to_path_buf();
+        let config = LintConfig::for_repo(root.clone());
+        assert!(
+            config.protected.iter().any(|p| p == "crates/sim"),
+            "crates/sim must be a protected crate"
+        );
+        let mut files = Vec::new();
+        collect_rs_files(&root.join("crates/sim/src"), &mut files).expect("walk sim sources");
+        assert!(
+            files.iter().any(|f| f.ends_with("faults.rs")),
+            "lint walker must visit crates/sim/src/faults.rs; saw {files:?}"
+        );
+    }
+
     #[test]
     fn strings_and_comments_are_blanked() {
         let src = "let a = \"call .unwrap() now\"; // and .expect( too\nlet b = 'x';";

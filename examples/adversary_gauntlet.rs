@@ -48,8 +48,8 @@ fn main() {
         }
         table.row_owned(vec![
             entry.name.to_string(),
-            fmt_f(Summary::of(&costs).mean),
-            fmt_f(Summary::of(&costs).mean / bound),
+            fmt_f(Summary::of(&costs).map_or(f64::NAN, |s| s.mean)),
+            fmt_f(Summary::of(&costs).map_or(f64::NAN, |s| s.mean) / bound),
             if ok { "yes" } else { "NO" }.into(),
         ]);
     }
@@ -80,7 +80,7 @@ fn main() {
         }
         table.row_owned(vec![
             format!("mimicry (B={b})"),
-            fmt_f(Summary::of(&costs).mean),
+            fmt_f(Summary::of(&costs).map_or(f64::NAN, |s| s.mean)),
             "n/a".into(),
             if ok { "yes" } else { "NO" }.into(),
         ]);

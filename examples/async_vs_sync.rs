@@ -60,11 +60,11 @@ fn main() {
             totals.push(result.total_probes() as f64);
             p0.push(result.probes_of(PlayerId(0)) as f64);
         }
-        let total = Summary::of(&totals).mean;
+        let total = Summary::of(&totals).map_or(f64::NAN, |s| s.mean);
         table.row_owned(vec![
             name.to_string(),
             fmt_f(total),
-            fmt_f(Summary::of(&p0).mean),
+            fmt_f(Summary::of(&p0).map_or(f64::NAN, |s| s.mean)),
             fmt_f(total / f64::from(n)),
         ]);
     }

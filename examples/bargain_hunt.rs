@@ -75,8 +75,8 @@ fn main() {
             assert!(r.all_satisfied, "flat distill must finish");
             flat.push(r.mean_cost());
         }
-        let c = Summary::of(&classed).mean;
-        let f = Summary::of(&flat).mean;
+        let c = Summary::of(&classed).map_or(f64::NAN, |s| s.mean);
+        let f = Summary::of(&flat).map_or(f64::NAN, |s| s.mean);
         table.row_owned(vec![
             i0.to_string(),
             format!("${}", 1u32 << i0),

@@ -72,9 +72,9 @@ fn main() {
         table.row_owned(vec![
             f.to_string(),
             format!("{err:.2}"),
-            fmt_f(Summary::of(&costs).mean),
+            fmt_f(Summary::of(&costs).map_or(f64::NAN, |s| s.mean)),
             format!("{done}/{trials}"),
-            fmt_f(Summary::of(&rounds).mean),
+            fmt_f(Summary::of(&rounds).map_or(f64::NAN, |s| s.mean)),
         ]);
     }
     println!("{table}");

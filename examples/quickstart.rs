@@ -28,7 +28,7 @@ fn mean_cost_over_trials(
             .unwrap()
     });
     let costs: Vec<f64> = results.iter().map(|r| r.mean_probes()).collect();
-    Summary::of(&costs).mean
+    Summary::of(&costs).map_or(f64::NAN, |s| s.mean)
 }
 
 fn main() {

@@ -80,8 +80,8 @@ pub mod prelude {
     };
     pub use distill_sim::{
         run_trials, run_trials_scoped, run_trials_threaded, Adversary, CandidateSet, Cohort,
-        Directive, Engine, InfoModel, ObjectModel, PhaseInfo, SimConfig, SimResult, StopRule,
-        World, WorldBuilder,
+        Directive, Engine, FaultCounters, FaultPlan, InfoModel, ObjectModel, PhaseInfo, SimConfig,
+        SimResult, StopRule, World, WorldBuilder,
     };
 }
 

@@ -21,6 +21,10 @@ const MEASURED_ROUNDS: u32 = 32;
 /// An engine in the never-satisfying configuration: n = 256 honest players
 /// distilling over the 255 bad objects of a 256-object binary world.
 fn steady_state_engine(world: &World) -> Engine<'_> {
+    steady_state_engine_with(world, FaultPlan::none())
+}
+
+fn steady_state_engine_with(world: &World, faults: FaultPlan) -> Engine<'_> {
     let bad: Vec<ObjectId> = (0..world.m())
         .map(ObjectId)
         .filter(|&o| !world.is_good(o))
@@ -28,6 +32,7 @@ fn steady_state_engine(world: &World) -> Engine<'_> {
     let params = DistillParams::new(N, world.m(), 1.0, world.beta()).expect("params");
     let config = SimConfig::new(N, N, 0xA110C)
         .with_negative_reports(false)
+        .with_faults(faults)
         .with_stop(StopRule::all_satisfied(1_000_000));
     Engine::new(
         config,
@@ -66,6 +71,35 @@ fn steady_state_round_is_allocation_free() {
             delta.acquisitions(),
             0,
             "measured round {round} allocated: {delta:?}"
+        );
+    }
+}
+
+/// The fault layer must not cost the steady state its zero-allocation
+/// guarantee: with drops, stale reads, and crash/recovery churn all
+/// enabled, a post-warm-up round still performs zero heap acquisitions.
+/// (All crash events land inside the warm-up window; recoveries keep
+/// firing during the measured rounds and are alloc-free.)
+#[test]
+fn steady_state_round_is_allocation_free_with_faults() {
+    let world = World::binary(N, 1, 2026).expect("world");
+    let faults = FaultPlan::none()
+        .with_drop_rate(0.5)
+        .with_view_lag(2)
+        .with_crash_rate(0.25)
+        .with_crash_window(u64::from(WARMUP_ROUNDS) / 2)
+        .with_recovery_rate(0.05);
+    let mut engine = steady_state_engine_with(&world, faults);
+    for _ in 0..WARMUP_ROUNDS {
+        engine.step().expect("warm-up step");
+    }
+    for round in 0..MEASURED_ROUNDS {
+        let (delta, step) = alloc_count::measure(|| engine.step());
+        step.expect("measured step");
+        assert_eq!(
+            delta.acquisitions(),
+            0,
+            "measured faulted round {round} allocated: {delta:?}"
         );
     }
 }

@@ -48,6 +48,142 @@ fn trace_summary_agrees_with_sim_result() {
     assert!(summary.advice_fraction() > 0.0 && summary.advice_fraction() < 1.0);
 }
 
+mod fault_props {
+    //! Trace ↔ metrics consistency under arbitrary fault plans: whatever
+    //! the injected faults, the event trace, the aggregate counters, the
+    //! billboard log, and the vote tallies must all tell the same story.
+
+    use distill::prelude::*;
+    use distill::sim::{summarize, TraceEvent};
+    use proptest::prelude::*;
+
+    fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+        (0.0f64..0.9, 0u64..4, 0.0f64..0.7, 1u64..12, 0.0f64..0.6).prop_map(
+            |(drop, lag, crash, window, recovery)| {
+                FaultPlan::none()
+                    .with_drop_rate(drop)
+                    .with_view_lag(lag)
+                    .with_crash_rate(crash)
+                    .with_crash_window(window)
+                    .with_recovery_rate(recovery)
+            },
+        )
+    }
+
+    fn run_faulted(
+        plan: FaultPlan,
+        seed: u64,
+        world_seed: u64,
+    ) -> (SimResult, Billboard, VoteTracker) {
+        let n = 24u32;
+        let world = World::binary(n, 2, world_seed).expect("world");
+        let params = DistillParams::new(n, n, 0.75, world.beta()).expect("params");
+        let config = SimConfig::new(n, 18, seed)
+            .with_policy(VotePolicy::single_vote())
+            .with_trace(true)
+            .with_faults(plan)
+            .with_stop(StopRule::all_satisfied(20_000));
+        let mut engine = Engine::new(
+            config,
+            &world,
+            Box::new(Distill::new(params)),
+            Box::new(UniformBad::new()),
+        )
+        .expect("engine");
+        let result = engine.run_mut().expect("run");
+        (result, engine.board().clone(), engine.tracker().clone())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// For any fault plan: the trace's probe count equals the metrics
+        /// layer's `total_probes()`, and every per-fault counter agrees
+        /// between `summarize(trace)` and `SimResult::faults`.
+        #[test]
+        fn trace_and_metrics_agree_under_any_fault_plan(
+            plan in arb_fault_plan(),
+            seed in any::<u64>(),
+            world_seed in any::<u64>(),
+        ) {
+            let (result, board, tracker) = run_faulted(plan, seed, world_seed);
+            let trace = result.trace.as_ref().expect("trace requested");
+            let summary = summarize(trace);
+
+            prop_assert_eq!(summary.rounds, result.rounds);
+            prop_assert_eq!(summary.probes, result.total_probes());
+            prop_assert_eq!(summary.posts_dropped, result.faults.posts_dropped);
+            prop_assert_eq!(summary.crashes, result.faults.crashes);
+            prop_assert_eq!(summary.recoveries, result.faults.recoveries);
+
+            // A dropped post must be absent from the billboard log: an
+            // honest player makes at most one post per round, so the
+            // (round, author) pair identifies the would-be post exactly.
+            for event in trace {
+                if let TraceEvent::PostDropped { round, player, .. } = event {
+                    prop_assert!(
+                        board
+                            .posts()
+                            .iter()
+                            .all(|p| !(p.round == *round && p.author == *player)),
+                        "dropped post ({:?}, {:?}) found on the billboard",
+                        round,
+                        player
+                    );
+                }
+            }
+
+            // The engine's vote state must equal a from-scratch ingest of
+            // the posts that actually landed — i.e. dropped posts
+            // contribute nothing to any tally.
+            let mut fresh = VoteTracker::new(board.n_players(), board.n_objects(), VotePolicy::single_vote());
+            fresh.ingest(&board);
+            prop_assert_eq!(fresh.total_vote_events(), tracker.total_vote_events());
+            for p in 0..board.n_players() {
+                prop_assert_eq!(fresh.vote_of(PlayerId(p)), tracker.vote_of(PlayerId(p)));
+            }
+            for o in 0..board.n_objects() {
+                prop_assert_eq!(fresh.votes_for(ObjectId(o)), tracker.votes_for(ObjectId(o)));
+            }
+        }
+
+        /// The default (no-op) plan is bit-identical to not configuring
+        /// faults at all — including plans whose only non-zero fields are
+        /// ones the engine never consults without churn (recovery rate,
+        /// crash window).
+        #[test]
+        fn noop_plans_are_bit_identical_to_the_default(
+            seed in any::<u64>(),
+            world_seed in any::<u64>(),
+            recovery in 0.0f64..1.0,
+            window in 1u64..64,
+        ) {
+            let idle = FaultPlan::none()
+                .with_recovery_rate(recovery)
+                .with_crash_window(window);
+            prop_assert!(idle.is_noop());
+            let (plain, ..) = run_faulted(FaultPlan::default(), seed, world_seed);
+            let (with_idle_plan, ..) = run_faulted(idle, seed, world_seed);
+            prop_assert_eq!(&plain, &with_idle_plan);
+            prop_assert!(plain.faults.is_empty());
+            let no_fault_events = plain
+                .trace
+                .as_ref()
+                .expect("trace requested")
+                .iter()
+                .all(|e| {
+                    !matches!(
+                        e,
+                        TraceEvent::PostDropped { .. }
+                            | TraceEvent::PlayerCrashed { .. }
+                            | TraceEvent::PlayerRecovered { .. }
+                    )
+                });
+            prop_assert!(no_fault_events);
+        }
+    }
+}
+
 #[test]
 fn trace_is_absent_unless_requested() {
     let world = World::binary(32, 1, 3).expect("world");
