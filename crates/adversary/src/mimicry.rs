@@ -1,7 +1,7 @@
 //! The Theorem 2 symmetric-mimicry construction.
 
 use distill_billboard::{PlayerId, ReportKind};
-use distill_sim::{Adversary, AdversaryCtx, DishonestPost, World};
+use distill_sim::{Adversary, AdversaryCtx, DishonestPost, SimError, World};
 
 /// The instance family from the Theorem 2 lower-bound proof.
 ///
@@ -36,22 +36,38 @@ impl MimicryInstance {
     /// Builds the instance for `n` players in `groups_players` groups and
     /// `m` objects in `groups_objects` groups.
     ///
-    /// # Panics
-    /// Panics unless `groups_players` divides `n` with a non-empty quotient,
-    /// `groups_objects` divides `m` with a non-empty quotient, and both group
-    /// counts are ≥ 1.
-    #[allow(clippy::expect_used)]
-    pub fn build(n: u32, m: u32, groups_players: u32, groups_objects: u32) -> Self {
-        assert!(
-            groups_players >= 1 && groups_objects >= 1,
-            "need at least one group"
-        );
-        assert!(
-            n >= groups_players && m >= groups_objects,
-            "every group must be non-empty"
-        );
-        assert_eq!(n % groups_players, 0, "groups_players must divide n");
-        assert_eq!(m % groups_objects, 0, "groups_objects must divide m");
+    /// # Errors
+    /// [`SimError::InvalidConfig`] unless `groups_players` divides `n` with a
+    /// non-empty quotient, `groups_objects` divides `m` with a non-empty
+    /// quotient, and both group counts are ≥ 1; `World::from_parts` failures
+    /// propagate as-is.
+    pub fn build(
+        n: u32,
+        m: u32,
+        groups_players: u32,
+        groups_objects: u32,
+    ) -> Result<Self, SimError> {
+        if groups_players < 1 || groups_objects < 1 {
+            return Err(SimError::InvalidConfig(
+                "mimicry needs at least one player group and one object group".into(),
+            ));
+        }
+        if n < groups_players || m < groups_objects {
+            return Err(SimError::InvalidConfig(format!(
+                "every mimicry group must be non-empty: n={n} < groups_players={groups_players} \
+                 or m={m} < groups_objects={groups_objects}"
+            )));
+        }
+        if n % groups_players != 0 {
+            return Err(SimError::InvalidConfig(format!(
+                "groups_players {groups_players} must divide n {n}"
+            )));
+        }
+        if m % groups_objects != 0 {
+            return Err(SimError::InvalidConfig(format!(
+                "groups_objects {groups_objects} must divide m {m}"
+            )));
+        }
         let group_m = m / groups_objects;
         let values: Vec<f64> = (0..m)
             .map(|o| if o < group_m { 1.0 } else { 0.0 })
@@ -60,16 +76,14 @@ impl MimicryInstance {
             values,
             vec![1.0; m as usize],
             distill_sim::ObjectModel::LocalTesting { threshold: 0.5 },
-        )
-        // lint: allow(panic) — the asserts above force group_m ≥ 1, so object group 0 is non-empty, every value is finite, and every cost is positive: from_parts cannot fail
-        .expect("group 0 is non-empty");
-        MimicryInstance {
+        )?;
+        Ok(MimicryInstance {
             world,
             n,
             n_honest: n / groups_players,
             groups_players,
             groups_objects,
-        }
+        })
     }
 
     /// `B = min(1/α, 1/β)`: the number of mutually indistinguishable
@@ -172,7 +186,7 @@ mod tests {
 
     #[test]
     fn instance_layout() {
-        let inst = MimicryInstance::build(16, 16, 4, 4);
+        let inst = MimicryInstance::build(16, 16, 4, 4).unwrap();
         assert_eq!(inst.n_honest, 4);
         assert_eq!(inst.b(), 4);
         assert_eq!(inst.world.good_count(), 4); // group 0 of 4 objects
@@ -190,21 +204,33 @@ mod tests {
     #[test]
     fn beta_smaller_than_alpha_silences_extra_groups() {
         // 8 player groups, 2 object groups ⇒ B = 2; groups 2..8 silent.
-        let inst = MimicryInstance::build(32, 16, 8, 2);
+        let inst = MimicryInstance::build(32, 16, 8, 2).unwrap();
         assert_eq!(inst.b(), 2);
         assert_eq!(inst.object_group_of(PlayerId(4)), Some(1)); // P_1 mimics O_1
         assert_eq!(inst.object_group_of(PlayerId(8)), None); // P_2 silent
     }
 
     #[test]
-    #[should_panic(expected = "must divide")]
-    fn group_divisibility_enforced() {
-        let _ = MimicryInstance::build(10, 16, 3, 4);
+    fn bad_parameters_are_typed_errors() {
+        for (n, m, gp, go) in [
+            (10, 16, 3, 4), // gp does not divide n
+            (16, 10, 4, 3), // go does not divide m
+            (16, 16, 0, 4), // zero player groups
+            (16, 16, 4, 0), // zero object groups
+            (2, 16, 4, 4),  // empty player groups
+            (16, 2, 4, 4),  // empty object groups
+        ] {
+            let err = MimicryInstance::build(n, m, gp, go).unwrap_err();
+            assert!(
+                matches!(err, SimError::InvalidConfig(_)),
+                "({n},{m},{gp},{go}) must be InvalidConfig, got {err}"
+            );
+        }
     }
 
     #[test]
     fn distill_terminates_on_mimicry_instance() {
-        let inst = MimicryInstance::build(32, 32, 4, 4);
+        let inst = MimicryInstance::build(32, 32, 4, 4).unwrap();
         let alpha = 1.0 / 4.0;
         let params = DistillParams::new(32, 32, alpha, inst.world.beta()).unwrap();
         let config =

@@ -32,7 +32,7 @@ fn main() {
     let mut bs = Vec::new();
     let mut means = Vec::new();
     for &b in &[2u32, 4, 8, 16] {
-        let inst = MimicryInstance::build(n, n, b, b);
+        let inst = MimicryInstance::build(n, n, b, b).expect("divisible mimicry parameters");
         let alpha = 1.0 / f64::from(b);
         let beta = 1.0 / f64::from(b);
         let honest = inst.n_honest;

@@ -114,7 +114,6 @@ impl Args {
     }
 
     /// `true` iff the switch was given.
-    #[allow(dead_code)] // parser API parity; no command takes bare switches yet
     pub fn has(&self, switch: &str) -> bool {
         self.switches.contains(switch)
     }

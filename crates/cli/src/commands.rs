@@ -19,6 +19,14 @@ pub enum CliError {
     Args(ArgError),
     /// Anything else (bad parameter combinations, engine setup failures).
     Message(String),
+    /// The sweep finished but quarantined trials; `main` prints the report
+    /// and exits with a distinct nonzero code so CI catches partial sweeps.
+    Quarantined {
+        /// The full sweep report (printed to stdout before the error).
+        output: String,
+        /// How many trials ended quarantined.
+        count: usize,
+    },
 }
 
 impl std::fmt::Display for CliError {
@@ -26,6 +34,12 @@ impl std::fmt::Display for CliError {
         match self {
             CliError::Args(e) => write!(f, "{e}"),
             CliError::Message(m) => f.write_str(m),
+            CliError::Quarantined { count, .. } => {
+                write!(
+                    f,
+                    "{count} trial(s) quarantined (replay records in the quarantine file)"
+                )
+            }
         }
     }
 }
@@ -66,6 +80,8 @@ USAGE:
 
 COMMANDS:
     run        simulate one configuration over several trials
+    sweep      crash-safe supervised `run`: checkpoint/resume, panic
+               quarantine, retries, watchdog timeouts
     gauntlet   run one algorithm against every adversary strategy
     bounds     evaluate the paper's bound formulas for given parameters
     lemma9     check Lemma 9 (original and corrected) on a sequence
@@ -93,6 +109,17 @@ RUN FLAGS (defaults in parentheses):
     --crash-rate <f64>   fault injection: P(player ever crash-stops) (0)
     --crash-window <u64> fault injection: crash rounds drawn from [0, w) (64)
     --recovery-rate <f64> fault injection: per-round rejoin probability (0)
+
+SWEEP FLAGS (all RUN FLAGS, plus):
+    --checkpoint <path>      write an atomic, checksummed progress snapshot
+    --checkpoint-every <k>   snapshot after every k completed trials (8)
+    --resume                 skip trials already in the checkpoint
+    --trial-timeout <secs>   watchdog per-attempt wall-clock limit (0 = off)
+    --max-retries <u32>      retries per trial after a failure (2)
+    --quarantine <path>      failure records (default <checkpoint>.quarantine.jsonl)
+    --threads <usize>        worker threads (available parallelism)
+    --out <path>             per-trial result digests, for diffing runs
+    exits 3 when any trial ends quarantined
 
 BOUNDS FLAGS: --n --m --alpha --beta --q0 --eps
 LEMMA9:       distill lemma9 <c0,c1,c2,...> --a <f64 in (0,1)>
@@ -325,6 +352,282 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         }
     }
     Ok(out)
+}
+
+const SWEEP_FLAGS: &[&str] = &[
+    // everything `run` takes…
+    "n",
+    "m",
+    "honest",
+    "goods",
+    "algorithm",
+    "adversary",
+    "trials",
+    "seed",
+    "f",
+    "error-rate",
+    "max-rounds",
+    "drop-rate",
+    "view-lag",
+    "crash-rate",
+    "crash-window",
+    "recovery-rate",
+    // …plus the crash-safety surface
+    "checkpoint",
+    "checkpoint-every",
+    "trial-timeout",
+    "max-retries",
+    "quarantine",
+    "threads",
+    "out",
+    "inject-panic",
+    "resume",
+];
+
+/// A fully-validated, owned trial spec for the supervised sweep runner:
+/// everything `run` does per trial, as a pure function of the trial index.
+struct SweepSpec {
+    n: u32,
+    m: u32,
+    honest: u32,
+    goods: u32,
+    algorithm: String,
+    adversary: String,
+    seed: u64,
+    f: usize,
+    error_rate: f64,
+    max_rounds: u64,
+    faults: FaultPlan,
+    /// Deliberately panic on this trial index (testing/CI hook).
+    inject_panic: Option<u64>,
+}
+
+impl distill_harness::TrialSpec for SweepSpec {
+    fn run_trial(&self, trial: u64) -> distill_sim::SimResult {
+        assert!(
+            self.inject_panic != Some(trial),
+            "injected panic at trial {trial} (--inject-panic)"
+        );
+        // Same seed derivations as `run`, so a sweep of N trials reproduces
+        // `run --trials N` exactly.
+        let world = World::binary(
+            self.m,
+            self.goods,
+            self.seed.wrapping_add(1_000_003).wrapping_add(trial),
+        )
+        .expect("validated world");
+        let alpha = f64::from(self.honest) / f64::from(self.n);
+        let cohort = make_cohort(&self.algorithm, self.n, self.m, alpha, world.beta())
+            .expect("validated algorithm");
+        let adversary = make_adversary(&self.adversary).expect("validated adversary");
+        let config = SimConfig::new(self.n, self.honest, self.seed(trial))
+            .with_policy(distill_billboard::VotePolicy::multi_vote(self.f))
+            .with_honest_error_rate(self.error_rate)
+            .with_faults(self.faults)
+            .with_stop(StopRule::all_satisfied(self.max_rounds));
+        Engine::new(config, &world, cohort, adversary)
+            .expect("validated configuration")
+            .run()
+            .expect("engine run on validated inputs")
+    }
+
+    fn seed(&self, trial: u64) -> u64 {
+        self.seed.wrapping_add(trial)
+    }
+
+    fn describe(&self) -> String {
+        // Canonical config string: its hash is the checkpoint fingerprint,
+        // so every parameter that changes trial results must appear here.
+        format!(
+            "sweep v1 n={} m={} honest={} goods={} algorithm={} adversary={} seed={} f={} \
+             error-rate={} max-rounds={} faults={:?} inject-panic={:?}",
+            self.n,
+            self.m,
+            self.honest,
+            self.goods,
+            self.algorithm,
+            self.adversary,
+            self.seed,
+            self.f,
+            self.error_rate,
+            self.max_rounds,
+            self.faults,
+            self.inject_panic,
+        )
+    }
+}
+
+/// `distill sweep` — the crash-safe supervised variant of `run`:
+/// checkpoint/resume, per-trial panic isolation with quarantine, retries,
+/// and watchdog timeouts.
+pub fn sweep(args: &Args) -> Result<String, CliError> {
+    args.ensure_known(SWEEP_FLAGS)?;
+    let n: u32 = args.get_or("n", 256)?;
+    let m: u32 = args.get_or("m", n)?;
+    let default_honest = ((f64::from(n)) * 0.9).round() as u32;
+    let honest: u32 = args.get_or("honest", default_honest)?;
+    let goods: u32 = args.get_or("goods", 1)?;
+    let trials: u64 = args.get_or("trials", 10)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let f: usize = args.get_or("f", 1)?;
+    let error_rate: f64 = args.get_or("error-rate", 0.0)?;
+    let max_rounds: u64 = args.get_or("max-rounds", 1_000_000)?;
+    let faults = FaultPlan::none()
+        .with_drop_rate(args.get_or("drop-rate", 0.0)?)
+        .with_view_lag(args.get_or("view-lag", 0)?)
+        .with_crash_rate(args.get_or("crash-rate", 0.0)?)
+        .with_crash_window(args.get_or("crash-window", 64)?)
+        .with_recovery_rate(args.get_or("recovery-rate", 0.0)?);
+    faults
+        .validate()
+        .map_err(|msg| err(format!("fault plan: {msg}")))?;
+    let algorithm = args.str_or("algorithm", "distill");
+    let adversary_name = args.str_or("adversary", "uniform-bad");
+    if honest == 0 || honest > n {
+        return Err(err(format!("--honest {honest} must be in 1..={n}")));
+    }
+    if goods == 0 || goods > m {
+        return Err(err(format!("--goods {goods} must be in 1..={m}")));
+    }
+    if trials == 0 {
+        return Err(err("--trials must be at least 1"));
+    }
+    let alpha = f64::from(honest) / f64::from(n);
+    // Validate names and parameters once, up front, so trial workers can't
+    // hit a construction failure mid-run (`SweepSpec::run_trial` relies on
+    // this when it `expect`s).
+    make_cohort(&algorithm, n, m, alpha, f64::from(goods) / f64::from(m))?;
+    make_adversary(&adversary_name)?;
+
+    let checkpoint = args.flags.get("checkpoint").map(std::path::PathBuf::from);
+    let resume = args.has("resume");
+    if resume && checkpoint.is_none() {
+        return Err(err("--resume requires --checkpoint <path>"));
+    }
+    let trial_timeout_secs: f64 = args.get_or("trial-timeout", 0.0)?;
+    if trial_timeout_secs < 0.0 || !trial_timeout_secs.is_finite() {
+        return Err(err(
+            "--trial-timeout must be a finite number of seconds >= 0",
+        ));
+    }
+    let quarantine = args
+        .flags
+        .get("quarantine")
+        .map(std::path::PathBuf::from)
+        .or_else(|| {
+            checkpoint.as_ref().map(|p| {
+                let mut q = p.as_os_str().to_owned();
+                q.push(".quarantine.jsonl");
+                std::path::PathBuf::from(q)
+            })
+        });
+    let inject_panic = match args.flags.get("inject-panic") {
+        None => None,
+        Some(_) => Some(args.get_or("inject-panic", 0u64)?),
+    };
+    let out_path = args.flags.get("out").map(std::path::PathBuf::from);
+
+    let spec = std::sync::Arc::new(SweepSpec {
+        n,
+        m,
+        honest,
+        goods,
+        algorithm: algorithm.clone(),
+        adversary: adversary_name.clone(),
+        seed,
+        f,
+        error_rate,
+        max_rounds,
+        faults,
+        inject_panic,
+    });
+    let config = distill_harness::SweepConfig {
+        trials,
+        threads: args.get_or("threads", num_threads())?,
+        checkpoint,
+        checkpoint_every: args.get_or("checkpoint-every", 8)?,
+        resume,
+        quarantine: quarantine.clone(),
+        policy: distill_harness::SupervisorPolicy {
+            max_retries: args.get_or("max-retries", 2)?,
+            trial_timeout: (trial_timeout_secs > 0.0)
+                .then(|| std::time::Duration::from_secs_f64(trial_timeout_secs)),
+            ..distill_harness::SupervisorPolicy::default()
+        },
+        stop_after: None,
+    };
+    let report = distill_harness::run_sweep(spec, &config).map_err(|e| err(e.to_string()))?;
+
+    // Canonical per-trial digest file: one line per completed trial with the
+    // FNV-1a hash of its encoded `SimResult`, so CI can diff a resumed sweep
+    // against an uninterrupted reference byte-for-byte.
+    if let Some(path) = &out_path {
+        let mut text = String::new();
+        for (trial, result) in &report.results {
+            let mut w = distill_harness::Writer::new();
+            distill_harness::checkpoint::encode_sim_result(&mut w, result);
+            let digest = distill_harness::fnv1a64(&w.into_bytes());
+            text.push_str(&format!("trial {trial} {digest:016x}\n"));
+        }
+        std::fs::write(path, text).map_err(|e| err(format!("--out {}: {e}", path.display())))?;
+    }
+
+    let costs: Vec<f64> = report
+        .results
+        .iter()
+        .map(|(_, r)| r.mean_probes())
+        .collect();
+    let cost = summary_or_blank(&costs);
+    let done = report
+        .results
+        .iter()
+        .filter(|(_, r)| r.all_satisfied)
+        .count();
+    let mut table = Table::new(
+        format!(
+            "sweep: {algorithm} vs {adversary_name} — n={n} m={m} honest={honest} \
+             (alpha={alpha:.3}) goods={goods} f={f} trials={trials}"
+        ),
+        &["metric", "value"],
+    );
+    table.row_owned(vec![
+        "completed".into(),
+        format!("{}/{trials}", report.results.len()),
+    ]);
+    table.row_owned(vec![
+        "resumed from checkpoint".into(),
+        report.resumed.to_string(),
+    ]);
+    table.row_owned(vec![
+        "checkpoints written".into(),
+        report.checkpoints_written.to_string(),
+    ]);
+    table.row_owned(vec![
+        "quarantined".into(),
+        report.quarantined.len().to_string(),
+    ]);
+    table.row_owned(vec!["mean individual cost".into(), fmt_f(cost.mean)]);
+    table.row_owned(vec![
+        "trials fully satisfied".into(),
+        format!("{done}/{}", report.results.len()),
+    ]);
+    let mut output = table.render();
+    for q in &report.quarantined {
+        output.push_str(&format!(
+            "\nquarantined trial {} (seed {}): {} after {} attempt(s)",
+            q.trial, q.seed, q.failure, q.attempts
+        ));
+    }
+    if !report.quarantined.is_empty() {
+        if let Some(qpath) = &quarantine {
+            output.push_str(&format!("\nreplay records: {}", qpath.display()));
+        }
+        return Err(CliError::Quarantined {
+            output,
+            count: report.quarantined.len(),
+        });
+    }
+    Ok(output)
 }
 
 const GAUNTLET_FLAGS: &[&str] = &["n", "honest", "goods", "trials", "seed", "algorithm"];
@@ -591,6 +894,7 @@ fn num_threads() -> usize {
 pub fn dispatch(args: &Args) -> Result<String, CliError> {
     match args.command.as_str() {
         "run" => run(args),
+        "sweep" => sweep(args),
         "gauntlet" => run_gauntlet(args),
         "bounds" => run_bounds(args),
         "lemma9" => run_lemma9(args),
@@ -614,9 +918,122 @@ mod tests {
     #[test]
     fn help_lists_commands() {
         let h = help();
-        for cmd in ["run", "gauntlet", "bounds", "lemma9"] {
+        for cmd in ["run", "sweep", "gauntlet", "bounds", "lemma9"] {
             assert!(h.contains(cmd), "help must mention {cmd}");
         }
+        for flag in [
+            "--checkpoint",
+            "--resume",
+            "--trial-timeout",
+            "--max-retries",
+        ] {
+            assert!(h.contains(flag), "help must mention {flag}");
+        }
+    }
+
+    fn sweep_tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("distill-cli-sweep-{}-{name}", std::process::id()))
+    }
+
+    fn parse_with_switches(line: &[&str]) -> Args {
+        Args::parse(line.iter().copied(), &["resume"]).unwrap()
+    }
+
+    #[test]
+    fn sweep_small_simulation() {
+        let out = dispatch(&parse(&[
+            "sweep", "--n", "16", "--m", "16", "--honest", "14", "--trials", "3", "--seed", "5",
+        ]))
+        .unwrap();
+        assert!(out.contains("completed"));
+        assert!(out.contains("3/3"));
+        assert!(out.contains("quarantined"));
+    }
+
+    #[test]
+    fn sweep_checkpoint_resume_digests_match() {
+        let ckpt = sweep_tmp("resume.ckpt");
+        let out_a = sweep_tmp("a.txt");
+        let out_b = sweep_tmp("b.txt");
+        for p in [&ckpt, &out_a, &out_b] {
+            std::fs::remove_file(p).ok();
+        }
+        let base = [
+            "sweep", "--n", "16", "--honest", "14", "--trials", "4", "--seed", "9",
+        ];
+        // Uninterrupted reference.
+        let mut args_a: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+        args_a.extend(["--out".into(), out_a.display().to_string()]);
+        dispatch(&Args::parse(args_a, &["resume"]).unwrap()).unwrap();
+        // Checkpointed run, then a redundant resume; digests must match.
+        let mut args_b: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+        args_b.extend([
+            "--checkpoint".into(),
+            ckpt.display().to_string(),
+            "--checkpoint-every".into(),
+            "1".into(),
+        ]);
+        dispatch(&Args::parse(args_b.clone(), &["resume"]).unwrap()).unwrap();
+        args_b.extend([
+            "--resume".into(),
+            "--out".into(),
+            out_b.display().to_string(),
+        ]);
+        let out = dispatch(&Args::parse(args_b, &["resume"]).unwrap()).unwrap();
+        assert!(out.contains("resumed from checkpoint"));
+        let a = std::fs::read_to_string(&out_a).unwrap();
+        let b = std::fs::read_to_string(&out_b).unwrap();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "resumed sweep must reproduce the reference digests");
+        for p in [&ckpt, &out_a, &out_b] {
+            std::fs::remove_file(p).ok();
+        }
+        let mut q = ckpt.as_os_str().to_owned();
+        q.push(".quarantine.jsonl");
+        std::fs::remove_file(std::path::PathBuf::from(q)).ok();
+    }
+
+    #[test]
+    fn sweep_inject_panic_quarantines() {
+        let quarantine = sweep_tmp("q.jsonl");
+        std::fs::remove_file(&quarantine).ok();
+        let err = dispatch(&parse(&[
+            "sweep",
+            "--n",
+            "16",
+            "--honest",
+            "14",
+            "--trials",
+            "3",
+            "--inject-panic",
+            "1",
+            "--max-retries",
+            "0",
+            "--quarantine",
+            quarantine.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        match err {
+            CliError::Quarantined { output, count } => {
+                assert_eq!(count, 1);
+                assert!(output.contains("2/3"));
+                assert!(output.contains("quarantined trial 1"));
+            }
+            other => panic!("expected Quarantined, got {other:?}"),
+        }
+        let text = std::fs::read_to_string(&quarantine).unwrap();
+        assert!(text.contains("\"trial\":1"));
+        assert!(text.contains("injected panic"));
+        std::fs::remove_file(&quarantine).ok();
+    }
+
+    #[test]
+    fn sweep_rejects_bad_flags() {
+        assert!(dispatch(&parse_with_switches(&["sweep", "--resume"])).is_err()); // no checkpoint
+        assert!(dispatch(&parse(&["sweep", "--trials", "0"])).is_err());
+        assert!(dispatch(&parse(&["sweep", "--trial-timeout", "-1"])).is_err());
+        assert!(dispatch(&parse(&["sweep", "--algorithm", "nope"])).is_err());
+        assert!(dispatch(&parse(&["sweep", "--bogus", "1"])).is_err());
     }
 
     #[test]

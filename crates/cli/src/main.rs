@@ -18,7 +18,7 @@ use args::Args;
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let parsed = match Args::parse(raw, &[]) {
+    let parsed = match Args::parse(raw, &["resume"]) {
         Ok(args) => args,
         Err(e) => {
             eprintln!("error: {e}");
@@ -28,6 +28,16 @@ fn main() {
     };
     match commands::dispatch(&parsed) {
         Ok(output) => println!("{output}"),
+        Err(commands::CliError::Quarantined { output, count }) => {
+            // The sweep itself completed: print the report, then fail with a
+            // distinct exit code so CI distinguishes "quarantined trials"
+            // from hard errors.
+            println!("{output}");
+            eprintln!(
+                "error: {count} trial(s) quarantined (replay records in the quarantine file)"
+            );
+            std::process::exit(3);
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);

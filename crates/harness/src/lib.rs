@@ -1,0 +1,40 @@
+//! # distill-harness — crash-safe supervised sweeps
+//!
+//! The experiment *harness* around the deterministic simulation: long
+//! sweeps survive process crashes (checkpoint/resume), trial panics
+//! (catch_unwind + quarantine), and hung trials (watchdog timeouts),
+//! without touching the simulation's own panic-freedom or determinism
+//! guarantees.
+//!
+//! Module map:
+//! - [`codec`] — little-endian binary primitives with total decoding and
+//!   the FNV-1a checksum/fingerprint hash.
+//! - [`checkpoint`] — the versioned, checksummed, atomically-written sweep
+//!   snapshot ([`Checkpoint`]) and its typed corruption errors.
+//! - [`supervisor`] — per-trial panic isolation, bounded deterministic
+//!   retries with exponential backoff, and the wall-clock watchdog.
+//! - [`quarantine`] — replayable `(seed, config)` JSONL records for trials
+//!   that exhaust their retry budget.
+//! - [`sweep`] — the orchestrator tying the above together
+//!   ([`run_sweep`]).
+//!
+//! ## Lint posture
+//!
+//! This crate is deliberately **not** on the distill-lint protected list:
+//! rule D1 bans `catch_unwind` and rule D2 bans wall-clock reads precisely
+//! so that panic absorption and timing live *here*, in the supervision
+//! layer, and nowhere in the simulation crates. See DESIGN.md §12.
+
+#![forbid(unsafe_code)]
+
+pub mod checkpoint;
+pub mod codec;
+pub mod quarantine;
+pub mod supervisor;
+pub mod sweep;
+
+pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
+pub use codec::{fnv1a64, CodecError, Reader, Writer};
+pub use quarantine::QuarantineRecord;
+pub use supervisor::{supervise, Supervised, SupervisorPolicy, TrialFailure};
+pub use sweep::{fingerprint_of, run_sweep, SweepConfig, SweepError, SweepReport, TrialSpec};

@@ -1,0 +1,572 @@
+//! The crash-safe supervised sweep runner.
+//!
+//! Composes the other three modules: trials run under
+//! [`supervise`](crate::supervisor::supervise) (panic isolation + retries +
+//! watchdog), completed results accumulate into an ordered map, a
+//! [`Checkpoint`] is written atomically after every `checkpoint_every` new
+//! completions, and exhausted failures become [`QuarantineRecord`] lines.
+//!
+//! ## Why resume preserves determinism
+//!
+//! Each trial is a pure function of its index (the spec derives the seed
+//! from the index), and the work-stealing workers tag every result with
+//! that index. The final result set is therefore a *set keyed by index* —
+//! independent of scheduling, thread count, and of which subset came from a
+//! checkpoint versus live execution. Resume = set union; bit-identity with
+//! an uninterrupted run follows, and `tests/sweep_resume.rs` property-tests
+//! it across thread counts.
+
+use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::codec::fnv1a64;
+use crate::quarantine::QuarantineRecord;
+use crate::supervisor::{supervise, SupervisorPolicy};
+use distill_sim::SimResult;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// A sweep's trial generator: a pure, thread-safe function from trial index
+/// to result, plus the metadata that makes checkpoints and quarantine
+/// records self-describing.
+pub trait TrialSpec: Send + Sync + 'static {
+    /// Runs trial `trial`. Must be deterministic in `trial` — retries and
+    /// resume both rely on re-running an index yielding identical bytes.
+    fn run_trial(&self, trial: u64) -> SimResult;
+
+    /// The RNG seed trial `trial` runs with (recorded for replay).
+    fn seed(&self, trial: u64) -> u64;
+
+    /// Canonical config description; its FNV-1a hash is the checkpoint
+    /// fingerprint, so two sweeps resume-compatible iff descriptions match.
+    fn describe(&self) -> String;
+}
+
+/// The sweep fingerprint: FNV-1a over the spec's canonical description.
+pub fn fingerprint_of(spec: &dyn TrialSpec) -> u64 {
+    fnv1a64(spec.describe().as_bytes())
+}
+
+/// Sweep orchestration options.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Total trials (indices `0..trials`).
+    pub trials: u64,
+    /// Worker threads (clamped to `1..=trials`).
+    pub threads: usize,
+    /// Checkpoint file; `None` disables checkpointing.
+    pub checkpoint: Option<PathBuf>,
+    /// Write a checkpoint after every this many new completions (clamped to
+    /// at least 1). A final checkpoint is always written when new results
+    /// exist, so the cadence only bounds *loss*, not completeness.
+    pub checkpoint_every: u64,
+    /// Load the checkpoint (if the file exists) and skip completed trials.
+    /// A corrupt or mismatched checkpoint is an error, not a silent restart.
+    pub resume: bool,
+    /// Quarantine JSONL file for exhausted failures; `None` keeps records
+    /// in the report only.
+    pub quarantine: Option<PathBuf>,
+    /// Per-trial supervision policy.
+    pub policy: SupervisorPolicy,
+    /// Test hook simulating a crash: stop the sweep after this many *new*
+    /// completions — write the checkpoint, abandon the rest, and mark the
+    /// report aborted. `None` runs to completion.
+    pub stop_after: Option<u64>,
+}
+
+impl SweepConfig {
+    /// A config that runs `trials` trials to completion on one thread with
+    /// no checkpointing.
+    pub fn new(trials: u64) -> Self {
+        SweepConfig {
+            trials,
+            threads: 1,
+            checkpoint: None,
+            checkpoint_every: 8,
+            resume: false,
+            quarantine: None,
+            policy: SupervisorPolicy::default(),
+            stop_after: None,
+        }
+    }
+}
+
+/// What a sweep produced.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Completed `(trial, result)` pairs, ascending by trial. Keyed by
+    /// index, so the set is independent of scheduling and of resume.
+    pub results: Vec<(u64, SimResult)>,
+    /// Trials that exhausted their retry budget.
+    pub quarantined: Vec<QuarantineRecord>,
+    /// Trials skipped because the checkpoint already held them.
+    pub resumed: u64,
+    /// Checkpoints written this run.
+    pub checkpoints_written: u64,
+    /// True when `stop_after` cut the sweep short.
+    pub aborted: bool,
+    /// The sweep's config fingerprint.
+    pub fingerprint: u64,
+}
+
+/// Why a sweep could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// Checkpoint load/validate/write failed.
+    Checkpoint(CheckpointError),
+    /// Appending a quarantine record failed.
+    Quarantine(String),
+    /// `resume` was requested without a checkpoint path.
+    ResumeWithoutCheckpoint,
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Checkpoint(e) => write!(f, "{e}"),
+            SweepError::Quarantine(msg) => write!(f, "quarantine append failed: {msg}"),
+            SweepError::ResumeWithoutCheckpoint => {
+                f.write_str("--resume requires a checkpoint path")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<CheckpointError> for SweepError {
+    fn from(e: CheckpointError) -> Self {
+        SweepError::Checkpoint(e)
+    }
+}
+
+/// Runs the sweep described by `config` over `spec`.
+///
+/// Workers pull trial indices work-stealing style (a shared atomic cursor
+/// over the pending list) and report `(index, outcome)` pairs to the
+/// coordinating thread, which owns all file I/O — checkpoints and
+/// quarantine appends never race.
+///
+/// # Errors
+/// Checkpoint and quarantine I/O failures abort the sweep with a
+/// [`SweepError`]; trial panics and timeouts do *not* — they quarantine.
+pub fn run_sweep<S: TrialSpec>(
+    spec: Arc<S>,
+    config: &SweepConfig,
+) -> Result<SweepReport, SweepError> {
+    let fingerprint = fingerprint_of(spec.as_ref());
+    if config.resume && config.checkpoint.is_none() {
+        return Err(SweepError::ResumeWithoutCheckpoint);
+    }
+
+    // Resume: load prior progress. A missing file is a fresh start; a
+    // corrupt or mismatched file is a hard error.
+    let mut completed: BTreeMap<u64, SimResult> = BTreeMap::new();
+    if config.resume {
+        if let Some(path) = &config.checkpoint {
+            if path.exists() {
+                let ck = Checkpoint::load(path)?;
+                ck.validate_for(fingerprint, config.trials)?;
+                completed.extend(ck.completed);
+            }
+        }
+    }
+    let resumed = completed.len() as u64;
+
+    // Quarantined trials are deliberately absent from checkpoints, so a
+    // resumed sweep retries them — a crash-then-resume gets a fresh retry
+    // budget, which is the desired behavior for transient faults.
+    let pending: Vec<u64> = (0..config.trials)
+        .filter(|t| !completed.contains_key(t))
+        .collect();
+
+    let mut report = SweepReport {
+        results: Vec::new(),
+        quarantined: Vec::new(),
+        resumed,
+        checkpoints_written: 0,
+        aborted: false,
+        fingerprint,
+    };
+
+    if !pending.is_empty() {
+        let pending = Arc::new(pending);
+        let cursor = Arc::new(AtomicUsize::new(0));
+        let abort = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<(u64, crate::supervisor::Supervised<SimResult>)>();
+        let n_workers = config.threads.max(1).min(pending.len());
+
+        let mut handles = Vec::with_capacity(n_workers);
+        for _ in 0..n_workers {
+            let pending = Arc::clone(&pending);
+            let cursor = Arc::clone(&cursor);
+            let abort = Arc::clone(&abort);
+            let tx = tx.clone();
+            let spec = Arc::clone(&spec);
+            let policy = config.policy.clone();
+            handles.push(std::thread::spawn(move || loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&trial) = pending.get(i) else { break };
+                let spec_for_trial = Arc::clone(&spec);
+                let out = supervise(&policy, move || spec_for_trial.run_trial(trial));
+                if tx.send((trial, out)).is_err() {
+                    break;
+                }
+            }));
+        }
+        drop(tx); // coordinator's recv ends when the last worker exits
+
+        let every = config.checkpoint_every.max(1);
+        let mut new_done = 0u64;
+        let mut unsaved = 0u64;
+        let write_checkpoint =
+            |completed: &BTreeMap<u64, SimResult>, written: &mut u64| -> Result<(), SweepError> {
+                if let Some(path) = &config.checkpoint {
+                    let ck = Checkpoint {
+                        fingerprint,
+                        total_trials: config.trials,
+                        completed: completed.iter().map(|(t, r)| (*t, r.clone())).collect(),
+                    };
+                    ck.write_atomic(path)?;
+                    *written += 1;
+                }
+                Ok(())
+            };
+
+        let coordinate = (|| -> Result<(), SweepError> {
+            while let Ok((trial, out)) = rx.recv() {
+                match out.result {
+                    Ok(result) => {
+                        completed.insert(trial, result);
+                        new_done += 1;
+                        unsaved += 1;
+                        if unsaved >= every {
+                            write_checkpoint(&completed, &mut report.checkpoints_written)?;
+                            unsaved = 0;
+                        }
+                    }
+                    Err(failure) => {
+                        let record = QuarantineRecord {
+                            trial,
+                            seed: spec.seed(trial),
+                            fingerprint,
+                            config: spec.describe(),
+                            attempts: out.attempts,
+                            failure,
+                        };
+                        if let Some(path) = &config.quarantine {
+                            record.append_to(path).map_err(SweepError::Quarantine)?;
+                        }
+                        report.quarantined.push(record);
+                    }
+                }
+                if config.stop_after.is_some_and(|s| new_done >= s) {
+                    report.aborted = true;
+                    break;
+                }
+            }
+            if unsaved > 0 || (report.aborted && config.checkpoint.is_some()) {
+                write_checkpoint(&completed, &mut report.checkpoints_written)?;
+            }
+            Ok(())
+        })();
+
+        // Shut down workers whether coordination succeeded or not, so an
+        // I/O error cannot leak running threads.
+        abort.store(true, Ordering::Relaxed);
+        cursor.store(usize::MAX, Ordering::Relaxed);
+        drop(rx);
+        for handle in handles {
+            let _ = handle.join();
+        }
+        coordinate?;
+    }
+
+    report.results = completed.into_iter().collect();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distill_core::RandomProbing;
+    use distill_sim::{Engine, NullAdversary, SimConfig, StopRule, World};
+    use std::path::Path;
+    use std::time::Duration;
+
+    /// A real simulation spec: binary world, random-probing baseline.
+    struct SimSpec {
+        n: u32,
+        honest: u32,
+        m: u32,
+        goods: u32,
+        base_seed: u64,
+        max_rounds: u64,
+    }
+
+    impl TrialSpec for SimSpec {
+        fn run_trial(&self, trial: u64) -> SimResult {
+            let world =
+                World::binary(self.m, self.goods, self.base_seed ^ 0x5EED).expect("valid world");
+            let config = SimConfig::new(self.n, self.honest, self.seed(trial))
+                .with_stop(StopRule::all_satisfied(self.max_rounds));
+            Engine::new(
+                config,
+                &world,
+                Box::new(RandomProbing::new()),
+                Box::new(NullAdversary),
+            )
+            .expect("valid engine")
+            .run()
+            .expect("engine run")
+        }
+
+        fn seed(&self, trial: u64) -> u64 {
+            self.base_seed.wrapping_add(trial)
+        }
+
+        fn describe(&self) -> String {
+            format!(
+                "harness-test n={} honest={} m={} goods={} seed={} max_rounds={}",
+                self.n, self.honest, self.m, self.goods, self.base_seed, self.max_rounds
+            )
+        }
+    }
+
+    /// A spec that panics on a chosen set of trials (every attempt).
+    struct PanickySpec {
+        inner: SimSpec,
+        panic_on: Vec<u64>,
+    }
+
+    impl TrialSpec for PanickySpec {
+        fn run_trial(&self, trial: u64) -> SimResult {
+            assert!(
+                !self.panic_on.contains(&trial),
+                "injected panic at trial {trial}"
+            );
+            self.inner.run_trial(trial)
+        }
+
+        fn seed(&self, trial: u64) -> u64 {
+            self.inner.seed(trial)
+        }
+
+        fn describe(&self) -> String {
+            self.inner.describe()
+        }
+    }
+
+    fn small_spec() -> SimSpec {
+        SimSpec {
+            n: 8,
+            honest: 7,
+            m: 20,
+            goods: 5,
+            base_seed: 0xA11CE,
+            max_rounds: 40,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("distill-sweep-{}-{name}", std::process::id()))
+    }
+
+    fn quick_policy() -> SupervisorPolicy {
+        SupervisorPolicy {
+            max_retries: 1,
+            backoff_base: Duration::from_millis(1),
+            ..SupervisorPolicy::default()
+        }
+    }
+
+    fn encode_results(results: &[(u64, SimResult)]) -> Vec<u8> {
+        let mut w = crate::codec::Writer::new();
+        for (t, r) in results {
+            w.put_u64(*t);
+            crate::checkpoint::encode_sim_result(&mut w, r);
+        }
+        w.into_bytes()
+    }
+
+    #[test]
+    fn sweep_matches_plain_runner() {
+        let spec = Arc::new(small_spec());
+        let mut config = SweepConfig::new(6);
+        config.policy = quick_policy();
+        let report = run_sweep(Arc::clone(&spec), &config).unwrap();
+        assert_eq!(report.results.len(), 6);
+        assert!(report.quarantined.is_empty());
+        assert!(!report.aborted);
+        for (trial, result) in &report.results {
+            let expected = spec.run_trial(*trial);
+            // Bit-level comparison sidesteps NaN-unfriendly PartialEq.
+            let mut a = crate::codec::Writer::new();
+            crate::checkpoint::encode_sim_result(&mut a, result);
+            let mut b = crate::codec::Writer::new();
+            crate::checkpoint::encode_sim_result(&mut b, &expected);
+            assert_eq!(a.into_bytes(), b.into_bytes(), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let spec = Arc::new(small_spec());
+        let mut config = SweepConfig::new(8);
+        config.policy = quick_policy();
+        let single = run_sweep(Arc::clone(&spec), &config).unwrap();
+        config.threads = 4;
+        let multi = run_sweep(Arc::clone(&spec), &config).unwrap();
+        assert_eq!(
+            encode_results(&single.results),
+            encode_results(&multi.results)
+        );
+    }
+
+    #[test]
+    fn panicking_trials_quarantine_and_rest_complete() {
+        let quarantine = tmp("q.jsonl");
+        std::fs::remove_file(&quarantine).ok();
+        let spec = Arc::new(PanickySpec {
+            inner: small_spec(),
+            panic_on: vec![2, 5],
+        });
+        let mut config = SweepConfig::new(7);
+        config.threads = 2;
+        config.policy = quick_policy();
+        config.quarantine = Some(quarantine.clone());
+        let report = run_sweep(spec, &config).unwrap();
+        assert_eq!(report.results.len(), 5);
+        assert_eq!(report.quarantined.len(), 2);
+        let mut bad: Vec<u64> = report.quarantined.iter().map(|q| q.trial).collect();
+        bad.sort_unstable();
+        assert_eq!(bad, vec![2, 5]);
+        for q in &report.quarantined {
+            assert_eq!(q.attempts, 2); // 1 + max_retries
+            assert_eq!(q.seed, 0xA11CE + q.trial);
+        }
+        let text = std::fs::read_to_string(&quarantine).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("injected panic"));
+        std::fs::remove_file(&quarantine).ok();
+    }
+
+    #[test]
+    fn stop_after_then_resume_is_bit_identical() {
+        let ckpt = tmp("resume.ckpt");
+        std::fs::remove_file(&ckpt).ok();
+        let spec = Arc::new(small_spec());
+
+        let mut fresh_cfg = SweepConfig::new(10);
+        fresh_cfg.policy = quick_policy();
+        let fresh = run_sweep(Arc::clone(&spec), &fresh_cfg).unwrap();
+
+        let mut first = SweepConfig::new(10);
+        first.policy = quick_policy();
+        first.checkpoint = Some(ckpt.clone());
+        first.checkpoint_every = 2;
+        first.stop_after = Some(4);
+        let partial = run_sweep(Arc::clone(&spec), &first).unwrap();
+        assert!(partial.aborted);
+        assert!(partial.checkpoints_written >= 1);
+
+        let mut second = first.clone();
+        second.stop_after = None;
+        second.resume = true;
+        let resumed = run_sweep(Arc::clone(&spec), &second).unwrap();
+        assert!(resumed.resumed >= 4);
+        assert!(!resumed.aborted);
+        assert_eq!(
+            encode_results(&resumed.results),
+            encode_results(&fresh.results)
+        );
+        std::fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn resume_with_all_done_runs_nothing() {
+        let ckpt = tmp("done.ckpt");
+        std::fs::remove_file(&ckpt).ok();
+        let spec = Arc::new(small_spec());
+        let mut config = SweepConfig::new(4);
+        config.policy = quick_policy();
+        config.checkpoint = Some(ckpt.clone());
+        let full = run_sweep(Arc::clone(&spec), &config).unwrap();
+        config.resume = true;
+        let again = run_sweep(Arc::clone(&spec), &config).unwrap();
+        assert_eq!(again.resumed, 4);
+        assert_eq!(
+            encode_results(&again.results),
+            encode_results(&full.results)
+        );
+        // Nothing new completed, so no extra checkpoint churn.
+        assert_eq!(again.checkpoints_written, 0);
+        std::fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config() {
+        let ckpt = tmp("mismatch.ckpt");
+        std::fs::remove_file(&ckpt).ok();
+        let spec = Arc::new(small_spec());
+        let mut config = SweepConfig::new(4);
+        config.policy = quick_policy();
+        config.checkpoint = Some(ckpt.clone());
+        run_sweep(Arc::clone(&spec), &config).unwrap();
+
+        let mut other_spec = small_spec();
+        other_spec.base_seed = 999;
+        let other = Arc::new(other_spec);
+        config.resume = true;
+        let err = run_sweep(other, &config).unwrap_err();
+        assert!(matches!(
+            err,
+            SweepError::Checkpoint(CheckpointError::ConfigMismatch { .. })
+        ));
+        std::fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn resume_without_checkpoint_path_is_an_error() {
+        let spec = Arc::new(small_spec());
+        let mut config = SweepConfig::new(2);
+        config.resume = true;
+        assert_eq!(
+            run_sweep(spec, &config).unwrap_err(),
+            SweepError::ResumeWithoutCheckpoint
+        );
+    }
+
+    #[test]
+    fn resume_from_missing_file_is_a_fresh_start() {
+        let ckpt = tmp("missing.ckpt");
+        std::fs::remove_file(&ckpt).ok();
+        assert!(!Path::new(&ckpt).exists());
+        let spec = Arc::new(small_spec());
+        let mut config = SweepConfig::new(3);
+        config.policy = quick_policy();
+        config.checkpoint = Some(ckpt.clone());
+        config.resume = true;
+        let report = run_sweep(spec, &config).unwrap();
+        assert_eq!(report.resumed, 0);
+        assert_eq!(report.results.len(), 3);
+        std::fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn fingerprint_tracks_description() {
+        let a = Arc::new(small_spec());
+        let mut spec_b = small_spec();
+        spec_b.max_rounds = 41;
+        let b = Arc::new(spec_b);
+        assert_ne!(fingerprint_of(a.as_ref()), fingerprint_of(b.as_ref()));
+        assert_eq!(fingerprint_of(a.as_ref()), {
+            let a2 = Arc::new(small_spec());
+            fingerprint_of(a2.as_ref())
+        });
+    }
+}

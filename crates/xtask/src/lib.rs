@@ -6,7 +6,10 @@
 //! * **D1 — panic-freedom.** Non-test code in the protected crates must not
 //!   call `unwrap()`/`expect()` or invoke `panic!`/`unreachable!`/`todo!`/
 //!   `unimplemented!`/`dbg!`, unless the site carries a justification
-//!   comment: `// lint: allow(panic) — <reason>`.
+//!   comment: `// lint: allow(panic) — <reason>`. `catch_unwind` is also
+//!   banned there: recovering from panics is supervision, and supervision
+//!   lives in the deliberately unprotected `crates/harness` crate so the
+//!   protected core stays panic-*free*, not panic-*tolerant*.
 //! * **D2 — determinism.** Non-test code in the protected crates must not
 //!   use `HashMap`/`HashSet` (iteration order is randomized per process),
 //!   wall-clock time (`Instant`/`SystemTime`), or ambient randomness
@@ -455,6 +458,7 @@ const PANIC_TOKENS: &[(&str, Anchor)] = &[
     ("todo", Anchor::Macro),
     ("unimplemented", Anchor::Macro),
     ("dbg", Anchor::Macro),
+    ("catch_unwind", Anchor::Word),
 ];
 
 /// The D2 (determinism) token set.
@@ -790,14 +794,22 @@ pub fn lint_source(text: &str, rel_path: &Path, violations: &mut Vec<Violation>)
         let line_no = idx + 1;
         for token in scan_line(line, PANIC_TOKENS) {
             if !allowed_at(&src_lines, &stripped.comments, line_no, "panic") {
+                let message = if token == "catch_unwind" {
+                    "`catch_unwind` swallows panics instead of preventing them; \
+                     move supervision into the unprotected `crates/harness` crate \
+                     or justify with `// lint: allow(panic) — <reason>`"
+                        .to_string()
+                } else {
+                    format!(
+                        "`{token}` can panic; return an error or justify with \
+                         `// lint: allow(panic) — <reason>`"
+                    )
+                };
                 violations.push(Violation {
                     rule: Rule::PanicFreedom,
                     file: rel_path.to_path_buf(),
                     line: line_no,
-                    message: format!(
-                        "`{token}` can panic; return an error or justify with \
-                         `// lint: allow(panic) — <reason>`"
-                    ),
+                    message,
                 });
             }
         }

@@ -4,8 +4,8 @@
 //! parsed as text (never compiled): `clean_ws` satisfies every rule and
 //! `bad_ws` violates every rule at least once.
 
-use std::path::PathBuf;
-use xtask::{lint_workspace, LintConfig, Rule};
+use std::path::{Path, PathBuf};
+use xtask::{lint_source, lint_workspace, LintConfig, Rule};
 
 fn fixture_config(name: &str) -> LintConfig {
     LintConfig {
@@ -39,8 +39,15 @@ fn bad_fixture_fires_every_rule() {
     assert_eq!(count(Rule::UnsafeHygiene), 1, "missing forbid(unsafe_code)");
     assert_eq!(
         count(Rule::PanicFreedom),
-        3,
-        "unwrap + panic! + reasonless-allowance expect: {violations:#?}"
+        4,
+        "unwrap + panic! + reasonless-allowance expect + catch_unwind: {violations:#?}"
+    );
+    // The catch_unwind finding carries its tailored supervision message.
+    assert!(
+        violations.iter().any(|v| v.rule == Rule::PanicFreedom
+            && v.message.contains("catch_unwind")
+            && v.message.contains("crates/harness")),
+        "catch_unwind must point at the harness crate: {violations:#?}"
     );
     assert_eq!(
         count(Rule::Determinism),
@@ -74,6 +81,47 @@ fn violations_are_deterministically_ordered() {
             .then_with(|| x.message.cmp(&y.message))
     });
     assert_eq!(a, sorted, "report order must be (file, line, rule)");
+}
+
+/// Pins the harness crate's lint posture: `crates/harness` deliberately uses
+/// `catch_unwind` (trial supervision) and `Instant` (watchdog/backoff), which
+/// is exactly why it must stay OFF the protected list — the same constructs
+/// in a protected crate fire D1 and D2. If someone promotes the harness to
+/// protected (or the tokens stop firing), this test catches it.
+#[test]
+fn harness_supervision_idiom_would_fire_in_a_protected_crate() {
+    // The harness crate is not protected…
+    let repo = LintConfig::for_repo(PathBuf::from("unused"));
+    assert!(
+        !repo.protected.iter().any(|p| p == "crates/harness"),
+        "crates/harness must stay unprotected: its whole job is supervision"
+    );
+
+    // …because its core idiom is a D1 + D2 violation by design.
+    let harness_style = "use std::panic::catch_unwind;\n\
+                         use std::time::Instant;\n\
+                         pub fn supervise(f: impl FnOnce() + std::panic::UnwindSafe) {\n\
+                             let started = Instant::now();\n\
+                             let _ = catch_unwind(f);\n\
+                             let _ = started.elapsed();\n\
+                         }\n";
+    let mut violations = Vec::new();
+    lint_source(harness_style, Path::new("supervisor.rs"), &mut violations);
+    let fired: Vec<Rule> = violations.iter().map(|v| v.rule).collect();
+    assert!(
+        fired.contains(&Rule::PanicFreedom),
+        "catch_unwind must fire D1 under protection: {violations:#?}"
+    );
+    assert!(
+        fired.contains(&Rule::Determinism),
+        "Instant must fire D2 under protection: {violations:#?}"
+    );
+
+    // And the real harness sources do use both constructs, so the posture
+    // above is load-bearing, not vacuous.
+    let supervisor = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../harness/src/supervisor.rs");
+    let text = std::fs::read_to_string(&supervisor).expect("harness supervisor source");
+    assert!(text.contains("catch_unwind") && text.contains("Instant"));
 }
 
 #[test]

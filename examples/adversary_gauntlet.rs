@@ -57,7 +57,7 @@ fn main() {
     // The Theorem 2 mimicry construction runs on its own instance family.
     {
         let b = 8;
-        let inst = MimicryInstance::build(n, n, b, b);
+        let inst = MimicryInstance::build(n, n, b, b).expect("divisible mimicry parameters");
         let alpha_m = 1.0 / f64::from(b);
         let mut costs = Vec::new();
         let mut ok = true;
