@@ -13,7 +13,10 @@
 //!   and work-stealing threaded;
 //! * `alloc/...` — steady-state round timing plus the *measured* heap
 //!   acquisitions per round (reported via the stub's `report_value`; the
-//!   tier-1 gate `tests/alloc_steady_state.rs` asserts the count is 0).
+//!   tier-1 gate `tests/alloc_steady_state.rs` asserts the count is 0);
+//! * `engine_scale/...` — the same steady-state round at n ∈ {10⁴, 10⁵,
+//!   10⁶} with the satisfaction curve opted out, timing plus per-round
+//!   allocation counts (the mega-scale tier of the SoA/bitset round loop).
 //!
 //! Results are also written to `BENCH_perf.json` at the repository root (see
 //! EXPERIMENTS.md for the format). This binary runs under the counting
@@ -390,6 +393,60 @@ fn bench_alloc(c: &mut Criterion) {
     group.finish();
 }
 
+/// Builds the never-satisfying steady-state engine of `bench_alloc` at an
+/// arbitrary population size, with the satisfaction curve opted out (the
+/// mega-scale configuration of `tests/alloc_steady_state.rs`).
+fn scale_engine(world: &World, n: u32) -> Engine<'_> {
+    let bad: Vec<ObjectId> = (0..world.m())
+        .map(ObjectId)
+        .filter(|&o| !world.is_good(o))
+        .collect();
+    let params = DistillParams::new(n, world.m(), 1.0, world.beta()).expect("params");
+    let config = SimConfig::new(n, n, 0xA110C)
+        .with_negative_reports(false)
+        .with_satisfaction_curve(false)
+        .with_stop(StopRule::all_satisfied(u64::MAX));
+    Engine::new(
+        config,
+        world,
+        Box::new(Distill::new(params).with_universe(bad)),
+        Box::new(NullAdversary),
+    )
+    .expect("engine")
+}
+
+fn bench_engine_scale(c: &mut Criterion) {
+    // The PR 6 tentpole tier: the steady-state round must stay O(active +
+    // votes) and allocation-free as n climbs to 10⁶. Same never-satisfying
+    // shape as `alloc/` (every player probes a bad object each round), so the
+    // timed loop is the pure SoA/bitset round path; the `report_value` rows
+    // pin the measured acquisitions per round at each scale.
+    let mut group = c.benchmark_group("engine_scale");
+    group.sample_size(10);
+    for &n in &[10_000u32, 100_000, 1_000_000] {
+        let world = World::binary(n, 1, 2026).expect("world");
+        let mut engine = scale_engine(&world, n);
+        for _ in 0..8 {
+            engine.step().expect("warm-up step");
+        }
+        const MEASURED: u64 = 4;
+        let (delta, ()) = alloc_count::measure(|| {
+            for _ in 0..MEASURED {
+                engine.step().expect("measured step");
+            }
+        });
+        #[allow(clippy::cast_precision_loss)]
+        group.report_value(
+            &format!("steady_state_allocs_per_round_n{n}"),
+            delta.acquisitions() as f64 / MEASURED as f64,
+        );
+        group.bench_function(&format!("steady_state_round_n{n}"), |b| {
+            b.iter(|| engine.step().expect("step"))
+        });
+    }
+    group.finish();
+}
+
 /// Routes the run's measurements into `BENCH_perf.json` at the repository
 /// root (a stub-criterion extension; see EXPERIMENTS.md for the schema).
 fn configure_output(c: &mut Criterion) {
@@ -408,6 +465,7 @@ criterion_group!(
     bench_engine_round,
     bench_async,
     bench_trials,
-    bench_alloc
+    bench_alloc,
+    bench_engine_scale
 );
 criterion_main!(benches);

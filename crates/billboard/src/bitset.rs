@@ -1,0 +1,168 @@
+//! Packed `u64` bitmaps for per-player and per-object flag sets.
+//!
+//! The mega-scale engines keep their satisfied/crashed/active flags in
+//! [`BitSet`]s instead of `Vec<bool>`: membership tests touch one cache line
+//! per 512 players, clearing is a `memset`, and population counts are a
+//! handful of `popcnt`s — the flag side of the struct-of-arrays round loop.
+
+/// A fixed-capacity set of small integer ids, stored one bit per id.
+///
+/// ```
+/// use distill_billboard::BitSet;
+/// let mut s = BitSet::new(130);
+/// s.insert(0);
+/// s.insert(129);
+/// assert!(s.contains(129) && !s.contains(64));
+/// assert_eq!(s.count_ones(), 2);
+/// s.remove(0);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![129]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set over the id universe `0..len`.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// The id universe size this set was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the universe is empty (no ids can be stored).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Re-dimensions the set to the universe `0..len` and clears every bit,
+    /// reusing the existing word buffer when it is large enough — the reset
+    /// path of an engine arena.
+    pub fn reset(&mut self, len: usize) {
+        let words = len.div_ceil(64);
+        self.words.clear();
+        self.words.resize(words, 0);
+        self.len = len;
+    }
+
+    /// Clears every bit without changing the universe size.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Membership test. Ids outside the universe are never members.
+    #[inline]
+    pub fn contains(&self, id: usize) -> bool {
+        self.words
+            .get(id / 64)
+            .is_some_and(|w| w & (1u64 << (id % 64)) != 0)
+    }
+
+    /// Inserts `id`. Out-of-universe ids are ignored (the engines validate
+    /// ids at construction; tolerating them here keeps the set panic-free).
+    #[inline]
+    pub fn insert(&mut self, id: usize) {
+        if id < self.len {
+            self.words[id / 64] |= 1u64 << (id % 64);
+        }
+    }
+
+    /// Removes `id` (a no-op when absent or out of universe).
+    #[inline]
+    pub fn remove(&mut self, id: usize) {
+        if id < self.len {
+            self.words[id / 64] &= !(1u64 << (id % 64));
+        }
+    }
+
+    /// Number of members, via per-word popcounts.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates the members in ascending order, skipping empty words.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            std::iter::successors((word != 0).then_some(word), |w| {
+                let next = w & (w - 1); // clear lowest set bit
+                (next != 0).then_some(next)
+            })
+            .map(move |w| wi * 64 + w.trailing_zeros() as usize)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let mut s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.count_ones(), 0);
+        s.insert(0); // out of universe: ignored
+        assert!(!s.contains(0));
+
+        let mut s = BitSet::new(200);
+        for i in 0..200 {
+            s.insert(i);
+        }
+        assert_eq!(s.count_ones(), 200);
+        assert_eq!(s.iter().count(), 200);
+        s.clear();
+        assert_eq!(s.count_ones(), 0);
+        assert_eq!(s.len(), 200);
+    }
+
+    #[test]
+    fn word_boundaries() {
+        let mut s = BitSet::new(129);
+        for i in [0usize, 63, 64, 127, 128] {
+            s.insert(i);
+            assert!(s.contains(i));
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 127, 128]);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count_ones(), 4);
+        // out-of-universe probes are answered, not panicked on
+        assert!(!s.contains(1000));
+        s.remove(1000);
+        s.insert(129); // one past the end: ignored
+        assert_eq!(s.count_ones(), 4);
+    }
+
+    #[test]
+    fn reset_reuses_and_redimensions() {
+        let mut s = BitSet::new(100);
+        s.insert(99);
+        s.reset(64);
+        assert_eq!(s.len(), 64);
+        assert_eq!(s.count_ones(), 0);
+        s.insert(63);
+        assert!(s.contains(63));
+        s.reset(300);
+        assert_eq!(s.count_ones(), 0);
+        s.insert(299);
+        assert!(s.contains(299));
+    }
+
+    #[test]
+    fn iter_skips_empty_words() {
+        let mut s = BitSet::new(1024);
+        s.insert(3);
+        s.insert(700);
+        s.insert(701);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 700, 701]);
+    }
+}

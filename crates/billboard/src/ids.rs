@@ -26,6 +26,16 @@ impl PlayerId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The typed conversion from an array index back to an id: `Some` iff
+    /// `index` fits the `u32` id space. This is the single sanctioned
+    /// index→id path — engines validate their population size once at
+    /// construction and then convert losslessly, instead of sprinkling
+    /// truncating `as u32` casts through the round loop.
+    #[inline]
+    pub fn from_index(index: usize) -> Option<PlayerId> {
+        u32::try_from(index).ok().map(PlayerId)
+    }
 }
 
 impl fmt::Display for PlayerId {
@@ -37,6 +47,14 @@ impl fmt::Display for PlayerId {
 impl From<u32> for PlayerId {
     fn from(v: u32) -> Self {
         PlayerId(v)
+    }
+}
+
+impl TryFrom<usize> for PlayerId {
+    type Error = std::num::TryFromIntError;
+    /// Fails (instead of truncating) for indices beyond the `u32` id space.
+    fn try_from(index: usize) -> Result<Self, Self::Error> {
+        u32::try_from(index).map(PlayerId)
     }
 }
 
@@ -67,6 +85,14 @@ impl fmt::Display for ObjectId {
 impl From<u32> for ObjectId {
     fn from(v: u32) -> Self {
         ObjectId(v)
+    }
+}
+
+impl TryFrom<usize> for ObjectId {
+    type Error = std::num::TryFromIntError;
+    /// Fails (instead of truncating) for indices beyond the `u32` id space.
+    fn try_from(index: usize) -> Result<Self, Self::Error> {
+        u32::try_from(index).map(ObjectId)
     }
 }
 

@@ -51,6 +51,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod auth;
+mod bitset;
 mod board;
 mod error;
 mod ids;
@@ -61,6 +62,7 @@ mod view;
 mod window;
 
 pub use auth::{AuditReport, AuthError, AuthKey, Authenticator, SignedBillboard, Tag};
+pub use bitset::BitSet;
 pub use board::{Billboard, BoardStats};
 pub use error::BillboardError;
 pub use ids::{ObjectId, PlayerId, Round, Seq};

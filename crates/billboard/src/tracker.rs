@@ -36,6 +36,157 @@ pub struct VoteEvent {
     pub object: ObjectId,
 }
 
+/// Per-player slot count above which the flat vote arena falls back to
+/// boxed per-player vectors (an `f` this large is outside every policy the
+/// paper analyses — §4.1 needs `f = o(1/(1−α))`).
+const ARENA_STRIDE_CAP: usize = 8;
+
+/// The zeroed filler record behind unused arena slots (never observable:
+/// reads are bounded by the per-player length).
+const EMPTY_RECORD: VoteRecord = VoteRecord {
+    object: ObjectId(0),
+    round: Round(0),
+    value: 0.0,
+};
+
+/// Arena-compact per-player vote storage.
+///
+/// Under the bounded policies production runs use (single-vote, best-value,
+/// small-`f` multi-vote) every player's vote list lives in one flat slab of
+/// `n_players × stride` records plus a length array: one allocation for the
+/// whole population instead of one heap vector per voter. At n = 10^6 that
+/// removes a million scattered small allocations from the ingest path, and
+/// keeps [`VoteTracker::votes_of`] a contiguous-slice borrow. Policies with
+/// a per-player cap above [`ARENA_STRIDE_CAP`] keep the boxed layout —
+/// chosen once at construction, so no per-call branching on mixed storage.
+#[derive(Debug, Clone)]
+enum VoteStore {
+    Arena {
+        stride: usize,
+        lens: Vec<u32>,
+        slots: Vec<VoteRecord>,
+    },
+    Boxed(Vec<Vec<VoteRecord>>),
+}
+
+#[derive(Debug, Clone)]
+struct VoteArena {
+    n_players: usize,
+    store: VoteStore,
+}
+
+impl VoteArena {
+    fn new(n_players: usize, per_player_cap: usize) -> Self {
+        let store = if per_player_cap <= ARENA_STRIDE_CAP {
+            let stride = per_player_cap.max(1);
+            VoteStore::Arena {
+                stride,
+                lens: vec![0; n_players],
+                slots: vec![EMPTY_RECORD; n_players * stride],
+            }
+        } else {
+            VoteStore::Boxed(vec![Vec::new(); n_players])
+        };
+        VoteArena { n_players, store }
+    }
+
+    #[inline]
+    fn n_players(&self) -> usize {
+        self.n_players
+    }
+
+    /// Empties every player's vote list, keeping the slab allocated.
+    fn reset(&mut self) {
+        match &mut self.store {
+            VoteStore::Arena { lens, .. } => lens.fill(0),
+            VoteStore::Boxed(v) => v.iter_mut().for_each(Vec::clear),
+        }
+    }
+
+    #[inline]
+    fn votes(&self, player: usize) -> &[VoteRecord] {
+        match &self.store {
+            VoteStore::Arena {
+                stride,
+                lens,
+                slots,
+            } => {
+                let base = player * stride;
+                &slots[base..base + lens[player] as usize]
+            }
+            VoteStore::Boxed(v) => &v[player],
+        }
+    }
+
+    #[inline]
+    fn first(&self, player: usize) -> Option<VoteRecord> {
+        self.votes(player).first().copied()
+    }
+
+    /// Appends a vote. Arena mode trusts the caller's policy cap (the
+    /// ingest paths check it before calling); a push beyond the stride is
+    /// dropped rather than spilled.
+    fn push(&mut self, player: usize, record: VoteRecord) {
+        match &mut self.store {
+            VoteStore::Arena {
+                stride,
+                lens,
+                slots,
+            } => {
+                let len = lens[player] as usize;
+                if len < *stride {
+                    slots[player * *stride + len] = record;
+                    lens[player] = (len + 1) as u32;
+                }
+            }
+            VoteStore::Boxed(v) => v[player].push(record),
+        }
+    }
+
+    /// Replaces the player's votes with exactly `record` (the best-value
+    /// vote change).
+    fn set_single(&mut self, player: usize, record: VoteRecord) {
+        match &mut self.store {
+            VoteStore::Arena {
+                stride,
+                lens,
+                slots,
+            } => {
+                slots[player * *stride] = record;
+                lens[player] = 1;
+            }
+            VoteStore::Boxed(v) => {
+                v[player].clear();
+                v[player].push(record);
+            }
+        }
+    }
+
+    /// Refreshes the player's first vote in place (a best-value re-report of
+    /// the same object at a higher value; not a vote change).
+    fn refresh_first(&mut self, player: usize, value: f64, round: Round) {
+        let slot = match &mut self.store {
+            VoteStore::Arena {
+                stride,
+                lens,
+                slots,
+            } => (lens[player] > 0).then(|| &mut slots[player * *stride]),
+            VoteStore::Boxed(v) => v[player].first_mut(),
+        };
+        if let Some(slot) = slot {
+            slot.value = value;
+            slot.round = round;
+        }
+    }
+
+    fn voters(&self) -> usize {
+        match &self.store {
+            VoteStore::Arena { lens, .. } => lens.iter().filter(|&&l| l > 0).count(),
+            VoteStore::Boxed(v) => v.iter().filter(|v| !v.is_empty()).count(),
+        }
+    }
+}
+
 /// Incrementally-maintained tally state for one registered round window.
 ///
 /// Opened via [`VoteTracker::open_window`]; absorbs each vote event exactly
@@ -92,7 +243,7 @@ pub struct VoteTracker {
     policy: VotePolicy,
     n_objects: u32,
     cursor: usize,
-    votes_by_player: Vec<Vec<VoteRecord>>,
+    votes_by_player: VoteArena,
     votes_for_object: Vec<u32>,
     /// Objects with at least one current vote, ascending — maintained on
     /// every 0→1 / 1→0 transition of `votes_for_object`.
@@ -121,7 +272,14 @@ impl VoteTracker {
             policy,
             n_objects,
             cursor: 0,
-            votes_by_player: vec![Vec::new(); n_players as usize],
+            votes_by_player: VoteArena::new(
+                n_players as usize,
+                if needs_evented {
+                    1 // best-value mode: exactly one current vote per player
+                } else {
+                    policy.votes_per_player
+                },
+            ),
             votes_for_object: vec![0; n_objects as usize],
             voted_objects: Vec::new(),
             events: Vec::new(),
@@ -144,9 +302,7 @@ impl VoteTracker {
     /// [`VoteTracker::new`] with the same universe and policy.
     pub fn reset(&mut self) {
         self.cursor = 0;
-        for votes in &mut self.votes_by_player {
-            votes.clear();
-        }
+        self.votes_by_player.reset();
         for count in &mut self.votes_for_object {
             *count = 0;
         }
@@ -193,7 +349,7 @@ impl VoteTracker {
     pub fn ingest(&mut self, board: &Billboard) -> usize {
         assert_eq!(
             board.n_players() as usize,
-            self.votes_by_player.len(),
+            self.votes_by_player.n_players(),
             "tracker/board player universe mismatch"
         );
         assert_eq!(
@@ -222,7 +378,7 @@ impl VoteTracker {
     pub fn ingest_until(&mut self, board: &Billboard, before: Round) -> usize {
         assert_eq!(
             board.n_players() as usize,
-            self.votes_by_player.len(),
+            self.votes_by_player.n_players(),
             "tracker/board player universe mismatch"
         );
         assert_eq!(
@@ -328,18 +484,21 @@ impl VoteTracker {
         if !post.is_positive() {
             return; // negative reports are never votes (§4)
         }
-        let votes = &mut self.votes_by_player[post.author.index()];
+        let votes = self.votes_by_player.votes(post.author.index());
         if votes.len() >= self.policy.votes_per_player {
             return; // beyond the f-cap: ignored by honest readers
         }
         if votes.iter().any(|v| v.object == post.object) {
             return; // re-voting the same object adds nothing
         }
-        votes.push(VoteRecord {
-            object: post.object,
-            round: post.round,
-            value: post.value,
-        });
+        self.votes_by_player.push(
+            post.author.index(),
+            VoteRecord {
+                object: post.object,
+                round: post.round,
+                value: post.value,
+            },
+        );
         self.votes_for_object[post.object.index()] += 1;
         if self.votes_for_object[post.object.index()] == 1 {
             Self::note_first_vote(&mut self.voted_objects, post.object);
@@ -370,7 +529,7 @@ impl VoteTracker {
         // Positive/negative polarity is irrelevant without local testing —
         // only claimed values matter.
         let player = post.author.index();
-        let current = self.votes_by_player[player].first().copied();
+        let current = self.votes_by_player.first(player);
         let improves = match current {
             None => true,
             Some(v) => post.value > v.value && post.object != v.object,
@@ -379,8 +538,8 @@ impl VoteTracker {
         // recorded value but is not a vote change.
         if let Some(v) = current {
             if post.object == v.object && post.value > v.value {
-                self.votes_by_player[player][0].value = post.value;
-                self.votes_by_player[player][0].round = post.round;
+                self.votes_by_player
+                    .refresh_first(player, post.value, post.round);
                 return;
             }
         }
@@ -393,11 +552,14 @@ impl VoteTracker {
                 Self::note_last_vote_gone(&mut self.voted_objects, old.object);
             }
         }
-        self.votes_by_player[player] = vec![VoteRecord {
-            object: post.object,
-            round: post.round,
-            value: post.value,
-        }];
+        self.votes_by_player.set_single(
+            player,
+            VoteRecord {
+                object: post.object,
+                round: post.round,
+                value: post.value,
+            },
+        );
         self.votes_for_object[post.object.index()] += 1;
         if self.votes_for_object[post.object.index()] == 1 {
             Self::note_first_vote(&mut self.voted_objects, post.object);
@@ -417,14 +579,12 @@ impl VoteTracker {
     /// This is what `PROBE&SEEKADVICE` follows: "probe the object j votes
     /// for, if exists".
     pub fn vote_of(&self, player: PlayerId) -> Option<ObjectId> {
-        self.votes_by_player[player.index()]
-            .first()
-            .map(|v| v.object)
+        self.votes_by_player.first(player.index()).map(|v| v.object)
     }
 
     /// All current votes of `player` (at most `f`).
     pub fn votes_of(&self, player: PlayerId) -> &[VoteRecord] {
-        &self.votes_by_player[player.index()]
+        self.votes_by_player.votes(player.index())
     }
 
     /// The number of players whose current vote set includes `object`.
@@ -570,10 +730,7 @@ impl VoteTracker {
 
     /// Number of players that currently have at least one vote.
     pub fn voters(&self) -> usize {
-        self.votes_by_player
-            .iter()
-            .filter(|v| !v.is_empty())
-            .count()
+        self.votes_by_player.voters()
     }
 }
 

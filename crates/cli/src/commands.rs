@@ -8,8 +8,8 @@ use distill_adversary::{
 use distill_analysis::{bounds, fmt_f, lemma9, Summary, Table};
 use distill_core::{Balance, Distill, DistillParams, GuessAlpha, RandomProbing, ThreePhase};
 use distill_sim::{
-    run_trials_scoped, run_trials_threaded, Adversary, Cohort, Engine, FaultPlan, NullAdversary,
-    SimConfig, StopRule, World,
+    player_count, run_trials_scoped, run_trials_threaded, Adversary, Cohort, Engine, FaultPlan,
+    NullAdversary, SimConfig, StopRule, World,
 };
 
 /// A command failure, rendered to the user.
@@ -91,7 +91,7 @@ COMMANDS:
     help       this text
 
 RUN FLAGS (defaults in parentheses):
-    --n <u32>            players (256)
+    --n <u64>            players (256; ids are u32, so at most 4294967295)
     --m <u32>            objects (= n)
     --honest <u32>       honest players (90% of n)
     --goods <u32>        good objects (1)
@@ -196,7 +196,10 @@ const RUN_FLAGS: &[&str] = &[
 /// `distill run` — simulate one configuration.
 pub fn run(args: &Args) -> Result<String, CliError> {
     args.ensure_known(RUN_FLAGS)?;
-    let n: u32 = args.get_or("n", 256)?;
+    // Accept the full u64 range on the command line, then funnel through the
+    // one sanctioned id-space check so an oversize population fails with the
+    // typed message instead of a parse error (or a silent truncation).
+    let n: u32 = player_count(args.get_or("n", 256)?).map_err(|e| err(e.to_string()))?;
     let m: u32 = args.get_or("m", n)?;
     let default_honest = ((f64::from(n)) * 0.9).round() as u32;
     let honest: u32 = args.get_or("honest", default_honest)?;
@@ -462,7 +465,7 @@ impl distill_harness::TrialSpec for SweepSpec {
 /// and watchdog timeouts.
 pub fn sweep(args: &Args) -> Result<String, CliError> {
     args.ensure_known(SWEEP_FLAGS)?;
-    let n: u32 = args.get_or("n", 256)?;
+    let n: u32 = player_count(args.get_or("n", 256)?).map_err(|e| err(e.to_string()))?;
     let m: u32 = args.get_or("m", n)?;
     let default_honest = ((f64::from(n)) * 0.9).round() as u32;
     let honest: u32 = args.get_or("honest", default_honest)?;
@@ -1106,6 +1109,20 @@ mod tests {
         .is_err());
         assert!(dispatch(&parse(&["run", "--bogus-flag", "1"])).is_err());
         assert!(dispatch(&parse(&["frobnicate"])).is_err());
+    }
+
+    /// A population past the u32 id space must fail with the typed id-space
+    /// message (on both entry points), not a parse error or a truncated run.
+    #[test]
+    fn oversize_population_reports_the_id_space_limit() {
+        let over = (u64::from(u32::MAX) + 1).to_string();
+        for cmd in ["run", "sweep"] {
+            let e = dispatch(&parse(&[cmd, "--n", &over])).unwrap_err();
+            assert!(
+                format!("{e}").contains("u32 id space"),
+                "{cmd}: expected the id-space error, got: {e}"
+            );
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::faults::{FaultCounters, FaultPlan};
 use crate::rng::{stream_rng, Stream};
 use crate::world::World;
 use distill_billboard::{
-    Billboard, BoardView, ObjectId, PlayerId, ReportKind, Round, VotePolicy, VoteTracker,
+    Billboard, BitSet, BoardView, ObjectId, PlayerId, ReportKind, Round, VotePolicy, VoteTracker,
 };
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -284,7 +284,9 @@ pub struct AsyncEngine<'w> {
     n_honest: u32,
     board: Billboard,
     tracker: VoteTracker,
-    satisfied: Vec<bool>,
+    /// Satisfaction flags, one bit per honest player (packed `u64` words,
+    /// matching the synchronous engine's struct-of-arrays layout).
+    satisfied: BitSet,
     /// Unsatisfied honest players, ascending — maintained incrementally on
     /// satisfaction instead of being re-collected every step (the dominant
     /// cost of the old per-step `active()` scan at large `n`).
@@ -301,10 +303,17 @@ pub struct AsyncEngine<'w> {
     max_steps: u64,
     faults: FaultPlan,
     faults_rng: SmallRng,
-    /// Predetermined crash step per honest player (`None` = never crashes);
-    /// cleared on crash so a recovered player does not crash again.
-    crash_at_step: Vec<Option<u64>>,
-    crashed: Vec<bool>,
+    /// Predetermined crash events `(step, player)`, sorted ascending; the
+    /// cursor marks the first event that has not fired yet. Each event fires
+    /// exactly once, so a recovered player does not crash again and churn
+    /// costs O(crashed + due) per step instead of an O(n) schedule rescan.
+    crash_events: Vec<(u64, u32)>,
+    crash_cursor: usize,
+    crashed: BitSet,
+    /// Currently-crashed players, ascending — the recovery-coin draw order.
+    crashed_list: Vec<u32>,
+    /// Reused output buffer for rebuilding `crashed_list` during churn.
+    churn_scratch: Vec<u32>,
     fault_counters: FaultCounters,
     /// Stale-read tracker, fed via `ingest_until` at the lag cutoff; present
     /// only when the plan sets `view_lag > 0`.
@@ -355,7 +364,7 @@ impl<'w> AsyncEngine<'w> {
             n_honest,
             board: Billboard::new(n, world.m()),
             tracker: VoteTracker::new(n, world.m(), VotePolicy::single_vote()),
-            satisfied: vec![false; n_honest as usize],
+            satisfied: BitSet::new(n_honest as usize),
             active: (0..n_honest).map(PlayerId).collect(),
             outcomes: vec![
                 AsyncPlayerOutcome {
@@ -378,8 +387,11 @@ impl<'w> AsyncEngine<'w> {
             max_steps,
             faults: FaultPlan::default(),
             faults_rng: stream_rng(seed, Stream::Faults),
-            crash_at_step: vec![None; n_honest as usize],
-            crashed: vec![false; n_honest as usize],
+            crash_events: Vec::new(),
+            crash_cursor: 0,
+            crashed: BitSet::new(n_honest as usize),
+            crashed_list: Vec::new(),
+            churn_scratch: Vec::new(),
             fault_counters: FaultCounters::default(),
             lagged_tracker: None,
         })
@@ -400,11 +412,19 @@ impl<'w> AsyncEngine<'w> {
         plan.validate()
             .map_err(|msg| SimError::InvalidConfig(format!("fault plan: {msg}")))?;
         self.faults = plan;
+        self.crash_events.clear();
+        self.crash_cursor = 0;
         if plan.crash_rate > 0.0 {
-            for slot in &mut self.crash_at_step {
-                *slot = (self.faults_rng.gen::<f64>() < plan.crash_rate)
-                    .then(|| self.faults_rng.gen_range(0..plan.crash_window));
+            // One coin per player in ascending order (plus a step draw for
+            // crashers) — the same draw sequence as the per-slot schedule this
+            // event list replaces.
+            for p in 0..self.n_honest {
+                if self.faults_rng.gen::<f64>() < plan.crash_rate {
+                    let at = self.faults_rng.gen_range(0..plan.crash_window);
+                    self.crash_events.push((at, p));
+                }
             }
+            self.crash_events.sort_unstable();
         }
         self.lagged_tracker = (plan.view_lag > 0)
             .then(|| VoteTracker::new(self.n, self.world.m(), VotePolicy::single_vote()));
@@ -412,49 +432,86 @@ impl<'w> AsyncEngine<'w> {
     }
 
     /// Crash/recovery bookkeeping for the step that is about to execute.
+    ///
+    /// As in the synchronous engine, the currently-crashed players (recovery
+    /// coins, ascending — the exact coin draw order of the old flag-array
+    /// walk) are merged with the due crash events in player order, so the
+    /// counter sequence is bit-identical at O(crashed + due) per step.
     fn process_churn(&mut self) {
-        for p in 0..self.crashed.len() {
-            if self.crashed[p] {
-                if self.faults.recovery_rate > 0.0
-                    && self.faults_rng.gen::<f64>() < self.faults.recovery_rate
-                {
-                    self.crashed[p] = false;
+        let recovery = self.faults.recovery_rate;
+        let start = self.crash_cursor;
+        let mut end = start;
+        while end < self.crash_events.len() && self.crash_events[end].0 <= self.step {
+            end += 1;
+        }
+        self.crash_cursor = end;
+        if end - start > 1 {
+            // A multi-step due batch (first churn call only) needs the
+            // player order restored; single-step batches already have it.
+            self.crash_events[start..end].sort_unstable_by_key(|&(_, p)| p);
+        }
+        if end == start && self.crashed_list.is_empty() {
+            return;
+        }
+        let mut next_list = std::mem::take(&mut self.churn_scratch);
+        next_list.clear();
+        let mut ci = 0;
+        let mut di = start;
+        loop {
+            let next_crashed = self.crashed_list.get(ci).copied();
+            let next_due = (di < end).then(|| self.crash_events[di].1);
+            let crash_now = match (next_crashed, next_due) {
+                (None, None) => break,
+                (Some(_), None) => false,
+                (None, Some(_)) => true,
+                (Some(c), Some(d)) => d < c,
+            };
+            if crash_now {
+                let p = self.crash_events[di].1;
+                di += 1;
+                self.crashed.insert(p as usize);
+                self.fault_counters.crashes += 1;
+                if let Ok(pos) = self.active.binary_search(&PlayerId(p)) {
+                    self.active.remove(pos);
+                }
+                next_list.push(p);
+            } else {
+                let p = self.crashed_list[ci];
+                ci += 1;
+                if recovery > 0.0 && self.faults_rng.gen::<f64>() < recovery {
+                    self.crashed.remove(p as usize);
                     self.fault_counters.recoveries += 1;
                     // Rejoin with pre-crash votes intact: the billboard kept
                     // every post, so only schedulability changes.
-                    if !self.satisfied[p] {
-                        let player = PlayerId(p as u32);
+                    if !self.satisfied.contains(p as usize) {
+                        let player = PlayerId(p);
                         if let Err(pos) = self.active.binary_search(&player) {
                             self.active.insert(pos, player);
                         }
                     }
-                }
-            } else if self.crash_at_step[p].is_some_and(|at| at <= self.step) {
-                self.crash_at_step[p] = None;
-                self.crashed[p] = true;
-                self.fault_counters.crashes += 1;
-                if let Ok(pos) = self.active.binary_search(&PlayerId(p as u32)) {
-                    self.active.remove(pos);
+                } else {
+                    next_list.push(p);
                 }
             }
         }
+        std::mem::swap(&mut self.crashed_list, &mut next_list);
+        self.churn_scratch = next_list;
     }
 
     /// `true` while some crashed player could still rejoin and probe.
     fn awaiting_recovery(&self) -> bool {
         self.faults.recovery_rate > 0.0
             && self
-                .crashed
+                .crashed_list
                 .iter()
-                .zip(&self.satisfied)
-                .any(|(&c, &s)| c && !s)
+                .any(|&p| !self.satisfied.contains(p as usize))
     }
 
     /// The incrementally-maintained active list's oracle: a from-scratch
     /// rescan of the satisfaction flags.
     fn active_scan(&self) -> Vec<PlayerId> {
         (0..self.n_honest)
-            .filter(|&p| !self.satisfied[p as usize] && !self.crashed[p as usize])
+            .filter(|&p| !self.satisfied.contains(p as usize) && !self.crashed.contains(p as usize))
             .map(PlayerId)
             .collect()
     }
@@ -538,7 +595,7 @@ impl<'w> AsyncEngine<'w> {
                     .append(round, player, object, self.world.value(object), kind)?;
             }
             if good {
-                self.satisfied[player.index()] = true;
+                self.satisfied.insert(player.index());
                 outcome.satisfied_step = Some(self.step);
                 if let Ok(pos) = self.active.binary_search(&player) {
                     self.active.remove(pos);
@@ -580,7 +637,7 @@ impl<'w> AsyncEngine<'w> {
         }
         Ok(AsyncResult {
             steps: self.step,
-            all_satisfied: self.satisfied.iter().all(|&s| s),
+            all_satisfied: self.satisfied.count_ones() == self.n_honest as usize,
             players: self.outcomes,
             faults: self.fault_counters,
         })

@@ -106,6 +106,23 @@ pub enum Participation {
     },
 }
 
+/// Validates a raw (e.g. command-line) population size against the `u32`
+/// player-id space. This is the single entry point for mega-scale front ends:
+/// ids are checked once here, and the engines then index with lossless
+/// `u32 → usize` widenings only.
+///
+/// # Errors
+/// Returns [`SimError::TooManyPlayers`] when `n` does not fit a `u32`.
+///
+/// ```
+/// use distill_sim::player_count;
+/// assert_eq!(player_count(1_000_000).unwrap(), 1_000_000u32);
+/// assert!(player_count(u64::from(u32::MAX) + 1).is_err());
+/// ```
+pub fn player_count(n: u64) -> Result<u32, SimError> {
+    u32::try_from(n).map_err(|_| SimError::TooManyPlayers { n })
+}
+
 impl fmt::Display for Participation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -158,6 +175,11 @@ pub struct SimConfig {
     pub participation: Participation,
     /// Record a full event trace (memory-heavy; tests/debugging only).
     pub record_trace: bool,
+    /// Record the per-round satisfaction curve (`satisfied_per_round` in the
+    /// result). On by default; mega-scale runs with huge round caps can turn
+    /// it off so the steady-state round loop appends nothing that grows
+    /// without bound.
+    pub record_satisfaction_curve: bool,
     /// Register the cohort's tally window with the vote tracker so that
     /// segment-boundary `ℓ_t(i)` queries are answered from incremental
     /// counters (default). Disabling forces every window query onto the
@@ -188,6 +210,7 @@ impl SimConfig {
             pre_satisfied: Vec::new(),
             participation: Participation::Full,
             record_trace: false,
+            record_satisfaction_curve: true,
             register_tally_windows: true,
             faults: FaultPlan::default(),
         }
@@ -233,6 +256,13 @@ impl SimConfig {
     /// Enables event tracing.
     pub fn with_trace(mut self, on: bool) -> Self {
         self.record_trace = on;
+        self
+    }
+
+    /// Enables or disables the per-round satisfaction curve (see
+    /// [`SimConfig::record_satisfaction_curve`]).
+    pub fn with_satisfaction_curve(mut self, on: bool) -> Self {
+        self.record_satisfaction_curve = on;
         self
     }
 

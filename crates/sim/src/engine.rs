@@ -11,7 +11,7 @@ use crate::rng::{stream_rng, Stream};
 use crate::trace::TraceEvent;
 use crate::world::World;
 use distill_billboard::{
-    Billboard, BoardView, ObjectId, PlayerId, ReportKind, Round, VoteMode, VoteTracker,
+    Billboard, BitSet, BoardView, ObjectId, PlayerId, ReportKind, Round, VoteMode, VoteTracker,
 };
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -55,14 +55,20 @@ pub struct Engine<'w> {
     adversary: Box<dyn Adversary>,
     board: Billboard,
     tracker: VoteTracker,
-    satisfied: Vec<bool>,
-    /// Running count of `true`s in `satisfied` — keeps the stop rules and the
-    /// per-round satisfaction curve O(1) instead of an O(n) rescan per round.
-    n_satisfied: usize,
+    /// Satisfaction flags, one bit per honest player (struct-of-arrays: the
+    /// flag planes are packed `u64` bitmaps, the hot per-player payloads live
+    /// in their own dense arrays).
+    satisfied: BitSet,
+    /// Running count of set bits in `satisfied` — keeps the stop rules and
+    /// the per-round satisfaction curve O(1) instead of an O(n) rescan.
+    n_satisfied: u32,
     /// Unsatisfied honest players, ascending. Ascending order matters: it is
     /// the board append order, which advice probes observe.
     active_players: Vec<u32>,
     outcomes: Vec<PlayerOutcome>,
+    /// Best value seen per player — only consulted by the no-local-testing
+    /// final evaluation, so it is left empty (never touched in the round
+    /// loop) for local-testing worlds.
     best_probe: Vec<Option<(ObjectId, f64)>>,
     player_rngs: Vec<SmallRng>,
     adv_rng: SmallRng,
@@ -80,14 +86,21 @@ pub struct Engine<'w> {
     /// Fault-injection coins (dedicated stream; never touched by the
     /// no-fault path).
     faults_rng: SmallRng,
-    /// Predetermined crash round per honest player (`None`: never crashes).
-    /// Cleared on crash so a recovered player does not re-crash.
-    crash_at: Vec<Option<Round>>,
-    /// Whether each honest player is currently crashed.
-    crashed: Vec<bool>,
+    /// Predetermined crash events `(round, player)`, sorted ascending; the
+    /// cursor marks the first event that has not fired yet. Each event fires
+    /// exactly once, so churn costs O(crashed + due) per round instead of an
+    /// O(n) schedule rescan.
+    crash_events: Vec<(u64, u32)>,
+    crash_cursor: usize,
+    /// Whether each honest player is currently crashed (bitmap plane).
+    crashed: BitSet,
+    /// Currently-crashed players, ascending — the recovery-coin draw order.
+    crashed_list: Vec<u32>,
+    /// Reused per-round output buffer for rebuilding `crashed_list`.
+    churn_scratch: Vec<u32>,
     /// Crashed players that are not satisfied — with recovery disabled these
     /// are terminal, and the all-satisfied stop rule treats them as such.
-    n_crashed_unsatisfied: usize,
+    n_crashed_unsatisfied: u32,
     fault_counters: FaultCounters,
     /// Vote state as seen by a reader `view_lag` rounds behind; `None` when
     /// reads are fresh. Fed exclusively through `ingest_until`.
@@ -164,14 +177,14 @@ impl<'w> Engine<'w> {
         let mut board = Billboard::new(n, m);
         let mut tracker = VoteTracker::new(n, m, config.policy);
         let n_honest = config.n_honest as usize;
-        let mut satisfied = vec![false; n_honest];
+        let mut satisfied = BitSet::new(n_honest);
         let mut outcomes = vec![PlayerOutcome::new(); n_honest];
         let mut round = Round(0);
 
         if !config.pre_satisfied.is_empty() {
             for &(p, o) in &config.pre_satisfied {
                 board.append(Round(0), p, o, world.value(o), ReportKind::Positive)?;
-                satisfied[p.index()] = true;
+                satisfied.insert(p.index());
                 outcomes[p.index()].satisfied_round = Some(Round(0));
             }
             tracker.ingest(&board);
@@ -183,17 +196,31 @@ impl<'w> Engine<'w> {
             .collect();
         let adv_rng = stream_rng(config.seed, Stream::Adversary);
         let mut faults_rng = stream_rng(config.seed, Stream::Faults);
-        let mut crash_at = Vec::new();
-        Self::draw_crash_schedule(&config.faults, &mut faults_rng, &mut crash_at, n_honest);
+        let mut crash_events = Vec::new();
+        Self::draw_crash_schedule(
+            &config.faults,
+            &mut faults_rng,
+            &mut crash_events,
+            config.n_honest,
+        );
         let lagged_tracker =
             (config.faults.view_lag > 0).then(|| VoteTracker::new(n, m, config.policy));
         let dishonest = config.dishonest_players();
         let trace = config.record_trace.then(Vec::new);
-        let n_satisfied = satisfied.iter().filter(|&&s| s).count();
+        let n_satisfied = satisfied.count_ones() as u32;
         let active_players: Vec<u32> = (0..config.n_honest)
-            .filter(|&p| !satisfied[p as usize])
+            .filter(|&p| !satisfied.contains(p as usize))
             .collect();
-        let curve_capacity = Self::curve_capacity(&config.stop);
+        let curve_capacity = if config.record_satisfaction_curve {
+            Self::curve_capacity(&config.stop)
+        } else {
+            0
+        };
+        let best_probe = if world.model().has_local_testing() {
+            Vec::new()
+        } else {
+            vec![None; n_honest]
+        };
 
         Ok(Engine {
             config,
@@ -206,7 +233,7 @@ impl<'w> Engine<'w> {
             n_satisfied,
             active_players,
             outcomes,
-            best_probe: vec![None; n_honest],
+            best_probe,
             player_rngs,
             adv_rng,
             dishonest,
@@ -218,39 +245,40 @@ impl<'w> Engine<'w> {
             probe_buf: Vec::with_capacity(n_honest),
             open_window_start: None,
             faults_rng,
-            crash_at,
-            crashed: vec![false; n_honest],
+            crash_events,
+            crash_cursor: 0,
+            crashed: BitSet::new(n_honest),
+            crashed_list: Vec::new(),
+            churn_scratch: Vec::new(),
             n_crashed_unsatisfied: 0,
             fault_counters: FaultCounters::default(),
             lagged_tracker,
         })
     }
 
-    /// Fills `out` with each honest player's predetermined crash round
-    /// (ascending player order, so the draw sequence is deterministic).
-    /// `crash_rate` is the probability of ever crashing; the crash round is
-    /// uniform over `[0, crash_window)`, which is what makes the effective
-    /// honest fraction α′ = α·(1 − crash_rate) once the window has passed.
+    /// Fills `out` with the predetermined crash events, one per player that
+    /// will ever crash, sorted by `(round, player)`. Coins are drawn in
+    /// ascending player order (the deterministic draw sequence: one coin per
+    /// player, plus a round draw only for crashers). `crash_rate` is the
+    /// probability of ever crashing; the crash round is uniform over
+    /// `[0, crash_window)`, which is what makes the effective honest fraction
+    /// α′ = α·(1 − crash_rate) once the window has passed.
     fn draw_crash_schedule(
         plan: &FaultPlan,
         rng: &mut SmallRng,
-        out: &mut Vec<Option<Round>>,
-        n_honest: usize,
+        out: &mut Vec<(u64, u32)>,
+        n_honest: u32,
     ) {
         out.clear();
         if plan.crash_rate <= 0.0 {
-            out.resize(n_honest, None);
             return;
         }
-        for _ in 0..n_honest {
-            let crashes = rng.gen::<f64>() < plan.crash_rate;
-            let at = if crashes {
-                Some(Round(rng.gen_range(0..plan.crash_window)))
-            } else {
-                None
-            };
-            out.push(at);
+        for p in 0..n_honest {
+            if rng.gen::<f64>() < plan.crash_rate {
+                out.push((rng.gen_range(0..plan.crash_window), p));
+            }
         }
+        out.sort_unstable();
     }
 
     /// Capacity reserved up front for the per-round satisfaction curve, so a
@@ -273,11 +301,11 @@ impl<'w> Engine<'w> {
     /// running counter rather than rescanning the satisfaction flags.
     pub fn satisfied_count(&self) -> usize {
         debug_assert_eq!(
-            self.n_satisfied,
-            self.satisfied.iter().filter(|&&s| s).count(),
-            "running satisfied counter diverged from the flag scan"
+            self.n_satisfied as usize,
+            self.satisfied.count_ones(),
+            "running satisfied counter diverged from the bitmap popcount"
         );
-        self.n_satisfied
+        self.n_satisfied as usize
     }
 
     /// The billboard (read-only).
@@ -303,7 +331,7 @@ impl<'w> Engine<'w> {
                 } else {
                     self.n_satisfied
                 };
-                terminal == self.satisfied.len() || self.rounds_executed >= max_rounds
+                terminal == self.config.n_honest || self.rounds_executed >= max_rounds
             }
             StopRule::Horizon { rounds } => self.rounds_executed >= rounds,
             StopRule::AnySatisfied { max_rounds } => {
@@ -407,50 +435,54 @@ impl<'w> Engine<'w> {
         self.board.reset();
         self.tracker.reset();
         let n_honest = self.config.n_honest as usize;
-        self.satisfied.clear();
-        self.satisfied.resize(n_honest, false);
+        self.satisfied.reset(n_honest);
         self.outcomes.clear();
         self.outcomes.resize(n_honest, PlayerOutcome::new());
         self.best_probe.clear();
-        self.best_probe.resize(n_honest, None);
+        if !world.model().has_local_testing() {
+            self.best_probe.resize(n_honest, None);
+        }
         self.round = Round(0);
         if !self.config.pre_satisfied.is_empty() {
             for &(p, o) in &self.config.pre_satisfied {
                 self.board
                     .append(Round(0), p, o, world.value(o), ReportKind::Positive)?;
-                self.satisfied[p.index()] = true;
+                self.satisfied.insert(p.index());
                 self.outcomes[p.index()].satisfied_round = Some(Round(0));
             }
             self.tracker.ingest(&self.board);
             self.round = Round(1);
         }
-        for (p, rng) in self.player_rngs.iter_mut().enumerate() {
-            *rng = stream_rng(seed, Stream::Player(p as u32));
+        for (p, rng) in (0u32..).zip(self.player_rngs.iter_mut()) {
+            *rng = stream_rng(seed, Stream::Player(p));
         }
         self.adv_rng = stream_rng(seed, Stream::Adversary);
         self.faults_rng = stream_rng(seed, Stream::Faults);
         Self::draw_crash_schedule(
             &self.config.faults,
             &mut self.faults_rng,
-            &mut self.crash_at,
-            n_honest,
+            &mut self.crash_events,
+            self.config.n_honest,
         );
-        self.crashed.clear();
-        self.crashed.resize(n_honest, false);
+        self.crash_cursor = 0;
+        self.crashed.reset(n_honest);
+        self.crashed_list.clear();
         self.n_crashed_unsatisfied = 0;
         self.fault_counters = FaultCounters::default();
         if let Some(lt) = self.lagged_tracker.as_mut() {
             lt.reset();
         }
-        self.n_satisfied = self.satisfied.iter().filter(|&&s| s).count();
+        self.n_satisfied = self.satisfied.count_ones() as u32;
         let satisfied = &self.satisfied;
         let n_honest_u32 = self.config.n_honest;
         self.active_players.clear();
         self.active_players
-            .extend((0..n_honest_u32).filter(|&p| !satisfied[p as usize]));
+            .extend((0..n_honest_u32).filter(|&p| !satisfied.contains(p as usize)));
         self.satisfied_per_round.clear();
-        self.satisfied_per_round
-            .reserve(Self::curve_capacity(&self.config.stop));
+        if self.config.record_satisfaction_curve {
+            self.satisfied_per_round
+                .reserve(Self::curve_capacity(&self.config.stop));
+        }
         self.forged_rejected = 0;
         self.trace = self.config.record_trace.then(Vec::new);
         self.rounds_executed = 0;
@@ -505,7 +537,7 @@ impl<'w> Engine<'w> {
             let directive = self.cohort.directive(&view);
             for idx in 0..self.active_players.len() {
                 let p = self.active_players[idx];
-                if churn && self.crashed[p as usize] {
+                if churn && self.crashed.contains(p as usize) {
                     continue;
                 }
                 let rng = &mut self.player_rngs[p as usize];
@@ -596,9 +628,13 @@ impl<'w> Engine<'w> {
             } else {
                 outcome.explore_probes += 1;
             }
-            match self.best_probe[p.index()] {
-                Some((_, best)) if best >= value => {}
-                _ => self.best_probe[p.index()] = Some((probe.object, value)),
+            if !local_testing {
+                // Only the §5.3 final evaluation reads this; skipping it for
+                // local-testing worlds keeps the plane out of the hot loop.
+                match self.best_probe[p.index()] {
+                    Some((_, best)) if best >= value => {}
+                    _ => self.best_probe[p.index()] = Some((probe.object, value)),
+                }
             }
             let good = self.world.is_good(probe.object);
             if let Some(t) = self.trace.as_mut() {
@@ -641,7 +677,7 @@ impl<'w> Engine<'w> {
                     }
                 }
                 if good {
-                    self.satisfied[p.index()] = true;
+                    self.satisfied.insert(p.index());
                     self.n_satisfied += 1;
                     any_satisfied_this_round = true;
                     outcome.satisfied_round = Some(round);
@@ -705,9 +741,12 @@ impl<'w> Engine<'w> {
         self.tracker.ingest(&self.board);
         if any_satisfied_this_round {
             let satisfied = &self.satisfied;
-            self.active_players.retain(|&p| !satisfied[p as usize]);
+            self.active_players
+                .retain(|&p| !satisfied.contains(p as usize));
         }
-        self.satisfied_per_round.push(self.n_satisfied as u32);
+        if self.config.record_satisfaction_curve {
+            self.satisfied_per_round.push(self.n_satisfied);
+        }
         self.round = round.next();
         self.rounds_executed += 1;
         Ok(())
@@ -718,45 +757,88 @@ impl<'w> Engine<'w> {
     ///
     /// Crashes fire when the player's predetermined crash round is reached
     /// (`<=` so schedules starting before a pre-satisfied run's first round
-    /// still fire); the schedule slot is cleared so a recovered player never
-    /// re-crashes. Recovery is a per-round geometric draw. Satisfied players
-    /// can crash too (the machine dies either way) but only unsatisfied
-    /// crashes count toward the terminal-player total the stop rule uses.
+    /// still fire); each event fires exactly once, so a recovered player
+    /// never re-crashes. Recovery is a per-round geometric draw. Satisfied
+    /// players can crash too (the machine dies either way) but only
+    /// unsatisfied crashes count toward the terminal-player total the stop
+    /// rule uses.
+    ///
+    /// The old flag-array walk cost O(n) per round; this merge walks only the
+    /// currently-crashed players (recovery coins, ascending — the exact coin
+    /// draw order of the old loop, which drew coins *only* for crashed
+    /// players) interleaved with the due crash events in player order, so the
+    /// trace and counter sequence is bit-identical at O(crashed + due).
     fn process_churn(&mut self, round: Round) {
         let recovery = self.config.faults.recovery_rate;
-        for p in 0..self.crashed.len() {
-            if self.crashed[p] {
+        let start = self.crash_cursor;
+        let mut end = start;
+        while end < self.crash_events.len() && self.crash_events[end].0 <= round.as_u64() {
+            end += 1;
+        }
+        self.crash_cursor = end;
+        if end - start > 1 {
+            // A batch from a single round is already player-sorted; one that
+            // spans several rounds (possible only on the first churn of a
+            // pre-seeded run, which starts past round 0) needs the player
+            // order restored.
+            self.crash_events[start..end].sort_unstable_by_key(|&(_, p)| p);
+        }
+        if end == start && self.crashed_list.is_empty() {
+            return;
+        }
+        let mut next_list = std::mem::take(&mut self.churn_scratch);
+        next_list.clear();
+        let mut ci = 0;
+        let mut di = start;
+        loop {
+            let next_crashed = self.crashed_list.get(ci).copied();
+            let next_due = (di < end).then(|| self.crash_events[di].1);
+            let crash_now = match (next_crashed, next_due) {
+                (None, None) => break,
+                (Some(_), None) => false,
+                (None, Some(_)) => true,
+                (Some(c), Some(d)) => d < c,
+            };
+            if crash_now {
+                let p = self.crash_events[di].1;
+                di += 1;
+                self.crashed.insert(p as usize);
+                if !self.satisfied.contains(p as usize) {
+                    self.n_crashed_unsatisfied += 1;
+                }
+                self.fault_counters.crashes += 1;
+                if self.outcomes[p as usize].crash_round.is_none() {
+                    self.outcomes[p as usize].crash_round = Some(round);
+                }
+                if let Some(t) = self.trace.as_mut() {
+                    t.push(TraceEvent::PlayerCrashed {
+                        round,
+                        player: PlayerId(p),
+                    });
+                }
+                next_list.push(p);
+            } else {
+                let p = self.crashed_list[ci];
+                ci += 1;
                 if recovery > 0.0 && self.faults_rng.gen::<f64>() < recovery {
-                    self.crashed[p] = false;
-                    if !self.satisfied[p] {
+                    self.crashed.remove(p as usize);
+                    if !self.satisfied.contains(p as usize) {
                         self.n_crashed_unsatisfied -= 1;
                     }
                     self.fault_counters.recoveries += 1;
                     if let Some(t) = self.trace.as_mut() {
                         t.push(TraceEvent::PlayerRecovered {
                             round,
-                            player: PlayerId(p as u32),
+                            player: PlayerId(p),
                         });
                     }
-                }
-            } else if self.crash_at[p].is_some_and(|at| at <= round) {
-                self.crash_at[p] = None;
-                self.crashed[p] = true;
-                if !self.satisfied[p] {
-                    self.n_crashed_unsatisfied += 1;
-                }
-                self.fault_counters.crashes += 1;
-                if self.outcomes[p].crash_round.is_none() {
-                    self.outcomes[p].crash_round = Some(round);
-                }
-                if let Some(t) = self.trace.as_mut() {
-                    t.push(TraceEvent::PlayerCrashed {
-                        round,
-                        player: PlayerId(p as u32),
-                    });
+                } else {
+                    next_list.push(p);
                 }
             }
         }
+        std::mem::swap(&mut self.crashed_list, &mut next_list);
+        self.churn_scratch = next_list;
     }
 
     fn advice_probe(
@@ -820,7 +902,7 @@ impl<'w> Engine<'w> {
         };
         SimResult {
             rounds: self.rounds_executed,
-            all_satisfied: self.n_satisfied == self.satisfied.len(),
+            all_satisfied: self.n_satisfied == self.config.n_honest,
             players: std::mem::take(&mut self.outcomes),
             satisfied_per_round: std::mem::take(&mut self.satisfied_per_round),
             posts_total: self.board.len(),

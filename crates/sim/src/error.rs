@@ -18,6 +18,14 @@ pub enum SimError {
     /// A cohort (honest or adversarial) issued a directive the engine cannot
     /// execute, e.g. a candidate set naming an out-of-range object.
     InvalidDirective(String),
+    /// A requested population does not fit the `u32` player-id space. Raised
+    /// once, at configuration time, by [`crate::player_count`] — the
+    /// engines then convert indices losslessly instead of truncating with
+    /// `as u32` casts mid-run.
+    TooManyPlayers {
+        /// The requested population size.
+        n: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -27,6 +35,11 @@ impl fmt::Display for SimError {
             SimError::InvalidWorld(msg) => write!(f, "invalid world: {msg}"),
             SimError::Billboard(e) => write!(f, "billboard integrity violation: {e}"),
             SimError::InvalidDirective(msg) => write!(f, "invalid directive: {msg}"),
+            SimError::TooManyPlayers { n } => write!(
+                f,
+                "population of {n} players exceeds the u32 id space ({} max)",
+                u32::MAX
+            ),
         }
     }
 }
@@ -64,6 +77,9 @@ mod tests {
         assert!(e.source().is_some());
         let e2 = SimError::InvalidWorld("no good objects".into());
         assert!(e2.source().is_none());
+        let e3 = SimError::TooManyPlayers { n: u64::MAX };
+        assert!(e3.to_string().contains("u32 id space"));
+        assert!(e3.source().is_none());
         let _ = PlayerId(0); // keep import used
     }
 

@@ -18,21 +18,22 @@ const N: u32 = 256;
 const WARMUP_ROUNDS: u32 = 64;
 const MEASURED_ROUNDS: u32 = 32;
 
-/// An engine in the never-satisfying configuration: n = 256 honest players
-/// distilling over the 255 bad objects of a 256-object binary world.
+/// An engine in the never-satisfying configuration: n honest players
+/// distilling over the bad objects of an n-object binary world.
 fn steady_state_engine(world: &World) -> Engine<'_> {
-    steady_state_engine_with(world, FaultPlan::none())
+    steady_state_engine_with(world, N, FaultPlan::none(), true)
 }
 
-fn steady_state_engine_with(world: &World, faults: FaultPlan) -> Engine<'_> {
+fn steady_state_engine_with(world: &World, n: u32, faults: FaultPlan, curve: bool) -> Engine<'_> {
     let bad: Vec<ObjectId> = (0..world.m())
         .map(ObjectId)
         .filter(|&o| !world.is_good(o))
         .collect();
-    let params = DistillParams::new(N, world.m(), 1.0, world.beta()).expect("params");
-    let config = SimConfig::new(N, N, 0xA110C)
+    let params = DistillParams::new(n, world.m(), 1.0, world.beta()).expect("params");
+    let config = SimConfig::new(n, n, 0xA110C)
         .with_negative_reports(false)
         .with_faults(faults)
+        .with_satisfaction_curve(curve)
         .with_stop(StopRule::all_satisfied(1_000_000));
     Engine::new(
         config,
@@ -89,7 +90,7 @@ fn steady_state_round_is_allocation_free_with_faults() {
         .with_crash_rate(0.25)
         .with_crash_window(u64::from(WARMUP_ROUNDS) / 2)
         .with_recovery_rate(0.05);
-    let mut engine = steady_state_engine_with(&world, faults);
+    let mut engine = steady_state_engine_with(&world, N, faults, true);
     for _ in 0..WARMUP_ROUNDS {
         engine.step().expect("warm-up step");
     }
@@ -100,6 +101,40 @@ fn steady_state_round_is_allocation_free_with_faults() {
             delta.acquisitions(),
             0,
             "measured faulted round {round} allocated: {delta:?}"
+        );
+    }
+}
+
+/// The mega-scale gate (PR 6 tentpole): at n = 10⁵ with **every** fault axis
+/// enabled — drops, stale reads, crash/recovery churn — and the satisfaction
+/// curve opted out, a post-warm-up round still performs zero heap
+/// acquisitions. Fewer warm-up/measured rounds than the n=256 gates keep the
+/// debug-profile runtime reasonable; the crash window sits inside the warm-up
+/// so the measured rounds exercise the recovery-merge path of the event-list
+/// churn, not its first-fire path.
+#[test]
+fn steady_state_round_is_allocation_free_at_mega_scale() {
+    const BIG_N: u32 = 100_000;
+    const BIG_WARMUP: u32 = 8;
+    const BIG_MEASURED: u32 = 4;
+    let world = World::binary(BIG_N, 1, 2026).expect("world");
+    let faults = FaultPlan::none()
+        .with_drop_rate(0.5)
+        .with_view_lag(2)
+        .with_crash_rate(0.25)
+        .with_crash_window(u64::from(BIG_WARMUP) / 2)
+        .with_recovery_rate(0.05);
+    let mut engine = steady_state_engine_with(&world, BIG_N, faults, false);
+    for _ in 0..BIG_WARMUP {
+        engine.step().expect("warm-up step");
+    }
+    for round in 0..BIG_MEASURED {
+        let (delta, step) = alloc_count::measure(|| engine.step());
+        step.expect("measured step");
+        assert_eq!(
+            delta.acquisitions(),
+            0,
+            "measured mega-scale round {round} allocated: {delta:?}"
         );
     }
 }

@@ -1,0 +1,290 @@
+//! Golden-pin bit-identity oracle for the engine round loop.
+//!
+//! Each scenario runs a full execution and folds the *entire* observable
+//! result (every `SimResult` field, including per-player outcomes, the
+//! satisfaction curve, fault counters, and the event trace) into an FNV-1a
+//! digest. The digests below were recorded from the pre-SoA tally-scan
+//! engine; the struct-of-arrays/bitset refactor must reproduce them bit for
+//! bit. If a change is *supposed* to alter observable behaviour, re-record
+//! with:
+//!
+//! ```text
+//! GOLDEN_PRINT=1 cargo test --test engine_golden -- --nocapture
+//! ```
+
+use distill::prelude::*;
+use distill::sim::async_engine::{
+    AsyncEngine, BalanceStep, Isolate, RandomSchedule, RandomStep, RoundRobin, Schedule, StepPolicy,
+};
+use distill::sim::{
+    Adversary, CandidateSet, Cohort, Directive, FaultPlan, InfoModel, Participation, PhaseInfo,
+    SimConfig, StopRule,
+};
+
+/// FNV-1a over the full `Debug` rendering of a result. `Debug` for these
+/// types prints every field (f64s via the shortest-roundtrip formatter), so
+/// two results digest equal iff they are observably identical.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn digest<T: std::fmt::Debug>(value: &T) -> u64 {
+    fnv1a(format!("{value:?}").as_bytes())
+}
+
+/// Probe uniformly at random every round (the §3 trivial algorithm); used
+/// for the no-local-testing scenario where DISTILL does not apply.
+#[derive(Debug)]
+struct Trivial;
+impl Cohort for Trivial {
+    fn directive(&mut self, _view: &BoardView<'_>) -> Directive {
+        Directive::ProbeUniform(CandidateSet::All)
+    }
+    fn phase_info(&self) -> PhaseInfo {
+        PhaseInfo::plain("trivial")
+    }
+    fn name(&self) -> &'static str {
+        "trivial"
+    }
+}
+
+fn distill_engine<'w>(
+    world: &'w World,
+    config: SimConfig,
+    adversary: Box<dyn Adversary>,
+) -> Engine<'w> {
+    let alpha = f64::from(config.n_honest) / f64::from(config.n_players);
+    let params =
+        DistillParams::new(config.n_players, world.m(), alpha, world.beta()).expect("params");
+    Engine::new(config, world, Box::new(Distill::new(params)), adversary).expect("engine")
+}
+
+fn run_scenario(name: &str) -> u64 {
+    match name {
+        "plain_distill" => {
+            let world = World::binary(48, 2, 11).expect("world");
+            let config = SimConfig::new(48, 40, 101).with_stop(StopRule::all_satisfied(200_000));
+            let result = distill_engine(&world, config, Box::new(UniformBad::new()))
+                .run()
+                .expect("run");
+            digest(&result)
+        }
+        "tally_scan_path" => {
+            // Must stay bit-identical to plain_distill: the event-stream
+            // scan is the incremental window counters' oracle.
+            let world = World::binary(48, 2, 11).expect("world");
+            let config = SimConfig::new(48, 40, 101)
+                .with_stop(StopRule::all_satisfied(200_000))
+                .with_tally_window_registration(false);
+            let result = distill_engine(&world, config, Box::new(UniformBad::new()))
+                .run()
+                .expect("run");
+            digest(&result)
+        }
+        "faulted_traced" => {
+            let world = World::binary(32, 2, 7).expect("world");
+            let config = SimConfig::new(32, 28, 202)
+                .with_faults(
+                    FaultPlan::none()
+                        .with_drop_rate(0.3)
+                        .with_view_lag(2)
+                        .with_crash_rate(0.4)
+                        .with_crash_window(16)
+                        .with_recovery_rate(0.15),
+                )
+                .with_trace(true)
+                .with_stop(StopRule::all_satisfied(100_000));
+            let result = distill_engine(&world, config, Box::new(Slander::new()))
+                .run()
+                .expect("run");
+            digest(&result)
+        }
+        "pre_satisfied_advice" => {
+            let world = World::binary(32, 2, 5).expect("world");
+            let good = world.good_objects()[0];
+            let config = SimConfig::new(32, 30, 303)
+                .with_pre_satisfied(vec![(PlayerId(0), good), (PlayerId(3), good)])
+                .with_stop(StopRule::all_satisfied(100_000));
+            let result = distill_engine(&world, config, Box::new(NullAdversary))
+                .run()
+                .expect("run");
+            digest(&result)
+        }
+        "pre_satisfied_churn_traced" => {
+            // Crash schedule rounds can be `<` the first executed round when
+            // pre-seeding skips round 0 — pins the multi-round due-crash
+            // batch ordering in the churn pass.
+            let world = World::binary(24, 2, 13).expect("world");
+            let good = world.good_objects()[1];
+            let config = SimConfig::new(24, 20, 313)
+                .with_pre_satisfied(vec![(PlayerId(2), good)])
+                .with_faults(
+                    FaultPlan::none()
+                        .with_crash_rate(0.8)
+                        .with_crash_window(1)
+                        .with_recovery_rate(0.3),
+                )
+                .with_trace(true)
+                .with_stop(StopRule::all_satisfied(100_000));
+            let result = distill_engine(&world, config, Box::new(NullAdversary))
+                .run()
+                .expect("run");
+            digest(&result)
+        }
+        "round_robin_threshold_matcher" => {
+            let world = World::binary(40, 2, 17).expect("world");
+            let config = SimConfig::new(40, 32, 404)
+                .with_participation(Participation::RoundRobin { groups: 3 })
+                .with_stop(StopRule::all_satisfied(200_000));
+            let result = distill_engine(&world, config, Box::new(ThresholdMatcher::new()))
+                .run()
+                .expect("run");
+            digest(&result)
+        }
+        "random_subset_multivote_errors" => {
+            let world = World::binary(40, 3, 19).expect("world");
+            let config = SimConfig::new(40, 34, 505)
+                .with_participation(Participation::RandomSubset { p: 0.6 })
+                .with_policy(VotePolicy::multi_vote(3))
+                .with_honest_error_rate(0.1)
+                .with_stop(StopRule::all_satisfied(200_000));
+            let result = distill_engine(&world, config, Box::new(BallotStuffer::new(3)))
+                .run()
+                .expect("run");
+            digest(&result)
+        }
+        "straggler" => {
+            let world = World::binary(32, 2, 23).expect("world");
+            let config = SimConfig::new(32, 28, 808)
+                .with_participation(Participation::Straggler {
+                    player: PlayerId(1),
+                    until_round: 12,
+                })
+                .with_stop(StopRule::all_satisfied(200_000));
+            let result = distill_engine(&world, config, Box::new(UniformBad::new()))
+                .run()
+                .expect("run");
+            digest(&result)
+        }
+        "strongly_adaptive" => {
+            let world = World::binary(32, 2, 29).expect("world");
+            let config = SimConfig::new(32, 26, 707)
+                .with_info(InfoModel::StronglyAdaptive)
+                .with_stop(StopRule::all_satisfied(200_000));
+            let result = distill_engine(&world, config, Box::new(BallotStuffer::new(2)))
+                .run()
+                .expect("run");
+            digest(&result)
+        }
+        "best_value_horizon" => {
+            let world = World::uniform_top_beta(64, 0.1, 9).expect("world");
+            let config = SimConfig::new(24, 20, 606)
+                .with_policy(VotePolicy::best_value())
+                .with_stop(StopRule::horizon(40));
+            let result = Engine::new(
+                config,
+                &world,
+                Box::new(Trivial),
+                Box::new(UniformBad::new()),
+            )
+            .expect("engine")
+            .run()
+            .expect("run");
+            digest(&result)
+        }
+        "async_round_robin_faulted" => digest(&run_async(
+            Box::new(RoundRobin::default()),
+            Box::new(BalanceStep::new()),
+            909,
+            FaultPlan::none()
+                .with_drop_rate(0.2)
+                .with_view_lag(3)
+                .with_crash_rate(0.3)
+                .with_crash_window(64)
+                .with_recovery_rate(0.1),
+        )),
+        "async_isolate_plain" => digest(&run_async(
+            Box::new(Isolate::new(PlayerId(0))),
+            Box::new(BalanceStep::new()),
+            910,
+            FaultPlan::none(),
+        )),
+        "async_random_faulted" => digest(&run_async(
+            Box::new(RandomSchedule),
+            Box::new(RandomStep),
+            911,
+            FaultPlan::none()
+                .with_crash_rate(0.5)
+                .with_crash_window(32)
+                .with_recovery_rate(0.25),
+        )),
+        other => panic!("unknown scenario {other}"),
+    }
+}
+
+fn run_async(
+    schedule: Box<dyn Schedule>,
+    policy: Box<dyn StepPolicy>,
+    seed: u64,
+    faults: FaultPlan,
+) -> distill::sim::async_engine::AsyncResult {
+    let world = World::binary(64, 4, 3).expect("world");
+    AsyncEngine::new(
+        24,
+        20,
+        seed,
+        2_000_000,
+        &world,
+        policy,
+        schedule,
+        Box::new(UniformBad::new()),
+    )
+    .expect("engine")
+    .with_faults(faults)
+    .expect("faults")
+    .run()
+    .expect("run")
+}
+
+/// Digests recorded from the pre-refactor engine (see module docs).
+const PINS: &[(&str, u64)] = &[
+    ("plain_distill", 0xc76af13208f9fe6a),
+    ("tally_scan_path", 0xc76af13208f9fe6a),
+    ("faulted_traced", 0x9b6d75f5f329b1eb),
+    ("pre_satisfied_advice", 0x0123fe6ef4b53303),
+    ("pre_satisfied_churn_traced", 0xf23e88181f3da4b1),
+    ("round_robin_threshold_matcher", 0xbf09db5eea77c4f5),
+    ("random_subset_multivote_errors", 0x855f79c30bd57da2),
+    ("straggler", 0xb0e4148d289851e1),
+    ("strongly_adaptive", 0xbcae30ab42f2088a),
+    ("best_value_horizon", 0x0b2f55a720753a71),
+    ("async_round_robin_faulted", 0x395626a2660e0258),
+    ("async_isolate_plain", 0x60a499f09b14fb42),
+    ("async_random_faulted", 0x8298ad5706d922e8),
+];
+
+#[test]
+fn golden_digests_are_stable() {
+    let print = std::env::var_os("GOLDEN_PRINT").is_some();
+    let mut failures = Vec::new();
+    for &(name, expected) in PINS {
+        let got = run_scenario(name);
+        if print {
+            println!("    (\"{name}\", 0x{got:016x}),");
+        } else if got != expected {
+            failures.push(format!(
+                "{name}: expected 0x{expected:016x}, got 0x{got:016x}"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden digests diverged:\n{}",
+        failures.join("\n")
+    );
+}

@@ -306,4 +306,61 @@ proptest! {
             .count();
         prop_assert!(dishonest_votes <= s.f * (s.n - s.honest) as usize);
     }
+
+    /// PR 6 oracle: the struct-of-arrays/bitset round loop against the
+    /// from-scratch tally-scan path, across random seeds, fault axes
+    /// (drops + stale reads + crash/recovery churn), the satisfaction-curve
+    /// opt-out, and thread counts. Every pair of executions must be
+    /// bit-identical (`SimResult` equality covers outcomes, curve, fault
+    /// counters, and post totals) — the bitmap planes and event-list churn
+    /// change the representation, never the execution.
+    #[test]
+    fn soa_engine_matches_tally_scan_oracle_under_faults(
+        s in arb_scenario(),
+        threads in 1usize..5,
+        lag in 0u64..3,
+        churn in any::<bool>(),
+        curve in any::<bool>(),
+    ) {
+        let faults = if churn {
+            FaultPlan::none()
+                .with_drop_rate(0.2)
+                .with_view_lag(lag)
+                .with_crash_rate(0.3)
+                .with_crash_window(8)
+                .with_recovery_rate(0.25)
+        } else {
+            FaultPlan::none().with_view_lag(lag)
+        };
+        let run_path = |register: bool| {
+            let trial = |t: u64| {
+                let world = World::binary(s.m, s.goods, s.world_seed).expect("world");
+                let alpha = f64::from(s.honest) / f64::from(s.n);
+                let params = DistillParams::new(s.n, s.m, alpha, world.beta()).expect("params");
+                let config = SimConfig::new(s.n, s.honest, s.seed.wrapping_add(t))
+                    .with_policy(VotePolicy::multi_vote(s.f))
+                    .with_faults(faults)
+                    .with_satisfaction_curve(curve)
+                    .with_stop(StopRule::all_satisfied(50_000))
+                    .with_tally_window_registration(register);
+                Engine::new(
+                    config,
+                    &world,
+                    Box::new(Distill::new(params)),
+                    make_adversary(s.adversary),
+                )
+                .expect("engine")
+                .run()
+                .unwrap()
+            };
+            run_trials_threaded(3, threads, trial)
+        };
+        let incremental = run_path(true);
+        let scan = run_path(false);
+        for r in &incremental {
+            // The curve opt-out must actually suppress per-round growth.
+            prop_assert_eq!(r.satisfied_per_round.is_empty(), !curve || r.rounds == 0);
+        }
+        prop_assert_eq!(incremental, scan);
+    }
 }

@@ -1,0 +1,166 @@
+//! Regression pins for the lagged-view cutoff semantics at early rounds.
+//!
+//! Under `FaultPlan::view_lag = L`, a reader at round `r` sees the board
+//! prefix a fresh reader saw at round `r − L`; the cutoff saturates at zero,
+//! so for every round `r ≤ L` the view must equal the **empty-board** view —
+//! no posts and no votes — even when the board already carries round-0 posts
+//! (pre-satisfied seeds). Both engines compute the cutoff with
+//! `saturating_sub`; these tests pin that the saturation window is closed
+//! (nothing leaks through it) and that it opens exactly one round/step at a
+//! time afterwards.
+
+use distill::prelude::*;
+use distill::sim::async_engine::{AsyncEngine, RandomStep, RoundRobin, Schedule, StepPolicy};
+use distill::sim::{CandidateSet, Cohort, Directive, FaultPlan, PhaseInfo, SimConfig, StopRule};
+use rand::rngs::SmallRng;
+use std::sync::{Arc, Mutex};
+
+const LAG: u64 = 3;
+
+/// What a reader can observe about one round's view: the visible post count
+/// and the seeded player's visible votes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Observation {
+    posts: usize,
+    seed_votes: usize,
+}
+
+/// Probes only bad objects (never satisfies) while recording, per round, what
+/// the lagged view exposes.
+#[derive(Debug)]
+struct Recorder {
+    bad: Vec<ObjectId>,
+    seeded: PlayerId,
+    seen: Arc<Mutex<Vec<Observation>>>,
+}
+
+impl Cohort for Recorder {
+    fn directive(&mut self, view: &BoardView<'_>) -> Directive {
+        self.seen.lock().expect("lock").push(Observation {
+            posts: view.posts().len(),
+            seed_votes: view.votes_of(self.seeded).len(),
+        });
+        Directive::ProbeUniform(CandidateSet::subset(self.bad.clone()))
+    }
+    fn phase_info(&self) -> PhaseInfo {
+        PhaseInfo::plain("recorder")
+    }
+    fn name(&self) -> &'static str {
+        "recorder"
+    }
+}
+
+/// At rounds 1..=LAG of a pre-seeded run, the lagged view equals the
+/// empty-board view — the round-0 seed post must NOT be visible, despite the
+/// board being non-empty from round 0 on. One round later the cutoff admits
+/// exactly the round-0 prefix.
+#[test]
+fn sync_lagged_view_is_empty_until_the_lag_horizon_passes() {
+    let world = World::binary(64, 1, 5).expect("world");
+    let good = world.good_objects()[0];
+    let bad: Vec<ObjectId> = (0..world.m())
+        .map(ObjectId)
+        .filter(|&o| !world.is_good(o))
+        .collect();
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let recorder = Recorder {
+        bad,
+        seeded: PlayerId(0),
+        seen: Arc::clone(&seen),
+    };
+    let config = SimConfig::new(8, 8, 42)
+        .with_pre_satisfied(vec![(PlayerId(0), good)])
+        .with_faults(FaultPlan::none().with_view_lag(LAG))
+        .with_stop(StopRule::horizon(8));
+    Engine::new(config, &world, Box::new(recorder), Box::new(NullAdversary))
+        .expect("engine")
+        .run()
+        .expect("run");
+    let seen = seen.lock().expect("lock");
+    // Executed rounds are 1..=8 (round 0 was consumed by the seed).
+    assert_eq!(seen.len(), 8);
+    for (i, obs) in seen.iter().enumerate() {
+        let round = i as u64 + 1;
+        if round <= LAG {
+            assert_eq!(
+                *obs,
+                Observation {
+                    posts: 0,
+                    seed_votes: 0
+                },
+                "round {round} ≤ lag {LAG} must see the empty-board view"
+            );
+        }
+    }
+    // Round LAG + 1 (cutoff 1) admits exactly the round-0 seed post.
+    assert_eq!(
+        seen[LAG as usize],
+        Observation {
+            posts: 1,
+            seed_votes: 1
+        },
+        "round {} must see exactly the round-0 prefix",
+        LAG + 1
+    );
+    // From there the window slides one round at a time: round LAG + 2 adds
+    // round 1's posts (7 unsatisfied players, negative reports on → 7 posts).
+    assert_eq!(seen[LAG as usize + 1].posts, 8);
+}
+
+/// The recorder for the asynchronous engine: every scheduled step logs the
+/// visible post count before probing a (hard-to-satisfy) random object.
+#[derive(Debug)]
+struct StepRecorder {
+    inner: RandomStep,
+    seen: Arc<Mutex<Vec<usize>>>,
+}
+
+impl StepPolicy for StepRecorder {
+    fn probe(&mut self, player: PlayerId, view: &BoardView<'_>, rng: &mut SmallRng) -> ObjectId {
+        self.seen.lock().expect("lock").push(view.posts().len());
+        self.inner.probe(player, view, rng)
+    }
+    fn name(&self) -> &'static str {
+        "step-recorder"
+    }
+}
+
+/// Asynchronous counterpart: with `view_lag = L` (in steps), steps 0..=L read
+/// the empty-board view; step `s > L` sees exactly the `s − L` posts of steps
+/// `0 .. s − L`. Must agree with the synchronous engine's saturation — the
+/// window is closed through the lag, then opens one step at a time.
+#[test]
+fn async_lagged_view_is_empty_until_the_lag_horizon_passes() {
+    let world = World::binary(512, 1, 3).expect("world");
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let policy = StepRecorder {
+        inner: RandomStep,
+        seen: Arc::clone(&seen),
+    };
+    let schedules: Box<dyn Schedule> = Box::new(RoundRobin::default());
+    let result = AsyncEngine::new(
+        8,
+        8,
+        7,
+        12,
+        &world,
+        Box::new(policy),
+        schedules,
+        Box::new(NullAdversary),
+    )
+    .expect("engine")
+    .with_faults(FaultPlan::none().with_view_lag(LAG))
+    .expect("faults")
+    .run()
+    .expect("run");
+    assert_eq!(result.steps, 12, "hard world: nobody satisfies in 12 steps");
+    let seen = seen.lock().expect("lock");
+    assert_eq!(seen.len(), 12);
+    for (s, &posts) in seen.iter().enumerate() {
+        let expected = (s as u64).saturating_sub(LAG) as usize;
+        assert_eq!(
+            posts, expected,
+            "step {s}: lagged view must expose exactly the first {expected} posts"
+        );
+    }
+}
