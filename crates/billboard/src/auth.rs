@@ -117,6 +117,8 @@ impl Authenticator {
 
     /// Number of registered players.
     pub fn n_players(&self) -> u32 {
+        // lint: allow(cast) — secrets is populated from a `0..n: u32` range
+        // at construction, so its length always fits a u32
         self.secrets.len() as u32
     }
 

@@ -136,7 +136,7 @@ impl VoteArena {
                 let len = lens[player] as usize;
                 if len < *stride {
                     slots[player * *stride + len] = record;
-                    lens[player] = (len + 1) as u32;
+                    lens[player] += 1;
                 }
             }
             VoteStore::Boxed(v) => v[player].push(record),
@@ -614,6 +614,7 @@ impl VoteTracker {
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
+            // lint: allow(cast) — index ranges over the tracker's m: u32 objects
             .map(|(i, _)| ObjectId(i as u32))
             .collect()
     }
@@ -661,6 +662,9 @@ impl VoteTracker {
         self.events_in(window)
             .iter()
             .filter(|e| e.object == object)
+            // lint: allow(cast) — one event per player per round in a window
+            // of u32 rounds over u32 players stays far below 2^32 in practice,
+            // and the incremental tally this oracle checks is itself u32
             .count() as u32
     }
 
@@ -699,6 +703,7 @@ impl VoteTracker {
     /// absent. Beyond `out`'s own growth (amortized away when the caller
     /// reuses the buffer across rounds) this performs **no allocation** on
     /// the incremental path.
+    // lint: hot
     pub fn window_tally_into(&self, window: Window, out: &mut Vec<(ObjectId, u32)>) {
         out.clear();
         if let Some(aw) = self.active_for(window) {

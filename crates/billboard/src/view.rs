@@ -135,6 +135,7 @@ impl<'a> BoardView<'a> {
     /// Buffer-reuse variant of [`window_tally`](BoardView::window_tally):
     /// clears and fills `out` (ascending by object id) instead of building a
     /// fresh map — allocation-free on the registered-window fast path.
+    // lint: hot
     #[inline]
     pub fn window_tally_into(&self, window: Window, out: &mut Vec<(ObjectId, u32)>) {
         self.tracker.window_tally_into(window, out);

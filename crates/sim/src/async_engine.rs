@@ -437,6 +437,7 @@ impl<'w> AsyncEngine<'w> {
     /// coins, ascending — the exact coin draw order of the old flag-array
     /// walk) are merged with the due crash events in player order, so the
     /// counter sequence is bit-identical at O(crashed + due) per step.
+    // lint: hot
     fn process_churn(&mut self) {
         let recovery = self.faults.recovery_rate;
         let start = self.crash_cursor;
@@ -522,6 +523,7 @@ impl<'w> AsyncEngine<'w> {
     /// Returns [`SimError::InvalidDirective`] if a step policy probes an
     /// object outside the universe, or [`SimError::Billboard`] if a post
     /// violates the billboard's append discipline (an engine bug guard).
+    // lint: hot
     pub fn run(mut self) -> Result<AsyncResult, SimError> {
         loop {
             if self.step >= self.max_steps {
@@ -569,6 +571,8 @@ impl<'w> AsyncEngine<'w> {
                     .probe(player, &view, &mut self.player_rngs[player.index()])
             };
             if object.0 >= self.world.m() {
+                // lint: allow(alloc) — error path that aborts the run; never
+                // taken on the per-step fast path
                 return Err(SimError::InvalidDirective(format!(
                     "step policy probed object {} outside universe of {} objects",
                     object.0,

@@ -207,6 +207,8 @@ impl<'w> Engine<'w> {
             (config.faults.view_lag > 0).then(|| VoteTracker::new(n, m, config.policy));
         let dishonest = config.dishonest_players();
         let trace = config.record_trace.then(Vec::new);
+        // lint: allow(cast) — count_ones over an n_honest-bit set, and
+        // n_honest is u32 by the id-space contract
         let n_satisfied = satisfied.count_ones() as u32;
         let active_players: Vec<u32> = (0..config.n_honest)
             .filter(|&p| !satisfied.contains(p as usize))
@@ -472,6 +474,8 @@ impl<'w> Engine<'w> {
         if let Some(lt) = self.lagged_tracker.as_mut() {
             lt.reset();
         }
+        // lint: allow(cast) — count_ones over an n_honest-bit set, and
+        // n_honest is u32 by the id-space contract
         self.n_satisfied = self.satisfied.count_ones() as u32;
         let satisfied = &self.satisfied;
         let n_honest_u32 = self.config.n_honest;
@@ -495,6 +499,7 @@ impl<'w> Engine<'w> {
     ///
     /// # Errors
     /// See [`Engine::run`].
+    // lint: hot
     pub fn step(&mut self) -> Result<(), SimError> {
         let round = self.round;
         let n = self.config.n_players;
@@ -503,6 +508,8 @@ impl<'w> Engine<'w> {
         if let Some(t) = self.trace.as_mut() {
             t.push(TraceEvent::RoundStart {
                 round,
+                // lint: allow(cast) — the active list holds at most n_honest
+                // (u32) player ids
                 active_honest: self.active_players.len() as u32,
             });
         }
@@ -576,6 +583,8 @@ impl<'w> Engine<'w> {
                     // out-of-range ids; indexing the world with one would
                     // panic, so reject the directive instead.
                     if object.0 >= m {
+                        // lint: allow(alloc) — error path that aborts the
+                        // run; never taken on the per-round fast path
                         return Err(SimError::InvalidDirective(format!(
                             "cohort produced object {} outside universe of {m} objects",
                             object.0
@@ -609,6 +618,7 @@ impl<'w> Engine<'w> {
         let mut adv_posts = if !strongly {
             self.call_adversary(round, &phase)
         } else {
+            // lint: allow(alloc) — capacity-0 Vec::new never touches the heap
             Vec::new()
         };
 
@@ -768,6 +778,7 @@ impl<'w> Engine<'w> {
     /// draw order of the old loop, which drew coins *only* for crashed
     /// players) interleaved with the due crash events in player order, so the
     /// trace and counter sequence is bit-identical at O(crashed + due).
+    // lint: hot
     fn process_churn(&mut self, round: Round) {
         let recovery = self.config.faults.recovery_rate;
         let start = self.crash_cursor;

@@ -241,6 +241,32 @@ mod tests {
         assert_eq!(s.mean_probes_per_round, 0.0);
     }
 
+    /// Regression: rounds without a single probe (e.g. every player crashed
+    /// or idle) must report a 0.0 advice fraction, not NaN from 0/0.
+    #[test]
+    fn probeless_rounds_keep_advice_fraction_finite() {
+        let trace = vec![
+            TraceEvent::RoundStart {
+                round: Round(0),
+                active_honest: 0,
+            },
+            TraceEvent::RoundStart {
+                round: Round(1),
+                active_honest: 0,
+            },
+            TraceEvent::PlayerCrashed {
+                round: Round(1),
+                player: PlayerId(0),
+            },
+        ];
+        let s = summarize(&trace);
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.probes, 0);
+        assert_eq!(s.advice_fraction(), 0.0);
+        assert!(s.advice_fraction().is_finite());
+        assert_eq!(s.mean_probes_per_round, 0.0);
+    }
+
     #[test]
     fn trace_events_compare() {
         let a = TraceEvent::RoundStart {

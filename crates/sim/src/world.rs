@@ -93,6 +93,8 @@ impl World {
                 good
             }
         };
+        // lint: allow(cast) — good has exactly m: u32 entries, so the count
+        // fits
         let good_count = good.iter().filter(|&&g| g).count() as u32;
         if good_count == 0 {
             return Err(SimError::InvalidWorld(
@@ -183,6 +185,8 @@ impl World {
         let mut class_start = Vec::new();
         for (i, &size) in class_sizes.iter().enumerate() {
             class_start.push(values.len());
+            // lint: allow(cast) — cost classes number at most 64 (u64 cost
+            // doubles per class), so the index fits any width
             let cost = (2u64.pow(i as u32)) as f64;
             for _ in 0..size {
                 values.push(0.0);
@@ -203,6 +207,8 @@ impl World {
     /// Number of objects `m`.
     #[inline]
     pub fn m(&self) -> u32 {
+        // lint: allow(cast) — worlds are constructed with m: u32 objects, so
+        // the length round-trips
         self.values.len() as u32
     }
 
@@ -260,6 +266,7 @@ impl World {
             .iter()
             .enumerate()
             .filter(|(_, &g)| g)
+            // lint: allow(cast) — index ranges over the world's m: u32 objects
             .map(|(i, _)| ObjectId(i as u32))
             .collect()
     }
@@ -270,6 +277,7 @@ impl World {
             .iter()
             .enumerate()
             .filter(|(_, &g)| !g)
+            // lint: allow(cast) — index ranges over the world's m: u32 objects
             .map(|(i, _)| ObjectId(i as u32))
             .collect()
     }
@@ -295,6 +303,7 @@ impl World {
             .iter()
             .enumerate()
             .filter(|(_, &c)| c >= lo && c < hi)
+            // lint: allow(cast) — index ranges over the world's m: u32 objects
             .map(|(i, _)| ObjectId(i as u32))
             .collect()
     }
@@ -303,6 +312,8 @@ impl World {
     pub fn max_cost_class(&self) -> u32 {
         self.costs
             .iter()
+            // lint: allow(cast) — floor(log2) of a finite f64 ≥ 1 lies in
+            // [0, 1024), well inside u32
             .map(|&c| if c >= 1.0 { c.log2().floor() as u32 } else { 0 })
             .max()
             .unwrap_or(0)

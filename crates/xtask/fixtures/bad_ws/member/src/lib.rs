@@ -21,3 +21,37 @@ pub fn swallow_panics(f: impl FnOnce() + std::panic::UnwindSafe) {
     // Supervision in a protected crate: D1 fires on catch_unwind too.
     let _ = std::panic::catch_unwind(f);
 }
+
+mod streams;
+
+pub fn truncate(x: u64) -> u32 {
+    x as u32 // D5: source type invisible and u32 is a narrow target
+}
+
+pub fn sign_flip() -> u64 {
+    (-5i64) as u64 // D5: visible sign-changing cast
+}
+
+pub fn imprecise() -> f64 {
+    9_007_199_254_740_993u64 as f64 // D5: u64 → f64 is inexact above 2^53
+}
+
+pub fn raw_seed() {
+    // Raw seed construction outside the rng home: D6 fires.
+    let _rng = SmallRng::seed_from_u64(42);
+}
+
+pub fn first_stream() {
+    // First Stream::Aux(9) site in (file, line) order: the *duplicate* in
+    // streams.rs fires, not this one.
+    let _rng = stream_rng(7, Stream::Aux(9));
+}
+
+// lint: hot
+pub fn hot_with_allocs(n: usize) -> usize {
+    let mut buf = Vec::new(); // D7: allocation in a hot function
+    for i in 0..n {
+        buf.push(format!("{i}")); // D7: format! allocates
+    }
+    buf.len()
+}

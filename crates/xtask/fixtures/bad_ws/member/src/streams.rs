@@ -1,0 +1,12 @@
+//! Extra auxiliary stream tags: the rule D6 collision checks look at every
+//! file in the workspace at once, so these collide across files.
+
+pub fn duplicate_stream() {
+    // Collides with the Stream::Aux(9) tag in lib.rs: D6 fires here.
+    let _rng = stream_rng(7, Stream::Aux(9));
+}
+
+pub fn wrapping_stream() {
+    // u64::MAX wraps past 2^64 into the reserved tag namespaces: D6 fires.
+    let _rng = stream_rng(7, Stream::Aux(18_446_744_073_709_551_615));
+}

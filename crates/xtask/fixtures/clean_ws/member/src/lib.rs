@@ -27,6 +27,43 @@ pub fn decoy() -> &'static str {
     "so is .expect(\"inside a string\") or a HashMap mention"
 }
 
+/// Widening casts are lossless, so rule D5 stays quiet on both of these.
+pub fn widen() -> u64 {
+    let _precise = 3.5f32 as f64;
+    7u32 as u64
+}
+
+/// A justified narrowing cast: the allowance reason keeps D5 quiet.
+pub fn shrink(len: usize) -> u32 {
+    // lint: allow(cast) — fixture lengths are tiny, far below u32::MAX
+    len as u32
+}
+
+/// A justified raw-seed construction plus a unique auxiliary stream tag —
+/// neither fires rule D6.
+pub fn seeded() {
+    // lint: allow(rng) — fixture drives the generator directly on purpose
+    let _rng = SmallRng::seed_from_u64(42);
+    let _stream = stream_rng(7, Stream::Aux(3));
+}
+
+/// A hot function that stays allocation-free: the `collect` lives inside a
+/// `debug_assert_eq!` (compiled out in release builds) and the one real
+/// allocation carries a justification, so rule D7 stays quiet.
+// lint: hot
+pub fn hot_sum(xs: &[u32], scratch: &mut Vec<u32>) -> u32 {
+    debug_assert_eq!(xs.iter().copied().collect::<Vec<_>>().len(), xs.len());
+    scratch.clear();
+    let mut total = 0;
+    for &x in xs {
+        total += x;
+        scratch.push(x);
+    }
+    // lint: allow(alloc) — fixture keeps one snapshot per call for the test
+    let _snapshot = scratch.clone();
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,7 +1,8 @@
-//! distill-lint: a from-scratch, offline, token-level invariant checker for
+//! distill-lint: a from-scratch, offline, span-aware invariant checker for
 //! this workspace.
 //!
-//! The checker enforces four repo-wide invariants (see `DESIGN.md`):
+//! The checker enforces seven repo-wide invariants (see `DESIGN.md` §9 and
+//! §14):
 //!
 //! * **D1 — panic-freedom.** Non-test code in the protected crates must not
 //!   call `unwrap()`/`expect()` or invoke `panic!`/`unreachable!`/`todo!`/
@@ -18,24 +19,48 @@
 //! * **D3 — unsafe hygiene.** Every workspace crate (except the vendored
 //!   compat stubs) carries `#![forbid(unsafe_code)]` in its crate roots.
 //! * **D4 — lint policy.** The root manifest pins the clippy panic-lint
-//!   denies under `[workspace.lints]`, and every protected crate opts in
-//!   with `lints.workspace = true`.
+//!   denies and the cast-lint warns under `[workspace.lints]`, and every
+//!   protected crate opts in with `lints.workspace = true`.
+//! * **D5 — lossy-cast audit** ([`casts`]). Narrowing or sign-changing `as`
+//!   casts in protected crates are violations unless justified with
+//!   `// lint: allow(cast) — <reason>`; widening casts stay allowed.
+//! * **D6 — RNG stream discipline** ([`rngrule`]). RNG construction routes
+//!   through `stream_rng(seed, Stream::…)`; raw seed arithmetic outside the
+//!   RNG home module is a violation, and literal `Stream::Aux(k)` tags are
+//!   collected workspace-wide and checked for duplicates and reserved-
+//!   namespace wraps.
+//! * **D7 — hot-path allocation hygiene** ([`hotpath`]). Functions
+//!   annotated `// lint: hot` must not contain allocating constructs;
+//!   `debug_assert!` oracle bodies are span-masked out first.
 //!
-//! The pass is deliberately *token-level*, not a full parser: sources are
+//! The pass is *token-level with spans*, not a full parser: sources are
 //! lexed just enough to blank out strings, char literals, and comments
 //! (comments are kept on the side for justification lookup), `#[cfg(test)]`
-//! spans are masked by brace matching, and the rules then run plain
-//! word-boundary token scans. That keeps the checker dependency-free,
+//! spans are masked by brace matching, a lightweight item parser ([`items`])
+//! recovers brace-matched `fn` spans, and the rules then run word-boundary
+//! token scans over the result. That keeps the checker dependency-free,
 //! offline, and fast, at the cost of being advisory about exotic syntax —
 //! which `cargo clippy` (rule D4) backstops at the semantic level.
+//!
+//! Diagnostics can be emitted as deterministic JSON ([`report::to_json`])
+//! and ratcheted against a committed baseline ([`report::ratchet`]): CI
+//! fails on any *new* violation or suppression while the burndown may
+//! shrink freely.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// The four invariants distill-lint enforces.
+pub mod casts;
+pub mod hotpath;
+pub mod items;
+pub mod report;
+pub mod rngrule;
+
+/// The seven invariants distill-lint enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// D1: no panicking constructs in protected non-test code.
@@ -46,7 +71,29 @@ pub enum Rule {
     UnsafeHygiene,
     /// D4: workspace lint policy present and inherited.
     LintPolicy,
+    /// D5: no narrowing or sign-changing `as` casts.
+    CastAudit,
+    /// D6: RNG construction routes through `stream_rng`; `Aux` tags are
+    /// literal, unique, and inside the `Aux` namespace.
+    RngDiscipline,
+    /// D7: no allocating constructs inside `// lint: hot` functions.
+    HotPathAlloc,
 }
+
+/// Every rule, in report order.
+pub const ALL_RULES: [Rule; 7] = [
+    Rule::PanicFreedom,
+    Rule::Determinism,
+    Rule::UnsafeHygiene,
+    Rule::LintPolicy,
+    Rule::CastAudit,
+    Rule::RngDiscipline,
+    Rule::HotPathAlloc,
+];
+
+/// Every suppression kind a `// lint: allow(<kind>) — <reason>` comment may
+/// name, in report order.
+pub const SUPPRESSION_KINDS: &[&str] = &["alloc", "cast", "nondet", "panic", "rng"];
 
 impl Rule {
     /// Short rule code used in reports.
@@ -56,6 +103,9 @@ impl Rule {
             Rule::Determinism => "D2",
             Rule::UnsafeHygiene => "D3",
             Rule::LintPolicy => "D4",
+            Rule::CastAudit => "D5",
+            Rule::RngDiscipline => "D6",
+            Rule::HotPathAlloc => "D7",
         }
     }
 }
@@ -69,6 +119,9 @@ pub struct Violation {
     pub file: PathBuf,
     /// 1-based line number (0 for whole-file findings).
     pub line: usize,
+    /// 1-based char columns `[start, end)` of the offending token on that
+    /// line; `None` for whole-file/manifest findings.
+    pub span: Option<(usize, usize)>,
     /// Human-readable description.
     pub message: String,
 }
@@ -84,6 +137,49 @@ impl fmt::Display for Violation {
             self.message
         )
     }
+}
+
+/// A finding that *would* have been a violation but was justified by a
+/// `// lint: allow(<kind>) — <reason>` comment. Tracked so the suppression
+/// ledger (`xtask lint --list-suppressions`) and the baseline ratchet see
+/// the full burndown surface, not just the failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The rule that would have fired.
+    pub rule: Rule,
+    /// The allowance kind (`panic`, `nondet`, `cast`, `rng`, `alloc`).
+    pub kind: String,
+    /// File the suppressed site is in, relative to the linted root.
+    pub file: PathBuf,
+    /// 1-based line number of the suppressed site.
+    pub line: usize,
+    /// 1-based char columns `[start, end)` of the suppressed token.
+    pub span: Option<(usize, usize)>,
+    /// The justification text following the allowance marker.
+    pub reason: String,
+}
+
+impl fmt::Display for Suppression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{}: allow({}) — {}",
+            self.rule.code(),
+            self.file.display(),
+            self.line,
+            self.kind,
+            self.reason
+        )
+    }
+}
+
+/// The full outcome of a lint run: hard failures plus the justified sites.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// Unjustified findings, sorted by `(file, line, rule, message)`.
+    pub violations: Vec<Violation>,
+    /// Justified findings, sorted by `(file, line, kind, reason)`.
+    pub suppressions: Vec<Suppression>,
 }
 
 /// An I/O or manifest-shape error that prevented linting.
@@ -110,11 +206,16 @@ pub struct LintConfig {
     /// Workspace root (the directory holding the root `Cargo.toml`).
     pub root: PathBuf,
     /// Member paths (relative, as written in `members = [...]`) whose
-    /// sources are D1/D2-protected and must opt into the workspace lints.
+    /// sources are D1/D2/D5/D6/D7-protected and must opt into the workspace
+    /// lints.
     pub protected: Vec<String>,
     /// Member path prefixes exempt from the D3 `forbid(unsafe_code)` check
     /// (vendored compat stubs that mirror upstream APIs).
     pub unsafe_exempt: Vec<String>,
+    /// Root-relative source paths that *are* the RNG home: raw seed
+    /// arithmetic (D6) is legal only here, and `Stream::Aux` pattern
+    /// matches in these files are not construction sites.
+    pub rng_exempt: Vec<String>,
 }
 
 impl LintConfig {
@@ -133,6 +234,7 @@ impl LintConfig {
             .map(|s| (*s).to_string())
             .collect(),
             unsafe_exempt: vec!["crates/compat".to_string()],
+            rng_exempt: vec!["crates/sim/src/rng.rs".to_string()],
         }
     }
 }
@@ -152,7 +254,7 @@ pub struct Stripped {
 }
 
 /// Returns true when `c` can appear in a Rust identifier.
-fn is_ident(c: char) -> bool {
+pub(crate) fn is_ident(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
@@ -438,13 +540,17 @@ fn find_chars(haystack: &[char], needle: &[char], from: usize) -> Option<usize> 
 
 /// How a token must be anchored to count as a finding.
 #[derive(Debug, Clone, Copy)]
-enum Anchor {
-    /// `.word(` — a method call (e.g. `.unwrap()`).
+pub enum Anchor {
+    /// `.word(` or `.word::<…>(` — a method call (e.g. `.unwrap()`,
+    /// `.collect::<Vec<_>>()`).
     Method,
     /// `word!` — a macro invocation (e.g. `panic!`).
     Macro,
     /// A bare word-bounded occurrence (e.g. `HashMap`).
     Word,
+    /// A `::`-qualified path occurrence (e.g. `Vec::new`), word-bounded at
+    /// both ends.
+    Path,
 }
 
 /// The D1 (panic-freedom) token set.
@@ -471,8 +577,12 @@ const NONDET_TOKENS: &[(&str, Anchor)] = &[
     ("SystemTime", Anchor::Word),
 ];
 
-/// Scans one line of masked code for anchored tokens; returns matched names.
-fn scan_line(line: &str, tokens: &[(&'static str, Anchor)]) -> Vec<&'static str> {
+/// Scans one line of masked code for anchored tokens; returns
+/// `(token, 0-based char column)` for each hit.
+pub(crate) fn scan_line(
+    line: &str,
+    tokens: &[(&'static str, Anchor)],
+) -> Vec<(&'static str, usize)> {
     let chars: Vec<char> = line.chars().collect();
     let mut hits = Vec::new();
     for &(word, anchor) in tokens {
@@ -486,18 +596,25 @@ fn scan_line(line: &str, tokens: &[(&'static str, Anchor)]) -> Vec<&'static str>
                 continue; // part of a longer identifier
             }
             let anchored = match anchor {
-                Anchor::Word => true,
+                // The ident-boundary check above already rejects longer
+                // identifiers (`MyVec::new`); a leading `::` qualifier is
+                // still the same path.
+                Anchor::Word | Anchor::Path => true,
                 Anchor::Macro => after == Some('!'),
                 Anchor::Method => {
                     let prev = chars[..at].iter().rev().find(|c| !c.is_whitespace());
-                    let next = chars[at + needle.len()..]
+                    let rest: Vec<&char> = chars[at + needle.len()..]
                         .iter()
-                        .find(|c| !c.is_whitespace());
-                    prev == Some(&'.') && next == Some(&'(')
+                        .filter(|c| !c.is_whitespace())
+                        .take(2)
+                        .collect();
+                    let call = rest.first() == Some(&&'(')
+                        || (rest.first() == Some(&&':') && rest.get(1) == Some(&&':'));
+                    prev == Some(&'.') && call
                 }
             };
             if anchored {
-                hits.push(word);
+                hits.push((word, at));
             }
         }
     }
@@ -508,31 +625,45 @@ fn scan_line(line: &str, tokens: &[(&'static str, Anchor)]) -> Vec<&'static str>
 // Justification comments.
 // ---------------------------------------------------------------------------
 
-/// Returns true when `comment` carries `lint: allow(<kind>)` *with* a
-/// non-empty reason after it (a bare allowance never suppresses).
-fn comment_allows(comment: &str, kind: &str) -> bool {
+/// If `comment` carries `lint: allow(<kind>)` *with* a non-empty reason
+/// after it, returns the reason (a bare allowance never suppresses).
+fn allow_reason(comment: &str, kind: &str) -> Option<String> {
     let marker = format!("lint: allow({kind})");
-    let Some(at) = comment.find(&marker) else {
-        return false;
-    };
+    let at = comment.find(&marker)?;
     let rest = comment[at + marker.len()..]
         .trim_start_matches([' ', '\t', '—', '–', '-', ':', ','])
         .trim();
-    rest.chars().filter(|c| !c.is_whitespace()).count() >= 3
+    if rest.chars().filter(|c| !c.is_whitespace()).count() >= 3 {
+        Some(rest.to_string())
+    } else {
+        None
+    }
 }
 
-/// Checks whether the violation at `line` (1-based) is covered by a
-/// justification comment of `kind` on the same line or on the contiguous
-/// run of comment/attribute lines directly above it.
-fn allowed_at(src_lines: &[&str], comments: &[(usize, String)], line: usize, kind: &str) -> bool {
+/// Returns true when `comment` carries `lint: allow(<kind>)` *with* a
+/// non-empty reason after it.
+#[cfg(test)]
+fn comment_allows(comment: &str, kind: &str) -> bool {
+    allow_reason(comment, kind).is_some()
+}
+
+/// Finds the justification of `kind` covering `line` (1-based): on the same
+/// line or on the contiguous run of comment/attribute lines directly above
+/// it. Returns the reason text when justified.
+fn allow_reason_at(
+    src_lines: &[&str],
+    comments: &[(usize, String)],
+    line: usize,
+    kind: &str,
+) -> Option<String> {
     let on = |l: usize| {
         comments
             .iter()
             .filter(|(cl, _)| *cl == l)
-            .any(|(_, text)| comment_allows(text, kind))
+            .find_map(|(_, text)| allow_reason(text, kind))
     };
-    if on(line) {
-        return true;
+    if let Some(reason) = on(line) {
+        return Some(reason);
     }
     let mut l = line;
     while l > 1 {
@@ -540,13 +671,13 @@ fn allowed_at(src_lines: &[&str], comments: &[(usize, String)], line: usize, kin
         let raw = src_lines.get(l - 1).map_or("", |s| s.trim_start());
         let is_annotation = raw.starts_with("//") || raw.starts_with("#[") || raw.starts_with("#!");
         if !is_annotation {
-            return false;
+            return None;
         }
-        if on(l) {
-            return true;
+        if let Some(reason) = on(l) {
+            return Some(reason);
         }
     }
-    false
+    None
 }
 
 // ---------------------------------------------------------------------------
@@ -640,31 +771,306 @@ fn workspace_members(root: &Path, manifest: &str) -> Result<Vec<String>, LintErr
 /// The clippy lints rule D4 requires at `deny` in `[workspace.lints.clippy]`.
 const REQUIRED_CLIPPY_DENIES: &[&str] = &["unwrap_used", "expect_used", "dbg_macro"];
 
-/// Runs all four rules over the workspace described by `config`. Returns the
-/// violations sorted by `(file, line, rule)`; an empty vector means the
-/// workspace passes the gate.
-pub fn lint_workspace(config: &LintConfig) -> Result<Vec<Violation>, LintError> {
+/// The clippy lints rule D4 requires at `warn` in `[workspace.lints.clippy]`
+/// (the semantic backstop for the token-level D5 cast audit).
+const REQUIRED_CLIPPY_WARNS: &[&str] = &["cast_possible_truncation", "cast_sign_loss"];
+
+/// Per-file scan state: resolves each finding into a violation or a tracked
+/// suppression depending on the justification comments in scope.
+struct FileScan<'a> {
+    rel: &'a Path,
+    src_lines: &'a [&'a str],
+    comments: &'a [(usize, String)],
+    report: &'a mut LintReport,
+}
+
+impl FileScan<'_> {
+    fn finding(
+        &mut self,
+        rule: Rule,
+        kind: &'static str,
+        line: usize,
+        span: Option<(usize, usize)>,
+        message: String,
+    ) {
+        match allow_reason_at(self.src_lines, self.comments, line, kind) {
+            Some(reason) => self.report.suppressions.push(Suppression {
+                rule,
+                kind: kind.to_string(),
+                file: self.rel.to_path_buf(),
+                line,
+                span,
+                reason,
+            }),
+            None => self.report.violations.push(Violation {
+                rule,
+                file: self.rel.to_path_buf(),
+                line,
+                span,
+                message,
+            }),
+        }
+    }
+}
+
+/// Converts a 0-based char column and token into a 1-based `[start, end)`
+/// span.
+fn token_span(col: usize, token: &str) -> Option<(usize, usize)> {
+    Some((col + 1, col + 1 + token.chars().count()))
+}
+
+/// Runs every per-source rule (D1, D2, D5, D6, D7) over one file, pushing
+/// findings into `report` and literal `Stream::Aux` sites into `aux_sites`
+/// for the workspace-wide collision check. `rng_home` marks the module where
+/// raw seed arithmetic is legal (D6's exemption).
+fn lint_source_report(
+    text: &str,
+    rel_path: &Path,
+    rng_home: bool,
+    report: &mut LintReport,
+    aux_sites: &mut Vec<rngrule::AuxSite>,
+) {
+    let stripped = strip_source(text);
+    let masked = mask_cfg_test(&stripped.code);
+    let src_lines: Vec<&str> = text.lines().collect();
+    let mut scan = FileScan {
+        rel: rel_path,
+        src_lines: &src_lines,
+        comments: &stripped.comments,
+        report,
+    };
+
+    // D1 + D2: line-oriented token scans.
+    for (idx, line) in masked.lines().enumerate() {
+        let line_no = idx + 1;
+        for (token, col) in scan_line(line, PANIC_TOKENS) {
+            let message = if token == "catch_unwind" {
+                "`catch_unwind` swallows panics instead of preventing them; \
+                 move supervision into the unprotected `crates/harness` crate \
+                 or justify with `// lint: allow(panic) — <reason>`"
+                    .to_string()
+            } else {
+                format!(
+                    "`{token}` can panic; return an error or justify with \
+                     `// lint: allow(panic) — <reason>`"
+                )
+            };
+            scan.finding(
+                Rule::PanicFreedom,
+                "panic",
+                line_no,
+                token_span(col, token),
+                message,
+            );
+        }
+        for (token, col) in scan_line(line, NONDET_TOKENS) {
+            scan.finding(
+                Rule::Determinism,
+                "nondet",
+                line_no,
+                token_span(col, token),
+                format!(
+                    "`{token}` is nondeterministic; use an ordered/seeded \
+                     alternative or justify with `// lint: allow(nondet) — <reason>`"
+                ),
+            );
+        }
+        // D6a: raw seed arithmetic outside the RNG home module.
+        if !rng_home {
+            for (token, col) in scan_line(line, rngrule::RAW_SEED_TOKENS) {
+                scan.finding(
+                    Rule::RngDiscipline,
+                    "rng",
+                    line_no,
+                    token_span(col, token),
+                    format!(
+                        "raw seed construction `{token}` bypasses the stream \
+                         derivation; route through `stream_rng(seed, Stream::…)` \
+                         or justify with `// lint: allow(rng) — <reason>`"
+                    ),
+                );
+            }
+        }
+    }
+
+    // D5: lossy-cast audit.
+    for site in casts::scan_casts(&masked) {
+        if let Some(message) = casts::classify(&site) {
+            scan.finding(Rule::CastAudit, "cast", site.line, Some(site.span), message);
+        }
+    }
+
+    // D6b: `Stream::Aux` construction sites. Non-literal tags fire here;
+    // literal tags are deferred to the workspace-wide collision check.
+    if !rng_home {
+        for mut site in rngrule::scan_aux(&masked) {
+            match site.value {
+                None => scan.finding(
+                    Rule::RngDiscipline,
+                    "rng",
+                    site.line,
+                    Some(site.span),
+                    "`Stream::Aux` tag must be an integer literal so the \
+                     workspace-wide collision check can audit it; name the \
+                     constant inline or justify with `// lint: allow(rng) — <reason>`"
+                        .to_string(),
+                ),
+                Some(_) => {
+                    site.file = rel_path.to_path_buf();
+                    site.allow_reason =
+                        allow_reason_at(&src_lines, &stripped.comments, site.line, "rng");
+                    aux_sites.push(site);
+                }
+            }
+        }
+    }
+
+    // D7: allocation scan inside `// lint: hot` functions, with
+    // debug_assert oracle bodies span-masked out first.
+    let fns = items::parse_fns(&masked, &src_lines);
+    let hot: Vec<&items::FnItem> = fns
+        .iter()
+        .filter(|f| hotpath::is_hot(f, &src_lines, &stripped.comments))
+        .collect();
+    if !hot.is_empty() {
+        let alloc_masked = hotpath::mask_debug_asserts(&masked);
+        let alloc_lines: Vec<&str> = alloc_masked.lines().collect();
+        for f in hot {
+            for line_no in f.body_lines.0..=f.body_lines.1 {
+                // Attribute each line to its innermost function: a nested
+                // (non-hot) helper inside a hot fn is scanned on its own
+                // terms, not its host's.
+                let owner = items::innermost_containing(&fns, line_no);
+                if owner.map(|g| (g.header_line, g.body_lines))
+                    != Some((f.header_line, f.body_lines))
+                {
+                    continue;
+                }
+                let Some(line) = alloc_lines.get(line_no - 1) else {
+                    continue;
+                };
+                for (token, col) in scan_line(line, hotpath::ALLOC_TOKENS) {
+                    scan.finding(
+                        Rule::HotPathAlloc,
+                        "alloc",
+                        line_no,
+                        token_span(col, token),
+                        format!(
+                            "allocating construct `{token}` in `// lint: hot` fn \
+                             `{}`; hoist the buffer into reusable scratch state \
+                             or justify with `// lint: allow(alloc) — <reason>`",
+                            f.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Workspace-wide D6 collision check over the collected literal
+/// `Stream::Aux` sites: duplicate tags and reserved-namespace wraps.
+fn check_aux_collisions(aux_sites: &mut [rngrule::AuxSite], report: &mut LintReport) {
+    aux_sites.sort_by(|a, b| (&a.file, a.line, a.span).cmp(&(&b.file, b.line, b.span)));
+    let mut first_seen: BTreeMap<u64, (PathBuf, usize)> = BTreeMap::new();
+    for site in aux_sites.iter() {
+        let Some(value) = site.value else { continue };
+        let mut problems: Vec<String> = Vec::new();
+        if rngrule::wraps_reserved(value) {
+            problems.push(format!(
+                "`Stream::Aux({value})` wraps past 2^64 into the reserved \
+                 player/singleton tag namespaces (tags at or above 2^64 - 2^41 \
+                 alias other streams); pick a small tag"
+            ));
+        }
+        match first_seen.get(&value) {
+            Some((file, line)) => problems.push(format!(
+                "`Stream::Aux({value})` collides with the same tag at {}:{line}; \
+                 every auxiliary stream needs a unique tag",
+                file.display()
+            )),
+            None => {
+                first_seen.insert(value, (site.file.clone(), site.line));
+            }
+        }
+        for message in problems {
+            match &site.allow_reason {
+                Some(reason) => report.suppressions.push(Suppression {
+                    rule: Rule::RngDiscipline,
+                    kind: "rng".to_string(),
+                    file: site.file.clone(),
+                    line: site.line,
+                    span: Some(site.span),
+                    reason: reason.clone(),
+                }),
+                None => report.violations.push(Violation {
+                    rule: Rule::RngDiscipline,
+                    file: site.file.clone(),
+                    line: site.line,
+                    span: Some(site.span),
+                    message,
+                }),
+            }
+        }
+    }
+}
+
+/// Sorts a report into its canonical (deterministic) order.
+fn sort_report(report: &mut LintReport) {
+    report.violations.sort_by(|a, b| {
+        (&a.file, a.line, a.rule)
+            .cmp(&(&b.file, b.line, b.rule))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+    report.suppressions.sort_by(|a, b| {
+        (&a.file, a.line, &a.kind)
+            .cmp(&(&b.file, b.line, &b.kind))
+            .then_with(|| a.reason.cmp(&b.reason))
+    });
+}
+
+/// Runs all seven rules over the workspace described by `config`, returning
+/// both violations and the justified-suppression ledger.
+pub fn lint_workspace_report(config: &LintConfig) -> Result<LintReport, LintError> {
     let root_manifest_path = config.root.join("Cargo.toml");
     let root_manifest = std::fs::read_to_string(&root_manifest_path)
         .map_err(|e| LintError(format!("{}: {e}", root_manifest_path.display())))?;
-    let mut violations = Vec::new();
+    let mut report = LintReport::default();
+    let mut aux_sites: Vec<rngrule::AuxSite> = Vec::new();
 
-    // D4 (root): the clippy panic-lint denies must be pinned.
+    // D4 (root): the clippy panic-lint denies and cast-lint warns must be
+    // pinned.
     match toml_section(&root_manifest, "workspace.lints.clippy") {
-        None => violations.push(Violation {
+        None => report.violations.push(Violation {
             rule: Rule::LintPolicy,
             file: PathBuf::from("Cargo.toml"),
             line: 0,
+            span: None,
             message: "missing [workspace.lints.clippy] table".to_string(),
         }),
         Some(body) => {
             for lint in REQUIRED_CLIPPY_DENIES {
                 if !section_assigns(&body, lint, "deny") {
-                    violations.push(Violation {
+                    report.violations.push(Violation {
                         rule: Rule::LintPolicy,
                         file: PathBuf::from("Cargo.toml"),
                         line: 0,
+                        span: None,
                         message: format!("[workspace.lints.clippy] must set {lint} = \"deny\""),
+                    });
+                }
+            }
+            for lint in REQUIRED_CLIPPY_WARNS {
+                if !section_assigns(&body, lint, "warn") {
+                    report.violations.push(Violation {
+                        rule: Rule::LintPolicy,
+                        file: PathBuf::from("Cargo.toml"),
+                        line: 0,
+                        span: None,
+                        message: format!(
+                            "[workspace.lints.clippy] must set {lint} = \"warn\" \
+                             (semantic backstop for D5)"
+                        ),
                     });
                 }
             }
@@ -696,10 +1102,11 @@ pub fn lint_workspace(config: &LintConfig) -> Result<Vec<Violation>, LintError> 
                     .lines()
                     .any(|l| l.trim().replace(' ', "") == "lints.workspace=true");
             if !inherits {
-                violations.push(Violation {
+                report.violations.push(Violation {
                     rule: Rule::LintPolicy,
                     file: rel_manifest.clone(),
                     line: 0,
+                    span: None,
                     message: "protected crate must set lints.workspace = true".to_string(),
                 });
             }
@@ -720,17 +1127,18 @@ pub fn lint_workspace(config: &LintConfig) -> Result<Vec<Violation>, LintError> 
                     .map_err(|e| LintError(format!("{}: {e}", path.display())))?;
                 let stripped = strip_source(&text);
                 if !stripped.code.contains("#![forbid(unsafe_code)]") {
-                    violations.push(Violation {
+                    report.violations.push(Violation {
                         rule: Rule::UnsafeHygiene,
                         file: rel_source_path(member, crate_root),
                         line: 1,
+                        span: None,
                         message: "crate root is missing #![forbid(unsafe_code)]".to_string(),
                     });
                 }
             }
         }
 
-        // D1 + D2: token scan of protected non-test sources.
+        // D1/D2/D5/D6/D7: per-source scans of protected non-test code.
         if is_protected {
             let src_dir = member_dir.join("src");
             let mut files = Vec::new();
@@ -742,17 +1150,26 @@ pub fn lint_workspace(config: &LintConfig) -> Result<Vec<Violation>, LintError> 
                     .strip_prefix(&config.root)
                     .unwrap_or(&path)
                     .to_path_buf();
-                lint_source(&text, &rel, &mut violations);
+                let rng_home = config
+                    .rng_exempt
+                    .iter()
+                    .any(|entry| Path::new(entry) == rel.as_path());
+                lint_source_report(&text, &rel, rng_home, &mut report, &mut aux_sites);
             }
         }
     }
 
-    violations.sort_by(|a, b| {
-        (&a.file, a.line, a.rule)
-            .cmp(&(&b.file, b.line, b.rule))
-            .then_with(|| a.message.cmp(&b.message))
-    });
-    Ok(violations)
+    check_aux_collisions(&mut aux_sites, &mut report);
+    sort_report(&mut report);
+    Ok(report)
+}
+
+/// Runs all rules over the workspace described by `config`. Returns the
+/// violations sorted by `(file, line, rule)`; an empty vector means the
+/// workspace passes the gate. Thin wrapper over [`lint_workspace_report`]
+/// for callers that only care about hard failures.
+pub fn lint_workspace(config: &LintConfig) -> Result<Vec<Violation>, LintError> {
+    Ok(lint_workspace_report(config)?.violations)
 }
 
 /// Joins a member path and an in-crate source path for reporting.
@@ -785,53 +1202,26 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError>
     Ok(())
 }
 
-/// Runs the D1 and D2 token rules over one source file, appending findings.
+/// Runs the per-source rules (D1, D2, D5, D6, D7) over one file, appending
+/// unjustified findings to `violations`. The `Stream::Aux` collision check
+/// runs file-locally here; [`lint_workspace_report`] widens it to the whole
+/// workspace.
 pub fn lint_source(text: &str, rel_path: &Path, violations: &mut Vec<Violation>) {
-    let stripped = strip_source(text);
-    let masked = mask_cfg_test(&stripped.code);
-    let src_lines: Vec<&str> = text.lines().collect();
-    for (idx, line) in masked.lines().enumerate() {
-        let line_no = idx + 1;
-        for token in scan_line(line, PANIC_TOKENS) {
-            if !allowed_at(&src_lines, &stripped.comments, line_no, "panic") {
-                let message = if token == "catch_unwind" {
-                    "`catch_unwind` swallows panics instead of preventing them; \
-                     move supervision into the unprotected `crates/harness` crate \
-                     or justify with `// lint: allow(panic) — <reason>`"
-                        .to_string()
-                } else {
-                    format!(
-                        "`{token}` can panic; return an error or justify with \
-                         `// lint: allow(panic) — <reason>`"
-                    )
-                };
-                violations.push(Violation {
-                    rule: Rule::PanicFreedom,
-                    file: rel_path.to_path_buf(),
-                    line: line_no,
-                    message,
-                });
-            }
-        }
-        for token in scan_line(line, NONDET_TOKENS) {
-            if !allowed_at(&src_lines, &stripped.comments, line_no, "nondet") {
-                violations.push(Violation {
-                    rule: Rule::Determinism,
-                    file: rel_path.to_path_buf(),
-                    line: line_no,
-                    message: format!(
-                        "`{token}` is nondeterministic; use an ordered/seeded \
-                         alternative or justify with `// lint: allow(nondet) — <reason>`"
-                    ),
-                });
-            }
-        }
-    }
+    let mut report = LintReport::default();
+    let mut aux_sites = Vec::new();
+    lint_source_report(text, rel_path, false, &mut report, &mut aux_sites);
+    check_aux_collisions(&mut aux_sites, &mut report);
+    sort_report(&mut report);
+    violations.extend(report.violations);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn names(hits: Vec<(&'static str, usize)>) -> Vec<&'static str> {
+        hits.into_iter().map(|(t, _)| t).collect()
+    }
 
     /// The fault-injection module rides inside `crates/sim`, which must stay
     /// on the protected list, and the source walker must actually visit it —
@@ -899,12 +1289,47 @@ mod tests {
 
     #[test]
     fn method_anchor_requires_dot_and_paren() {
-        assert_eq!(scan_line("x.unwrap()", PANIC_TOKENS), vec!["unwrap"]);
+        assert_eq!(names(scan_line("x.unwrap()", PANIC_TOKENS)), vec!["unwrap"]);
         assert!(scan_line("x.unwrap_or(0)", PANIC_TOKENS).is_empty());
         assert!(scan_line("fn unwrap(x: u32) {}", PANIC_TOKENS).is_empty());
         assert!(scan_line("#[allow(clippy::expect_used)]", PANIC_TOKENS).is_empty());
-        assert_eq!(scan_line("panic!(\"boom\")", PANIC_TOKENS), vec!["panic"]);
+        assert_eq!(
+            names(scan_line("panic!(\"boom\")", PANIC_TOKENS)),
+            vec!["panic"]
+        );
         assert!(scan_line("debug_assert!(true)", PANIC_TOKENS).is_empty());
+    }
+
+    #[test]
+    fn method_anchor_accepts_turbofish() {
+        use crate::hotpath::ALLOC_TOKENS;
+        assert_eq!(
+            names(scan_line("let v = it.collect::<Vec<_>>();", ALLOC_TOKENS)),
+            vec!["collect"]
+        );
+        assert_eq!(
+            names(scan_line("let v = it.collect();", ALLOC_TOKENS)),
+            vec!["collect"]
+        );
+        // A path mention without a receiver dot is not a method call.
+        assert!(scan_line("map(Clone::clone)", ALLOC_TOKENS).is_empty());
+    }
+
+    #[test]
+    fn path_anchor_matches_qualified_constructors() {
+        use crate::hotpath::ALLOC_TOKENS;
+        assert_eq!(
+            names(scan_line("let v = Vec::new();", ALLOC_TOKENS)),
+            vec!["Vec::new"]
+        );
+        assert_eq!(
+            names(scan_line("let v = std::vec::Vec::new();", ALLOC_TOKENS)),
+            vec!["Vec::new"]
+        );
+        // `MyVec::new` must not match `Vec::new`.
+        assert!(scan_line("let v = MyVec::new();", ALLOC_TOKENS).is_empty());
+        // The bare type name in a signature is not a construction.
+        assert!(scan_line("fn f(xs: &Vec<u32>) {}", ALLOC_TOKENS).is_empty());
     }
 
     #[test]
@@ -914,7 +1339,16 @@ mod tests {
             1
         );
         assert!(scan_line("let MyHashMapLike = 3;", NONDET_TOKENS).is_empty());
-        assert_eq!(scan_line("Instant::now()", NONDET_TOKENS), vec!["Instant"]);
+        assert_eq!(
+            names(scan_line("Instant::now()", NONDET_TOKENS)),
+            vec!["Instant"]
+        );
+    }
+
+    #[test]
+    fn scan_line_reports_columns() {
+        let hits = scan_line("    x.unwrap()", PANIC_TOKENS);
+        assert_eq!(hits, vec![("unwrap", 6)]);
     }
 
     #[test]
@@ -930,6 +1364,16 @@ mod tests {
         assert!(!comment_allows("// lint: allow(panic)", "panic"));
         assert!(!comment_allows("// lint: allow(panic) — ", "panic"));
         assert!(!comment_allows("// lint: allow(nondet) x", "nondet"));
+    }
+
+    #[test]
+    fn allow_reason_extracts_the_text() {
+        assert_eq!(
+            allow_reason("// lint: allow(cast) — bounded by the u32 universe", "cast").as_deref(),
+            Some("bounded by the u32 universe")
+        );
+        assert_eq!(allow_reason("// lint: allow(cast)", "cast"), None);
+        assert_eq!(allow_reason("// lint: allow(cast) — ok", "alloc"), None);
     }
 
     #[test]
@@ -952,5 +1396,25 @@ mod tests {
         assert!(section_assigns(&body, "unwrap_used", "deny"));
         assert!(!section_assigns(&body, "expect_used", "deny"));
         assert!(toml_section(manifest, "package").is_none());
+    }
+
+    #[test]
+    fn lint_source_runs_the_new_rules() {
+        let src = "\
+// lint: hot
+pub fn hot_loop(xs: &[u64]) -> u32 {
+    let mut buf = Vec::new();
+    buf.push(xs.len() as u32);
+    buf[0]
+}
+";
+        let mut v = Vec::new();
+        lint_source(src, Path::new("t.rs"), &mut v);
+        let codes: Vec<&str> = v.iter().map(|x| x.rule.code()).collect();
+        assert!(codes.contains(&"D7"), "Vec::new in hot fn: {v:?}");
+        assert!(codes.contains(&"D5"), "narrowing cast: {v:?}");
+        // Spans are 1-based char columns over the token.
+        let d7 = v.iter().find(|x| x.rule == Rule::HotPathAlloc).unwrap();
+        assert_eq!(d7.span, Some((19, 27)));
     }
 }

@@ -5,7 +5,7 @@
 //! `bad_ws` violates every rule at least once.
 
 use std::path::{Path, PathBuf};
-use xtask::{lint_source, lint_workspace, LintConfig, Rule};
+use xtask::{lint_source, lint_workspace, lint_workspace_report, report, LintConfig, Rule};
 
 fn fixture_config(name: &str) -> LintConfig {
     LintConfig {
@@ -14,6 +14,7 @@ fn fixture_config(name: &str) -> LintConfig {
             .join(name),
         protected: vec!["member".to_string()],
         unsafe_exempt: Vec::new(),
+        rng_exempt: Vec::new(),
     }
 }
 
@@ -53,6 +54,163 @@ fn bad_fixture_fires_every_rule() {
         count(Rule::Determinism),
         4,
         "two HashMap uses + two Instant uses: {violations:#?}"
+    );
+    assert_eq!(
+        count(Rule::CastAudit),
+        3,
+        "invisible narrowing + sign change + f64 precision: {violations:#?}"
+    );
+    assert_eq!(
+        count(Rule::RngDiscipline),
+        3,
+        "raw seed + duplicate tag + wrapping tag: {violations:#?}"
+    );
+    assert_eq!(
+        count(Rule::HotPathAlloc),
+        2,
+        "Vec::new + format! in a hot function: {violations:#?}"
+    );
+}
+
+#[test]
+fn cast_audit_classifies_each_loss_mode() {
+    let violations = lint_workspace(&fixture_config("bad_ws")).unwrap();
+    let d5: Vec<&str> = violations
+        .iter()
+        .filter(|v| v.rule == Rule::CastAudit)
+        .map(|v| v.message.as_str())
+        .collect();
+    assert!(
+        d5.iter().any(|m| m.contains("source type not visible")),
+        "invisible-source narrowing must be called out: {d5:#?}"
+    );
+    assert!(
+        d5.iter().any(|m| m.contains("sign")),
+        "i64 -> u64 must be flagged as sign-changing: {d5:#?}"
+    );
+    assert!(
+        d5.iter().any(|m| m.contains("2^53")),
+        "u64 -> f64 must be flagged as imprecise: {d5:#?}"
+    );
+}
+
+#[test]
+fn rng_discipline_reports_collision_and_wrap_sites() {
+    let violations = lint_workspace(&fixture_config("bad_ws")).unwrap();
+    let d6: Vec<_> = violations
+        .iter()
+        .filter(|v| v.rule == Rule::RngDiscipline)
+        .collect();
+    assert!(
+        d6.iter()
+            .any(|v| v.message.contains("seed_from_u64") && v.file.ends_with("lib.rs")),
+        "raw seed construction must fire in lib.rs: {d6:#?}"
+    );
+    // The duplicate fires on the *later* site in (file, line) order and
+    // names the first one, so the report points back at lib.rs.
+    assert!(
+        d6.iter().any(|v| v.file.ends_with("streams.rs")
+            && v.message.contains("collides")
+            && v.message.contains("lib.rs")),
+        "duplicate Aux tag must fire on streams.rs and cite lib.rs: {d6:#?}"
+    );
+    assert!(
+        d6.iter()
+            .any(|v| v.file.ends_with("streams.rs") && v.message.contains("reserved")),
+        "wrapping Aux tag must cite the reserved namespaces: {d6:#?}"
+    );
+}
+
+#[test]
+fn hot_path_rule_fires_on_allocations_only_inside_hot_functions() {
+    let violations = lint_workspace(&fixture_config("bad_ws")).unwrap();
+    let d7: Vec<_> = violations
+        .iter()
+        .filter(|v| v.rule == Rule::HotPathAlloc)
+        .collect();
+    assert!(
+        d7.iter().any(|v| v.message.contains("Vec::new"))
+            && d7.iter().any(|v| v.message.contains("`format`")),
+        "both allocating constructs must fire: {d7:#?}"
+    );
+    // The same constructs outside a hot function stay quiet: `racy_elapsed`
+    // and friends allocate freely without firing D7.
+    assert!(
+        d7.iter().all(|v| v.line > 23),
+        "D7 must only fire inside the annotated function: {d7:#?}"
+    );
+}
+
+#[test]
+fn clean_fixture_justifications_become_suppressions() {
+    let report = lint_workspace_report(&fixture_config("clean_ws")).unwrap();
+    assert!(report.violations.is_empty());
+    let kinds: Vec<&str> = report
+        .suppressions
+        .iter()
+        .map(|s| s.kind.as_str())
+        .collect();
+    assert!(
+        kinds.contains(&"panic") && kinds.contains(&"cast") && kinds.contains(&"rng"),
+        "justified sites must surface as suppressions: {kinds:?}"
+    );
+    assert!(
+        kinds.contains(&"alloc"),
+        "the hot function's justified clone must surface: {kinds:?}"
+    );
+    assert!(
+        report.suppressions.iter().all(|s| !s.reason.is_empty()),
+        "every recorded suppression carries its reason text"
+    );
+}
+
+/// Pins the exact `--format json` output for the bad fixture. Regenerate
+/// with the command in the snapshot header after intentional rule changes.
+#[test]
+fn bad_fixture_json_report_matches_golden_snapshot() {
+    let report = lint_workspace_report(&fixture_config("bad_ws")).unwrap();
+    let json = report::to_json(&report);
+    let snapshot_path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("snapshots")
+        .join("bad_ws.json");
+    let snapshot = std::fs::read_to_string(&snapshot_path).expect("committed snapshot");
+    assert_eq!(
+        json.trim(),
+        snapshot.trim(),
+        "JSON diagnostics drifted from tests/snapshots/bad_ws.json; \
+         if the change is intentional, update the snapshot"
+    );
+}
+
+/// The acceptance demand for D7: injecting an allocation into the real
+/// engine's `// lint: hot` `step` function must fail the gate.
+#[test]
+fn injected_allocation_in_hot_engine_step_fires() {
+    let engine = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../sim/src/engine.rs");
+    let text = std::fs::read_to_string(&engine).expect("engine source");
+    let rel = Path::new("crates/sim/src/engine.rs");
+
+    // The pristine source passes (hot annotations plus justified sites).
+    let mut clean = Vec::new();
+    lint_source(&text, rel, &mut clean);
+    assert!(
+        clean.is_empty(),
+        "pristine engine.rs must lint clean: {clean:#?}"
+    );
+
+    // One injected Vec::new() inside the hot body must fire D7.
+    let needle = "pub fn step(&mut self) -> Result<(), SimError> {";
+    let at = text.find(needle).expect("Engine::step header") + needle.len();
+    let mut mutated = text.clone();
+    mutated.insert_str(at, "\n        let _scratch: Vec<u32> = Vec::new();");
+    let mut fired = Vec::new();
+    lint_source(&mutated, rel, &mut fired);
+    assert!(
+        fired
+            .iter()
+            .any(|v| v.rule == Rule::HotPathAlloc && v.message.contains("Vec::new")),
+        "injected allocation in hot Engine::step must fire D7: {fired:#?}"
     );
 }
 
