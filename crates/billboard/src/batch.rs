@@ -1,0 +1,335 @@
+//! Sharded ingest staging: producer batches and the sequence-ordered merge.
+//!
+//! The concurrent billboard service lets many producers build post batches
+//! in parallel. Each batch carries **explicit sequence numbers**, allocated
+//! atomically at submission time, so submission order *is* sequence order;
+//! the only thing the transport may scramble is **delivery** order. The
+//! [`BatchStager`] is the reorder buffer that absorbs exactly that: batches
+//! arrive in any order, are held until their predecessors land, and are
+//! released in gap-free sequence order. Applying the released batches to a
+//! [`Billboard`](crate::Billboard) or [`SegmentLog`](crate::SegmentLog)
+//! therefore yields a log bit-identical to sequential ingest of the same
+//! posts — the equivalence the linearization proptests exercise over random
+//! producer counts × batch sizes × interleavings.
+
+use crate::error::BillboardError;
+use crate::ids::Seq;
+use crate::post::Post;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One producer's contiguous, pre-stamped run of posts, ready for delivery.
+///
+/// Construction validates the *internal* batch invariants (sequence
+/// contiguity and round monotonicity); universe bounds are checked once more
+/// at apply time by the authoritative log, which also enforces that the
+/// batch lines up with everything already applied.
+#[derive(Debug, Clone)]
+pub struct StagedBatch {
+    producer: u32,
+    posts: Arc<[Post]>,
+}
+
+impl StagedBatch {
+    /// Wraps `posts` as a batch from `producer`.
+    ///
+    /// # Errors
+    ///
+    /// * [`BillboardError::SeqMismatch`] if the posts are not
+    ///   sequence-contiguous;
+    /// * [`BillboardError::RoundRegression`] if rounds decrease within the
+    ///   batch.
+    pub fn new(producer: u32, posts: impl Into<Arc<[Post]>>) -> Result<Self, BillboardError> {
+        let posts: Arc<[Post]> = posts.into();
+        if let Some(first) = posts.first() {
+            let mut latest = first.round;
+            for (expected, p) in (first.seq.0..).zip(posts.iter()) {
+                if p.seq != Seq(expected) {
+                    return Err(BillboardError::SeqMismatch {
+                        expected: Seq(expected),
+                        got: p.seq,
+                    });
+                }
+                if p.round < latest {
+                    return Err(BillboardError::RoundRegression {
+                        attempted: p.round,
+                        current: latest,
+                    });
+                }
+                latest = p.round;
+            }
+        }
+        Ok(StagedBatch { producer, posts })
+    }
+
+    /// The producer shard this batch came from.
+    #[inline]
+    pub fn producer(&self) -> u32 {
+        self.producer
+    }
+
+    /// The batch's posts, in sequence order.
+    #[inline]
+    pub fn posts(&self) -> &[Post] {
+        &self.posts
+    }
+
+    /// Number of posts in the batch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.posts.len()
+    }
+
+    /// `true` iff the batch carries no posts.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.posts.is_empty()
+    }
+
+    /// Sequence number of the first post (`None` when empty).
+    #[inline]
+    pub fn first_seq(&self) -> Option<Seq> {
+        self.posts.first().map(|p| p.seq)
+    }
+
+    /// One past the sequence number of the last post (`None` when empty).
+    #[inline]
+    pub fn end_seq(&self) -> Option<Seq> {
+        self.posts.last().map(|p| Seq(p.seq.0 + 1))
+    }
+
+    /// Consumes the batch, returning the shared post slice (no copy).
+    #[inline]
+    pub fn into_posts(self) -> Arc<[Post]> {
+        self.posts
+    }
+}
+
+/// Counters describing what a [`BatchStager`] has seen so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StagerStats {
+    /// Batches accepted by [`BatchStager::stage`] (empty batches excluded).
+    pub staged: u64,
+    /// Batches released in sequence order by [`BatchStager::pop_ready`].
+    pub released: u64,
+    /// Batches that arrived ahead of a missing predecessor and were held.
+    pub held_out_of_order: u64,
+    /// High-water mark of simultaneously held batches.
+    pub max_pending: usize,
+}
+
+/// Reorder buffer merging producer batches back into sequence order.
+///
+/// `stage` accepts batches in any delivery order; `pop_ready` releases them
+/// in strict sequence order, holding back anything whose predecessor has not
+/// arrived. Overlapping or replayed sequence ranges are rejected — the
+/// sequence allocator never hands out the same range twice, so an overlap
+/// always means a corrupt or duplicated delivery.
+#[derive(Debug, Default)]
+pub struct BatchStager {
+    /// Next sequence number owed to the authoritative log.
+    next_seq: u64,
+    /// Held batches, keyed by first sequence number.
+    pending: BTreeMap<u64, StagedBatch>,
+    stats: StagerStats,
+}
+
+impl BatchStager {
+    /// An empty stager expecting sequence 0 first.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty stager expecting `next` first (resuming mid-log).
+    pub fn starting_at(next: Seq) -> Self {
+        BatchStager {
+            next_seq: next.0,
+            pending: BTreeMap::new(),
+            stats: StagerStats::default(),
+        }
+    }
+
+    /// The sequence number the stager will release next.
+    #[inline]
+    pub fn next_seq(&self) -> Seq {
+        Seq(self.next_seq)
+    }
+
+    /// Number of batches currently held out of order.
+    #[inline]
+    pub fn pending_batches(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` iff no batches are held (every staged batch was released).
+    #[inline]
+    pub fn is_drained(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Lifetime counters.
+    #[inline]
+    pub fn stats(&self) -> StagerStats {
+        self.stats
+    }
+
+    /// Accepts a delivered batch, in any order. Empty batches are ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`BillboardError::SeqMismatch`] if the batch's sequence range was
+    /// already released or collides with a held batch (duplicate or corrupt
+    /// delivery). The stager is unchanged on error.
+    pub fn stage(&mut self, batch: StagedBatch) -> Result<(), BillboardError> {
+        let (Some(first), Some(end)) = (batch.first_seq(), batch.end_seq()) else {
+            return Ok(());
+        };
+        if first.0 < self.next_seq {
+            return Err(BillboardError::SeqMismatch {
+                expected: Seq(self.next_seq),
+                got: first,
+            });
+        }
+        // Overlap against the held neighbours: the predecessor must end at
+        // or before our first seq, the successor must start at or after our
+        // end.
+        if let Some((_, prev)) = self.pending.range(..=first.0).next_back() {
+            if prev.end_seq().is_some_and(|e| e.0 > first.0) {
+                return Err(BillboardError::SeqMismatch {
+                    expected: prev.end_seq().unwrap_or(first),
+                    got: first,
+                });
+            }
+        }
+        if let Some((&succ_first, _)) = self.pending.range(first.0..).next() {
+            if succ_first < end.0 {
+                return Err(BillboardError::SeqMismatch {
+                    expected: end,
+                    got: Seq(succ_first),
+                });
+            }
+        }
+        if first.0 > self.next_seq {
+            self.stats.held_out_of_order += 1;
+        }
+        self.pending.insert(first.0, batch);
+        self.stats.staged += 1;
+        self.stats.max_pending = self.stats.max_pending.max(self.pending.len());
+        Ok(())
+    }
+
+    /// Releases the next batch in sequence order, if it has arrived.
+    ///
+    /// Call in a loop after each [`stage`](BatchStager::stage): one delivery
+    /// can unblock a whole run of held successors.
+    pub fn pop_ready(&mut self) -> Option<StagedBatch> {
+        let (&first, _) = self.pending.first_key_value()?;
+        if first != self.next_seq {
+            return None;
+        }
+        let batch = self.pending.remove(&first)?;
+        self.next_seq = batch.end_seq().map_or(self.next_seq, |e| e.0);
+        self.stats.released += 1;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ObjectId, PlayerId, Round};
+    use crate::post::ReportKind;
+
+    fn post(seq: u64, round: u64) -> Post {
+        Post {
+            seq: Seq(seq),
+            round: Round(round),
+            author: PlayerId(0),
+            object: ObjectId(0),
+            value: 1.0,
+            kind: ReportKind::Positive,
+        }
+    }
+
+    fn batch(producer: u32, seqs: std::ops::Range<u64>) -> StagedBatch {
+        let posts: Vec<Post> = seqs.map(|s| post(s, 0)).collect();
+        StagedBatch::new(producer, posts).unwrap()
+    }
+
+    #[test]
+    fn batch_validates_internal_contiguity() {
+        let err = StagedBatch::new(0, vec![post(0, 0), post(2, 0)]).unwrap_err();
+        assert!(matches!(err, BillboardError::SeqMismatch { .. }));
+        let err = StagedBatch::new(0, vec![post(0, 3), post(1, 2)]).unwrap_err();
+        assert!(matches!(err, BillboardError::RoundRegression { .. }));
+        let ok = StagedBatch::new(7, vec![post(5, 1), post(6, 2)]).unwrap();
+        assert_eq!(ok.producer(), 7);
+        assert_eq!(ok.first_seq(), Some(Seq(5)));
+        assert_eq!(ok.end_seq(), Some(Seq(7)));
+        assert_eq!(ok.len(), 2);
+    }
+
+    #[test]
+    fn releases_in_sequence_order_regardless_of_arrival() {
+        let mut stager = BatchStager::new();
+        stager.stage(batch(1, 3..5)).unwrap();
+        assert!(stager.pop_ready().is_none(), "gap at 0 holds everything");
+        stager.stage(batch(2, 5..6)).unwrap();
+        stager.stage(batch(0, 0..3)).unwrap();
+        let released: Vec<u64> = std::iter::from_fn(|| stager.pop_ready())
+            .filter_map(|b| b.first_seq().map(|s| s.0))
+            .collect();
+        assert_eq!(released, vec![0, 3, 5]);
+        assert!(stager.is_drained());
+        assert_eq!(stager.next_seq(), Seq(6));
+        let stats = stager.stats();
+        assert_eq!(stats.staged, 3);
+        assert_eq!(stats.released, 3);
+        assert_eq!(stats.held_out_of_order, 2);
+        assert_eq!(stats.max_pending, 3);
+    }
+
+    #[test]
+    fn rejects_replays_and_overlaps() {
+        let mut stager = BatchStager::new();
+        stager.stage(batch(0, 0..2)).unwrap();
+        assert!(stager.pop_ready().is_some());
+        // replay of an already-released range
+        let err = stager.stage(batch(0, 0..2)).unwrap_err();
+        assert!(matches!(err, BillboardError::SeqMismatch { .. }));
+        // overlap with a held batch, from either side
+        stager.stage(batch(1, 4..8)).unwrap();
+        let err = stager.stage(batch(2, 6..9)).unwrap_err();
+        assert!(matches!(err, BillboardError::SeqMismatch { .. }));
+        let err = stager.stage(batch(2, 2..5)).unwrap_err();
+        assert!(matches!(err, BillboardError::SeqMismatch { .. }));
+        // a clean fill of the gap is accepted
+        stager.stage(batch(2, 2..4)).unwrap();
+        let released: Vec<u64> = std::iter::from_fn(|| stager.pop_ready())
+            .filter_map(|b| b.first_seq().map(|s| s.0))
+            .collect();
+        assert_eq!(released, vec![2, 4]);
+    }
+
+    #[test]
+    fn starting_mid_log() {
+        let mut stager = BatchStager::starting_at(Seq(10));
+        let err = stager.stage(batch(0, 8..10)).unwrap_err();
+        assert!(matches!(err, BillboardError::SeqMismatch { .. }));
+        stager.stage(batch(0, 10..12)).unwrap();
+        assert_eq!(
+            stager.pop_ready().and_then(|b| b.first_seq()),
+            Some(Seq(10))
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_ignored() {
+        let mut stager = BatchStager::new();
+        let empty = StagedBatch::new(0, Vec::new()).unwrap();
+        assert!(empty.is_empty());
+        stager.stage(empty).unwrap();
+        assert_eq!(stager.stats().staged, 0);
+        assert!(stager.is_drained());
+    }
+}

@@ -1,6 +1,6 @@
 //! Billboard error type.
 
-use crate::ids::{ObjectId, PlayerId, Round};
+use crate::ids::{ObjectId, PlayerId, Round, Seq};
 use std::error::Error;
 use std::fmt;
 
@@ -32,6 +32,14 @@ pub enum BillboardError {
         /// The latest round already on the billboard.
         current: Round,
     },
+    /// A pre-stamped post or batch does not continue the log's sequence
+    /// numbering (batched ingest requires explicit, gap-free sequences).
+    SeqMismatch {
+        /// The sequence number the log expected next.
+        expected: Seq,
+        /// The sequence number actually carried by the post/batch.
+        got: Seq,
+    },
 }
 
 impl fmt::Display for BillboardError {
@@ -53,6 +61,12 @@ impl fmt::Display for BillboardError {
                 write!(
                     f,
                     "post timestamped {attempted} but billboard is already at {current}"
+                )
+            }
+            BillboardError::SeqMismatch { expected, got } => {
+                write!(
+                    f,
+                    "sequence discontinuity: expected {expected:?} but batch carries {got:?}"
                 )
             }
         }

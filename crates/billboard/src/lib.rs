@@ -51,23 +51,27 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod auth;
+mod batch;
 mod bitset;
 mod board;
 mod error;
 mod ids;
 mod policy;
 mod post;
+mod segment;
 mod tracker;
 mod view;
 mod window;
 
 pub use auth::{AuditReport, AuthError, AuthKey, Authenticator, SignedBillboard, Tag};
+pub use batch::{BatchStager, StagedBatch, StagerStats};
 pub use bitset::BitSet;
 pub use board::{Billboard, BoardStats};
 pub use error::BillboardError;
 pub use ids::{ObjectId, PlayerId, Round, Seq};
 pub use policy::{VoteMode, VotePolicy};
 pub use post::{Post, ReportKind};
+pub use segment::SegmentLog;
 pub use tracker::{VoteEvent, VoteRecord, VoteTracker};
 pub use view::BoardView;
 pub use window::Window;

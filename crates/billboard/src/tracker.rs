@@ -391,6 +391,49 @@ impl VoteTracker {
         self.consume(new_posts, upto)
     }
 
+    /// Consumes all posts appended to the segmented `log` since the last
+    /// call, updating vote state. Returns the number of posts consumed.
+    ///
+    /// This is the segment-log counterpart of
+    /// [`ingest`](VoteTracker::ingest): epoch readers in the concurrent
+    /// billboard service feed their tracker straight from an immutable
+    /// [`SegmentLog`](crate::SegmentLog) snapshot without materializing a
+    /// flat board. Both entries dispatch through the same internal consume
+    /// path, so a tracker fed segment-by-segment holds vote state
+    /// bit-identical to one fed from the equivalent flat [`Billboard`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log` has a different universe size than the tracker was
+    /// created for (mixing logs is a programming error).
+    pub fn ingest_segments(&mut self, log: &crate::SegmentLog) -> usize {
+        assert_eq!(
+            log.n_players() as usize,
+            self.votes_by_player.n_players(),
+            "tracker/log player universe mismatch"
+        );
+        assert_eq!(
+            log.n_objects(),
+            self.n_objects,
+            "tracker/log object universe mismatch"
+        );
+        let mut consumed = 0usize;
+        // The iterator borrows `log`, not `self`, so slices must be
+        // collected per step; segments are contiguous, so walking one slice
+        // at a time through `consume` is exactly sequential ingest.
+        loop {
+            let from = Seq(self.cursor as u64);
+            let Some(slice) = log.slices_since(from).next() else {
+                break;
+            };
+            if slice.is_empty() {
+                break;
+            }
+            consumed += self.consume(slice, slice.len());
+        }
+        consumed
+    }
+
     /// Dispatches the first `upto` of `new_posts` into the vote state and
     /// advances the cursor past them.
     fn consume(&mut self, new_posts: &[crate::post::Post], upto: usize) -> usize {

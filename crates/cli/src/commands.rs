@@ -88,6 +88,9 @@ COMMANDS:
     meanfield  predicted satisfaction dynamics of the baselines
     async      run the asynchronous model of [1] under a chosen schedule
                (--schedule round-robin|random|isolate|starve)
+    service-stress
+               drive the concurrent billboard service: producer threads,
+               one applier, epoch-snapshot readers
     help       this text
 
 RUN FLAGS (defaults in parentheses):
@@ -120,6 +123,19 @@ SWEEP FLAGS (all RUN FLAGS, plus):
     --threads <usize>        worker threads (available parallelism)
     --out <path>             per-trial result digests, for diffing runs
     exits 3 when any trial ends quarantined
+
+SERVICE-STRESS FLAGS (defaults in parentheses):
+    --producers <u32>       concurrent submitting threads (8)
+    --posts <u64>           total posts across all producers (1000000)
+    --batch <usize>         drafts per submitted batch (1024)
+    --readers <u32>         concurrent epoch-snapshot readers (2)
+    --n <u32>               players in the universe (256)
+    --m <u32>               objects in the universe (1024)
+    --posts-per-round <u64> service timestamp granularity (256)
+    --channel <usize>       bounded-channel capacity in batches (256)
+    --publish-every <u64>   epochs published every k applied batches (8)
+    --verify                replay the merged log sequentially and fail
+                            unless the concurrent end state is identical
 
 BOUNDS FLAGS: --n --m --alpha --beta --q0 --eps
 LEMMA9:       distill lemma9 <c0,c1,c2,...> --a <f64 in (0,1)>
@@ -832,6 +848,114 @@ pub fn run_async(args: &Args) -> Result<String, CliError> {
     Ok(table.render())
 }
 
+const SERVICE_STRESS_FLAGS: &[&str] = &[
+    "producers",
+    "posts",
+    "batch",
+    "readers",
+    "n",
+    "m",
+    "posts-per-round",
+    "channel",
+    "publish-every",
+    "verify",
+];
+
+/// `distill service-stress` — drive the concurrent billboard service:
+/// `--producers` threads submit `--posts` drafts in `--batch`-sized batches
+/// through the bounded channel to the single applier, while `--readers`
+/// epoch readers sync and tally concurrently. `--verify` replays the merged
+/// log sequentially afterwards and fails (nonzero exit) unless the
+/// concurrent end state is byte-identical.
+pub fn run_service_stress(args: &Args) -> Result<String, CliError> {
+    use distill_service::{run_stress, verify_linearization, StressConfig};
+    args.ensure_known(SERVICE_STRESS_FLAGS)?;
+    let producers: u32 = args.get_or("producers", 8)?;
+    let posts: u64 = args.get_or("posts", 1_000_000)?;
+    let batch: usize = args.get_or("batch", 1024)?;
+    let readers: u32 = args.get_or("readers", 2)?;
+    let n: u32 = args.get_or("n", 256)?;
+    let m: u32 = args.get_or("m", 1024)?;
+    let posts_per_round: u64 = args.get_or("posts-per-round", 256)?;
+    let channel: usize = args.get_or("channel", 256)?;
+    let publish_every: u64 = args.get_or("publish-every", 8)?;
+    let config = StressConfig::new(producers, posts)
+        .with_batch_posts(batch)
+        .with_universe(n, m)
+        .with_readers(readers)
+        .with_posts_per_round(posts_per_round)
+        .with_channel_batches(channel)
+        .with_publish_every(publish_every);
+    let policy = config.policy;
+    let (outcome, snapshot) = run_stress(config).map_err(|e| err(e.to_string()))?;
+    let mut table = Table::new(
+        format!(
+            "billboard service — {producers} producers × {posts} posts \
+             (batch {batch}, {readers} readers, n={n}, m={m})"
+        ),
+        &["metric", "value"],
+    );
+    let ns_cell = |ns: Option<u64>| ns.map_or("-".into(), |v| format!("{v}"));
+    table.row_owned(vec!["posts applied".into(), outcome.posts.to_string()]);
+    table.row_owned(vec![
+        "elapsed (ms)".into(),
+        format!("{:.1}", outcome.elapsed_ns as f64 / 1e6),
+    ]);
+    table.row_owned(vec![
+        "posts/sec".into(),
+        format!("{:.0}", outcome.posts_per_sec),
+    ]);
+    table.row_owned(vec!["batches".into(), outcome.batches.to_string()]);
+    table.row_owned(vec![
+        "held out of order".into(),
+        outcome.held_out_of_order.to_string(),
+    ]);
+    table.row_owned(vec![
+        "max pending batches".into(),
+        outcome.max_pending.to_string(),
+    ]);
+    table.row_owned(vec![
+        "epochs published".into(),
+        outcome.epochs_published.to_string(),
+    ]);
+    table.row_owned(vec!["reader samples".into(), outcome.reads.to_string()]);
+    table.row_owned(vec![
+        "tally p50/p99 (ns)".into(),
+        format!(
+            "{} / {}",
+            ns_cell(outcome.tally_p50_ns),
+            ns_cell(outcome.tally_p99_ns)
+        ),
+    ]);
+    table.row_owned(vec![
+        "sync p50/p99 (ns)".into(),
+        format!(
+            "{} / {}",
+            ns_cell(outcome.sync_p50_ns),
+            ns_cell(outcome.sync_p99_ns)
+        ),
+    ]);
+    table.row_owned(vec![
+        "tally digest".into(),
+        format!("{:016x}", outcome.tally_digest),
+    ]);
+    if args.has("verify") {
+        let ok = verify_linearization(&snapshot, policy);
+        table.row_owned(vec![
+            "linearization vs sequential replay".into(),
+            if ok { "ok" } else { "FAILED" }.into(),
+        ]);
+        if !ok {
+            return Err(err(format!(
+                "linearization check failed: the concurrent end state diverges \
+                 from a sequential replay of the merged log\n{}",
+                table.render()
+            )));
+        }
+    }
+    Ok(table.render())
+}
+
 const LEMMA9_FLAGS: &[&str] = &["a"];
 
 /// `distill lemma9 <c0,c1,...> --a <f64>` — check the inequality.
@@ -903,6 +1027,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "lemma9" => run_lemma9(args),
         "meanfield" => run_meanfield(args),
         "async" => run_async(args),
+        "service-stress" => run_service_stress(args),
         "help" | "--help" | "-h" => Ok(help()),
         other => Err(err(format!(
             "unknown command {other:?} (try `distill help`)"
@@ -921,7 +1046,14 @@ mod tests {
     #[test]
     fn help_lists_commands() {
         let h = help();
-        for cmd in ["run", "sweep", "gauntlet", "bounds", "lemma9"] {
+        for cmd in [
+            "run",
+            "sweep",
+            "gauntlet",
+            "bounds",
+            "lemma9",
+            "service-stress",
+        ] {
             assert!(h.contains(cmd), "help must mention {cmd}");
         }
         for flag in [
@@ -932,6 +1064,36 @@ mod tests {
         ] {
             assert!(h.contains(flag), "help must mention {flag}");
         }
+    }
+
+    #[test]
+    fn service_stress_runs_and_verifies() {
+        let args = Args::parse(
+            [
+                "service-stress",
+                "--producers",
+                "4",
+                "--posts",
+                "20000",
+                "--batch",
+                "256",
+                "--readers",
+                "1",
+                "--verify",
+            ]
+            .iter()
+            .copied(),
+            &["verify"],
+        )
+        .unwrap();
+        let out = run_service_stress(&args).unwrap();
+        assert!(out.contains("posts applied"));
+        assert!(out.contains("20000"));
+        assert!(out.contains("linearization"));
+        assert!(out.contains("ok"));
+        // unknown flags are rejected
+        let bad = Args::parse(["service-stress", "--bogus", "1"].iter().copied(), &[]).unwrap();
+        assert!(run_service_stress(&bad).is_err());
     }
 
     fn sweep_tmp(name: &str) -> std::path::PathBuf {

@@ -47,12 +47,14 @@ pub struct BenchResult {
 }
 
 impl BenchResult {
-    /// Iterations per second implied by the mean.
+    /// Iterations per second implied by the mean; `0.0` for untimed rows
+    /// (`report_value` sets `mean_ns = 0`), keeping the JSON dump free of
+    /// non-finite literals that strict parsers reject.
     pub fn throughput_per_sec(&self) -> f64 {
         if self.mean_ns > 0.0 {
             1e9 / self.mean_ns
         } else {
-            f64::INFINITY
+            0.0
         }
     }
 }

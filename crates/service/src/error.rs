@@ -1,0 +1,65 @@
+//! Service error type.
+
+use distill_billboard::BillboardError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the concurrent billboard service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The service configuration is unusable (zero-sized universe, zero
+    /// channel bound, …).
+    InvalidConfig(&'static str),
+    /// A submitted draft was rejected *before* sequence allocation — the
+    /// post references an id outside the registered universe. Rejecting
+    /// pre-allocation matters: a sequence range allocated and never
+    /// delivered would stall the applier's reorder buffer forever.
+    Rejected(BillboardError),
+    /// The applier thread is gone (service shut down or crashed), so the
+    /// submission channel is closed.
+    Disconnected,
+    /// The applier stopped on a log-integrity error (corrupt or duplicated
+    /// delivery).
+    ApplierFailed(BillboardError),
+    /// The applier thread panicked.
+    ApplierPanicked,
+    /// The applier thread could not be spawned.
+    Spawn(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::InvalidConfig(why) => write!(f, "invalid service config: {why}"),
+            ServiceError::Rejected(err) => write!(f, "submission rejected: {err}"),
+            ServiceError::Disconnected => write!(f, "billboard service is shut down"),
+            ServiceError::ApplierFailed(err) => write!(f, "applier stopped: {err}"),
+            ServiceError::ApplierPanicked => write!(f, "applier thread panicked"),
+            ServiceError::Spawn(why) => write!(f, "failed to spawn applier thread: {why}"),
+        }
+    }
+}
+
+impl Error for ServiceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServiceError::Rejected(err) | ServiceError::ApplierFailed(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_and_displays() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServiceError>();
+        assert!(ServiceError::Disconnected.to_string().contains("shut down"));
+        assert!(ServiceError::InvalidConfig("zero players")
+            .to_string()
+            .contains("zero players"));
+    }
+}

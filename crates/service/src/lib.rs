@@ -1,0 +1,49 @@
+//! # distill-service
+//!
+//! The billboard as a **concurrent service**: many producer threads submit
+//! post batches, one applier merges them into the authoritative log, and
+//! readers consult immutable epoch snapshots that never block the write
+//! path.
+//!
+//! The paper's shared medium (§2.1) is a single append-only billboard that
+//! every player reads and writes every round. This crate promotes the
+//! in-process [`Billboard`](distill_billboard::Billboard) substrate to a
+//! heavy-traffic service while keeping the *same* interpretation code on
+//! both sides (the "production code testing" principle): the service's
+//! readers run the very [`VoteTracker`](distill_billboard::VoteTracker) /
+//! [`BoardView`](distill_billboard::BoardView) machinery the simulation
+//! uses — only the transport is swapped.
+//!
+//! The architecture is three moving parts (DESIGN.md §15):
+//!
+//! * **Sharded batched ingest** — each producer owns a
+//!   [`ProducerHandle`]; submitting a batch atomically allocates a run of
+//!   explicit sequence numbers and stamps service timestamps, so
+//!   *submission* order is sequence order and delivery order is free to
+//!   scramble.
+//! * **A single applier with backpressure** — batches travel over a bounded
+//!   MPSC channel to one applier thread, whose
+//!   [`BatchStager`](distill_billboard::BatchStager) reorder buffer releases
+//!   them in gap-free sequence order into a
+//!   [`SegmentLog`](distill_billboard::SegmentLog). The result is
+//!   bit-identical to sequential ingest of the same posts — the
+//!   linearization property the proptests pin down.
+//! * **Epoch-pinned snapshot reads** — after applied batches the applier
+//!   publishes an immutable [`EpochSnapshot`] by swapping one pointer in an
+//!   [`EpochCell`]. [`EpochReader`]s sync against snapshots at their own
+//!   pace; producers never wait for readers and readers never lock the log.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod epoch;
+mod error;
+mod service;
+mod stress;
+
+pub use epoch::{EpochCell, EpochReader, EpochSnapshot};
+pub use error::ServiceError;
+pub use service::{
+    ApplierStats, BillboardService, Draft, ProducerHandle, ServiceConfig, ServiceReport,
+};
+pub use stress::{run_stress, tally_digest, verify_linearization, StressConfig, StressOutcome};

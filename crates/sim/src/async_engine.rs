@@ -16,12 +16,14 @@
 
 use crate::adversary::{Adversary, AdversaryCtx, InfoModel};
 use crate::cohort::PhaseInfo;
+use crate::config::ServicePlan;
 use crate::error::SimError;
 use crate::faults::{FaultCounters, FaultPlan};
 use crate::rng::{stream_rng, Stream};
 use crate::world::World;
 use distill_billboard::{
-    Billboard, BitSet, BoardView, ObjectId, PlayerId, ReportKind, Round, VotePolicy, VoteTracker,
+    BatchStager, Billboard, BitSet, BoardView, ObjectId, PlayerId, Post, ReportKind, Round, Seq,
+    StagedBatch, VotePolicy, VoteTracker,
 };
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -251,6 +253,53 @@ pub struct AsyncPlayerOutcome {
     pub satisfied_step: Option<u64>,
 }
 
+/// Transport statistics of a service-mode run (see
+/// [`AsyncEngine::with_service`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceCounters {
+    /// Batches flushed out of the staging buffers.
+    pub batches_submitted: u64,
+    /// Batches released by the reorder buffer onto the board.
+    pub batches_applied: u64,
+    /// Posts routed through the service transport.
+    pub posts_submitted: u64,
+    /// Batches that arrived ahead of a sequence gap and had to wait.
+    pub held_out_of_order: u64,
+    /// High-water mark of batches parked in the reorder buffer.
+    pub max_pending: usize,
+    /// Partial batches force-flushed by the end-of-run drain.
+    pub shutdown_flushes: u64,
+}
+
+/// A post waiting in a producer's staging buffer (no seq/round yet — both
+/// are stamped at flush time, so submission order is sequence order).
+#[derive(Debug, Clone, Copy)]
+struct PendingDraft {
+    author: PlayerId,
+    object: ObjectId,
+    value: f64,
+    kind: ReportKind,
+}
+
+/// The in-simulation service transport: sharded staging buffers, delayed
+/// in-flight batches, and the reorder buffer that restores sequence order.
+#[derive(Debug)]
+struct ServiceState {
+    plan: ServicePlan,
+    /// One staging buffer per simulated producer, sharded by author id.
+    buffers: Vec<Vec<PendingDraft>>,
+    /// Next sequence number to allocate at flush time.
+    next_seq: u64,
+    stager: BatchStager,
+    /// Submitted batches awaiting delivery: `(deliver_at_step, batch)`.
+    in_flight: Vec<(u64, StagedBatch)>,
+    /// Reused drain buffer for due deliveries.
+    due_scratch: Vec<StagedBatch>,
+    batches_submitted: u64,
+    posts_submitted: u64,
+    shutdown_flushes: u64,
+}
+
 /// Outcome of an asynchronous run.
 #[derive(Debug, Clone)]
 pub struct AsyncResult {
@@ -262,6 +311,8 @@ pub struct AsyncResult {
     pub players: Vec<AsyncPlayerOutcome>,
     /// Fault-injection event counts (all zero in fault-free runs).
     pub faults: FaultCounters,
+    /// Service-transport statistics; `None` for direct-mode runs.
+    pub service: Option<ServiceCounters>,
 }
 
 impl AsyncResult {
@@ -318,6 +369,13 @@ pub struct AsyncEngine<'w> {
     /// Stale-read tracker, fed via `ingest_until` at the lag cutoff; present
     /// only when the plan sets `view_lag > 0`.
     lagged_tracker: Option<VoteTracker>,
+    /// Service-transport state; `None` in direct mode.
+    service: Option<ServiceState>,
+    /// Delivery-delay draws for service mode. Built unconditionally (like
+    /// `faults_rng`) but consumed only by plans with a positive
+    /// `max_delivery_delay`, so delay-free runs stay bit-identical to
+    /// direct mode.
+    service_rng: SmallRng,
 }
 
 impl std::fmt::Debug for AsyncEngine<'_> {
@@ -394,6 +452,8 @@ impl<'w> AsyncEngine<'w> {
             churn_scratch: Vec::new(),
             fault_counters: FaultCounters::default(),
             lagged_tracker: None,
+            service: None,
+            service_rng: stream_rng(seed, Stream::Aux(2)),
         })
     }
 
@@ -429,6 +489,213 @@ impl<'w> AsyncEngine<'w> {
         self.lagged_tracker = (plan.view_lag > 0)
             .then(|| VoteTracker::new(self.n, self.world.m(), VotePolicy::single_vote()));
         Ok(self)
+    }
+
+    /// Routes all posts (honest and adversarial) through the service
+    /// transport: sharded staging buffers, explicit-sequence batch flushes,
+    /// adversarially delayed delivery, and a reorder buffer that restores
+    /// sequence order before anything reaches the board. The degenerate
+    /// plan ([`ServicePlan::is_passthrough`]) is bit-identical to direct
+    /// mode; delay draws come from the dedicated `Stream::Aux(2)` stream,
+    /// so delay-free plans consume nothing from it.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`] when the plan is invalid.
+    pub fn with_service(mut self, plan: ServicePlan) -> Result<Self, SimError> {
+        plan.validate()
+            .map_err(|msg| SimError::InvalidConfig(format!("service plan: {msg}")))?;
+        let start = Seq(self.board.len() as u64);
+        self.service = Some(ServiceState {
+            buffers: vec![Vec::new(); plan.producers as usize],
+            next_seq: start.0,
+            stager: BatchStager::starting_at(start),
+            in_flight: Vec::new(),
+            due_scratch: Vec::new(),
+            batches_submitted: 0,
+            posts_submitted: 0,
+            shutdown_flushes: 0,
+            plan,
+        });
+        Ok(self)
+    }
+
+    /// One post enters the system. Direct mode appends to the board
+    /// immediately; service mode stages the draft in its author's shard and
+    /// flushes when the shard buffer is full. Returns whether the board
+    /// changed (direct appends always do; service submissions only via a
+    /// synchronous flush-and-deliver).
+    fn submit_post(
+        &mut self,
+        round: Round,
+        author: PlayerId,
+        object: ObjectId,
+        value: f64,
+        kind: ReportKind,
+    ) -> Result<bool, SimError> {
+        let Some(svc) = self.service.as_mut() else {
+            self.board.append(round, author, object, value, kind)?;
+            return Ok(true);
+        };
+        let shard = author.index() % svc.buffers.len();
+        svc.buffers[shard].push(PendingDraft {
+            author,
+            object,
+            value,
+            kind,
+        });
+        if svc.buffers[shard].len() >= svc.plan.batch_posts {
+            self.flush_shard(shard)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Flushes one shard's staged drafts as a batch: sequence numbers are
+    /// allocated and rounds stamped **now** (submission time), so the
+    /// merged log's seq order is submission order and rounds stay monotone
+    /// no matter how delivery scrambles. Delivery is immediate when the
+    /// plan's delay is zero, otherwise the batch goes in flight until a
+    /// step drawn from `[step, step + delay]`.
+    fn flush_shard(&mut self, shard: usize) -> Result<bool, SimError> {
+        let step = self.step;
+        let Some(svc) = self.service.as_mut() else {
+            return Ok(false);
+        };
+        if svc.buffers[shard].is_empty() {
+            return Ok(false);
+        }
+        let round = Round(step);
+        let first = svc.next_seq;
+        let drafts = &mut svc.buffers[shard];
+        let mut posts = Vec::with_capacity(drafts.len());
+        for (i, d) in drafts.drain(..).enumerate() {
+            posts.push(Post {
+                seq: Seq(first + i as u64),
+                round,
+                author: d.author,
+                object: d.object,
+                value: d.value,
+                kind: d.kind,
+            });
+        }
+        svc.next_seq = first + posts.len() as u64;
+        svc.batches_submitted += 1;
+        svc.posts_submitted += posts.len() as u64;
+        let producer = u32::try_from(shard).unwrap_or(u32::MAX);
+        let batch = StagedBatch::new(producer, posts)?;
+        let delay = if svc.plan.max_delivery_delay > 0 {
+            self.service_rng.gen_range(0..=svc.plan.max_delivery_delay)
+        } else {
+            0
+        };
+        if delay == 0 {
+            svc.stager.stage(batch)?;
+            self.service_apply_ready()
+        } else {
+            svc.in_flight.push((step.saturating_add(delay), batch));
+            Ok(false)
+        }
+    }
+
+    /// Drains every batch the reorder buffer can release in sequence order
+    /// onto the board, then ingests once. Returns whether anything landed.
+    fn service_apply_ready(&mut self) -> Result<bool, SimError> {
+        let mut applied = false;
+        while let Some(batch) = self.service.as_mut().and_then(|svc| svc.stager.pop_ready()) {
+            self.board.ingest_batch(batch.posts())?;
+            applied = true;
+        }
+        if applied {
+            self.tracker.ingest(&self.board);
+        }
+        Ok(applied)
+    }
+
+    /// Delivers every in-flight batch whose delay has elapsed, in flight
+    /// order, then lets the reorder buffer release what became contiguous.
+    fn service_deliver_due(&mut self) -> Result<(), SimError> {
+        let step = self.step;
+        let Some(svc) = self.service.as_mut() else {
+            return Ok(());
+        };
+        if svc.in_flight.is_empty() {
+            return Ok(());
+        }
+        let mut due = std::mem::take(&mut svc.due_scratch);
+        due.clear();
+        let mut i = 0;
+        while i < svc.in_flight.len() {
+            if svc.in_flight[i].0 <= step {
+                due.push(svc.in_flight.remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+        let delivered = !due.is_empty();
+        for batch in due.drain(..) {
+            svc.stager.stage(batch)?;
+        }
+        svc.due_scratch = due;
+        if delivered {
+            self.service_apply_ready()?;
+        }
+        Ok(())
+    }
+
+    /// End-of-run drain: flushes every shard's residue (in shard order),
+    /// delivers everything still in flight regardless of delay, and applies
+    /// it all, so the final board contains every submitted post.
+    fn service_shutdown(&mut self) -> Result<(), SimError> {
+        let shards = self.service.as_ref().map_or(0, |svc| svc.buffers.len());
+        let mut flushes = 0u64;
+        for shard in 0..shards {
+            let pending = self
+                .service
+                .as_ref()
+                .is_some_and(|svc| !svc.buffers[shard].is_empty());
+            if pending {
+                self.flush_shard(shard)?;
+                flushes += 1;
+            }
+        }
+        if let Some(svc) = self.service.as_mut() {
+            svc.shutdown_flushes = flushes;
+            let mut due = std::mem::take(&mut svc.due_scratch);
+            due.clear();
+            due.extend(svc.in_flight.drain(..).map(|(_, batch)| batch));
+            for batch in due.drain(..) {
+                svc.stager.stage(batch)?;
+            }
+            svc.due_scratch = due;
+        }
+        self.service_apply_ready()?;
+        if let Some(svc) = self.service.as_ref() {
+            debug_assert!(
+                svc.stager.is_drained(),
+                "service shutdown left batches in the reorder buffer"
+            );
+            debug_assert_eq!(
+                svc.stager.next_seq().0,
+                svc.next_seq,
+                "allocated sequence range was not fully applied"
+            );
+        }
+        Ok(())
+    }
+
+    /// Snapshot of the transport counters for the result.
+    fn service_counters(&self) -> Option<ServiceCounters> {
+        self.service.as_ref().map(|svc| {
+            let stats = svc.stager.stats();
+            ServiceCounters {
+                batches_submitted: svc.batches_submitted,
+                batches_applied: stats.released,
+                posts_submitted: svc.posts_submitted,
+                held_out_of_order: stats.held_out_of_order,
+                max_pending: stats.max_pending,
+                shutdown_flushes: svc.shutdown_flushes,
+            }
+        })
     }
 
     /// Crash/recovery bookkeeping for the step that is about to execute.
@@ -523,11 +790,29 @@ impl<'w> AsyncEngine<'w> {
     /// Returns [`SimError::InvalidDirective`] if a step policy probes an
     /// object outside the universe, or [`SimError::Billboard`] if a post
     /// violates the billboard's append discipline (an engine bug guard).
-    // lint: hot
     pub fn run(mut self) -> Result<AsyncResult, SimError> {
+        self.run_mut()
+    }
+
+    /// Runs to completion and additionally hands back the final board and
+    /// tracker, so callers (equivalence tests, the service bench) can
+    /// compare end states across transports byte for byte.
+    ///
+    /// # Errors
+    /// Same as [`run`](AsyncEngine::run).
+    pub fn run_into_parts(mut self) -> Result<(AsyncResult, Billboard, VoteTracker), SimError> {
+        let result = self.run_mut()?;
+        Ok((result, self.board, self.tracker))
+    }
+
+    // lint: hot
+    fn run_mut(&mut self) -> Result<AsyncResult, SimError> {
         loop {
             if self.step >= self.max_steps {
                 break;
+            }
+            if self.service.is_some() {
+                self.service_deliver_due()?;
             }
             if self.faults.crash_rate > 0.0 {
                 self.process_churn();
@@ -579,9 +864,11 @@ impl<'w> AsyncEngine<'w> {
                     self.world.m()
                 )));
             }
-            let outcome = &mut self.outcomes[player.index()];
-            outcome.probes += 1;
-            outcome.cost_paid += self.world.cost(object);
+            {
+                let outcome = &mut self.outcomes[player.index()];
+                outcome.probes += 1;
+                outcome.cost_paid += self.world.cost(object);
+            }
             let good = self.world.is_good(object);
             let kind = if good {
                 ReportKind::Positive
@@ -595,12 +882,11 @@ impl<'w> AsyncEngine<'w> {
             if dropped {
                 self.fault_counters.posts_dropped += 1;
             } else {
-                self.board
-                    .append(round, player, object, self.world.value(object), kind)?;
+                self.submit_post(round, player, object, self.world.value(object), kind)?;
             }
             if good {
                 self.satisfied.insert(player.index());
-                outcome.satisfied_step = Some(self.step);
+                self.outcomes[player.index()].satisfied_step = Some(self.step);
                 if let Ok(pos) = self.active.binary_search(&player) {
                     self.active.remove(pos);
                 }
@@ -629,9 +915,8 @@ impl<'w> AsyncEngine<'w> {
                     && post.object.0 < self.world.m()
                     && post.value.is_finite()
                 {
-                    self.board
-                        .append(round, post.author, post.object, post.value, post.kind)?;
-                    appended = true;
+                    appended |=
+                        self.submit_post(round, post.author, post.object, post.value, post.kind)?;
                 }
             }
             if appended {
@@ -639,11 +924,15 @@ impl<'w> AsyncEngine<'w> {
             }
             self.step += 1;
         }
+        if self.service.is_some() {
+            self.service_shutdown()?;
+        }
         Ok(AsyncResult {
             steps: self.step,
             all_satisfied: self.satisfied.count_ones() == self.n_honest as usize,
-            players: self.outcomes,
+            players: std::mem::take(&mut self.outcomes),
             faults: self.fault_counters,
+            service: self.service_counters(),
         })
     }
 }
@@ -762,6 +1051,107 @@ mod tests {
             Box::new(NullAdversary)
         )
         .is_err());
+    }
+
+    #[test]
+    fn service_passthrough_is_bit_identical_to_direct() {
+        let w = world();
+        let build = || {
+            AsyncEngine::new(
+                16,
+                16,
+                7,
+                2_000_000,
+                &w,
+                Box::new(BalanceStep::new()),
+                Box::new(RoundRobin::default()),
+                Box::new(NullAdversary),
+            )
+            .unwrap()
+        };
+        let (direct, direct_board, direct_tracker) = build().run_into_parts().unwrap();
+        // Passthrough plans (batch 1, delay 0) must not perturb anything,
+        // for any producer count: same steps, same per-player outcomes,
+        // same board posts, same tracker events.
+        for producers in [1, 4] {
+            let plan = ServicePlan::new(producers);
+            assert!(plan.is_passthrough());
+            let (result, board, tracker) = build()
+                .with_service(plan)
+                .unwrap()
+                .run_into_parts()
+                .unwrap();
+            assert_eq!(result.steps, direct.steps);
+            assert_eq!(result.players, direct.players);
+            assert_eq!(board.posts(), direct_board.posts());
+            assert_eq!(tracker.events(), direct_tracker.events());
+            let counters = result.service.expect("service mode reports counters");
+            assert_eq!(counters.posts_submitted as usize, board.len());
+            assert_eq!(counters.batches_applied, counters.batches_submitted);
+            assert_eq!(counters.held_out_of_order, 0);
+            assert_eq!(counters.shutdown_flushes, 0);
+        }
+        assert!(direct.service.is_none(), "direct mode has no counters");
+    }
+
+    #[test]
+    fn service_mode_with_delays_applies_every_post() {
+        let w = world();
+        let plan = ServicePlan::new(3)
+            .with_batch_posts(4)
+            .with_max_delivery_delay(6);
+        let build = || {
+            AsyncEngine::new(
+                16,
+                16,
+                11,
+                2_000_000,
+                &w,
+                Box::new(BalanceStep::new()),
+                Box::new(RoundRobin::default()),
+                Box::new(NullAdversary),
+            )
+            .unwrap()
+            .with_service(plan)
+            .unwrap()
+        };
+        let (a, board_a, tracker_a) = build().run_into_parts().unwrap();
+        let counters = a.service.expect("service counters present");
+        // The shutdown drain must land every allocated sequence number on
+        // the board, and the merged log must be seq-ordered and gap-free.
+        assert_eq!(counters.posts_submitted as usize, board_a.len());
+        assert_eq!(counters.batches_applied, counters.batches_submitted);
+        for (i, post) in board_a.posts().iter().enumerate() {
+            assert_eq!(post.seq.0 as usize, i, "merged log has a seq gap");
+        }
+        // The tracker saw exactly the board: re-ingesting the final board
+        // into a fresh tracker reproduces the same event log.
+        let mut oracle = VoteTracker::new(16, w.m(), VotePolicy::single_vote());
+        oracle.ingest(&board_a);
+        assert_eq!(tracker_a.events(), oracle.events());
+        // Deterministic in seed despite delivery delays.
+        let (b, board_b, _) = build().run_into_parts().unwrap();
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.players, b.players);
+        assert_eq!(board_a.posts(), board_b.posts());
+        assert_eq!(b.service, Some(counters));
+    }
+
+    #[test]
+    fn service_plan_is_validated() {
+        let w = world();
+        let engine = AsyncEngine::new(
+            4,
+            4,
+            0,
+            10,
+            &w,
+            Box::new(RandomStep),
+            Box::new(RandomSchedule),
+            Box::new(NullAdversary),
+        )
+        .unwrap();
+        assert!(engine.with_service(ServicePlan::new(0)).is_err());
     }
 
     #[test]

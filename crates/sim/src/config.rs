@@ -366,6 +366,97 @@ impl SimConfig {
     }
 }
 
+/// Configuration of the asynchronous engine's **service transport** mode
+/// (see [`AsyncEngine::with_service`](crate::async_engine::AsyncEngine::with_service)).
+///
+/// In service mode honest and adversarial posts no longer hit the billboard
+/// directly: each post is routed to one of `producers` staging buffers
+/// (sharded by author), flushed as an explicit-sequence batch once the
+/// buffer holds `batch_posts` drafts, and delivered to the board after an
+/// adversarially random delay of up to `max_delivery_delay` steps. A
+/// reorder buffer merges deliveries back into sequence order, so the final
+/// log is bit-identical to the submission order regardless of delivery
+/// scrambling — the in-simulation twin of the threaded `distill-service`
+/// path.
+///
+/// The degenerate plan (`batch_posts == 1`, `max_delivery_delay == 0`)
+/// stages and applies every post immediately and is guaranteed to leave
+/// executions bit-identical to direct mode (property-tested in
+/// `tests/service_concurrency.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServicePlan {
+    /// How many staging buffers (simulated producers) posts are sharded
+    /// over by author id. Must be ≥ 1.
+    pub producers: u32,
+    /// Buffered posts per producer before a flush submits the batch.
+    /// Must be ≥ 1; `1` flushes every post immediately.
+    pub batch_posts: usize,
+    /// Maximum delivery delay in steps for a submitted batch; the actual
+    /// delay is drawn uniformly from `[0, max]` on the dedicated
+    /// `Stream::Aux(2)` RNG stream. `0` delivers synchronously (and draws
+    /// nothing from the stream).
+    pub max_delivery_delay: u64,
+}
+
+impl Default for ServicePlan {
+    fn default() -> Self {
+        ServicePlan {
+            producers: 1,
+            batch_posts: 1,
+            max_delivery_delay: 0,
+        }
+    }
+}
+
+impl ServicePlan {
+    /// A plan with `producers` staging buffers, immediate single-post
+    /// flushes, and synchronous delivery.
+    #[must_use]
+    pub fn new(producers: u32) -> Self {
+        ServicePlan {
+            producers,
+            ..ServicePlan::default()
+        }
+    }
+
+    /// Sets the per-producer batch size.
+    #[must_use]
+    pub fn with_batch_posts(mut self, posts: usize) -> Self {
+        self.batch_posts = posts;
+        self
+    }
+
+    /// Sets the maximum delivery delay in steps.
+    #[must_use]
+    pub fn with_max_delivery_delay(mut self, steps: u64) -> Self {
+        self.max_delivery_delay = steps;
+        self
+    }
+
+    /// True when the plan cannot perturb an execution relative to direct
+    /// mode: every post is flushed alone and delivered synchronously.
+    #[must_use]
+    pub fn is_passthrough(&self) -> bool {
+        self.batch_posts == 1 && self.max_delivery_delay == 0
+    }
+
+    /// Validates the plan's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field: zero producers or
+    /// a zero batch size.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.producers == 0 {
+            return Err("producers must be ≥ 1".into());
+        }
+        if self.batch_posts == 0 {
+            return Err("batch_posts must be ≥ 1".into());
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,6 +561,21 @@ mod tests {
         }
         .to_string()
         .contains("r9"));
+    }
+
+    #[test]
+    fn service_plan_builders_and_validation() {
+        let plan = ServicePlan::new(4)
+            .with_batch_posts(8)
+            .with_max_delivery_delay(3);
+        assert_eq!(plan.producers, 4);
+        assert_eq!(plan.batch_posts, 8);
+        assert_eq!(plan.max_delivery_delay, 3);
+        assert!(plan.validate().is_ok());
+        assert!(!plan.is_passthrough());
+        assert!(ServicePlan::default().is_passthrough());
+        assert!(ServicePlan::new(0).validate().is_err());
+        assert!(ServicePlan::new(1).with_batch_posts(0).validate().is_err());
     }
 
     #[test]

@@ -73,7 +73,7 @@ mod world;
 
 pub use adversary::{Adversary, AdversaryCtx, DishonestPost, InfoModel, NullAdversary};
 pub use cohort::{CandidateSet, Cohort, Directive, PhaseInfo};
-pub use config::{player_count, Participation, SimConfig, StopRule};
+pub use config::{player_count, Participation, ServicePlan, SimConfig, StopRule};
 pub use engine::Engine;
 pub use error::SimError;
 pub use faults::{FaultCounters, FaultPlan};

@@ -229,6 +229,7 @@ impl LintConfig {
                 "crates/sim",
                 "crates/adversary",
                 "crates/analysis",
+                "crates/service",
             ]
             .iter()
             .map(|s| (*s).to_string())
@@ -1244,6 +1245,31 @@ mod tests {
         assert!(
             files.iter().any(|f| f.ends_with("faults.rs")),
             "lint walker must visit crates/sim/src/faults.rs; saw {files:?}"
+        );
+    }
+
+    #[test]
+    fn service_crate_is_under_lint_protection() {
+        // The concurrent service crate carries the same determinism/panic
+        // discipline as the substrate it fronts — unlike `crates/harness`,
+        // it is production code on the protected list, and its wall-clock
+        // sites must go through justified suppressions.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root")
+            .to_path_buf();
+        let config = LintConfig::for_repo(root.clone());
+        assert!(
+            config.protected.iter().any(|p| p == "crates/service"),
+            "crates/service must be a protected crate"
+        );
+        let mut files = Vec::new();
+        collect_rs_files(&root.join("crates/service/src"), &mut files)
+            .expect("walk service sources");
+        assert!(
+            files.iter().any(|f| f.ends_with("stress.rs")),
+            "lint walker must visit crates/service/src/stress.rs; saw {files:?}"
         );
     }
 

@@ -61,6 +61,7 @@ pub use distill_adversary as adversary;
 pub use distill_analysis as analysis;
 pub use distill_billboard as billboard;
 pub use distill_core as core;
+pub use distill_service as service;
 pub use distill_sim as sim;
 
 /// One-stop imports for examples and downstream users.
@@ -78,10 +79,13 @@ pub mod prelude {
         multi_vote, no_local_testing, Balance, CostClassSearch, Distill, DistillParams, GuessAlpha,
         RandomProbing, ThreePhase,
     };
+    pub use distill_service::{
+        BillboardService, Draft, EpochReader, EpochSnapshot, ServiceConfig, StressConfig,
+    };
     pub use distill_sim::{
         run_trials, run_trials_scoped, run_trials_threaded, Adversary, CandidateSet, Cohort,
-        Directive, Engine, FaultCounters, FaultPlan, InfoModel, ObjectModel, PhaseInfo, SimConfig,
-        SimResult, StopRule, World, WorldBuilder,
+        Directive, Engine, FaultCounters, FaultPlan, InfoModel, ObjectModel, PhaseInfo,
+        ServicePlan, SimConfig, SimResult, StopRule, World, WorldBuilder,
     };
 }
 

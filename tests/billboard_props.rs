@@ -180,6 +180,61 @@ proptest! {
         prop_assert_eq!(tracker.objects_with_votes(), tracker.objects_with_votes_scan());
     }
 
+    /// Batch ingest is bit-identical to one-at-a-time appends: splitting
+    /// the same post sequence at arbitrary cut points and feeding it
+    /// through `ingest_batch` yields the same log.
+    #[test]
+    fn ingest_batch_matches_sequential_appends(
+        posts in arb_posts(),
+        cuts in proptest::collection::vec(1usize..9, 0..12),
+    ) {
+        let oracle = build_board(&posts);
+        let mut board = Billboard::new(N_PLAYERS, N_OBJECTS);
+        let all = oracle.posts();
+        let mut at = 0;
+        let mut ci = 0;
+        while at < all.len() {
+            let width = if cuts.is_empty() { 5 } else { cuts[ci % cuts.len()] };
+            ci += 1;
+            let end = (at + width).min(all.len());
+            board.ingest_batch(&all[at..end]).expect("batch");
+            at = end;
+        }
+        prop_assert_eq!(board.posts(), oracle.posts());
+    }
+
+    /// Segment-log ingestion is bit-identical to flat-board ingestion: the
+    /// same posts pushed as arbitrary segments produce the same tracker
+    /// state as `ingest` over the flat board.
+    #[test]
+    fn ingest_segments_matches_flat_ingest(
+        posts in arb_posts(),
+        cuts in proptest::collection::vec(1usize..9, 0..12),
+        f in 1usize..4,
+    ) {
+        use distill::billboard::SegmentLog;
+        let board = build_board(&posts);
+        let mut log = SegmentLog::new(N_PLAYERS, N_OBJECTS);
+        let all = board.posts();
+        let mut at = 0;
+        let mut ci = 0;
+        while at < all.len() {
+            let width = if cuts.is_empty() { 5 } else { cuts[ci % cuts.len()] };
+            ci += 1;
+            let end = (at + width).min(all.len());
+            log.push_segment(all[at..end].to_vec().into()).expect("segment");
+            at = end;
+        }
+        let mut flat = VoteTracker::new(N_PLAYERS, N_OBJECTS, VotePolicy::multi_vote(f));
+        flat.ingest(&board);
+        let mut seg = VoteTracker::new(N_PLAYERS, N_OBJECTS, VotePolicy::multi_vote(f));
+        seg.ingest_segments(&log);
+        prop_assert_eq!(seg.events(), flat.events());
+        prop_assert_eq!(seg.objects_with_votes(), flat.objects_with_votes());
+        let full = Window::new(Round(0), Round(u64::MAX));
+        prop_assert_eq!(seg.window_tally(full), flat.window_tally(full));
+    }
+
     /// Best-value mode: a player's vote is always its maximum reported value.
     #[test]
     fn best_value_vote_is_argmax(posts in arb_posts()) {

@@ -1,0 +1,268 @@
+//! Linearization and equivalence properties of the concurrent billboard
+//! service (PR 8 tentpole).
+//!
+//! Three layers, one claim: **any** interleaving of producer batches yields
+//! a reader state bit-identical to sequential ingest of the merged,
+//! sequence-ordered log.
+//!
+//! * the reorder buffer alone ([`BatchStager`]), under arbitrary
+//!   adversarial delivery scrambles (proptest);
+//! * the threaded [`BillboardService`] path end to end, with racing OS
+//!   threads and concurrent epoch readers (`run_stress` +
+//!   `verify_linearization`);
+//! * the [`AsyncEngine`] service transport: the passthrough plan is
+//!   byte-identical to direct mode, and delayed plans stay deterministic
+//!   in the seed while landing every submitted post.
+
+use distill::adversary::UniformBad;
+use distill::billboard::{
+    BatchStager, Billboard, ObjectId, PlayerId, Post, ReportKind, Round, SegmentLog, Seq,
+    StagedBatch, VotePolicy, VoteTracker, Window,
+};
+use distill::service::{run_stress, verify_linearization, StressConfig};
+use distill::sim::async_engine::{AsyncEngine, BalanceStep, RoundRobin};
+use distill::sim::{ServicePlan, World};
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+const N_PLAYERS: u32 = 8;
+const N_OBJECTS: u32 = 12;
+
+/// Arbitrary raw posts: (round-increment, author, object, value, positive).
+fn arb_posts() -> impl Strategy<Value = Vec<(u64, u32, u32, f64, bool)>> {
+    prop::collection::vec(
+        (
+            0u64..3,
+            0u32..N_PLAYERS,
+            0u32..N_OBJECTS,
+            0.0f64..2.0,
+            any::<bool>(),
+        ),
+        0..160,
+    )
+}
+
+/// Stamps sequence numbers and monotone rounds over the raw posts — the
+/// shape every producer submission has after seq allocation.
+fn stamp(raw: &[(u64, u32, u32, f64, bool)]) -> Vec<Post> {
+    let mut round = 0u64;
+    raw.iter()
+        .enumerate()
+        .map(|(i, &(dr, author, object, value, positive))| {
+            round += dr;
+            Post {
+                seq: Seq(i as u64),
+                round: Round(round),
+                author: PlayerId(author),
+                object: ObjectId(object),
+                value,
+                kind: if positive {
+                    ReportKind::Positive
+                } else {
+                    ReportKind::Negative
+                },
+            }
+        })
+        .collect()
+}
+
+/// Splits `posts` into contiguous batches with the given cut widths
+/// (cycled until the posts run out).
+fn split_batches(posts: &[Post], cuts: &[usize]) -> Vec<StagedBatch> {
+    let mut batches = Vec::new();
+    let mut at = 0;
+    let mut ci = 0;
+    while at < posts.len() {
+        let width = if cuts.is_empty() {
+            7
+        } else {
+            cuts[ci % cuts.len()]
+        };
+        ci += 1;
+        let end = (at + width.max(1)).min(posts.len());
+        let producer = (ci % 5) as u32;
+        batches.push(StagedBatch::new(producer, posts[at..end].to_vec()).expect("valid batch"));
+        at = end;
+    }
+    batches
+}
+
+const FULL: Window = Window {
+    start: Round(0),
+    end: Round(u64::MAX),
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Reorder-buffer linearization: deliver the batches in an arbitrary
+    /// scrambled order; the released log must be bit-identical — posts,
+    /// tallies, vote events — to sequential ingest of the same posts.
+    #[test]
+    fn scrambled_delivery_matches_sequential_ingest(
+        raw in arb_posts(),
+        cuts in prop::collection::vec(1usize..9, 0..12),
+        scramble in any::<u64>(),
+    ) {
+        let posts = stamp(&raw);
+        let mut batches = split_batches(&posts, &cuts);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(scramble);
+        batches.shuffle(&mut rng);
+
+        let mut stager = BatchStager::new();
+        let mut log = SegmentLog::new(N_PLAYERS, N_OBJECTS);
+        for batch in batches {
+            stager.stage(batch).expect("stage");
+            while let Some(ready) = stager.pop_ready() {
+                log.push_segment(ready.into_posts()).expect("push");
+            }
+        }
+        prop_assert!(stager.is_drained(), "every batch must be released");
+
+        // sequential oracle
+        let mut oracle_board = Billboard::new(N_PLAYERS, N_OBJECTS);
+        for p in &posts {
+            oracle_board
+                .append(p.round, p.author, p.object, p.value, p.kind)
+                .expect("append");
+        }
+        let mut oracle = VoteTracker::new(N_PLAYERS, N_OBJECTS, VotePolicy::multi_vote(2));
+        oracle.ingest(&oracle_board);
+
+        let mut board = Billboard::new(N_PLAYERS, N_OBJECTS);
+        log.materialize_into(&mut board).expect("materialize");
+        prop_assert_eq!(board.posts(), oracle_board.posts());
+
+        let mut tracker = VoteTracker::new(N_PLAYERS, N_OBJECTS, VotePolicy::multi_vote(2));
+        tracker.ingest_segments(&log);
+        prop_assert_eq!(tracker.events(), oracle.events());
+        prop_assert_eq!(tracker.window_tally(FULL), oracle.window_tally(FULL));
+        prop_assert_eq!(tracker.objects_with_votes(), oracle.objects_with_votes());
+        prop_assert_eq!(tracker.voters(), oracle.voters());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The passthrough service plan (batch 1, delay 0) leaves the
+    /// asynchronous engine bit-identical to direct mode — same steps, same
+    /// per-player outcomes, same board, same vote events — for any
+    /// producer count and seed, with a live adversary in the loop.
+    #[test]
+    fn engine_passthrough_service_matches_direct(
+        producers in 1u32..8,
+        seed in any::<u64>(),
+    ) {
+        let world = World::binary(16, 2, 5).expect("world");
+        let build = || {
+            AsyncEngine::new(
+                16,
+                12,
+                seed,
+                500_000,
+                &world,
+                Box::new(BalanceStep::new()),
+                Box::new(RoundRobin::default()),
+                Box::new(UniformBad::new()),
+            )
+            .expect("engine")
+        };
+        let (direct, direct_board, direct_tracker) =
+            build().run_into_parts().expect("direct run");
+        let (svc, svc_board, svc_tracker) = build()
+            .with_service(ServicePlan::new(producers))
+            .expect("plan")
+            .run_into_parts()
+            .expect("service run");
+        prop_assert_eq!(svc.steps, direct.steps);
+        prop_assert_eq!(svc.players, direct.players);
+        prop_assert_eq!(svc.all_satisfied, direct.all_satisfied);
+        prop_assert_eq!(svc_board.posts(), direct_board.posts());
+        prop_assert_eq!(svc_tracker.events(), direct_tracker.events());
+        let counters = svc.service.expect("service counters");
+        prop_assert_eq!(counters.posts_submitted as usize, svc_board.len());
+    }
+
+    /// Delayed, batched service plans: the run stays deterministic in the
+    /// seed, and the shutdown drain lands every allocated sequence number —
+    /// the merged log is gap-free and seq-ordered.
+    #[test]
+    fn engine_delayed_service_is_deterministic_and_complete(
+        producers in 1u32..6,
+        batch in 1usize..9,
+        delay in 1u64..12,
+        seed in any::<u64>(),
+    ) {
+        let world = World::binary(16, 2, 9).expect("world");
+        let plan = ServicePlan::new(producers)
+            .with_batch_posts(batch)
+            .with_max_delivery_delay(delay);
+        let build = || {
+            AsyncEngine::new(
+                16,
+                12,
+                seed,
+                500_000,
+                &world,
+                Box::new(BalanceStep::new()),
+                Box::new(RoundRobin::default()),
+                Box::new(UniformBad::new()),
+            )
+            .expect("engine")
+            .with_service(plan)
+            .expect("plan")
+        };
+        let (a, board_a, tracker_a) = build().run_into_parts().expect("run a");
+        let (b, board_b, _) = build().run_into_parts().expect("run b");
+        prop_assert_eq!(a.steps, b.steps);
+        prop_assert_eq!(&a.players, &b.players);
+        prop_assert_eq!(board_a.posts(), board_b.posts());
+        prop_assert_eq!(a.service, b.service);
+
+        let counters = a.service.expect("service counters");
+        prop_assert_eq!(counters.posts_submitted as usize, board_a.len());
+        prop_assert_eq!(counters.batches_applied, counters.batches_submitted);
+        for (i, post) in board_a.posts().iter().enumerate() {
+            prop_assert_eq!(post.seq.0 as usize, i, "seq gap in merged log");
+        }
+        // the engine's tracker saw exactly the final board
+        let mut oracle = VoteTracker::new(16, world.m(), VotePolicy::single_vote());
+        oracle.ingest(&board_a);
+        prop_assert_eq!(tracker_a.events(), oracle.events());
+    }
+}
+
+/// End-to-end threaded linearization: racing producer threads and
+/// concurrent epoch readers, verified post hoc against a sequential replay
+/// of whatever merged log the race produced.
+#[test]
+fn threaded_service_linearizes_across_shapes() {
+    for (producers, posts, batch) in [(1, 5_000, 64), (4, 40_000, 128), (16, 60_000, 517)] {
+        let config = StressConfig::new(producers, posts)
+            .with_batch_posts(batch)
+            .with_readers(1);
+        let (outcome, snapshot) =
+            run_stress(config).unwrap_or_else(|e| panic!("stress p{producers}: {e}"));
+        assert_eq!(outcome.posts, posts, "p{producers}: posts lost");
+        assert_eq!(snapshot.posts(), posts, "p{producers}: snapshot incomplete");
+        assert!(
+            verify_linearization(&snapshot, VotePolicy::multi_vote(4)),
+            "p{producers}: concurrent state diverges from sequential replay"
+        );
+    }
+}
+
+/// Single-producer service runs are fully deterministic: same seed-free
+/// workload, same digest, across repeated runs (the digest is over the
+/// final tally, so this pins reader-visible state, not just the log).
+#[test]
+fn single_producer_digest_is_reproducible() {
+    let digest = |_: usize| {
+        let (outcome, _) =
+            run_stress(StressConfig::new(1, 30_000).with_batch_posts(256)).expect("stress");
+        outcome.tally_digest
+    };
+    assert_eq!(digest(0), digest(1));
+}
