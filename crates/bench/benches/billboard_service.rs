@@ -76,6 +76,7 @@ fn bench_service(c: &mut Criterion) {
     group.report_value(
         "baseline_single_thread_posts_per_sec",
         baseline_single_thread_posts_per_sec(),
+        "posts/sec",
     );
 
     // Throughput tier: sustained service-path ingest at 1, 8, 64 producers.
@@ -86,10 +87,12 @@ fn bench_service(c: &mut Criterion) {
         group.report_value(
             &format!("ingest_10m_p{producers}_posts_per_sec"),
             outcome.posts_per_sec,
+            "posts/sec",
         );
         group.report_value(
             &format!("ingest_10m_p{producers}_held_out_of_order"),
             outcome.held_out_of_order as f64,
+            "posts",
         );
     }
 
@@ -98,21 +101,29 @@ fn bench_service(c: &mut Criterion) {
         .with_batch_posts(BATCH)
         .with_readers(2);
     let (outcome, snapshot) = run_stress(config).expect("stress run with readers");
-    group.report_value("ingest_10m_p8_r2_posts_per_sec", outcome.posts_per_sec);
-    group.report_value("epochs_published_p8_r2", outcome.epochs_published as f64);
+    group.report_value(
+        "ingest_10m_p8_r2_posts_per_sec",
+        outcome.posts_per_sec,
+        "posts/sec",
+    );
+    group.report_value(
+        "epochs_published_p8_r2",
+        outcome.epochs_published as f64,
+        "epochs",
+    );
     for (id, value) in [
         ("tally_p50_ns_under_ingest", outcome.tally_p50_ns),
         ("tally_p99_ns_under_ingest", outcome.tally_p99_ns),
         ("sync_p50_ns_under_ingest", outcome.sync_p50_ns),
         ("sync_p99_ns_under_ingest", outcome.sync_p99_ns),
     ] {
-        group.report_value(id, value.map_or(-1.0, |ns| ns as f64));
+        group.report_value(id, value.map_or(-1.0, |ns| ns as f64), "ns");
     }
 
     // Post-hoc linearization: the concurrent snapshot must equal a
     // sequential replay of its own merged log, byte for byte.
     let ok = verify_linearization(&snapshot, VotePolicy::multi_vote(4));
-    group.report_value("linearization_ok", if ok { 1.0 } else { 0.0 });
+    group.report_value("linearization_ok", if ok { 1.0 } else { 0.0 }, "bool");
     assert!(ok, "concurrent run failed linearization against the replay");
 
     group.finish();

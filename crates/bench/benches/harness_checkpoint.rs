@@ -158,7 +158,11 @@ fn bench_sweep_overhead(c: &mut Criterion) {
     if let (Some(plain), Some(checkpointed)) = (plain, checkpointed) {
         if plain > 0.0 {
             let mut group = c.benchmark_group("sweep");
-            group.report_value("checkpoint_overhead_frac", (checkpointed - plain) / plain);
+            group.report_value(
+                "checkpoint_overhead_frac",
+                (checkpointed - plain) / plain,
+                "fraction",
+            );
             group.finish();
         }
     }
@@ -192,7 +196,11 @@ fn bench_resume_equivalence(c: &mut Criterion) {
         "resumed sweep must be bit-identical to a fresh run"
     );
     let mut group = c.benchmark_group("resume");
-    group.report_value("resume_equivalence_ok", f64::from(u8::from(identical)));
+    group.report_value(
+        "resume_equivalence_ok",
+        f64::from(u8::from(identical)),
+        "bool",
+    );
     group.finish();
 }
 

@@ -389,6 +389,7 @@ fn bench_alloc(c: &mut Criterion) {
     group.report_value(
         "steady_state_allocs_per_round_n256",
         delta.acquisitions() as f64 / MEASURED as f64,
+        "allocs/round",
     );
     group.bench_function("steady_state_round_n256", |b| {
         b.iter(|| engine.step().expect("step"))
@@ -442,6 +443,7 @@ fn bench_engine_scale(c: &mut Criterion) {
         group.report_value(
             &format!("steady_state_allocs_per_round_n{n}"),
             delta.acquisitions() as f64 / MEASURED as f64,
+            "allocs/round",
         );
         group.bench_function(&format!("steady_state_round_n{n}"), |b| {
             b.iter(|| engine.step().expect("step"))

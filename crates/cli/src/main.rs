@@ -38,6 +38,14 @@ fn main() {
             );
             std::process::exit(3);
         }
+        Err(commands::CliError::Regression { output, count }) => {
+            // The diff itself completed: print the verdict table, then fail
+            // with a distinct exit code so the perf-trend job distinguishes
+            // "bench regressed" from hard errors.
+            println!("{output}");
+            eprintln!("error: {count} bench(es) regressed past the tolerance band");
+            std::process::exit(4);
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);

@@ -36,6 +36,14 @@ pub enum BatchSize {
 pub struct BenchResult {
     /// `group/function` identifier.
     pub id: String,
+    /// `"timed"` for wall-clock measurements, `"value"` for raw reported
+    /// values ([`BenchmarkGroup::report_value`]). Downstream consumers (the
+    /// perf trend gate) must never compare `"value"` rows in nanosecond
+    /// terms.
+    pub kind: &'static str,
+    /// Unit of the three value fields: `"ns"` for timed rows, whatever the
+    /// reporter declared for value rows.
+    pub unit: String,
     /// Mean wall-clock nanoseconds per iteration.
     pub mean_ns: f64,
     /// Median wall-clock nanoseconds per iteration.
@@ -94,9 +102,12 @@ impl Criterion {
             let mut json = String::from("{\n  \"benches\": [\n");
             for (i, r) in self.results.iter().enumerate() {
                 json.push_str(&format!(
-                    "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \
+                    "    {{\"id\": \"{}\", \"kind\": \"{}\", \"unit\": \"{}\", \
+                     \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \
                      \"min_ns\": {:.1}, \"samples\": {}, \"throughput_per_sec\": {:.3}}}{}\n",
                     r.id,
+                    r.kind,
+                    r.unit,
                     r.mean_ns,
                     r.median_ns,
                     r.min_ns,
@@ -147,6 +158,8 @@ impl BenchmarkGroup<'_> {
         let median = samples[samples.len() / 2];
         let result = BenchResult {
             id: format!("{}/{}", self.name, id),
+            kind: "timed",
+            unit: "ns".to_string(),
             mean_ns: mean,
             median_ns: median,
             min_ns: samples[0],
@@ -164,18 +177,21 @@ impl BenchmarkGroup<'_> {
     /// extension; upstream has no equivalent). Used for non-time metrics
     /// such as allocation counts — the value lands in the JSON dump in the
     /// `mean_ns`/`median_ns`/`min_ns` fields verbatim with `samples = 1`,
-    /// so the id should carry the unit (e.g. `steady_state_allocs_per_round`).
-    pub fn report_value(&mut self, id: &str, value: f64) -> &mut Self {
+    /// tagged `kind: "value"` with the declared `unit` so downstream
+    /// consumers never mistake it for nanoseconds.
+    pub fn report_value(&mut self, id: &str, value: f64, unit: &str) -> &mut Self {
         let result = BenchResult {
             id: format!("{}/{}", self.name, id),
+            kind: "value",
+            unit: unit.to_string(),
             mean_ns: value,
             median_ns: value,
             min_ns: value,
             samples: 1,
         };
         println!(
-            "{:<44} value {:>12.1}        (reported, not timed)",
-            result.id, value
+            "{:<44} value {:>12.1} {:<10} (reported, not timed)",
+            result.id, value, result.unit
         );
         self.criterion.results.push(result);
         self
@@ -271,8 +287,22 @@ mod tests {
         }
         assert_eq!(c.results().len(), 2);
         assert_eq!(c.results()[0].id, "g/noop");
+        assert_eq!(c.results()[0].kind, "timed");
+        assert_eq!(c.results()[0].unit, "ns");
         assert!(c.results()[0].mean_ns >= 0.0);
         assert!(c.results()[1].samples >= 3);
+    }
+
+    #[test]
+    fn report_value_rows_are_typed() {
+        let mut c = Criterion::default();
+        c.benchmark_group("g")
+            .report_value("allocs", 7.0, "allocs/round");
+        let r = &c.results()[0];
+        assert_eq!(r.kind, "value");
+        assert_eq!(r.unit, "allocs/round");
+        assert_eq!(r.mean_ns, 7.0);
+        assert_eq!(r.samples, 1);
     }
 
     #[test]
@@ -285,6 +315,8 @@ mod tests {
         c.final_summary();
         let text = std::fs::read_to_string(&path).expect("json written");
         assert!(text.contains("\"id\": \"j/one\""));
+        assert!(text.contains("\"kind\": \"timed\""));
+        assert!(text.contains("\"unit\": \"ns\""));
         assert!(text.contains("throughput_per_sec"));
         let _ = std::fs::remove_file(&path);
     }

@@ -16,16 +16,19 @@
 //! wrong result — the checksum is verified before any payload byte is
 //! interpreted.
 //!
-//! Writes go through [`Checkpoint::write_atomic`]: encode to a sibling
-//! `<path>.tmp` file, fsync, then `rename(2)` over the target. A process
-//! killed at any instant therefore leaves either the previous complete
-//! checkpoint or the new complete checkpoint on disk, never a torn hybrid.
+//! Writes go through [`Checkpoint::write_atomic`]: encode to a
+//! process-unique sibling `<path>.tmp.<pid>` file, fsync, then `rename(2)`
+//! over the target (shared with the experiment store via [`crate::atomic`]).
+//! A process killed at any instant therefore leaves either the previous
+//! complete checkpoint or the new complete checkpoint on disk, never a torn
+//! hybrid — at worst an orphaned scratch file, which [`Checkpoint::load`]
+//! sweeps before reading.
 
+use crate::atomic;
 use crate::codec::{fnv1a64, CodecError, Reader, Writer};
 use distill_billboard::{ObjectId, PlayerId, Round};
 use distill_sim::{FaultCounters, FinalEval, PlayerOutcome, SimResult, TraceEvent};
 use std::fmt;
-use std::io::Write as _;
 use std::path::Path;
 
 /// File magic: identifies a distill sweep checkpoint.
@@ -303,36 +306,32 @@ impl Checkpoint {
         Ok(())
     }
 
-    /// Loads and decodes a checkpoint file.
+    /// Loads and decodes a checkpoint file, first sweeping any orphaned
+    /// `*.tmp*` scratch siblings a killed writer left behind (a crash
+    /// between create and rename leaves the previous complete checkpoint at
+    /// `path` plus crash debris next to it; the debris is reclaimed here so
+    /// it cannot accumulate across restarts). A failed sweep is deliberately
+    /// non-fatal — resuming from the intact checkpoint matters more.
     ///
     /// # Errors
     /// I/O failures surface as [`CheckpointError::Io`]; corrupt contents as
     /// the corresponding decode variant.
     pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let _ = atomic::sweep_stale_tmp(path);
         let bytes = std::fs::read(path)
             .map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))?;
         Checkpoint::decode(&bytes)
     }
 
-    /// Writes the checkpoint atomically: encode to `<path>.tmp`, fsync, then
-    /// rename over `path`. A crash at any point leaves either the old or the
-    /// new complete file, never a torn one.
+    /// Writes the checkpoint atomically: encode to `<path>.tmp.<pid>`,
+    /// fsync, then rename over `path` (see [`crate::atomic`]). A crash at
+    /// any point leaves either the old or the new complete file, never a
+    /// torn one.
     ///
     /// # Errors
     /// [`CheckpointError::Io`] with the failing path and OS error.
     pub fn write_atomic(&self, path: &Path) -> Result<(), CheckpointError> {
-        let bytes = self.encode();
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(".tmp");
-        let tmp = std::path::PathBuf::from(tmp);
-        let io_err =
-            |p: &Path, e: std::io::Error| CheckpointError::Io(format!("{}: {e}", p.display()));
-        let mut file = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
-        file.write_all(&bytes).map_err(|e| io_err(&tmp, e))?;
-        file.sync_all().map_err(|e| io_err(&tmp, e))?;
-        drop(file);
-        std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
-        Ok(())
+        atomic::write_atomic(path, &self.encode()).map_err(|e| CheckpointError::Io(e.to_string()))
     }
 }
 
@@ -818,14 +817,14 @@ mod tests {
 
     #[test]
     fn atomic_write_then_load() {
-        let dir = std::env::temp_dir();
-        let path = dir.join(format!("distill-ckpt-test-{}.bin", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("distill-ckpt-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.ckpt");
         let ck = sample_checkpoint();
         ck.write_atomic(&path).unwrap();
-        // The temp file must be gone after the rename.
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(".tmp");
-        assert!(!std::path::Path::new(&tmp).exists());
+        // No scratch file may survive the rename.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
         let loaded = Checkpoint::load(&path).unwrap();
         assert_eq!(loaded, ck);
         // Overwrite with different contents; load sees the new snapshot.
@@ -833,7 +832,30 @@ mod tests {
         ck2.completed.pop();
         ck2.write_atomic(&path).unwrap();
         assert_eq!(Checkpoint::load(&path).unwrap(), ck2);
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A writer killed between creating its scratch file and renaming it
+    /// leaves an orphan; the next load reclaims it and still reads the
+    /// intact previous checkpoint.
+    #[test]
+    fn load_sweeps_orphaned_tmp_from_killed_writer() {
+        let dir = std::env::temp_dir().join(format!("distill-ckpt-orphan-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.ckpt");
+        let ck = sample_checkpoint();
+        ck.write_atomic(&path).unwrap();
+        // Crash debris: a dead writer's pid-suffixed scratch and a legacy
+        // fixed-name one, both torn mid-write.
+        let orphan_a = dir.join("sweep.ckpt.tmp.999999999");
+        let orphan_b = dir.join("sweep.ckpt.tmp");
+        std::fs::write(&orphan_a, &ck.encode()[..20]).unwrap();
+        std::fs::write(&orphan_b, b"garbage").unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ck);
+        assert!(!orphan_a.exists(), "orphaned scratch must be reclaimed");
+        assert!(!orphan_b.exists(), "legacy orphan must be reclaimed");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -9,8 +9,15 @@
 //! Module map:
 //! - [`codec`] — little-endian binary primitives with total decoding and
 //!   the FNV-1a checksum/fingerprint hash.
+//! - [`atomic`] — the tmp/fsync/rename write idiom with pid-unique scratch
+//!   files and stale-orphan sweeping, shared by checkpoints and the store.
 //! - [`checkpoint`] — the versioned, checksummed, atomically-written sweep
 //!   snapshot ([`Checkpoint`]) and its typed corruption errors.
+//! - [`store`] — the append-only experiment-results store
+//!   ([`ExperimentStore`]): perf measurements keyed by
+//!   `(bench id, commit, timestamp)` with set-union merge, plus the
+//!   noise-aware perf [`TrendGate`] CI uses instead of hardcoded
+//!   thresholds.
 //! - [`supervisor`] — per-trial panic isolation, bounded deterministic
 //!   retries with exponential backoff, and the wall-clock watchdog.
 //! - [`quarantine`] — replayable `(seed, config)` JSONL records for trials
@@ -23,18 +30,28 @@
 //! This crate is deliberately **not** on the distill-lint protected list:
 //! rule D1 bans `catch_unwind` and rule D2 bans wall-clock reads precisely
 //! so that panic absorption and timing live *here*, in the supervision
-//! layer, and nowhere in the simulation crates. See DESIGN.md §12.
+//! layer, and nowhere in the simulation crates. See DESIGN.md §12. The
+//! persistence modules ([`store`], [`atomic`]) need neither escape hatch,
+//! so they are individually file-protected under rules D1–D7 via
+//! `xtask::LintConfig::protected_files` (DESIGN.md §16).
 
 #![forbid(unsafe_code)]
 
+pub mod atomic;
 pub mod checkpoint;
 pub mod codec;
 pub mod quarantine;
+pub mod store;
 pub mod supervisor;
 pub mod sweep;
 
+pub use atomic::{sweep_stale_tmp, write_atomic, AtomicIoError};
 pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use codec::{fnv1a64, CodecError, Reader, Writer};
 pub use quarantine::QuarantineRecord;
+pub use store::{
+    parse_bench_json, BenchRow, ExperimentRecord, ExperimentStore, RowKind, StoreError, TrendGate,
+    TrendStatus, TrendVerdict, STORE_MAGIC, STORE_VERSION,
+};
 pub use supervisor::{supervise, Supervised, SupervisorPolicy, TrialFailure};
 pub use sweep::{fingerprint_of, run_sweep, SweepConfig, SweepError, SweepReport, TrialSpec};

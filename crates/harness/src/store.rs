@@ -1,0 +1,1480 @@
+//! Append-only experiment-results store and the noise-aware perf trend
+//! gate.
+//!
+//! Every PR so far regenerated the `BENCH_*.json` files in place, so the
+//! repository had perf *points* but no perf *trajectory*. This module turns
+//! the per-PR Criterion harness into the thing a production service
+//! actually monitors: measurements accumulate in a store keyed by
+//! `(bench id, commit, timestamp)`, and CI fails on regression against the
+//! *stored per-bench baseline* instead of a hardcoded multiplier
+//! re-blessed each PR.
+//!
+//! ## File format
+//!
+//! A store file is a sequence of frames, each framed exactly like the sweep
+//! checkpoint (`DSTLCKPT`, DESIGN.md §12):
+//!
+//! ```text
+//! magic "DSTLSTOR" (8) | version u32 | payload_len u64 | fnv1a64(payload) u64 | payload
+//! ```
+//!
+//! and a payload is `count u64 | count × record` with each record
+//! `bench_id str | commit str | timestamp u64 | kind u8 | unit str |
+//! mean f64 | median f64 | min f64 | samples u64` (strings length-prefixed,
+//! floats as raw IEEE bits — NaN-preserving). Decoding is total: any byte
+//! sequence either decodes or yields a typed [`StoreError`], never a panic
+//! (property-tested in `tests/store_corruption.rs`).
+//!
+//! ## Set-union merge, canonical bytes
+//!
+//! In memory a store is a canonical *set* of records: sorted by a total
+//! order (floats via `f64::total_cmp`) and deduplicated bit-exactly.
+//! Decoding unions every frame in the file, so duplicate or interleaved
+//! appends from concurrent writers converge; writing always emits one
+//! canonical frame via the atomic tmp/fsync/rename machinery
+//! ([`crate::atomic`]). The same record set therefore always produces
+//! bit-identical store bytes, no matter how many appends, in what order,
+//! or from how many processes it arrived.
+//!
+//! ## The trend gate
+//!
+//! [`TrendGate`] compares a current run against the stored per-bench best:
+//! a bench regresses only when **both** its fastest sample (`min_ns`) and
+//! its `median_ns` exceed the stored baselines by the relative tolerance
+//! band — never the mean, which outliers own. Rows with
+//! `kind = "value"` (allocation counts, posts/sec, ok-flags) are *never*
+//! compared in nanosecond terms, and degenerate series (zero, non-finite)
+//! yield [`TrendStatus::Indeterminate`] instead of NaN verdicts.
+
+use crate::atomic;
+use crate::codec::{fnv1a64, CodecError, Reader, Writer};
+use std::cmp::Ordering;
+use std::fmt;
+use std::path::Path;
+
+/// File magic: identifies a distill experiment store.
+pub const STORE_MAGIC: [u8; 8] = *b"DSTLSTOR";
+
+/// Current store format version. Bump on any layout change; other versions
+/// are rejected with [`StoreError::UnsupportedVersion`] rather than
+/// misread.
+pub const STORE_VERSION: u32 = 1;
+
+/// Frame header size: magic + version + payload length + checksum.
+const FRAME_HEADER_LEN: usize = 8 + 4 + 8 + 8;
+
+/// Minimum encoded size of one record (empty strings): three length
+/// prefixes, timestamp, kind tag, three floats, samples.
+const MIN_RECORD_BYTES: usize = 8 + 8 + 8 + 1 + 8 + 8 * 3 + 8;
+
+/// How a bench row was produced — the field the old `BENCH_*.json` schema
+/// lacked, which made raw reported values (`samples: 1`, `mean_ns: 0.0`)
+/// indistinguishable from wall-clock measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RowKind {
+    /// A wall-clock measurement in nanoseconds (mean/median/min over
+    /// samples). Eligible for the trend gate.
+    Timed,
+    /// A raw reported value (allocation count, throughput, boolean flag)
+    /// whose unit is whatever the row's `unit` field says. Never compared
+    /// in nanosecond terms.
+    Value,
+}
+
+impl RowKind {
+    /// The JSON spelling (`"timed"` / `"value"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RowKind::Timed => "timed",
+            RowKind::Value => "value",
+        }
+    }
+
+    /// Parses the JSON spelling.
+    pub fn parse(s: &str) -> Option<RowKind> {
+        match s {
+            "timed" => Some(RowKind::Timed),
+            "value" => Some(RowKind::Value),
+            _ => None,
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            RowKind::Timed => 0,
+            RowKind::Value => 1,
+        }
+    }
+
+    fn from_tag(tag: u8, at: usize) -> Result<RowKind, CodecError> {
+        match tag {
+            0 => Ok(RowKind::Timed),
+            1 => Ok(RowKind::Value),
+            tag => Err(CodecError::BadTag {
+                at,
+                tag,
+                what: "row kind",
+            }),
+        }
+    }
+}
+
+impl fmt::Display for RowKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One stored measurement: a bench row pinned to the commit and timestamp
+/// it was recorded at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentRecord {
+    /// `group/function` bench identifier.
+    pub bench_id: String,
+    /// Commit label the measurement belongs to.
+    pub commit: String,
+    /// Caller-supplied timestamp (seconds; `0` when unknown). Metadata
+    /// only — the gate never orders by it.
+    pub timestamp: u64,
+    /// Timed measurement or raw reported value.
+    pub kind: RowKind,
+    /// Unit of the three value fields (`"ns"` for timed rows).
+    pub unit: String,
+    /// Mean over samples (reported verbatim for value rows).
+    pub mean: f64,
+    /// Median over samples.
+    pub median: f64,
+    /// Fastest (or verbatim) sample — the noise-robust statistic the gate
+    /// compares.
+    pub min: f64,
+    /// Number of samples behind the row.
+    pub samples: u64,
+}
+
+impl ExperimentRecord {
+    /// The store key: records are grouped and queried by
+    /// `(bench id, commit, timestamp)`.
+    pub fn key(&self) -> (&str, &str, u64) {
+        (&self.bench_id, &self.commit, self.timestamp)
+    }
+
+    /// Total order over full records (floats by `total_cmp`), the canonical
+    /// store order. Bit-equal records — and only those — compare `Equal`,
+    /// so set-union dedup is exact.
+    pub fn cmp_full(&self, other: &ExperimentRecord) -> Ordering {
+        self.bench_id
+            .cmp(&other.bench_id)
+            .then_with(|| self.commit.cmp(&other.commit))
+            .then_with(|| self.timestamp.cmp(&other.timestamp))
+            .then_with(|| self.kind.cmp(&other.kind))
+            .then_with(|| self.unit.cmp(&other.unit))
+            .then_with(|| self.mean.total_cmp(&other.mean))
+            .then_with(|| self.median.total_cmp(&other.median))
+            .then_with(|| self.min.total_cmp(&other.min))
+            .then_with(|| self.samples.cmp(&other.samples))
+    }
+
+    fn encode_into(&self, w: &mut Writer) {
+        w.put_str(&self.bench_id);
+        w.put_str(&self.commit);
+        w.put_u64(self.timestamp);
+        w.put_u8(self.kind.tag());
+        w.put_str(&self.unit);
+        w.put_f64(self.mean);
+        w.put_f64(self.median);
+        w.put_f64(self.min);
+        w.put_u64(self.samples);
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<ExperimentRecord, CodecError> {
+        let bench_id = r.str()?;
+        let commit = r.str()?;
+        let timestamp = r.u64()?;
+        let kind_at = r.position();
+        let kind = RowKind::from_tag(r.u8()?, kind_at)?;
+        let unit = r.str()?;
+        let mean = r.f64()?;
+        let median = r.f64()?;
+        let min = r.f64()?;
+        let samples = r.u64()?;
+        Ok(ExperimentRecord {
+            bench_id,
+            commit,
+            timestamp,
+            kind,
+            unit,
+            mean,
+            median,
+            min,
+            samples,
+        })
+    }
+}
+
+/// Why a store could not be loaded, decoded, or parsed from bench JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// Reading or writing the file failed.
+    Io(String),
+    /// A frame header is cut off: fewer than the fixed header bytes remain
+    /// at offset `at`.
+    TooShort {
+        /// Byte offset of the torn frame.
+        at: usize,
+        /// Bytes actually remaining there.
+        len: usize,
+    },
+    /// The bytes at `at` are not a store frame.
+    BadMagic {
+        /// Byte offset of the bad frame.
+        at: usize,
+    },
+    /// A frame's format version is not one this build can read.
+    UnsupportedVersion {
+        /// Byte offset of the frame.
+        at: usize,
+        /// Version found in the frame.
+        found: u32,
+        /// Version this build writes.
+        supported: u32,
+    },
+    /// A frame's payload is shorter than its header claims (torn append).
+    Truncated {
+        /// Byte offset of the frame.
+        at: usize,
+        /// Payload bytes the header promised.
+        expected: u64,
+        /// Payload bytes actually present.
+        found: u64,
+    },
+    /// A frame's payload checksum does not match (bit rot or torn write).
+    ChecksumMismatch {
+        /// Byte offset of the frame.
+        at: usize,
+        /// Checksum stored in the frame header.
+        stored: u64,
+        /// Checksum computed over the payload.
+        computed: u64,
+    },
+    /// A frame payload failed to decode past the checksum (effectively
+    /// unreachable, but still total).
+    Decode(CodecError),
+    /// A frame has payload bytes beyond its declared records.
+    TrailingBytes {
+        /// Byte offset of the frame.
+        at: usize,
+        /// Number of surplus bytes.
+        extra: usize,
+    },
+    /// A `BENCH_*.json` document failed to parse.
+    Json {
+        /// Byte offset where parsing stopped.
+        at: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A bench row is missing a required field — most likely a pre-schema
+    /// dump without `kind`/`unit`, which the gate refuses to guess about.
+    MissingField {
+        /// The row's `id` (or `"<row>"` when even that is absent).
+        id: String,
+        /// The absent (or mistyped) field.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(msg) => write!(f, "store I/O error: {msg}"),
+            StoreError::TooShort { at, len } => write!(
+                f,
+                "store frame at byte {at} cut off ({len} bytes < {FRAME_HEADER_LEN}-byte header)"
+            ),
+            StoreError::BadMagic { at } => {
+                write!(f, "not a store frame at byte {at} (bad magic)")
+            }
+            StoreError::UnsupportedVersion {
+                at,
+                found,
+                supported,
+            } => write!(
+                f,
+                "store frame at byte {at} has version {found} (this build reads {supported})"
+            ),
+            StoreError::Truncated {
+                at,
+                expected,
+                found,
+            } => write!(
+                f,
+                "store frame at byte {at} truncated: header promises {expected} payload bytes, \
+                 found {found}"
+            ),
+            StoreError::ChecksumMismatch {
+                at,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "store frame at byte {at} checksum mismatch: stored {stored:#018x}, \
+                 computed {computed:#018x}"
+            ),
+            StoreError::Decode(e) => write!(f, "store payload corrupt: {e}"),
+            StoreError::TrailingBytes { at, extra } => write!(
+                f,
+                "store frame at byte {at} has {extra} bytes past its declared records"
+            ),
+            StoreError::Json { at, message } => {
+                write!(f, "bench JSON parse error at byte {at}: {message}")
+            }
+            StoreError::MissingField { id, field } => write!(
+                f,
+                "bench row {id:?} is missing field {field:?} — regenerate the JSON with the \
+                 typed row schema (kind/unit) before appending"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Decode(e)
+    }
+}
+
+impl From<atomic::AtomicIoError> for StoreError {
+    fn from(e: atomic::AtomicIoError) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}
+
+/// What [`ExperimentStore::append`] did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppendOutcome {
+    /// The merged store as written back to disk.
+    pub store: ExperimentStore,
+    /// Records present before the append.
+    pub existing: usize,
+    /// New records this append contributed (0 when every record was
+    /// already present — appends are idempotent).
+    pub added: usize,
+}
+
+/// The canonical in-memory store: a sorted, bit-exactly deduplicated set
+/// of [`ExperimentRecord`]s.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExperimentStore {
+    records: Vec<ExperimentRecord>,
+}
+
+impl ExperimentStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ExperimentStore::default()
+    }
+
+    /// Builds a store from arbitrary records: sorts by the total order and
+    /// drops bit-exact duplicates.
+    pub fn from_records(mut records: Vec<ExperimentRecord>) -> Self {
+        records.sort_by(ExperimentRecord::cmp_full);
+        records.dedup_by(|a, b| a.cmp_full(b) == Ordering::Equal);
+        ExperimentStore { records }
+    }
+
+    /// The records, in canonical order.
+    pub fn records(&self) -> &[ExperimentRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Set-unions `new` records into the store, keeping it canonical.
+    /// Returns how many were actually new.
+    pub fn merge_records<I>(&mut self, new: I) -> usize
+    where
+        I: IntoIterator<Item = ExperimentRecord>,
+    {
+        let before = self.records.len();
+        self.records.extend(new);
+        let merged = ExperimentStore::from_records(std::mem::take(&mut self.records));
+        self.records = merged.records;
+        self.records.len() - before
+    }
+
+    /// Set-unions another store into this one.
+    pub fn merge(&mut self, other: &ExperimentStore) -> usize {
+        self.merge_records(other.records.iter().cloned())
+    }
+
+    /// Encodes the store as one canonical frame. Equal record sets always
+    /// produce identical bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Writer::new();
+        payload.put_u64(self.records.len() as u64);
+        for record in &self.records {
+            record.encode_into(&mut payload);
+        }
+        let payload = payload.into_bytes();
+        let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        out.extend_from_slice(&STORE_MAGIC);
+        out.extend_from_slice(&STORE_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decodes a store file: every frame is verified (magic, version,
+    /// length, checksum) before a payload byte is interpreted, and all
+    /// frames are set-unioned — so a file built by repeated or interleaved
+    /// appends decodes to the same store as a single canonical write.
+    ///
+    /// # Errors
+    /// Every corruption mode maps to a [`StoreError`] variant; no input can
+    /// cause a panic.
+    pub fn decode(bytes: &[u8]) -> Result<Self, StoreError> {
+        let mut records = Vec::new();
+        let mut at = 0usize;
+        while at < bytes.len() {
+            let (mut batch, next) = decode_frame(bytes, at)?;
+            records.append(&mut batch);
+            at = next;
+        }
+        Ok(ExperimentStore::from_records(records))
+    }
+
+    /// Best-effort decode: unions every intact leading frame and reports
+    /// the first corruption (if any) alongside what was recovered, instead
+    /// of refusing the whole file. The crash-recovery path for a file whose
+    /// tail was torn by a non-atomic writer.
+    pub fn decode_salvage(bytes: &[u8]) -> (Self, Option<StoreError>) {
+        let mut records = Vec::new();
+        let mut at = 0usize;
+        while at < bytes.len() {
+            match decode_frame(bytes, at) {
+                Ok((mut batch, next)) => {
+                    records.append(&mut batch);
+                    at = next;
+                }
+                Err(e) => return (ExperimentStore::from_records(records), Some(e)),
+            }
+        }
+        (ExperimentStore::from_records(records), None)
+    }
+
+    /// Opens a store for reading or appending: sweeps any orphaned
+    /// `*.tmp*` scratch files a killed writer left behind, then decodes the
+    /// file. A missing file is an empty store (first append creates it);
+    /// a failed sweep is non-fatal.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] for unreadable files, decode variants for corrupt
+    /// ones.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let _ = atomic::sweep_stale_tmp(path);
+        match std::fs::read(path) {
+            Ok(bytes) => ExperimentStore::decode(&bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(ExperimentStore::new()),
+            Err(e) => Err(StoreError::Io(format!("{}: {e}", path.display()))),
+        }
+    }
+
+    /// Loads an existing store; a missing file is an error (use [`open`]
+    /// for the append path).
+    ///
+    /// [`open`]: ExperimentStore::open
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] including for a missing file.
+    pub fn load(path: &Path) -> Result<Self, StoreError> {
+        let _ = atomic::sweep_stale_tmp(path);
+        let bytes =
+            std::fs::read(path).map_err(|e| StoreError::Io(format!("{}: {e}", path.display())))?;
+        ExperimentStore::decode(&bytes)
+    }
+
+    /// Writes the canonical frame atomically (tmp/fsync/rename; see
+    /// [`crate::atomic`]).
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] with the failing path and OS error.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), StoreError> {
+        Ok(atomic::write_atomic(path, &self.encode())?)
+    }
+
+    /// The append operation: open (reclaiming crash debris), set-union the
+    /// new records, write back atomically. Appending the same records twice
+    /// is a no-op the second time, so the store bytes are reproducible
+    /// across re-runs.
+    ///
+    /// # Errors
+    /// Any [`StoreError`] from the open or the write-back.
+    pub fn append(path: &Path, new: &[ExperimentRecord]) -> Result<AppendOutcome, StoreError> {
+        let mut store = ExperimentStore::open(path)?;
+        let existing = store.len();
+        let added = store.merge_records(new.iter().cloned());
+        store.write_atomic(path)?;
+        Ok(AppendOutcome {
+            store,
+            existing,
+            added,
+        })
+    }
+}
+
+/// Decodes one frame starting at byte `at`; returns its records and the
+/// offset of the next frame.
+fn decode_frame(bytes: &[u8], at: usize) -> Result<(Vec<ExperimentRecord>, usize), StoreError> {
+    let rest = bytes.get(at..).unwrap_or(&[]);
+    if rest.len() < FRAME_HEADER_LEN {
+        return Err(StoreError::TooShort {
+            at,
+            len: rest.len(),
+        });
+    }
+    if rest.get(..8) != Some(&STORE_MAGIC[..]) {
+        return Err(StoreError::BadMagic { at });
+    }
+    let mut header = Reader::new(rest.get(8..FRAME_HEADER_LEN).unwrap_or(&[]));
+    let version = header.u32()?;
+    if version != STORE_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            at,
+            found: version,
+            supported: STORE_VERSION,
+        });
+    }
+    let payload_len = header.u64()?;
+    let stored_checksum = header.u64()?;
+    let body = rest.get(FRAME_HEADER_LEN..).unwrap_or(&[]);
+    let available = body.len() as u64;
+    if available < payload_len {
+        return Err(StoreError::Truncated {
+            at,
+            expected: payload_len,
+            found: available,
+        });
+    }
+    // payload_len <= body.len() <= usize::MAX, so the conversion is exact.
+    let payload_end = usize::try_from(payload_len).unwrap_or(body.len());
+    let payload = body.get(..payload_end).unwrap_or(&[]);
+    let computed = fnv1a64(payload);
+    if computed != stored_checksum {
+        return Err(StoreError::ChecksumMismatch {
+            at,
+            stored: stored_checksum,
+            computed,
+        });
+    }
+    let mut r = Reader::new(payload);
+    let count = r.seq_len(MIN_RECORD_BYTES)?;
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        records.push(ExperimentRecord::decode_from(&mut r)?);
+    }
+    if r.remaining() != 0 {
+        return Err(StoreError::TrailingBytes {
+            at,
+            extra: r.remaining(),
+        });
+    }
+    Ok((records, at + FRAME_HEADER_LEN + payload_end))
+}
+
+// ---------------------------------------------------------------------------
+// Bench JSON: the typed-row schema emitted by the criterion shim.
+// ---------------------------------------------------------------------------
+
+/// One row of a `BENCH_*.json` dump (the criterion shim's typed schema).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Timed measurement or raw reported value.
+    pub kind: RowKind,
+    /// Unit of the three value fields.
+    pub unit: String,
+    /// Mean nanoseconds (or raw value).
+    pub mean_ns: f64,
+    /// Median nanoseconds (or raw value).
+    pub median_ns: f64,
+    /// Minimum nanoseconds (or raw value).
+    pub min_ns: f64,
+    /// Samples behind the row.
+    pub samples: u64,
+}
+
+impl BenchRow {
+    /// Pins the row to a commit and timestamp, producing a store record.
+    pub fn into_record(self, commit: &str, timestamp: u64) -> ExperimentRecord {
+        ExperimentRecord {
+            bench_id: self.id,
+            commit: commit.to_string(),
+            timestamp,
+            kind: self.kind,
+            unit: self.unit,
+            mean: self.mean_ns,
+            median: self.median_ns,
+            min: self.min_ns,
+            samples: self.samples,
+        }
+    }
+}
+
+/// A parsed JSON value — the minimal subset the bench dumps use. The
+/// vendored serde stub has no JSON backend, so the reader is hand-rolled
+/// (like the quarantine writer) and total: depth-limited, no panics.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn field<'a>(&'a self, name: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Nesting deeper than this is rejected (the bench schema needs 3 levels;
+/// the limit keeps hostile input from exhausting the stack).
+const JSON_MAX_DEPTH: usize = 32;
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> Self {
+        JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> StoreError {
+        StoreError::Json {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), StoreError> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", char::from(b))))
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Json, StoreError> {
+        let value = self.parse_value(0)?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing content after the document"));
+        }
+        Ok(value)
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Json, StoreError> {
+        if depth > JSON_MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Json::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Json::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Json) -> Result<Json, StoreError> {
+        if self.bytes.get(self.pos..self.pos + word.len()) == Some(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected {word:?}")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, StoreError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(self.bytes.get(start..self.pos).unwrap_or(&[]))
+            .map_err(|_| self.err("invalid number bytes"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(format!("invalid number {text:?}")))
+    }
+
+    fn parse_string(&mut self) -> Result<String, StoreError> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = self.bytes.get(self.pos..self.pos + 4);
+                        let code = hex
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .and_then(char::from_u32)
+                            .ok_or_else(|| self.err("bad \\u escape"))?;
+                        self.pos += 4;
+                        out.push(code);
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(byte) if byte < 0x80 => out.push(char::from(byte)),
+                Some(byte) => {
+                    // Re-decode the multi-byte UTF-8 sequence in place (the
+                    // input is a &str, so the bytes are valid UTF-8).
+                    let len = match byte {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    let chunk = self.bytes.get(start..start + len).unwrap_or(&[]);
+                    let s = std::str::from_utf8(chunk)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Json, StoreError> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Arr(items)),
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Json, StoreError> {
+        self.expect_byte(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect_byte(b':')?;
+            let value = self.parse_value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Obj(fields)),
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses a `BENCH_*.json` dump into typed rows. Requires the post-PR-9
+/// schema: every row must carry `kind` and `unit` — a dump without them
+/// yields [`StoreError::MissingField`] so the gate can never mistake a raw
+/// value row for nanoseconds.
+///
+/// # Errors
+/// [`StoreError::Json`] for malformed documents, [`StoreError::MissingField`]
+/// for rows missing the typed schema.
+pub fn parse_bench_json(text: &str) -> Result<Vec<BenchRow>, StoreError> {
+    let doc = JsonParser::new(text).parse_document()?;
+    let benches = doc.field("benches").ok_or(StoreError::MissingField {
+        id: "<document>".to_string(),
+        field: "benches",
+    })?;
+    let Json::Arr(rows) = benches else {
+        return Err(StoreError::MissingField {
+            id: "<document>".to_string(),
+            field: "benches",
+        });
+    };
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let id = row
+            .field("id")
+            .and_then(Json::as_str)
+            .ok_or(StoreError::MissingField {
+                id: "<row>".to_string(),
+                field: "id",
+            })?
+            .to_string();
+        let missing = |field: &'static str| StoreError::MissingField {
+            id: id.clone(),
+            field,
+        };
+        let kind = row
+            .field("kind")
+            .and_then(Json::as_str)
+            .and_then(RowKind::parse)
+            .ok_or_else(|| missing("kind"))?;
+        let unit = row
+            .field("unit")
+            .and_then(Json::as_str)
+            .ok_or_else(|| missing("unit"))?
+            .to_string();
+        let num = |field: &'static str| {
+            row.field(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| missing(field))
+        };
+        let mean_ns = num("mean_ns")?;
+        let median_ns = num("median_ns")?;
+        let min_ns = num("min_ns")?;
+        let samples_raw = num("samples")?;
+        if !(samples_raw.is_finite() && samples_raw >= 0.0 && samples_raw.fract() == 0.0) {
+            return Err(missing("samples"));
+        }
+        // Verified integral and non-negative just above; 2^53 caps exact
+        // f64 integers far below u64::MAX.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let samples = samples_raw as u64;
+        out.push(BenchRow {
+            id,
+            kind,
+            unit,
+            mean_ns,
+            median_ns,
+            min_ns,
+            samples,
+        });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// The trend gate.
+// ---------------------------------------------------------------------------
+
+/// The noise-aware regression rule: relative tolerance over `min_ns` *and*
+/// `median_ns` against the stored per-bench best — never the mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrendGate {
+    /// Relative tolerance band: a bench regresses when both its `min` and
+    /// `median` exceed `baseline × (1 + tolerance)`. `0.5` absorbs typical
+    /// shared-runner wall-clock noise.
+    pub tolerance: f64,
+}
+
+impl Default for TrendGate {
+    fn default() -> Self {
+        TrendGate { tolerance: 0.5 }
+    }
+}
+
+/// What the gate concluded about one current bench row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrendStatus {
+    /// Within the tolerance band of the stored baseline.
+    Pass,
+    /// Both `min` and `median` exceed the band — a regression.
+    Regressed,
+    /// `min` improved past the band (informational; never fails the gate).
+    Improved,
+    /// No stored baseline for this bench (first recording).
+    New,
+    /// A `kind = "value"` row: tracked, but never compared in nanosecond
+    /// terms.
+    NotGated,
+    /// Degenerate series (zero or non-finite min/median on either side):
+    /// no ratio can be formed, so the gate abstains instead of emitting
+    /// NaN verdicts.
+    Indeterminate,
+}
+
+impl TrendStatus {
+    /// Table/JSON spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TrendStatus::Pass => "pass",
+            TrendStatus::Regressed => "REGRESSED",
+            TrendStatus::Improved => "improved",
+            TrendStatus::New => "new",
+            TrendStatus::NotGated => "value (not gated)",
+            TrendStatus::Indeterminate => "indeterminate",
+        }
+    }
+}
+
+impl fmt::Display for TrendStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One gate verdict: a current row against its stored baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendVerdict {
+    /// The bench.
+    pub bench_id: String,
+    /// Row kind of the current measurement.
+    pub kind: RowKind,
+    /// Unit of the current measurement.
+    pub unit: String,
+    /// Stored baseline points this verdict compared against.
+    pub baseline_points: usize,
+    /// Best (smallest) stored `min` for the bench, when comparable.
+    pub baseline_min: Option<f64>,
+    /// Best (smallest) stored `median` for the bench, when comparable.
+    pub baseline_median: Option<f64>,
+    /// The current row's `min`.
+    pub current_min: f64,
+    /// The current row's `median`.
+    pub current_median: f64,
+    /// `current_min / baseline_min`, when both are positive and finite.
+    pub min_ratio: Option<f64>,
+    /// The conclusion.
+    pub status: TrendStatus,
+}
+
+impl TrendGate {
+    /// Judges every current row against the stored baseline. Verdicts come
+    /// back sorted by bench id; the gate fails iff any status is
+    /// [`TrendStatus::Regressed`].
+    pub fn evaluate(
+        &self,
+        baseline: &ExperimentStore,
+        current: &[ExperimentRecord],
+    ) -> Vec<TrendVerdict> {
+        let mut verdicts: Vec<TrendVerdict> = current
+            .iter()
+            .map(|row| self.judge(baseline, row))
+            .collect();
+        verdicts.sort_by(|a, b| a.bench_id.cmp(&b.bench_id));
+        verdicts
+    }
+
+    fn judge(&self, baseline: &ExperimentStore, row: &ExperimentRecord) -> TrendVerdict {
+        let mut verdict = TrendVerdict {
+            bench_id: row.bench_id.clone(),
+            kind: row.kind,
+            unit: row.unit.clone(),
+            baseline_points: 0,
+            baseline_min: None,
+            baseline_median: None,
+            current_min: row.min,
+            current_median: row.median,
+            min_ratio: None,
+            status: TrendStatus::NotGated,
+        };
+        if row.kind == RowKind::Value {
+            // Raw values (counts, flags, throughputs) are tracked for
+            // history but never judged in nanosecond terms.
+            return verdict;
+        }
+        // Comparable history: same bench, timed, same unit, usable stats.
+        let history: Vec<&ExperimentRecord> = baseline
+            .records()
+            .iter()
+            .filter(|r| {
+                r.bench_id == row.bench_id
+                    && r.kind == RowKind::Timed
+                    && r.unit == row.unit
+                    && r.min.is_finite()
+                    && r.min > 0.0
+                    && r.median.is_finite()
+                    && r.median > 0.0
+            })
+            .collect();
+        verdict.baseline_points = history.len();
+        if history.is_empty() {
+            verdict.status = TrendStatus::New;
+            return verdict;
+        }
+        let best = |f: fn(&ExperimentRecord) -> f64| {
+            history.iter().map(|r| f(r)).fold(f64::INFINITY, f64::min)
+        };
+        let base_min = best(|r| r.min);
+        let base_median = best(|r| r.median);
+        verdict.baseline_min = Some(base_min);
+        verdict.baseline_median = Some(base_median);
+        // Degenerate current rows (zero / non-finite) admit no ratio; the
+        // gate abstains rather than comparing NaNs.
+        if !(row.min.is_finite() && row.min > 0.0 && row.median.is_finite() && row.median > 0.0) {
+            verdict.status = TrendStatus::Indeterminate;
+            return verdict;
+        }
+        let band = 1.0 + self.tolerance;
+        verdict.min_ratio = Some(row.min / base_min);
+        verdict.status = if row.min > base_min * band && row.median > base_median * band {
+            TrendStatus::Regressed
+        } else if row.min * band < base_min {
+            TrendStatus::Improved
+        } else {
+            TrendStatus::Pass
+        };
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: &str, commit: &str, ts: u64, min: f64, median: f64) -> ExperimentRecord {
+        ExperimentRecord {
+            bench_id: id.to_string(),
+            commit: commit.to_string(),
+            timestamp: ts,
+            kind: RowKind::Timed,
+            unit: "ns".to_string(),
+            mean: (min + median) / 2.0,
+            median,
+            min,
+            samples: 20,
+        }
+    }
+
+    fn value_rec(id: &str, commit: &str, value: f64, unit: &str) -> ExperimentRecord {
+        ExperimentRecord {
+            bench_id: id.to_string(),
+            commit: commit.to_string(),
+            timestamp: 0,
+            kind: RowKind::Value,
+            unit: unit.to_string(),
+            mean: value,
+            median: value,
+            min: value,
+            samples: 1,
+        }
+    }
+
+    fn sample_records() -> Vec<ExperimentRecord> {
+        vec![
+            rec("engine/run", "aaa", 1, 100.0, 120.0),
+            rec("engine/run", "bbb", 2, 95.0, 118.0),
+            rec("window/tally", "aaa", 1, 10.0, 12.0),
+            value_rec("alloc/per_round", "aaa", 0.0, "allocs/round"),
+        ]
+    }
+
+    #[test]
+    fn round_trip_is_identity_and_canonical() {
+        let store = ExperimentStore::from_records(sample_records());
+        let decoded = ExperimentStore::decode(&store.encode()).unwrap();
+        assert_eq!(decoded, store);
+        // Shuffled + duplicated input canonicalizes to the same bytes.
+        let mut shuffled = sample_records();
+        shuffled.reverse();
+        shuffled.extend(sample_records());
+        let store2 = ExperimentStore::from_records(shuffled);
+        assert_eq!(store2.encode(), store.encode());
+        assert_eq!(store2.len(), 4);
+    }
+
+    #[test]
+    fn nan_fields_round_trip_bit_identically() {
+        let mut records = sample_records();
+        records.push(rec("nan/case", "ccc", 3, f64::NAN, f64::NAN));
+        let store = ExperimentStore::from_records(records);
+        let bytes = store.encode();
+        let decoded = ExperimentStore::decode(&bytes).unwrap();
+        assert_eq!(decoded.encode(), bytes);
+    }
+
+    #[test]
+    fn multi_frame_files_union() {
+        let a = ExperimentStore::from_records(vec![rec("x/a", "c1", 1, 1.0, 2.0)]);
+        let b = ExperimentStore::from_records(vec![
+            rec("x/a", "c1", 1, 1.0, 2.0), // duplicate of a's record
+            rec("x/b", "c2", 2, 3.0, 4.0),
+        ]);
+        let mut concat = a.encode();
+        concat.extend_from_slice(&b.encode());
+        let decoded = ExperimentStore::decode(&concat).unwrap();
+        assert_eq!(decoded.len(), 2);
+        // The union re-encodes to the canonical single frame regardless of
+        // frame order.
+        let mut reversed = b.encode();
+        reversed.extend_from_slice(&a.encode());
+        assert_eq!(
+            ExperimentStore::decode(&reversed).unwrap().encode(),
+            decoded.encode()
+        );
+    }
+
+    #[test]
+    fn corruption_is_typed() {
+        let store = ExperimentStore::from_records(sample_records());
+        let good = store.encode();
+
+        assert!(matches!(
+            ExperimentStore::decode(&good[..10]),
+            Err(StoreError::TooShort { at: 0, .. })
+        ));
+
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            ExperimentStore::decode(&bad),
+            Err(StoreError::BadMagic { at: 0 })
+        ));
+
+        let mut bad = good.clone();
+        bad[8] = 99;
+        assert!(matches!(
+            ExperimentStore::decode(&bad),
+            Err(StoreError::UnsupportedVersion { found: 99, .. })
+        ));
+
+        assert!(matches!(
+            ExperimentStore::decode(&good[..good.len() - 1]),
+            Err(StoreError::Truncated { at: 0, .. })
+        ));
+
+        let mut flipped = good.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        assert!(matches!(
+            ExperimentStore::decode(&flipped),
+            Err(StoreError::ChecksumMismatch { at: 0, .. })
+        ));
+
+        // Bytes past a valid frame that are not a frame header.
+        let mut extended = good.clone();
+        extended.push(0);
+        assert!(matches!(
+            ExperimentStore::decode(&extended),
+            Err(StoreError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn salvage_recovers_intact_prefix_frames() {
+        let a = ExperimentStore::from_records(vec![rec("x/a", "c1", 1, 1.0, 2.0)]);
+        let b = ExperimentStore::from_records(vec![rec("x/b", "c2", 2, 3.0, 4.0)]);
+        let mut bytes = a.encode();
+        let b_bytes = b.encode();
+        bytes.extend_from_slice(&b_bytes[..b_bytes.len() / 2]); // torn append
+        let (recovered, err) = ExperimentStore::decode_salvage(&bytes);
+        assert_eq!(recovered, a);
+        assert!(matches!(err, Some(StoreError::Truncated { .. })));
+        let (clean, none) = ExperimentStore::decode_salvage(&a.encode());
+        assert_eq!(clean, a);
+        assert!(none.is_none());
+    }
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("distill-store-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_is_idempotent_and_atomic() {
+        let dir = scratch("append");
+        let path = dir.join("bench.store");
+        let first = ExperimentStore::append(&path, &sample_records()).unwrap();
+        assert_eq!(first.existing, 0);
+        assert_eq!(first.added, 4);
+        let bytes_once = std::fs::read(&path).unwrap();
+        // Appending the same records again adds nothing and leaves the
+        // bytes bit-identical.
+        let second = ExperimentStore::append(&path, &sample_records()).unwrap();
+        assert_eq!(second.existing, 4);
+        assert_eq!(second.added, 0);
+        assert_eq!(std::fs::read(&path).unwrap(), bytes_once);
+        // A genuinely new record grows the store.
+        let third =
+            ExperimentStore::append(&path, &[rec("engine/run", "ccc", 3, 90.0, 110.0)]).unwrap();
+        assert_eq!(third.added, 1);
+        assert_eq!(ExperimentStore::load(&path).unwrap().len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The kill-mid-write scenario end to end: a dead writer's scratch file
+    /// sits next to the store; open reclaims it and the store reads clean.
+    #[test]
+    fn open_reclaims_orphaned_tmp() {
+        let dir = scratch("orphan");
+        let path = dir.join("bench.store");
+        ExperimentStore::append(&path, &sample_records()).unwrap();
+        let orphan = dir.join("bench.store.tmp.999999999");
+        std::fs::write(&orphan, b"torn half-write").unwrap();
+        let store = ExperimentStore::open(&path).unwrap();
+        assert_eq!(store.len(), 4);
+        assert!(!orphan.exists(), "orphan must be reclaimed on open");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_of_missing_file_is_empty_but_load_errors() {
+        let dir = scratch("missing");
+        let path = dir.join("none.store");
+        assert!(ExperimentStore::open(&path).unwrap().is_empty());
+        assert!(matches!(
+            ExperimentStore::load(&path),
+            Err(StoreError::Io(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_json_parses_typed_rows() {
+        let text = r#"{
+  "benches": [
+    {"id": "engine/run", "kind": "timed", "unit": "ns", "mean_ns": 110.0, "median_ns": 120.0, "min_ns": 100.0, "samples": 20, "throughput_per_sec": 9090909.1},
+    {"id": "alloc/per_round", "kind": "value", "unit": "allocs/round", "mean_ns": 0.0, "median_ns": 0.0, "min_ns": 0.0, "samples": 1, "throughput_per_sec": 0.0}
+  ]
+}"#;
+        let rows = parse_bench_json(text).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].id, "engine/run");
+        assert_eq!(rows[0].kind, RowKind::Timed);
+        assert_eq!(rows[0].unit, "ns");
+        assert_eq!(rows[0].samples, 20);
+        assert_eq!(rows[1].kind, RowKind::Value);
+        assert_eq!(rows[1].unit, "allocs/round");
+        let record = rows[1].clone().into_record("abc", 7);
+        assert_eq!(record.key(), ("alloc/per_round", "abc", 7));
+    }
+
+    #[test]
+    fn bench_json_without_kind_is_refused() {
+        // The pre-PR-9 schema: no kind/unit. The gate must refuse to guess.
+        let text = r#"{"benches": [
+    {"id": "engine/run", "mean_ns": 1.0, "median_ns": 1.0, "min_ns": 1.0, "samples": 1, "throughput_per_sec": 1.0}
+  ]}"#;
+        assert_eq!(
+            parse_bench_json(text),
+            Err(StoreError::MissingField {
+                id: "engine/run".to_string(),
+                field: "kind"
+            })
+        );
+    }
+
+    #[test]
+    fn bench_json_malformed_is_typed() {
+        for bad in [
+            "",
+            "{",
+            "[1,2",
+            "{\"benches\": 3}",
+            "{\"benches\": [{\"id\": 4}]}",
+            "{\"benches\": []} trailing",
+            "{\"benches\": [{\"id\": \"x\", \"kind\": \"sideways\", \"unit\": \"ns\", \"mean_ns\": 1, \"median_ns\": 1, \"min_ns\": 1, \"samples\": 1}]}",
+            "{\"benches\": [{\"id\": \"x\", \"kind\": \"timed\", \"unit\": \"ns\", \"mean_ns\": 1, \"median_ns\": 1, \"min_ns\": 1, \"samples\": 1.5}]}",
+        ] {
+            assert!(parse_bench_json(bad).is_err(), "must reject: {bad:?}");
+        }
+        // Deep nesting is rejected, not a stack overflow.
+        let deep = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse_bench_json(&deep).is_err());
+    }
+
+    #[test]
+    fn gate_passes_rerun_of_the_same_commit() {
+        let store = ExperimentStore::from_records(sample_records());
+        let gate = TrendGate::default();
+        // Re-running the exact stored rows regresses nothing.
+        let verdicts = gate.evaluate(&store, store.records());
+        assert!(verdicts.iter().all(|v| v.status != TrendStatus::Regressed));
+    }
+
+    #[test]
+    fn gate_flags_a_real_regression_but_tolerates_noise() {
+        let store = ExperimentStore::from_records(sample_records());
+        let gate = TrendGate { tolerance: 0.5 };
+        // 40% slower on min and median: inside the 50% band.
+        let noisy = [rec("engine/run", "new", 9, 133.0, 163.0)];
+        assert_eq!(gate.evaluate(&store, &noisy)[0].status, TrendStatus::Pass);
+        // 3x slower on both: regression.
+        let slow = [rec("engine/run", "new", 9, 300.0, 360.0)];
+        let verdict = &gate.evaluate(&store, &slow)[0];
+        assert_eq!(verdict.status, TrendStatus::Regressed);
+        assert_eq!(verdict.baseline_min, Some(95.0));
+        assert!(verdict.min_ratio.unwrap() > 3.0);
+        // Slow min but fast median (one outlier sample): not a regression —
+        // both statistics must agree.
+        let outlier = [rec("engine/run", "new", 9, 300.0, 119.0)];
+        assert_eq!(gate.evaluate(&store, &outlier)[0].status, TrendStatus::Pass);
+        // Much faster: improvement, informational.
+        let fast = [rec("engine/run", "new", 9, 40.0, 50.0)];
+        assert_eq!(
+            gate.evaluate(&store, &fast)[0].status,
+            TrendStatus::Improved
+        );
+    }
+
+    #[test]
+    fn gate_never_compares_value_rows_in_ns_terms() {
+        let store = ExperimentStore::from_records(sample_records());
+        let gate = TrendGate::default();
+        // A value row "slower" by 10^6x: not gated, no ratio.
+        let huge = [value_rec("alloc/per_round", "new", 1e9, "allocs/round")];
+        let verdict = &gate.evaluate(&store, &huge)[0];
+        assert_eq!(verdict.status, TrendStatus::NotGated);
+        assert_eq!(verdict.min_ratio, None);
+        // Even a *timed* row only compares against timed history: a bench
+        // whose history is all value rows counts as new.
+        let timed_vs_values = [rec("alloc/per_round", "new", 9, 5.0, 5.0)];
+        assert_eq!(
+            gate.evaluate(&store, &timed_vs_values)[0].status,
+            TrendStatus::New
+        );
+    }
+
+    #[test]
+    fn gate_degenerate_series_abstain_without_nan() {
+        let gate = TrendGate::default();
+        // Zero-valued and NaN timed rows on either side: Indeterminate, and
+        // every ratio stays None (no NaN verdicts).
+        let store = ExperimentStore::from_records(vec![rec("z/zero", "aaa", 1, 10.0, 10.0)]);
+        let zero_current = [rec("z/zero", "new", 9, 0.0, 0.0)];
+        let verdict = &gate.evaluate(&store, &zero_current)[0];
+        assert_eq!(verdict.status, TrendStatus::Indeterminate);
+        assert_eq!(verdict.min_ratio, None);
+        let nan_current = [rec("z/zero", "new", 9, f64::NAN, f64::NAN)];
+        assert_eq!(
+            gate.evaluate(&store, &nan_current)[0].status,
+            TrendStatus::Indeterminate
+        );
+        // A store whose only history is degenerate offers no baseline.
+        let zero_store = ExperimentStore::from_records(vec![rec("z/zero", "aaa", 1, 0.0, 0.0)]);
+        let ok_current = [rec("z/zero", "new", 9, 5.0, 5.0)];
+        assert_eq!(
+            gate.evaluate(&zero_store, &ok_current)[0].status,
+            TrendStatus::New
+        );
+    }
+
+    #[test]
+    fn gate_unknown_bench_is_new() {
+        let store = ExperimentStore::from_records(sample_records());
+        let verdicts = TrendGate::default().evaluate(&store, &[rec("brand/new", "x", 1, 1.0, 1.0)]);
+        assert_eq!(verdicts[0].status, TrendStatus::New);
+        assert_eq!(verdicts[0].baseline_points, 0);
+    }
+
+    #[test]
+    fn errors_render() {
+        for e in [
+            StoreError::Io("x".into()),
+            StoreError::TooShort { at: 3, len: 1 },
+            StoreError::BadMagic { at: 0 },
+            StoreError::UnsupportedVersion {
+                at: 0,
+                found: 9,
+                supported: 1,
+            },
+            StoreError::Truncated {
+                at: 0,
+                expected: 10,
+                found: 4,
+            },
+            StoreError::ChecksumMismatch {
+                at: 0,
+                stored: 1,
+                computed: 2,
+            },
+            StoreError::Decode(CodecError::BadUtf8 { at: 0 }),
+            StoreError::TrailingBytes { at: 0, extra: 2 },
+            StoreError::Json {
+                at: 5,
+                message: "x".into(),
+            },
+            StoreError::MissingField {
+                id: "b".into(),
+                field: "kind",
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+        assert_eq!(RowKind::parse("timed"), Some(RowKind::Timed));
+        assert_eq!(RowKind::parse("nope"), None);
+        assert_eq!(RowKind::Value.to_string(), "value");
+        assert_eq!(TrendStatus::Regressed.to_string(), "REGRESSED");
+    }
+}

@@ -209,6 +209,14 @@ pub struct LintConfig {
     /// sources are D1/D2/D5/D6/D7-protected and must opt into the workspace
     /// lints.
     pub protected: Vec<String>,
+    /// Root-relative source paths in *unprotected* crates that receive the
+    /// same per-source D1/D2/D5/D6/D7 scan. This is how individual modules
+    /// earn protection without dragging a whole crate onto the list — the
+    /// harness persistence modules (`store`, `atomic`) need neither the
+    /// `catch_unwind` nor the wall-clock escape hatch their crate exists
+    /// for. Paths inside a protected member would be scanned twice; keep
+    /// them off this list.
+    pub protected_files: Vec<String>,
     /// Member path prefixes exempt from the D3 `forbid(unsafe_code)` check
     /// (vendored compat stubs that mirror upstream APIs).
     pub unsafe_exempt: Vec<String>,
@@ -230,6 +238,14 @@ impl LintConfig {
                 "crates/adversary",
                 "crates/analysis",
                 "crates/service",
+            ]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect(),
+            protected_files: [
+                "crates/harness/src/atomic.rs",
+                "crates/harness/src/codec.rs",
+                "crates/harness/src/store.rs",
             ]
             .iter()
             .map(|s| (*s).to_string())
@@ -1160,6 +1176,22 @@ pub fn lint_workspace_report(config: &LintConfig) -> Result<LintReport, LintErro
         }
     }
 
+    // D1/D2/D5/D6/D7: individually protected sources in otherwise
+    // unprotected crates (the harness persistence modules — total decode and
+    // atomic writes must be panic-free and deterministic even though their
+    // crate keeps the supervision escape hatches).
+    for entry in &config.protected_files {
+        let path = config.root.join(entry);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| LintError(format!("{}: {e}", path.display())))?;
+        let rel = PathBuf::from(entry);
+        let rng_home = config
+            .rng_exempt
+            .iter()
+            .any(|exempt| Path::new(exempt) == rel.as_path());
+        lint_source_report(&text, &rel, rng_home, &mut report, &mut aux_sites);
+    }
+
     check_aux_collisions(&mut aux_sites, &mut report);
     sort_report(&mut report);
     Ok(report)
@@ -1271,6 +1303,50 @@ mod tests {
             files.iter().any(|f| f.ends_with("stress.rs")),
             "lint walker must visit crates/service/src/stress.rs; saw {files:?}"
         );
+    }
+
+    /// The harness crate must stay *off* the protected-crate list (its
+    /// supervisor legitimately uses `catch_unwind` and wall clocks), while
+    /// its persistence modules must stay individually file-protected —
+    /// otherwise a rename or a config edit could silently drop the store
+    /// format out of the D1/D2 gates.
+    #[test]
+    fn harness_persistence_modules_are_file_protected() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root")
+            .to_path_buf();
+        let config = LintConfig::for_repo(root.clone());
+        assert!(
+            !config.protected.iter().any(|p| p == "crates/harness"),
+            "crates/harness must stay off the protected-crate list"
+        );
+        for file in [
+            "crates/harness/src/atomic.rs",
+            "crates/harness/src/codec.rs",
+            "crates/harness/src/store.rs",
+        ] {
+            assert!(
+                config.protected_files.iter().any(|p| p == file),
+                "{file} must be on the protected_files list"
+            );
+            assert!(
+                root.join(file).is_file(),
+                "{file} listed in protected_files must exist"
+            );
+        }
+        // None of the file-protected paths may sit inside a protected
+        // member (that would double-scan and double-report).
+        for file in &config.protected_files {
+            assert!(
+                !config
+                    .protected
+                    .iter()
+                    .any(|member| file.starts_with(&format!("{member}/"))),
+                "{file} is already covered by a protected crate"
+            );
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@ fn fixture_config(name: &str) -> LintConfig {
             .join("fixtures")
             .join(name),
         protected: vec!["member".to_string()],
+        protected_files: Vec::new(),
         unsafe_exempt: Vec::new(),
         rng_exempt: Vec::new(),
     }
