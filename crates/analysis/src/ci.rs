@@ -41,7 +41,9 @@ pub fn ci95(xs: &[f64]) -> Option<ConfidenceInterval> {
 #[must_use]
 pub fn ci_z(xs: &[f64], z: f64) -> Option<ConfidenceInterval> {
     let s = Summary::of(xs)?;
-    let half = z * s.std_err();
+    // A singleton sample has no error estimate (`std_err` is `None`); its
+    // interval degenerates to the point, never to NaN edges.
+    let half = z * s.std_err().unwrap_or(0.0);
     Some(ConfidenceInterval {
         mean: s.mean,
         lo: s.mean - half,
@@ -84,5 +86,14 @@ mod tests {
         assert_eq!(ci95(&[]), None);
         assert_eq!(ci_z(&[], 1.0), None);
         assert_eq!(ci95(&[f64::NAN]), None);
+    }
+
+    /// Regression for the n<2 NaN leak: a singleton sample's interval is
+    /// the degenerate point interval with finite edges, not NaN.
+    #[test]
+    fn singleton_sample_degenerates_to_the_point() {
+        let ci = ci95(&[4.0]).unwrap();
+        assert_eq!((ci.lo, ci.mean, ci.hi), (4.0, 4.0, 4.0));
+        assert!(ci.lo.is_finite() && ci.hi.is_finite());
     }
 }

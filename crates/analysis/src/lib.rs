@@ -2,7 +2,8 @@
 //!
 //! Theory-side machinery for the DISTILL reproduction: the paper's bound
 //! formulas ([`bounds`]), the Lemma 9 sequence functions ([`lemma9`]),
-//! sample statistics and confidence intervals ([`stats`], [`ci`]),
+//! sample statistics and confidence intervals ([`stats`], [`ci`]), their
+//! O(1)-memory streaming counterparts ([`streaming`]),
 //! least-squares shape fits ([`fit`]), and the text tables every experiment
 //! harness prints ([`Table`]).
 //!
@@ -34,6 +35,7 @@ pub mod lemma9;
 pub mod meanfield;
 pub mod ranksum;
 pub mod stats;
+pub mod streaming;
 mod table;
 pub mod theory;
 
@@ -42,4 +44,5 @@ pub use ci::{ci95, ci_z, ConfidenceInterval};
 pub use fit::{linear_fit, power_fit, LinearFit};
 pub use ranksum::{rank_sum, RankSum};
 pub use stats::{quantile, Histogram, Summary};
+pub use streaming::{GkSketch, RunningMoments, StreamingSummary};
 pub use table::{fmt_f, Table};

@@ -57,12 +57,18 @@ impl Summary {
     }
 
     /// Standard error of the mean.
-    pub fn std_err(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.std_dev / (self.count as f64).sqrt()
+    ///
+    /// `None` when no meaningful error estimate exists: fewer than two
+    /// observations (a sample standard deviation needs n ≥ 2; the old
+    /// behavior let `n = 1` leak a misleading 0.0 and hand-built summaries
+    /// with `n = 0`/NaN `std_dev` leak NaN into reports, violating the
+    /// "no NaN out of stats" rule) or a non-finite `std_dev`.
+    #[must_use]
+    pub fn std_err(&self) -> Option<f64> {
+        if self.count < 2 || !self.std_dev.is_finite() {
+            return None;
         }
+        Some(self.std_dev / (self.count as f64).sqrt())
     }
 }
 
@@ -157,7 +163,7 @@ mod tests {
         assert_eq!(s.max, 4.0);
         // sample std dev of 1,2,3,4 = sqrt(5/3)
         assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
-        assert!((s.std_err() - s.std_dev / 2.0).abs() < 1e-12);
+        assert!((s.std_err().unwrap() - s.std_dev / 2.0).abs() < 1e-12);
     }
 
     #[test]
@@ -165,10 +171,45 @@ mod tests {
         let s = Summary::of(&[7.0]).unwrap();
         assert_eq!(s.count, 1);
         assert_eq!(s.std_dev, 0.0);
-        assert_eq!(s.std_err(), 0.0);
+        assert_eq!(s.std_err(), None, "one observation has no error estimate");
         assert_eq!(s.median, 7.0);
         assert_eq!(s.min, 7.0);
         assert_eq!(s.max, 7.0);
+    }
+
+    /// Regression for the NaN leak: `std_err` on degenerate summaries
+    /// (n < 2, or a hand-built summary whose `std_dev` is already NaN)
+    /// must be `None`, never NaN — `ci95` and report formatting sit
+    /// directly downstream.
+    #[test]
+    fn std_err_of_degenerate_summaries_is_none_not_nan() {
+        let blank = Summary {
+            count: 0,
+            mean: f64::NAN,
+            std_dev: f64::NAN,
+            min: f64::NAN,
+            max: f64::NAN,
+            median: f64::NAN,
+        };
+        assert_eq!(blank.std_err(), None);
+        let poisoned = Summary {
+            count: 5,
+            mean: 1.0,
+            std_dev: f64::NAN,
+            min: 0.0,
+            max: 2.0,
+            median: 1.0,
+        };
+        assert_eq!(poisoned.std_err(), None);
+        let fine = Summary {
+            count: 4,
+            mean: 0.0,
+            std_dev: 2.0,
+            min: -2.0,
+            max: 2.0,
+            median: 0.0,
+        };
+        assert_eq!(fine.std_err(), Some(1.0));
     }
 
     #[test]

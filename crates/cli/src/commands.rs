@@ -96,7 +96,16 @@ USAGE:
 COMMANDS:
     run        simulate one configuration over several trials
     sweep      crash-safe supervised `run`: checkpoint/resume, panic
-               quarantine, retries, watchdog timeouts
+               quarantine, retries, watchdog timeouts; --stream for
+               O(1)-memory aggregation of huge sweeps
+    sweep-worker
+               one multi-process fabric worker: claim chunked trial ranges
+               from the shared --queue under heartbeat-renewed leases
+    sweep-supervise
+               dumb supervisor loop: spawn --workers sweep-worker processes
+               on one --queue, restart dead ones, merge their checkpoints
+               by set-union when the queue drains (all state in files —
+               kill -9 anything and re-run to resume)
     gauntlet   run one algorithm against every adversary strategy
     bounds     evaluate the paper's bound formulas for given parameters
     lemma9     check Lemma 9 (original and corrected) on a sequence
@@ -140,7 +149,30 @@ SWEEP FLAGS (all RUN FLAGS, plus):
     --quarantine <path>      failure records (default <checkpoint>.quarantine.jsonl)
     --threads <usize>        worker threads (available parallelism)
     --out <path>             per-trial result digests, for diffing runs
+    --stream                 O(1)-memory streaming aggregation (Welford
+                             moments + GK quantile sketch, rank error 0.5%)
+                             instead of retaining every result; excludes
+                             --checkpoint/--resume/--out
     exits 3 when any trial ends quarantined
+
+SWEEP-WORKER FLAGS (all RUN FLAGS, plus):
+    --queue <path>           the shared on-disk lease queue (required)
+    --worker-id <u64>        this worker's identity in leases (0)
+    --chunk <u64>            trials per leased chunk (16)
+    --lease-ttl <secs>       lease time-to-live; renewed at half-life (30)
+    --max-claims <u32>       cross-process claim budget per chunk (2)
+    --max-retries / --trial-timeout / --checkpoint-every as in sweep
+    --quarantine <path>      failure records (<queue>.worker<id>.quarantine.jsonl)
+    --poll-ms <u64>          idle backoff while the queue is busy (50)
+    exits 0 even with quarantined trials: the supervisor's merge decides
+
+SWEEP-SUPERVISE FLAGS (all SWEEP-WORKER FLAGS except --worker-id, plus):
+    --workers <u64>          worker processes to keep alive (3)
+    --max-restarts <u64>     total restart budget across the fleet (16)
+    --out <path>             merged per-trial digests, diffable against a
+                             single-process `sweep --out` reference
+    --merged <path>          write the merged checkpoint itself
+    exits 3 when the merged result set is missing trials
 
 SERVICE-STRESS FLAGS (defaults in parentheses):
     --producers <u32>       concurrent submitting threads (8)
@@ -403,6 +435,11 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Rank-error target for `sweep --stream`'s quantile sketch: every reported
+/// percentile is within 0.5% of the trial count of the exact rank
+/// (documented in EXPERIMENTS.md P5).
+const STREAM_EPSILON: f64 = 0.005;
+
 const SWEEP_FLAGS: &[&str] = &[
     // everything `run` takes…
     "n",
@@ -431,6 +468,80 @@ const SWEEP_FLAGS: &[&str] = &[
     "out",
     "inject-panic",
     "resume",
+    "stream",
+];
+
+const SWEEP_WORKER_FLAGS: &[&str] = &[
+    // the simulation spec (must match the supervisor's exactly — it is
+    // hashed into the queue fingerprint)…
+    "n",
+    "m",
+    "honest",
+    "goods",
+    "algorithm",
+    "adversary",
+    "trials",
+    "seed",
+    "f",
+    "error-rate",
+    "max-rounds",
+    "drop-rate",
+    "view-lag",
+    "crash-rate",
+    "crash-window",
+    "recovery-rate",
+    "inject-panic",
+    // …plus the fabric surface
+    "queue",
+    "worker-id",
+    "chunk",
+    "lease-ttl",
+    "max-claims",
+    "max-retries",
+    "trial-timeout",
+    "quarantine",
+    "checkpoint-every",
+    "poll-ms",
+    "stop-after-chunks",
+    "fail-after-trials",
+];
+
+const SWEEP_SUPERVISE_FLAGS: &[&str] = &[
+    // the simulation spec (forwarded verbatim to every worker)…
+    "n",
+    "m",
+    "honest",
+    "goods",
+    "algorithm",
+    "adversary",
+    "trials",
+    "seed",
+    "f",
+    "error-rate",
+    "max-rounds",
+    "drop-rate",
+    "view-lag",
+    "crash-rate",
+    "crash-window",
+    "recovery-rate",
+    "inject-panic",
+    // …worker passthrough…
+    "queue",
+    "chunk",
+    "lease-ttl",
+    "max-claims",
+    "max-retries",
+    "trial-timeout",
+    "checkpoint-every",
+    // …and the fleet surface
+    "workers",
+    "max-restarts",
+    "poll-ms",
+    "out",
+    "merged",
+    // test/CI hooks, forwarded to every worker (mirrors --inject-panic)
+    "stop-after-chunks",
+    "fail-after-trials",
 ];
 
 /// A fully-validated, owned trial spec for the supervised sweep runner:
@@ -506,11 +617,11 @@ impl distill_harness::TrialSpec for SweepSpec {
     }
 }
 
-/// `distill sweep` — the crash-safe supervised variant of `run`:
-/// checkpoint/resume, per-trial panic isolation with quarantine, retries,
-/// and watchdog timeouts.
-pub fn sweep(args: &Args) -> Result<String, CliError> {
-    args.ensure_known(SWEEP_FLAGS)?;
+/// Parses the simulation-spec surface shared by `sweep`, `sweep-worker`,
+/// and `sweep-supervise` into a fully-validated [`SweepSpec`] plus the
+/// trial count. Everything that changes trial results flows through here,
+/// so all three entry points agree on the fingerprint by construction.
+fn parse_sweep_spec(args: &Args) -> Result<(SweepSpec, u64), CliError> {
     let n: u32 = player_count(args.get_or("n", 256)?).map_err(|e| err(e.to_string()))?;
     let m: u32 = args.get_or("m", n)?;
     let default_honest = ((f64::from(n)) * 0.9).round() as u32;
@@ -547,6 +658,44 @@ pub fn sweep(args: &Args) -> Result<String, CliError> {
     // this when it `expect`s).
     make_cohort(&algorithm, n, m, alpha, f64::from(goods) / f64::from(m))?;
     make_adversary(&adversary_name)?;
+    let inject_panic = match args.flags.get("inject-panic") {
+        None => None,
+        Some(_) => Some(args.get_or("inject-panic", 0u64)?),
+    };
+    Ok((
+        SweepSpec {
+            n,
+            m,
+            honest,
+            goods,
+            algorithm,
+            adversary: adversary_name,
+            seed,
+            f,
+            error_rate,
+            max_rounds,
+            faults,
+            inject_panic,
+        },
+        trials,
+    ))
+}
+
+/// `distill sweep` — the crash-safe supervised variant of `run`:
+/// checkpoint/resume, per-trial panic isolation with quarantine, retries,
+/// and watchdog timeouts. `--stream` trades the retained per-trial results
+/// for O(1)-memory streaming aggregation.
+pub fn sweep(args: &Args) -> Result<String, CliError> {
+    args.ensure_known(SWEEP_FLAGS)?;
+    let (spec, trials) = parse_sweep_spec(args)?;
+    let n = spec.n;
+    let m = spec.m;
+    let honest = spec.honest;
+    let goods = spec.goods;
+    let f = spec.f;
+    let algorithm = spec.algorithm.clone();
+    let adversary_name = spec.adversary.clone();
+    let alpha = f64::from(honest) / f64::from(n);
 
     let checkpoint = args.flags.get("checkpoint").map(std::path::PathBuf::from);
     let resume = args.has("resume");
@@ -570,26 +719,23 @@ pub fn sweep(args: &Args) -> Result<String, CliError> {
                 std::path::PathBuf::from(q)
             })
         });
-    let inject_panic = match args.flags.get("inject-panic") {
-        None => None,
-        Some(_) => Some(args.get_or("inject-panic", 0u64)?),
-    };
     let out_path = args.flags.get("out").map(std::path::PathBuf::from);
+    let stream = args.has("stream");
+    if stream {
+        if checkpoint.is_some() || resume {
+            return Err(err(
+                "--stream keeps no per-trial results, so it cannot checkpoint or resume \
+                 (use the multi-process fabric for restartable big sweeps)",
+            ));
+        }
+        if out_path.is_some() {
+            return Err(err(
+                "--stream keeps no per-trial results, so --out digests are unavailable",
+            ));
+        }
+    }
 
-    let spec = std::sync::Arc::new(SweepSpec {
-        n,
-        m,
-        honest,
-        goods,
-        algorithm: algorithm.clone(),
-        adversary: adversary_name.clone(),
-        seed,
-        f,
-        error_rate,
-        max_rounds,
-        faults,
-        inject_panic,
-    });
+    let spec = std::sync::Arc::new(spec);
     let config = distill_harness::SweepConfig {
         trials,
         threads: args.get_or("threads", num_threads())?,
@@ -604,8 +750,25 @@ pub fn sweep(args: &Args) -> Result<String, CliError> {
             ..distill_harness::SupervisorPolicy::default()
         },
         stop_after: None,
+        retain_results: !stream,
     };
-    let report = distill_harness::run_sweep(spec, &config).map_err(|e| err(e.to_string()))?;
+    // Streaming mode folds each trial's individual cost into O(1)-memory
+    // aggregates (Welford moments + a GK quantile sketch at rank error
+    // STREAM_EPSILON) instead of retaining every `SimResult`.
+    let mut streamed = distill_analysis::StreamingSummary::new(STREAM_EPSILON);
+    let mut satisfied = 0u64;
+    let report = if stream {
+        let mut fold = |_trial: u64, r: &distill_sim::SimResult| {
+            streamed.push(r.mean_probes());
+            if r.all_satisfied {
+                satisfied += 1;
+            }
+        };
+        distill_harness::run_sweep_with(spec, &config, Some(&mut fold))
+            .map_err(|e| err(e.to_string()))?
+    } else {
+        distill_harness::run_sweep(spec, &config).map_err(|e| err(e.to_string()))?
+    };
 
     // Canonical per-trial digest file: one line per completed trial with the
     // FNV-1a hash of its encoded `SimResult`, so CI can diff a resumed sweep
@@ -621,27 +784,17 @@ pub fn sweep(args: &Args) -> Result<String, CliError> {
         std::fs::write(path, text).map_err(|e| err(format!("--out {}: {e}", path.display())))?;
     }
 
-    let costs: Vec<f64> = report
-        .results
-        .iter()
-        .map(|(_, r)| r.mean_probes())
-        .collect();
-    let cost = summary_or_blank(&costs);
-    let done = report
-        .results
-        .iter()
-        .filter(|(_, r)| r.all_satisfied)
-        .count();
     let mut table = Table::new(
         format!(
-            "sweep: {algorithm} vs {adversary_name} — n={n} m={m} honest={honest} \
-             (alpha={alpha:.3}) goods={goods} f={f} trials={trials}"
+            "sweep{}: {algorithm} vs {adversary_name} — n={n} m={m} honest={honest} \
+             (alpha={alpha:.3}) goods={goods} f={f} trials={trials}",
+            if stream { " (streaming)" } else { "" }
         ),
         &["metric", "value"],
     );
     table.row_owned(vec![
         "completed".into(),
-        format!("{}/{trials}", report.results.len()),
+        format!("{}/{trials}", report.completed),
     ]);
     table.row_owned(vec![
         "resumed from checkpoint".into(),
@@ -655,11 +808,55 @@ pub fn sweep(args: &Args) -> Result<String, CliError> {
         "quarantined".into(),
         report.quarantined.len().to_string(),
     ]);
-    table.row_owned(vec!["mean individual cost".into(), fmt_f(cost.mean)]);
-    table.row_owned(vec![
-        "trials fully satisfied".into(),
-        format!("{done}/{}", report.results.len()),
-    ]);
+    if stream {
+        let m = streamed.moments();
+        let p = |q: f64| fmt_f(streamed.quantile(q).unwrap_or(f64::NAN));
+        table.row_owned(vec![
+            "mean individual cost".into(),
+            fmt_f(m.mean().unwrap_or(f64::NAN)),
+        ]);
+        table.row_owned(vec![
+            "cost std dev".into(),
+            fmt_f(m.std_dev().unwrap_or(f64::NAN)),
+        ]);
+        table.row_owned(vec![
+            "cost min / max".into(),
+            format!(
+                "{} / {}",
+                fmt_f(m.min().unwrap_or(f64::NAN)),
+                fmt_f(m.max().unwrap_or(f64::NAN))
+            ),
+        ]);
+        table.row_owned(vec![
+            format!("cost p50/p90/p99 (rank err <= {STREAM_EPSILON}n)"),
+            format!("{} / {} / {}", p(0.5), p(0.9), p(0.99)),
+        ]);
+        table.row_owned(vec![
+            "sketch tuples held".into(),
+            streamed.sketch().entries_len().to_string(),
+        ]);
+        table.row_owned(vec![
+            "trials fully satisfied".into(),
+            format!("{satisfied}/{}", report.completed),
+        ]);
+    } else {
+        let costs: Vec<f64> = report
+            .results
+            .iter()
+            .map(|(_, r)| r.mean_probes())
+            .collect();
+        let cost = summary_or_blank(&costs);
+        let done = report
+            .results
+            .iter()
+            .filter(|(_, r)| r.all_satisfied)
+            .count();
+        table.row_owned(vec!["mean individual cost".into(), fmt_f(cost.mean)]);
+        table.row_owned(vec![
+            "trials fully satisfied".into(),
+            format!("{done}/{}", report.results.len()),
+        ]);
+    }
     let mut output = table.render();
     for q in &report.quarantined {
         output.push_str(&format!(
@@ -674,6 +871,346 @@ pub fn sweep(args: &Args) -> Result<String, CliError> {
         return Err(CliError::Quarantined {
             output,
             count: report.quarantined.len(),
+        });
+    }
+    Ok(output)
+}
+
+/// The `--chunk` / `--lease-ttl` / retry / poll surface shared by the two
+/// fabric entry points, parsed and validated once.
+struct FabricFlags {
+    chunk: u64,
+    max_claims: u32,
+    lease_ttl_secs: f64,
+    lease_ttl_ms: u64,
+    checkpoint_every: u64,
+    trial_timeout_secs: f64,
+    policy: distill_harness::SupervisorPolicy,
+    poll: std::time::Duration,
+}
+
+fn parse_fabric_flags(args: &Args) -> Result<FabricFlags, CliError> {
+    let chunk: u64 = args.get_or("chunk", 16)?;
+    if chunk == 0 {
+        return Err(err("--chunk must be at least 1 trial"));
+    }
+    let max_claims: u32 = args.get_or("max-claims", 2)?;
+    if max_claims == 0 {
+        return Err(err("--max-claims must be at least 1"));
+    }
+    let lease_ttl_secs: f64 = args.get_or("lease-ttl", 30.0)?;
+    if !lease_ttl_secs.is_finite() || lease_ttl_secs <= 0.0 {
+        return Err(err("--lease-ttl must be a finite number of seconds > 0"));
+    }
+    let lease_ttl_ms = u64::try_from(
+        std::time::Duration::from_secs_f64(lease_ttl_secs)
+            .as_millis()
+            .max(1),
+    )
+    .unwrap_or(u64::MAX);
+    let checkpoint_every: u64 = args.get_or("checkpoint-every", 8)?;
+    let trial_timeout_secs: f64 = args.get_or("trial-timeout", 0.0)?;
+    if trial_timeout_secs < 0.0 || !trial_timeout_secs.is_finite() {
+        return Err(err(
+            "--trial-timeout must be a finite number of seconds >= 0",
+        ));
+    }
+    let policy = distill_harness::SupervisorPolicy {
+        max_retries: args.get_or("max-retries", 2)?,
+        trial_timeout: (trial_timeout_secs > 0.0)
+            .then(|| std::time::Duration::from_secs_f64(trial_timeout_secs)),
+        ..distill_harness::SupervisorPolicy::default()
+    };
+    let poll = std::time::Duration::from_millis(args.get_or("poll-ms", 50)?);
+    Ok(FabricFlags {
+        chunk,
+        max_claims,
+        lease_ttl_secs,
+        lease_ttl_ms,
+        checkpoint_every,
+        trial_timeout_secs,
+        policy,
+        poll,
+    })
+}
+
+/// `distill sweep-worker` — one fabric worker process: claims chunked trial
+/// ranges from the shared on-disk lease queue under a heartbeat-renewed
+/// lease, runs them supervised, and checkpoints its own results. Safe to
+/// run any number of these concurrently on the same `--queue`; kill -9 at
+/// any point never loses or double-counts a trial (an expired lease is
+/// reclaimed and re-run, and the set-union merge deduplicates bit-exact
+/// duplicates).
+pub fn sweep_worker(args: &Args) -> Result<String, CliError> {
+    args.ensure_known(SWEEP_WORKER_FLAGS)?;
+    let (spec, trials) = parse_sweep_spec(args)?;
+    let queue = args
+        .flags
+        .get("queue")
+        .map(std::path::PathBuf::from)
+        .ok_or_else(|| err("sweep-worker: needs --queue <path>"))?;
+    let worker_id: u64 = args.get_or("worker-id", 0)?;
+    let fabric = parse_fabric_flags(args)?;
+
+    let mut config = distill_harness::WorkerConfig::new(queue.clone(), worker_id, trials);
+    config.chunk_size = fabric.chunk;
+    config.max_claims = fabric.max_claims;
+    config.lease_ttl_ms = fabric.lease_ttl_ms;
+    config.checkpoint_every = fabric.checkpoint_every;
+    config.policy = fabric.policy;
+    config.poll = fabric.poll;
+    // Per-worker quarantine file by default: concurrent processes never
+    // interleave writes into one JSONL.
+    config.quarantine = Some(
+        args.flags
+            .get("quarantine")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| {
+                let mut q = queue.as_os_str().to_owned();
+                q.push(format!(".worker{worker_id}.quarantine.jsonl"));
+                std::path::PathBuf::from(q)
+            }),
+    );
+    // Test/CI hooks mirroring sweep's --inject-panic: stop early or "crash"
+    // (exit without completing the leased chunk).
+    config.stop_after_chunks = match args.flags.get("stop-after-chunks") {
+        None => None,
+        Some(_) => Some(args.get_or("stop-after-chunks", 0u64)?),
+    };
+    config.fail_after_trials = match args.flags.get("fail-after-trials") {
+        None => None,
+        Some(_) => Some(args.get_or("fail-after-trials", 0u64)?),
+    };
+
+    let report = distill_harness::run_worker(std::sync::Arc::new(spec), &config)
+        .map_err(|e| err(e.to_string()))?;
+    let mut table = Table::new(
+        format!(
+            "sweep-worker {} — queue {} ({} trials, chunk {})",
+            report.worker_id,
+            queue.display(),
+            trials,
+            fabric.chunk
+        ),
+        &["metric", "value"],
+    );
+    table.row_owned(vec![
+        "chunks claimed / completed / released".into(),
+        format!(
+            "{} / {} / {}",
+            report.chunks_claimed, report.chunks_completed, report.chunks_released
+        ),
+    ]);
+    table.row_owned(vec![
+        "trials run / skipped".into(),
+        format!("{} / {}", report.trials_run, report.trials_skipped),
+    ]);
+    table.row_owned(vec!["leases lost".into(), report.leases_lost.to_string()]);
+    table.row_owned(vec![
+        "quarantined".into(),
+        report.quarantined.len().to_string(),
+    ]);
+    table.row_owned(vec![
+        "queue rebuilt".into(),
+        report.queue_rebuilt.to_string(),
+    ]);
+    table.row_owned(vec![
+        "own checkpoint rebuilt".into(),
+        report.checkpoint_rebuilt.to_string(),
+    ]);
+    table.row_owned(vec!["queue fully done".into(), report.finished.to_string()]);
+    let mut output = table.render();
+    for q in &report.quarantined {
+        output.push_str(&format!(
+            "\nquarantined trial {} (seed {}): {} after {} attempt(s)",
+            q.trial, q.seed, q.failure, q.attempts
+        ));
+    }
+    // Quarantined trials are NOT an error exit here: the cross-process
+    // claim budget decides chunk fate, and the supervisor's merge reports
+    // the sweep-level verdict. A worker that ran at all did its job.
+    Ok(output)
+}
+
+/// `distill sweep-supervise` — the `loopr`-style dumb supervisor: spawn
+/// `--workers` `sweep-worker` processes on one `--queue`, restart dead ones
+/// (up to `--max-restarts`), and when the queue says every chunk is done,
+/// merge the per-worker checkpoints by set-union into the final result set.
+/// All state lives in files: kill -9 this supervisor (or any worker) and a
+/// fresh invocation resumes exactly where the fabric left off.
+pub fn sweep_supervise(args: &Args) -> Result<String, CliError> {
+    args.ensure_known(SWEEP_SUPERVISE_FLAGS)?;
+    let (spec, trials) = parse_sweep_spec(args)?;
+    let queue = args
+        .flags
+        .get("queue")
+        .map(std::path::PathBuf::from)
+        .ok_or_else(|| err("sweep-supervise: needs --queue <path>"))?;
+    let workers: u64 = args.get_or("workers", 3)?;
+    if workers == 0 {
+        return Err(err("--workers must be at least 1"));
+    }
+    let max_restarts: u64 = args.get_or("max-restarts", 16)?;
+    let fabric = parse_fabric_flags(args)?;
+    let out_path = args.flags.get("out").map(std::path::PathBuf::from);
+    let merged_path = args.flags.get("merged").map(std::path::PathBuf::from);
+
+    // Workers get the spec re-serialized from the parsed values (not the
+    // raw argv), so supervisor and workers agree on the fingerprint by
+    // construction.
+    let mut worker_argv: Vec<String> = vec!["sweep-worker".into()];
+    let mut push = |flag: &str, value: String| {
+        worker_argv.push(format!("--{flag}"));
+        worker_argv.push(value);
+    };
+    push("n", spec.n.to_string());
+    push("m", spec.m.to_string());
+    push("honest", spec.honest.to_string());
+    push("goods", spec.goods.to_string());
+    push("algorithm", spec.algorithm.clone());
+    push("adversary", spec.adversary.clone());
+    push("trials", trials.to_string());
+    push("seed", spec.seed.to_string());
+    push("f", spec.f.to_string());
+    push("error-rate", spec.error_rate.to_string());
+    push("max-rounds", spec.max_rounds.to_string());
+    push("drop-rate", spec.faults.drop_rate.to_string());
+    push("view-lag", spec.faults.view_lag.to_string());
+    push("crash-rate", spec.faults.crash_rate.to_string());
+    push("crash-window", spec.faults.crash_window.to_string());
+    push("recovery-rate", spec.faults.recovery_rate.to_string());
+    if let Some(t) = spec.inject_panic {
+        push("inject-panic", t.to_string());
+    }
+    push("queue", queue.display().to_string());
+    push("chunk", fabric.chunk.to_string());
+    push("max-claims", fabric.max_claims.to_string());
+    push("lease-ttl", fabric.lease_ttl_secs.to_string());
+    push("checkpoint-every", fabric.checkpoint_every.to_string());
+    push("max-retries", fabric.policy.max_retries.to_string());
+    push("trial-timeout", fabric.trial_timeout_secs.to_string());
+    for hook in ["stop-after-chunks", "fail-after-trials"] {
+        if args.flags.contains_key(hook) {
+            push(hook, args.get_or(hook, 0u64)?.to_string());
+        }
+    }
+
+    let exe = std::env::current_exe().map_err(|e| {
+        err(format!(
+            "cannot locate the distill binary to spawn workers: {e}"
+        ))
+    })?;
+    let fleet = distill_harness::FleetConfig {
+        workers,
+        max_restarts,
+        poll: fabric.poll,
+    };
+    let fleet_report = distill_harness::supervise_workers(
+        &fleet,
+        |slot| {
+            std::process::Command::new(&exe)
+                .args(&worker_argv)
+                .arg("--worker-id")
+                .arg(slot.to_string())
+                .stdout(std::process::Stdio::null())
+                .spawn()
+        },
+        // Lock-free done probe: the queue file is atomically renamed into
+        // place, so a plain read sees a consistent snapshot; any error
+        // (missing, mid-rebuild) just means "not done yet". Read + decode
+        // rather than `LeaseQueue::load`: load sweeps `.tmp` siblings, and
+        // an unlocked sweeper would delete a live worker's scratch file
+        // out from under its rename.
+        || {
+            std::fs::read(&queue)
+                .ok()
+                .and_then(|bytes| distill_harness::LeaseQueue::decode(&bytes).ok())
+                .map(|q| q.all_done())
+                .unwrap_or(false)
+        },
+    )
+    .map_err(|e| err(e.to_string()))?;
+
+    // Set-union merge of every worker checkpoint that exists. Racing or
+    // duplicated workers are fine: duplicated trials must be bit-identical
+    // (determinism), and `merge_checkpoints` hard-errors if they are not.
+    let mut parts = Vec::new();
+    for id in 0..workers {
+        let path = distill_harness::worker_checkpoint_path(&queue, id);
+        if path.exists() {
+            parts.push(
+                distill_harness::Checkpoint::load(&path)
+                    .map_err(|e| err(format!("worker {id} checkpoint: {e}")))?,
+            );
+        }
+    }
+    if parts.is_empty() {
+        return Err(err(
+            "sweep-supervise: no worker checkpoints were written (did every spawn fail?)",
+        ));
+    }
+    let merged = distill_harness::merge_checkpoints(&parts).map_err(|e| err(e.to_string()))?;
+
+    if let Some(path) = &out_path {
+        let mut text = String::new();
+        for (trial, result) in &merged.completed {
+            let mut w = distill_harness::Writer::new();
+            distill_harness::checkpoint::encode_sim_result(&mut w, result);
+            let digest = distill_harness::fnv1a64(&w.into_bytes());
+            text.push_str(&format!("trial {trial} {digest:016x}\n"));
+        }
+        std::fs::write(path, text).map_err(|e| err(format!("--out {}: {e}", path.display())))?;
+    }
+    if let Some(path) = &merged_path {
+        merged
+            .write_atomic(path)
+            .map_err(|e| err(format!("--merged {}: {e}", path.display())))?;
+    }
+
+    let completed = merged.completed.len();
+    let costs: Vec<f64> = merged
+        .completed
+        .iter()
+        .map(|(_, r)| r.mean_probes())
+        .collect();
+    let mut table = Table::new(
+        format!(
+            "sweep-supervise — queue {} ({workers} workers, {trials} trials)",
+            queue.display()
+        ),
+        &["metric", "value"],
+    );
+    table.row_owned(vec![
+        "completed (merged)".into(),
+        format!("{completed}/{trials}"),
+    ]);
+    table.row_owned(vec![
+        "worker restarts".into(),
+        fleet_report.restarts.to_string(),
+    ]);
+    table.row_owned(vec![
+        "queue fully done".into(),
+        fleet_report.done.to_string(),
+    ]);
+    table.row_owned(vec![
+        "worker checkpoints merged".into(),
+        parts.len().to_string(),
+    ]);
+    table.row_owned(vec![
+        "mean individual cost".into(),
+        fmt_f(summary_or_blank(&costs).mean),
+    ]);
+    let output = table.render();
+    let missing = usize::try_from(trials)
+        .unwrap_or(usize::MAX)
+        .saturating_sub(completed);
+    if missing > 0 || !fleet_report.done {
+        // Same exit-3 semantics as `sweep`: the fabric finished what it
+        // could, but trials are missing (quarantined chunks, or the restart
+        // budget ran out before the queue drained).
+        return Err(CliError::Quarantined {
+            output,
+            count: missing,
         });
     }
     Ok(output)
@@ -1381,6 +1918,8 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
     match args.command.as_str() {
         "run" => run(args),
         "sweep" => sweep(args),
+        "sweep-worker" => sweep_worker(args),
+        "sweep-supervise" => sweep_supervise(args),
         "gauntlet" => run_gauntlet(args),
         "bounds" => run_bounds(args),
         "lemma9" => run_lemma9(args),
@@ -1409,6 +1948,8 @@ mod tests {
         for cmd in [
             "run",
             "sweep",
+            "sweep-worker",
+            "sweep-supervise",
             "gauntlet",
             "bounds",
             "lemma9",
@@ -1422,6 +1963,12 @@ mod tests {
             "--resume",
             "--trial-timeout",
             "--max-retries",
+            "--stream",
+            "--queue",
+            "--lease-ttl",
+            "--max-claims",
+            "--workers",
+            "--max-restarts",
         ] {
             assert!(h.contains(flag), "help must mention {flag}");
         }
@@ -1560,6 +2107,180 @@ mod tests {
         assert!(dispatch(&parse(&["sweep", "--trial-timeout", "-1"])).is_err());
         assert!(dispatch(&parse(&["sweep", "--algorithm", "nope"])).is_err());
         assert!(dispatch(&parse(&["sweep", "--bogus", "1"])).is_err());
+    }
+
+    fn parse_stream(line: &[&str]) -> Args {
+        Args::parse(line.iter().copied(), &["resume", "stream"]).unwrap()
+    }
+
+    /// `sweep --stream` must report the same mean cost (to rounding) and
+    /// satisfied count as the retained sweep of the same spec, while
+    /// refusing the retained-results-only flags.
+    #[test]
+    fn sweep_stream_matches_retained_aggregates() {
+        let base = [
+            "sweep", "--n", "16", "--honest", "14", "--trials", "6", "--seed", "3",
+        ];
+        let retained = dispatch(&parse(&base)).unwrap();
+        let mut with_stream: Vec<&str> = base.to_vec();
+        with_stream.push("--stream");
+        let streamed = dispatch(&parse_stream(&with_stream)).unwrap();
+        let grab = |out: &str, label: &str| -> String {
+            out.lines()
+                .find(|l| l.contains(label))
+                .unwrap_or_else(|| panic!("no {label:?} row in:\n{out}"))
+                .split_whitespace()
+                .last()
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(
+            grab(&retained, "mean individual cost"),
+            grab(&streamed, "mean individual cost"),
+            "streaming must not change the mean"
+        );
+        assert_eq!(
+            grab(&retained, "trials fully satisfied"),
+            grab(&streamed, "trials fully satisfied"),
+        );
+        assert!(streamed.contains("completed"));
+        assert!(streamed.contains("6/6"));
+        assert!(streamed.contains("p50/p90/p99"));
+
+        // Streaming keeps no per-trial results: checkpoint/resume/out are out.
+        let ckpt = sweep_tmp("stream.ckpt");
+        for bad in [
+            vec!["sweep", "--stream", "--checkpoint", ckpt.to_str().unwrap()],
+            vec!["sweep", "--stream", "--out", "/tmp/x.digests"],
+        ] {
+            assert!(dispatch(&parse_stream(&bad)).is_err(), "{bad:?} must fail");
+        }
+    }
+
+    /// Two in-process fabric workers on one queue: disjoint leased chunks,
+    /// and the merged checkpoints reproduce the single-process sweep's
+    /// digests bit-for-bit.
+    #[test]
+    fn sweep_workers_share_a_queue_and_merge_matches_reference() {
+        let dir = std::env::temp_dir().join(format!("distill-cli-fabric-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let queue = dir.join("sweep.queue");
+        let queue_s = queue.display().to_string();
+        let out_ref = dir.join("reference.digests");
+
+        let spec = [
+            "--n", "16", "--honest", "14", "--trials", "6", "--seed", "11",
+        ];
+        // Single-process reference digests.
+        let mut ref_args: Vec<&str> = vec!["sweep"];
+        ref_args.extend_from_slice(&spec);
+        let out_ref_s = out_ref.display().to_string();
+        ref_args.extend_from_slice(&["--out", &out_ref_s]);
+        dispatch(&parse(&ref_args)).unwrap();
+
+        // Worker 0 claims one chunk then stops (simulating a short-lived
+        // process); worker 1 drains the rest.
+        let worker = |id: &str, extra: &[&str]| {
+            let mut argv: Vec<&str> = vec![
+                "sweep-worker",
+                "--queue",
+                &queue_s,
+                "--worker-id",
+                id,
+                "--chunk",
+                "2",
+            ];
+            argv.extend_from_slice(&spec);
+            argv.extend_from_slice(extra);
+            dispatch(&parse(&argv)).unwrap()
+        };
+        let out0 = worker("0", &["--stop-after-chunks", "1"]);
+        assert!(out0.contains("chunks claimed"));
+        let out1 = worker("1", &[]);
+        assert!(out1.contains("queue fully done"), "{out1}");
+        assert!(
+            out1.contains("true"),
+            "worker 1 must drain the queue: {out1}"
+        );
+
+        // Merge the per-worker checkpoints exactly as sweep-supervise does.
+        let parts: Vec<_> = (0..2)
+            .map(|id| {
+                distill_harness::Checkpoint::load(&distill_harness::worker_checkpoint_path(
+                    &queue, id,
+                ))
+                .unwrap()
+            })
+            .collect();
+        let merged = distill_harness::merge_checkpoints(&parts).unwrap();
+        assert_eq!(merged.completed.len(), 6);
+        let mut digests = String::new();
+        for (trial, result) in &merged.completed {
+            let mut w = distill_harness::Writer::new();
+            distill_harness::checkpoint::encode_sim_result(&mut w, result);
+            digests.push_str(&format!(
+                "trial {trial} {:016x}\n",
+                distill_harness::fnv1a64(&w.into_bytes())
+            ));
+        }
+        assert_eq!(
+            digests,
+            std::fs::read_to_string(&out_ref).unwrap(),
+            "fabric merge must be bit-identical to the single-process sweep"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fabric_commands_validate_flags() {
+        // Both fabric commands refuse to run without a queue.
+        assert!(dispatch(&parse(&["sweep-worker"])).is_err());
+        assert!(dispatch(&parse(&["sweep-supervise"])).is_err());
+        for (flag, bad) in [
+            ("--chunk", "0"),
+            ("--max-claims", "0"),
+            ("--lease-ttl", "0"),
+            ("--lease-ttl", "-3"),
+            ("--trial-timeout", "-1"),
+        ] {
+            let argv = ["sweep-worker", "--queue", "/tmp/q", flag, bad];
+            assert!(dispatch(&parse(&argv)).is_err(), "{flag} {bad} must fail");
+        }
+        assert!(dispatch(&parse(&[
+            "sweep-supervise",
+            "--queue",
+            "/tmp/q",
+            "--workers",
+            "0"
+        ]))
+        .is_err());
+        // Unknown flags rejected on both.
+        assert!(dispatch(&parse(&[
+            "sweep-worker",
+            "--queue",
+            "/tmp/q",
+            "--bogus",
+            "1"
+        ]))
+        .is_err());
+        assert!(dispatch(&parse(&[
+            "sweep-supervise",
+            "--queue",
+            "/tmp/q",
+            "--bogus",
+            "1"
+        ]))
+        .is_err());
+        // The spec surface is validated identically to sweep's.
+        assert!(dispatch(&parse(&[
+            "sweep-worker",
+            "--queue",
+            "/tmp/q",
+            "--algorithm",
+            "nope"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Process-level tests of the multi-process sweep fabric: real `distill-cli`
+//! binaries sharing one on-disk lease queue across OS process boundaries.
+//!
+//! These complement the in-crate worker tests (which use an injected clock)
+//! and the CI `cluster-crash` job (which uses literal `kill -9`): here,
+//! worker loss is injected deterministically with `--fail-after-trials`, a
+//! hook that makes the worker process exit mid-lease exactly as a SIGKILL
+//! would — no checkpoint of the in-flight chunk, a dangling lease left in
+//! the queue.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_distill-cli")
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "distill-fabric-process-{name}-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const SPEC: &[&str] = &[
+    "--n", "16", "--honest", "14", "--trials", "10", "--seed", "21",
+];
+
+fn run_ok(args: &[&str]) -> String {
+    let out = Command::new(bin()).args(args).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{args:?} failed ({}):\n{}{}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn reference_digests(dir: &Path) -> String {
+    let out = dir.join("reference.digests");
+    let mut args = vec!["sweep"];
+    args.extend_from_slice(SPEC);
+    let out_s = out.display().to_string();
+    args.extend_from_slice(&["--out", &out_s]);
+    run_ok(&args);
+    std::fs::read_to_string(&out).unwrap()
+}
+
+/// The headline robustness property, across real process boundaries: every
+/// worker of the first fleet dies mid-lease, the supervisor's restart
+/// budget is already spent (so it exits incomplete, like a killed
+/// supervisor would), and a second supervisor invocation resumes from the
+/// files alone to a merged result set bit-identical to the uninterrupted
+/// single-process reference.
+#[test]
+fn killed_workers_and_supervisor_restart_converge_bit_identically() {
+    let dir = tmp_dir("crash");
+    let reference = reference_digests(&dir);
+    let queue = dir.join("sweep.queue");
+    let queue_s = queue.display().to_string();
+    let digests = dir.join("cluster.digests");
+    let digests_s = digests.display().to_string();
+
+    let supervise = |extra: &[&str]| -> std::process::Output {
+        let mut args = vec!["sweep-supervise", "--queue", &queue_s];
+        args.extend_from_slice(SPEC);
+        args.extend_from_slice(&[
+            "--workers",
+            "2",
+            "--chunk",
+            "2",
+            "--lease-ttl",
+            "1",
+            "--poll-ms",
+            "10",
+        ]);
+        args.extend_from_slice(extra);
+        Command::new(bin()).args(&args).output().unwrap()
+    };
+
+    // Round 1: every worker dies after 3 trials (mid-lease, no final
+    // checkpoint for the in-flight chunk), and the zero restart budget
+    // forces the supervisor to give up — the fabric is now a pile of
+    // files: a queue with dangling leases and partial worker checkpoints.
+    let round1 = supervise(&["--fail-after-trials", "3", "--max-restarts", "0"]);
+    assert_eq!(
+        round1.status.code(),
+        Some(3),
+        "an incomplete fabric must exit 3:\n{}{}",
+        String::from_utf8_lossy(&round1.stdout),
+        String::from_utf8_lossy(&round1.stderr)
+    );
+
+    // Round 2: a fresh supervisor (the "restarted" one) resumes from the
+    // files. Workers wait out the ~1s dangling leases, reclaim, and drain
+    // the queue.
+    let round2 = supervise(&["--out", &digests_s]);
+    assert!(
+        round2.status.success(),
+        "the resumed fabric must complete:\n{}{}",
+        String::from_utf8_lossy(&round2.stdout),
+        String::from_utf8_lossy(&round2.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&round2.stdout);
+    assert!(stdout.contains("10/10"), "all trials merged: {stdout}");
+
+    assert_eq!(
+        std::fs::read_to_string(&digests).unwrap(),
+        reference,
+        "kill + resume must reproduce the single-process digests bit-for-bit"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A healthy fleet (no injected failures) completes in one supervise call
+/// and also matches the reference digests.
+#[test]
+fn healthy_fleet_matches_reference() {
+    let dir = tmp_dir("healthy");
+    let reference = reference_digests(&dir);
+    let queue = dir.join("sweep.queue");
+    let queue_s = queue.display().to_string();
+    let digests = dir.join("cluster.digests");
+    let digests_s = digests.display().to_string();
+    let mut args = vec!["sweep-supervise", "--queue", &queue_s];
+    args.extend_from_slice(SPEC);
+    args.extend_from_slice(&[
+        "--workers",
+        "3",
+        "--chunk",
+        "2",
+        "--poll-ms",
+        "10",
+        "--out",
+        &digests_s,
+    ]);
+    let out = run_ok(&args);
+    assert!(out.contains("10/10"), "{out}");
+    assert_eq!(std::fs::read_to_string(&digests).unwrap(), reference);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A lone `sweep-worker` process on a fresh queue drains it end to end —
+/// the fabric degrades gracefully to single-process operation.
+#[test]
+fn single_worker_process_drains_the_queue() {
+    let dir = tmp_dir("solo");
+    let queue = dir.join("sweep.queue");
+    let queue_s = queue.display().to_string();
+    let mut args = vec!["sweep-worker", "--queue", &queue_s];
+    args.extend_from_slice(SPEC);
+    args.extend_from_slice(&["--chunk", "4"]);
+    let out = run_ok(&args);
+    assert!(out.contains("queue fully done"), "{out}");
+    assert!(out.contains("true"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}

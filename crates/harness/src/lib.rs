@@ -24,6 +24,17 @@
 //!   that exhaust their retry budget.
 //! - [`sweep`] — the orchestrator tying the above together
 //!   ([`run_sweep`]).
+//! - [`lease`] — the shared on-disk lease queue ([`LeaseQueue`]) that
+//!   multi-process sweeps claim chunked trial ranges from under
+//!   time-bounded, heartbeat-renewed leases; expired leases are reclaimed
+//!   by any live worker.
+//! - [`merge`] — set-union merge of per-worker checkpoints
+//!   ([`merge_checkpoints`]), verifying that duplicated trials produced
+//!   bit-identical results.
+//! - [`worker`] — the fabric process layer: the worker loop
+//!   ([`run_worker`]) and the `loopr`-style dumb supervisor
+//!   ([`supervise_workers`]) that restarts dead workers with all state in
+//!   files.
 //!
 //! ## Lint posture
 //!
@@ -31,27 +42,42 @@
 //! rule D1 bans `catch_unwind` and rule D2 bans wall-clock reads precisely
 //! so that panic absorption and timing live *here*, in the supervision
 //! layer, and nowhere in the simulation crates. See DESIGN.md §12. The
-//! persistence modules ([`store`], [`atomic`]) need neither escape hatch,
-//! so they are individually file-protected under rules D1–D7 via
-//! `xtask::LintConfig::protected_files` (DESIGN.md §16).
+//! persistence modules ([`store`], [`atomic`], [`lease`], [`merge`]) need
+//! neither escape hatch, so they are individually file-protected under
+//! rules D1–D7 via `xtask::LintConfig::protected_files` (DESIGN.md §16);
+//! [`lease`] in particular takes the clock as an explicit argument so it
+//! stays deterministic, leaving wall-clock reads to [`worker`].
 
 #![forbid(unsafe_code)]
 
 pub mod atomic;
 pub mod checkpoint;
 pub mod codec;
+pub mod lease;
+pub mod merge;
 pub mod quarantine;
 pub mod store;
 pub mod supervisor;
 pub mod sweep;
+pub mod worker;
 
 pub use atomic::{sweep_stale_tmp, write_atomic, AtomicIoError};
 pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use codec::{fnv1a64, CodecError, Reader, Writer};
+pub use lease::{
+    ChunkEntry, ChunkState, LeaseError, LeaseOutcome, LeaseQueue, LEASE_MAGIC, LEASE_VERSION,
+};
+pub use merge::{merge_checkpoints, MergeError};
 pub use quarantine::QuarantineRecord;
 pub use store::{
     parse_bench_json, BenchRow, ExperimentRecord, ExperimentStore, RowKind, StoreError, TrendGate,
     TrendStatus, TrendVerdict, STORE_MAGIC, STORE_VERSION,
 };
 pub use supervisor::{supervise, Supervised, SupervisorPolicy, TrialFailure};
-pub use sweep::{fingerprint_of, run_sweep, SweepConfig, SweepError, SweepReport, TrialSpec};
+pub use sweep::{
+    fingerprint_of, run_sweep, run_sweep_with, SweepConfig, SweepError, SweepReport, TrialSpec,
+};
+pub use worker::{
+    run_worker, supervise_workers, system_clock, worker_checkpoint_path, ClockFn, FleetConfig,
+    FleetReport, WorkerConfig, WorkerError, WorkerReport,
+};

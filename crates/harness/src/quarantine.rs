@@ -32,6 +32,14 @@ pub struct QuarantineRecord {
     pub attempts: u32,
     /// The final failure.
     pub failure: TrialFailure,
+    /// The sweep-fabric worker that quarantined the trial; `None` for
+    /// single-process sweeps. Keeping the field optional keeps old readers
+    /// of the JSONL (which ignore unknown keys) and old records (which
+    /// simply lack the key) both valid.
+    pub worker_id: Option<u64>,
+    /// The lease-queue chunk the trial belonged to; `None` outside the
+    /// multi-process fabric.
+    pub lease: Option<u64>,
 }
 
 /// Escapes `s` for embedding in a JSON string literal.
@@ -60,8 +68,17 @@ impl QuarantineRecord {
             TrialFailure::Panic(msg) => ("panic", escape_json(msg)),
             TrialFailure::Timeout { limit } => ("timeout", format!("{:.3}s", limit.as_secs_f64())),
         };
+        // The fabric attribution fields are appended only when present, so
+        // single-process records keep the exact pre-fabric line shape.
+        let mut attribution = String::new();
+        if let Some(worker) = self.worker_id {
+            let _ = write!(attribution, ",\"worker_id\":{worker}");
+        }
+        if let Some(lease) = self.lease {
+            let _ = write!(attribution, ",\"lease\":{lease}");
+        }
         format!(
-            "{{\"trial\":{},\"seed\":{},\"fingerprint\":\"{:#018x}\",\"config\":\"{}\",\"attempts\":{},\"failure\":\"{kind}\",\"detail\":\"{detail}\"}}",
+            "{{\"trial\":{},\"seed\":{},\"fingerprint\":\"{:#018x}\",\"config\":\"{}\",\"attempts\":{},\"failure\":\"{kind}\",\"detail\":\"{detail}\"{attribution}}}",
             self.trial,
             self.seed,
             self.fingerprint,
@@ -103,6 +120,8 @@ mod tests {
             config: "m=40 n_good=10 players=8 policy=\"quorum\"".into(),
             attempts: 3,
             failure: TrialFailure::Panic("index out of bounds\nat line 3".into()),
+            worker_id: None,
+            lease: None,
         }
     }
 
@@ -117,6 +136,24 @@ mod tests {
         assert!(line.contains("\\n"));
         assert!(!line.contains('\n'));
         assert!(line.contains("\"failure\":\"panic\""));
+        // Single-process records omit the fabric attribution keys entirely
+        // (backward-readable: the line shape is exactly the pre-fabric one).
+        assert!(!line.contains("worker_id"));
+        assert!(!line.contains("lease"));
+    }
+
+    #[test]
+    fn fabric_records_carry_worker_and_lease() {
+        let mut r = record();
+        r.worker_id = Some(2);
+        r.lease = Some(7);
+        let line = r.to_json_line();
+        assert!(line.ends_with(",\"worker_id\":2,\"lease\":7}"));
+        // And partial attribution renders only what is known.
+        r.lease = None;
+        let line = r.to_json_line();
+        assert!(line.contains("\"worker_id\":2"));
+        assert!(!line.contains("lease"));
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::codec::fnv1a64;
 use crate::quarantine::QuarantineRecord;
 use crate::supervisor::{supervise, SupervisorPolicy};
-use distill_sim::SimResult;
+use distill_sim::{ResultFold, SimResult};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::PathBuf;
@@ -73,6 +73,15 @@ pub struct SweepConfig {
     /// completions — write the checkpoint, abandon the rest, and mark the
     /// report aborted. `None` runs to completion.
     pub stop_after: Option<u64>,
+    /// Keep every completed [`SimResult`] in [`SweepReport::results`]
+    /// (the historical behavior). Setting this to `false` turns on
+    /// *streaming* mode: results are handed to the
+    /// [`ResultFold`] passed to [`run_sweep_with`] in ascending trial order
+    /// and then dropped, so sweep memory is O(1) in the trial count.
+    /// Streaming is incompatible with checkpointing (a checkpoint must
+    /// re-encode every completed result) — see
+    /// [`SweepError::StreamingWithCheckpoint`].
+    pub retain_results: bool,
 }
 
 impl SweepConfig {
@@ -88,6 +97,7 @@ impl SweepConfig {
             quarantine: None,
             policy: SupervisorPolicy::default(),
             stop_after: None,
+            retain_results: true,
         }
     }
 }
@@ -96,8 +106,14 @@ impl SweepConfig {
 #[derive(Debug, Clone)]
 pub struct SweepReport {
     /// Completed `(trial, result)` pairs, ascending by trial. Keyed by
-    /// index, so the set is independent of scheduling and of resume.
+    /// index, so the set is independent of scheduling and of resume. Empty
+    /// in streaming mode ([`SweepConfig::retain_results`] = false), where
+    /// results go to the fold instead.
     pub results: Vec<(u64, SimResult)>,
+    /// Total completed trials (resumed + newly run). Equals
+    /// `results.len()` when results are retained; in streaming mode this
+    /// is the only completion count there is.
+    pub completed: u64,
     /// Trials that exhausted their retry budget.
     pub quarantined: Vec<QuarantineRecord>,
     /// Trials skipped because the checkpoint already held them.
@@ -119,6 +135,10 @@ pub enum SweepError {
     Quarantine(String),
     /// `resume` was requested without a checkpoint path.
     ResumeWithoutCheckpoint,
+    /// Streaming mode (`retain_results = false`) was combined with a
+    /// checkpoint path — a checkpoint needs every completed result, which
+    /// streaming deliberately does not keep.
+    StreamingWithCheckpoint,
 }
 
 impl fmt::Display for SweepError {
@@ -128,6 +148,9 @@ impl fmt::Display for SweepError {
             SweepError::Quarantine(msg) => write!(f, "quarantine append failed: {msg}"),
             SweepError::ResumeWithoutCheckpoint => {
                 f.write_str("--resume requires a checkpoint path")
+            }
+            SweepError::StreamingWithCheckpoint => {
+                f.write_str("streaming mode cannot write checkpoints (results are not retained)")
             }
         }
     }
@@ -155,9 +178,36 @@ pub fn run_sweep<S: TrialSpec>(
     spec: Arc<S>,
     config: &SweepConfig,
 ) -> Result<SweepReport, SweepError> {
+    run_sweep_with(spec, config, None)
+}
+
+/// [`run_sweep`] with an optional streaming consumer.
+///
+/// `fold` sees every completed trial exactly once, in ascending trial
+/// order, resumed trials included — so a fold over a resumed sweep equals a
+/// fold over an uninterrupted one. With `retain_results = true` the fold
+/// runs over the final result set (results are *also* returned in the
+/// report); with `retain_results = false` each result is folded as soon as
+/// trial order allows and then dropped, holding only the out-of-order
+/// reorder window in memory — O(1) in the trial count. Quarantined trials
+/// are never folded (they have no result); in streaming mode they simply
+/// close their gap in the trial order.
+///
+/// # Errors
+/// As [`run_sweep`], plus [`SweepError::StreamingWithCheckpoint`] when
+/// streaming is combined with a checkpoint path.
+pub fn run_sweep_with<S: TrialSpec>(
+    spec: Arc<S>,
+    config: &SweepConfig,
+    mut fold: Option<&mut dyn ResultFold>,
+) -> Result<SweepReport, SweepError> {
     let fingerprint = fingerprint_of(spec.as_ref());
     if config.resume && config.checkpoint.is_none() {
         return Err(SweepError::ResumeWithoutCheckpoint);
+    }
+    let streaming = !config.retain_results;
+    if streaming && config.checkpoint.is_some() {
+        return Err(SweepError::StreamingWithCheckpoint);
     }
 
     // Resume: load prior progress. A missing file is a fresh start; a
@@ -183,12 +233,21 @@ pub fn run_sweep<S: TrialSpec>(
 
     let mut report = SweepReport {
         results: Vec::new(),
+        completed: 0,
         quarantined: Vec::new(),
         resumed,
         checkpoints_written: 0,
         aborted: false,
         fingerprint,
     };
+
+    // Streaming reorder window: completed results wait here until every
+    // earlier trial has been folded (quarantined trials fill their slot
+    // with `None` so the window can advance past them). The window holds
+    // only the scheduling skew between workers, not the sweep.
+    let mut stream_buf: BTreeMap<u64, Option<SimResult>> = BTreeMap::new();
+    let mut stream_next: u64 = 0;
+    let mut streamed: u64 = 0;
 
     if !pending.is_empty() {
         let pending = Arc::new(pending);
@@ -241,7 +300,11 @@ pub fn run_sweep<S: TrialSpec>(
             while let Ok((trial, out)) = rx.recv() {
                 match out.result {
                     Ok(result) => {
-                        completed.insert(trial, result);
+                        if streaming {
+                            stream_buf.insert(trial, Some(result));
+                        } else {
+                            completed.insert(trial, result);
+                        }
                         new_done += 1;
                         unsaved += 1;
                         if unsaved >= every {
@@ -257,11 +320,33 @@ pub fn run_sweep<S: TrialSpec>(
                             config: spec.describe(),
                             attempts: out.attempts,
                             failure,
+                            worker_id: None,
+                            lease: None,
                         };
                         if let Some(path) = &config.quarantine {
                             record.append_to(path).map_err(SweepError::Quarantine)?;
                         }
+                        if streaming {
+                            stream_buf.insert(trial, None);
+                        }
                         report.quarantined.push(record);
+                    }
+                }
+                // Advance the streaming window: fold everything contiguous
+                // from the front, so the fold order is ascending by trial
+                // regardless of worker scheduling.
+                while stream_buf
+                    .first_key_value()
+                    .is_some_and(|(t, _)| *t == stream_next)
+                {
+                    if let Some((_, slot)) = stream_buf.pop_first() {
+                        if let Some(result) = slot {
+                            if let Some(f) = fold.as_deref_mut() {
+                                f.fold(stream_next, &result);
+                            }
+                            streamed += 1;
+                        }
+                        stream_next += 1;
                     }
                 }
                 if config.stop_after.is_some_and(|s| new_done >= s) {
@@ -286,7 +371,19 @@ pub fn run_sweep<S: TrialSpec>(
         coordinate?;
     }
 
-    report.results = completed.into_iter().collect();
+    if streaming {
+        report.completed = streamed;
+    } else {
+        // Retained mode: the fold runs over the final set (resumed trials
+        // included), which is already in ascending order.
+        if let Some(f) = fold {
+            for (trial, result) in &completed {
+                f.fold(*trial, result);
+            }
+        }
+        report.completed = completed.len() as u64;
+        report.results = completed.into_iter().collect();
+    }
     Ok(report)
 }
 
@@ -554,6 +651,80 @@ mod tests {
         let report = run_sweep(spec, &config).unwrap();
         assert_eq!(report.resumed, 0);
         assert_eq!(report.results.len(), 3);
+        std::fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn streaming_fold_matches_retained_results() {
+        let spec = Arc::new(small_spec());
+        let mut config = SweepConfig::new(8);
+        config.policy = quick_policy();
+        config.threads = 4;
+        let retained = run_sweep(Arc::clone(&spec), &config).unwrap();
+        assert_eq!(retained.completed, 8);
+
+        config.retain_results = false;
+        let mut seen: Vec<(u64, SimResult)> = Vec::new();
+        let mut fold = |trial: u64, result: &SimResult| seen.push((trial, result.clone()));
+        let streamed = run_sweep_with(Arc::clone(&spec), &config, Some(&mut fold)).unwrap();
+        assert!(streamed.results.is_empty(), "streaming retains nothing");
+        assert_eq!(streamed.completed, 8);
+        // The fold saw the same set, in ascending order, bit-identically.
+        assert_eq!(encode_results(&seen), encode_results(&retained.results));
+    }
+
+    #[test]
+    fn streaming_fold_skips_quarantined_but_keeps_order() {
+        let spec = Arc::new(PanickySpec {
+            inner: small_spec(),
+            panic_on: vec![0, 3],
+        });
+        let mut config = SweepConfig::new(6);
+        config.threads = 3;
+        config.policy = quick_policy();
+        config.retain_results = false;
+        let mut trials: Vec<u64> = Vec::new();
+        let mut fold = |trial: u64, _: &SimResult| trials.push(trial);
+        let report = run_sweep_with(spec, &config, Some(&mut fold)).unwrap();
+        assert_eq!(trials, vec![1, 2, 4, 5]);
+        assert_eq!(report.completed, 4);
+        assert_eq!(report.quarantined.len(), 2);
+    }
+
+    #[test]
+    fn streaming_with_checkpoint_is_an_error() {
+        let spec = Arc::new(small_spec());
+        let mut config = SweepConfig::new(2);
+        config.retain_results = false;
+        config.checkpoint = Some(tmp("stream-ckpt.ckpt"));
+        assert_eq!(
+            run_sweep(spec, &config).unwrap_err(),
+            SweepError::StreamingWithCheckpoint
+        );
+    }
+
+    #[test]
+    fn retained_fold_includes_resumed_trials() {
+        let ckpt = tmp("fold-resume.ckpt");
+        std::fs::remove_file(&ckpt).ok();
+        let spec = Arc::new(small_spec());
+        let mut first = SweepConfig::new(6);
+        first.policy = quick_policy();
+        first.checkpoint = Some(ckpt.clone());
+        first.checkpoint_every = 1;
+        first.stop_after = Some(3);
+        run_sweep(Arc::clone(&spec), &first).unwrap();
+
+        let mut second = first.clone();
+        second.stop_after = None;
+        second.resume = true;
+        let mut trials: Vec<u64> = Vec::new();
+        let mut fold = |trial: u64, _: &SimResult| trials.push(trial);
+        let report = run_sweep_with(Arc::clone(&spec), &second, Some(&mut fold)).unwrap();
+        // The fold saw all six trials exactly once, ascending — resumed
+        // and freshly run alike.
+        assert_eq!(trials, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(report.completed, 6);
         std::fs::remove_file(&ckpt).ok();
     }
 

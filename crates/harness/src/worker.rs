@@ -1,0 +1,1111 @@
+//! The multi-process sweep fabric: worker processes over a shared
+//! [`LeaseQueue`](crate::lease::LeaseQueue), plus the `loopr`-style dumb
+//! supervisor that restarts dead ones.
+//!
+//! One sweep, many processes. Each worker loops: claim a chunk from the
+//! on-disk queue (reclaiming expired leases), run its trials under
+//! [`supervise`](crate::supervisor::supervise), checkpoint *its own*
+//! results to `<queue>.worker<id>.ckpt`, heartbeat-renew the lease while
+//! working, and mark the chunk done once its results are durably
+//! checkpointed. Kill -9 a worker at any instant and its current lease
+//! simply expires; any live worker reclaims the chunk and re-runs it. The
+//! union of worker checkpoints (see [`crate::merge`]) is bit-identical to
+//! an uninterrupted single-process sweep because trials are pure functions
+//! of their index.
+//!
+//! ## The queue lock
+//!
+//! The queue file itself is written atomically, so it can never tear — but
+//! claim/renew/complete are read-modify-write cycles, and two workers
+//! interleaving them could lose an update (both "claim" the same chunk).
+//! A sibling `<queue>.lock` file, created with `O_CREAT|O_EXCL`,
+//! serialises those cycles. The lock is *advisory and safety-irrelevant*:
+//! a lost update merely duplicates work, and duplicated trials produce
+//! identical bytes that union cleanly. That is why breaking a stale lock
+//! (holder presumed killed) only needs to be *mostly* right: the breaker
+//! renames the lock to a pid-unique name first so exactly one breaker
+//! wins, and a lock whose holder was merely slow costs duplicated work,
+//! never correctness.
+//!
+//! ## The dumb supervisor
+//!
+//! [`supervise_workers`] deliberately holds no state: it spawns N worker
+//! processes, polls them, and respawns whichever died, until the queue
+//! says done or the restart budget runs out. All sweep state lives in
+//! files (queue, per-worker checkpoints, quarantine log), so the
+//! supervisor itself can be killed and restarted freely — a fresh
+//! supervisor run picks up exactly where the files say.
+
+use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::lease::{LeaseError, LeaseOutcome, LeaseQueue};
+use crate::quarantine::QuarantineRecord;
+use crate::supervisor::{supervise, SupervisorPolicy};
+use crate::sweep::{fingerprint_of, TrialSpec};
+use distill_sim::SimResult;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::Child;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A millisecond clock, injectable so lease expiry and reclaim are testable
+/// without sleeping. Workers in production use [`system_clock`].
+pub type ClockFn = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+/// The wall clock: milliseconds since the Unix epoch.
+pub fn system_clock() -> ClockFn {
+    Arc::new(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+            .unwrap_or(0)
+    })
+}
+
+/// Why a worker or the fleet supervisor could not run.
+#[derive(Debug)]
+pub enum WorkerError {
+    /// The lease queue could not be loaded, validated, or written.
+    Lease(LeaseError),
+    /// This worker's own checkpoint failed to write, or an existing one
+    /// belongs to a different sweep.
+    Checkpoint(CheckpointError),
+    /// Appending a quarantine record failed.
+    Quarantine(String),
+    /// The queue lock could not be acquired or written.
+    Lock(String),
+    /// Spawning a worker process failed.
+    Spawn(String),
+}
+
+impl fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerError::Lease(e) => write!(f, "{e}"),
+            WorkerError::Checkpoint(e) => write!(f, "{e}"),
+            WorkerError::Quarantine(msg) => write!(f, "quarantine append failed: {msg}"),
+            WorkerError::Lock(msg) => write!(f, "queue lock: {msg}"),
+            WorkerError::Spawn(msg) => write!(f, "worker spawn failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+impl From<LeaseError> for WorkerError {
+    fn from(e: LeaseError) -> Self {
+        WorkerError::Lease(e)
+    }
+}
+
+impl From<CheckpointError> for WorkerError {
+    fn from(e: CheckpointError) -> Self {
+        WorkerError::Checkpoint(e)
+    }
+}
+
+/// This worker's private checkpoint next to the shared queue:
+/// `<queue>.worker<id>.ckpt`.
+pub fn worker_checkpoint_path(queue: &Path, worker_id: u64) -> PathBuf {
+    let mut s = queue.as_os_str().to_owned();
+    s.push(format!(".worker{worker_id}.ckpt"));
+    PathBuf::from(s)
+}
+
+/// Options for one fabric worker.
+#[derive(Clone)]
+pub struct WorkerConfig {
+    /// The shared lease-queue file; created on first touch.
+    pub queue: PathBuf,
+    /// This worker's id (attribution in leases, checkpoints, quarantine).
+    pub worker_id: u64,
+    /// Total trials in the sweep (must agree across all workers).
+    pub trials: u64,
+    /// Trials per lease chunk.
+    pub chunk_size: u64,
+    /// Per-chunk claim budget for quarantine retries across processes.
+    pub max_claims: u32,
+    /// Lease time-to-live; a worker silent this long is presumed dead.
+    pub lease_ttl_ms: u64,
+    /// Write this worker's checkpoint after every this many new
+    /// completions (clamped to at least 1); always written before a chunk
+    /// is marked done.
+    pub checkpoint_every: u64,
+    /// Per-trial supervision policy (in-process retries).
+    pub policy: SupervisorPolicy,
+    /// Shared quarantine JSONL file; `None` keeps records in the report.
+    pub quarantine: Option<PathBuf>,
+    /// The clock leases are measured against.
+    pub clock: ClockFn,
+    /// Sleep between claim attempts when every chunk is validly leased by
+    /// someone else.
+    pub poll: Duration,
+    /// Test hook: exit cleanly (without claiming further) after this many
+    /// claims. `None` runs until the queue is done.
+    pub stop_after_chunks: Option<u64>,
+    /// Test hook simulating kill -9: return abruptly after this many
+    /// successful trials, leaving the current lease dangling and the queue
+    /// untouched.
+    pub fail_after_trials: Option<u64>,
+}
+
+impl fmt::Debug for WorkerConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerConfig")
+            .field("queue", &self.queue)
+            .field("worker_id", &self.worker_id)
+            .field("trials", &self.trials)
+            .field("chunk_size", &self.chunk_size)
+            .field("max_claims", &self.max_claims)
+            .field("lease_ttl_ms", &self.lease_ttl_ms)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("policy", &self.policy)
+            .field("quarantine", &self.quarantine)
+            .field("poll", &self.poll)
+            .field("stop_after_chunks", &self.stop_after_chunks)
+            .field("fail_after_trials", &self.fail_after_trials)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerConfig {
+    /// A worker on `queue` covering `trials` trials with production
+    /// defaults: 16-trial chunks, claim budget 2, 30 s leases, the system
+    /// clock.
+    pub fn new(queue: PathBuf, worker_id: u64, trials: u64) -> Self {
+        WorkerConfig {
+            queue,
+            worker_id,
+            trials,
+            chunk_size: 16,
+            max_claims: 2,
+            lease_ttl_ms: 30_000,
+            checkpoint_every: 8,
+            policy: SupervisorPolicy::default(),
+            quarantine: None,
+            clock: system_clock(),
+            poll: Duration::from_millis(50),
+            stop_after_chunks: None,
+            fail_after_trials: None,
+        }
+    }
+}
+
+/// What one worker run did.
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// This worker's id.
+    pub worker_id: u64,
+    /// Chunks claimed (including reclaims of other workers' expired
+    /// leases).
+    pub chunks_claimed: u64,
+    /// Chunks this worker marked done.
+    pub chunks_completed: u64,
+    /// Chunks released back for re-claim because they held quarantined
+    /// trials and budget remained.
+    pub chunks_released: u64,
+    /// Leases lost to another worker's reclaim mid-chunk (the chunk was
+    /// abandoned; own results kept).
+    pub leases_lost: u64,
+    /// Trials newly run to completion.
+    pub trials_run: u64,
+    /// Trials skipped because this worker's checkpoint already held them.
+    pub trials_skipped: u64,
+    /// Trials that exhausted the in-process retry budget this run.
+    pub quarantined: Vec<QuarantineRecord>,
+    /// Times the shared queue was rebuilt from scratch after corruption.
+    pub queue_rebuilt: u64,
+    /// True when this worker's own checkpoint was corrupt and discarded.
+    pub checkpoint_rebuilt: bool,
+    /// True when the worker exited because the queue was fully done (as
+    /// opposed to a test hook stopping it early).
+    pub finished: bool,
+}
+
+// ---------------------------------------------------------------------------
+// The queue lock.
+// ---------------------------------------------------------------------------
+
+/// How long a lock may sit before a contender presumes its holder dead.
+const LOCK_STALE_MS: u64 = 10_000;
+/// Sleep between lock acquisition attempts.
+const LOCK_RETRY: Duration = Duration::from_millis(2);
+/// Acquisition attempts before giving up (~10 s at 2 ms each, plus
+/// whatever breaking stale locks took).
+const LOCK_ATTEMPTS: u32 = 5_000;
+
+fn lock_path(queue: &Path) -> PathBuf {
+    let mut s = queue.as_os_str().to_owned();
+    s.push(".lock");
+    PathBuf::from(s)
+}
+
+/// A held queue lock; dropped = released. Only removes the lock file if it
+/// still carries this holder's token, so a breaker that (wrongly) broke a
+/// slow-but-live holder's lock is not in turn broken by that holder.
+struct QueueLock {
+    path: PathBuf,
+    token: String,
+}
+
+impl Drop for QueueLock {
+    fn drop(&mut self) {
+        if std::fs::read_to_string(&self.path).is_ok_and(|c| c == self.token) {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+fn acquire_lock(queue: &Path, clock: &ClockFn) -> Result<QueueLock, WorkerError> {
+    let path = lock_path(queue);
+    let err = |msg: String| WorkerError::Lock(format!("{}: {msg}", path.display()));
+    // The token is staged in a caller-unique sibling and published with
+    // `hard_link` (atomic create-if-absent). Creating the lock file first
+    // and writing the token second would leave a window where a contender
+    // reads an empty lock, presumes a torn write from a dead holder, and
+    // breaks a *live* lock — two holders, and one sweeps the other's
+    // queue scratch file out from under its rename. The stage name needs
+    // a per-acquisition sequence number on top of the pid: worker threads
+    // sharing one process would otherwise share one stage file, and one
+    // thread's cleanup could unlink it between another's write and link.
+    static STAGE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = STAGE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let staged = {
+        let mut s = path.as_os_str().to_owned();
+        s.push(format!(".claim.{}.{seq}", std::process::id()));
+        PathBuf::from(s)
+    };
+    let unstage = |outcome| {
+        let _ = std::fs::remove_file(&staged);
+        outcome
+    };
+    for _ in 0..LOCK_ATTEMPTS {
+        // `pid acquired_ms seq` — the trailing sequence number makes the
+        // token unique even across threads of one process in one clock
+        // tick, so Drop's own-token check never releases a sibling's lock.
+        let token = format!("{} {} {seq}", std::process::id(), clock());
+        if let Err(e) = std::fs::write(&staged, token.as_bytes()) {
+            return unstage(Err(err(e.to_string())));
+        }
+        match std::fs::hard_link(&staged, &path) {
+            Ok(()) => {
+                return unstage(Ok(QueueLock { path, token }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                // Somebody holds it. If their acquisition timestamp is
+                // older than the staleness bound (or unreadable — a
+                // legacy torn create; the hard-link publish above never
+                // produces one), presume them dead and break the lock:
+                // rename to a pid-unique name (exactly one breaker wins
+                // the rename) and delete the renamed file.
+                let acquired_ms = std::fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|c| c.split(' ').nth(1).and_then(|t| t.parse::<u64>().ok()));
+                let stale = match acquired_ms {
+                    Some(t) => clock().saturating_sub(t) > LOCK_STALE_MS,
+                    None => true,
+                };
+                if stale {
+                    let mut grave = path.as_os_str().to_owned();
+                    grave.push(format!(".stale.{}", std::process::id()));
+                    let grave = PathBuf::from(grave);
+                    if std::fs::rename(&path, &grave).is_ok() {
+                        let _ = std::fs::remove_file(&grave);
+                    }
+                    continue; // retry immediately
+                }
+                std::thread::sleep(LOCK_RETRY);
+            }
+            Err(e) => return unstage(Err(err(e.to_string()))),
+        }
+    }
+    unstage(Err(err(
+        "could not acquire within the attempt budget".into()
+    )))
+}
+
+// ---------------------------------------------------------------------------
+// Locked queue read-modify-write.
+// ---------------------------------------------------------------------------
+
+/// The queue identity every read-modify-write revalidates against.
+#[derive(Debug, Clone, Copy)]
+struct QueueIdentity {
+    fingerprint: u64,
+    trials: u64,
+    chunk_size: u64,
+    max_claims: u32,
+}
+
+/// Under the queue lock: load the queue (initialising a missing one,
+/// rebuilding a corrupt one — corruption only costs re-execution, never
+/// results), apply `mutate`, write back atomically.
+fn update_queue<T>(
+    path: &Path,
+    id: QueueIdentity,
+    clock: &ClockFn,
+    rebuilds: &mut u64,
+    mutate: impl FnOnce(&mut LeaseQueue) -> T,
+) -> Result<T, WorkerError> {
+    let _lock = acquire_lock(path, clock)?;
+    let mut queue = match LeaseQueue::load(path) {
+        Ok(q) => {
+            // A queue from a *different sweep* is a hard error — never
+            // clobber someone else's state. A matching queue is used as-is.
+            q.validate_for(id.fingerprint, id.trials, id.chunk_size, id.max_claims)?;
+            q
+        }
+        Err(LeaseError::Io(_)) if !path.exists() => {
+            LeaseQueue::new(id.fingerprint, id.trials, id.chunk_size, id.max_claims)?
+        }
+        Err(_) => {
+            // Corrupt queue file (truncation, bit rot): rebuild fresh. Done
+            // markers are lost, so chunks may be re-executed — but results
+            // live in worker checkpoints, and duplicated execution merges
+            // bit-identically, so this salvage is always safe.
+            *rebuilds += 1;
+            LeaseQueue::new(id.fingerprint, id.trials, id.chunk_size, id.max_claims)?
+        }
+    };
+    let out = mutate(&mut queue);
+    queue.write_atomic(path)?;
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// The worker loop.
+// ---------------------------------------------------------------------------
+
+enum Claim {
+    AllDone,
+    Busy,
+    Chunk(u64, core::ops::Range<u64>),
+}
+
+/// Runs one fabric worker to completion: claim chunks, run trials,
+/// checkpoint, heartbeat, mark done — until the queue reports every chunk
+/// done (or a test hook stops it early).
+///
+/// # Errors
+/// Queue, lock, checkpoint, and quarantine I/O failures abort the worker
+/// with a [`WorkerError`]; trial panics and timeouts do *not* — they
+/// quarantine, and a fully-quarantined chunk consumes claim budget.
+pub fn run_worker<S: TrialSpec>(
+    spec: Arc<S>,
+    config: &WorkerConfig,
+) -> Result<WorkerReport, WorkerError> {
+    let fingerprint = fingerprint_of(spec.as_ref());
+    let id = QueueIdentity {
+        fingerprint,
+        trials: config.trials,
+        chunk_size: config.chunk_size,
+        max_claims: config.max_claims,
+    };
+    let ckpt_path = worker_checkpoint_path(&config.queue, config.worker_id);
+    let mut report = WorkerReport {
+        worker_id: config.worker_id,
+        chunks_claimed: 0,
+        chunks_completed: 0,
+        chunks_released: 0,
+        leases_lost: 0,
+        trials_run: 0,
+        trials_skipped: 0,
+        quarantined: Vec::new(),
+        queue_rebuilt: 0,
+        checkpoint_rebuilt: false,
+        finished: false,
+    };
+
+    // This worker's own prior progress. A corrupt own checkpoint is
+    // discarded (results are re-derivable by re-running); a checkpoint
+    // from a different sweep is a hard error.
+    let mut completed: BTreeMap<u64, SimResult> = BTreeMap::new();
+    if ckpt_path.exists() {
+        match Checkpoint::load(&ckpt_path) {
+            Ok(ck) => {
+                ck.validate_for(fingerprint, config.trials)?;
+                completed.extend(ck.completed);
+            }
+            Err(CheckpointError::Io(_)) => {}
+            Err(_) => report.checkpoint_rebuilt = true,
+        }
+    }
+
+    let every = config.checkpoint_every.max(1);
+    let mut unsaved = 0u64;
+    let write_checkpoint = |completed: &BTreeMap<u64, SimResult>| -> Result<(), WorkerError> {
+        Checkpoint {
+            fingerprint,
+            total_trials: config.trials,
+            completed: completed.iter().map(|(t, r)| (*t, r.clone())).collect(),
+        }
+        .write_atomic(&ckpt_path)?;
+        Ok(())
+    };
+
+    loop {
+        if config
+            .stop_after_chunks
+            .is_some_and(|n| report.chunks_claimed >= n)
+        {
+            break;
+        }
+        let worker = config.worker_id;
+        let ttl = config.lease_ttl_ms;
+        let now = (config.clock)();
+        let claim = update_queue(
+            &config.queue,
+            id,
+            &config.clock,
+            &mut report.queue_rebuilt,
+            |q| {
+                if q.all_done() {
+                    Claim::AllDone
+                } else {
+                    match q.claim(worker, now, ttl) {
+                        Some(chunk) => Claim::Chunk(chunk, q.chunk_range(chunk)),
+                        None => Claim::Busy,
+                    }
+                }
+            },
+        )?;
+        let (chunk, range) = match claim {
+            Claim::AllDone => {
+                report.finished = true;
+                break;
+            }
+            Claim::Busy => {
+                std::thread::sleep(config.poll);
+                continue;
+            }
+            Claim::Chunk(chunk, range) => (chunk, range),
+        };
+        report.chunks_claimed += 1;
+
+        let mut deadline = now.saturating_add(ttl);
+        let mut chunk_quarantined = 0u64;
+        let mut lost = false;
+        for trial in range {
+            if completed.contains_key(&trial) {
+                report.trials_skipped += 1;
+                continue;
+            }
+            if config
+                .fail_after_trials
+                .is_some_and(|n| report.trials_run >= n)
+            {
+                // Simulated kill -9: vanish mid-chunk. The lease dangles
+                // until it expires; whatever the checkpoint cadence saved
+                // is saved, the rest will be re-run by a reclaimer.
+                return Ok(report);
+            }
+            // Heartbeat: renew once less than half the ttl remains. Losing
+            // the lease (another worker reclaimed after expiry) means
+            // abandoning the chunk — but never the results already earned.
+            let now = (config.clock)();
+            if now.saturating_add(ttl / 2) >= deadline {
+                let outcome = update_queue(
+                    &config.queue,
+                    id,
+                    &config.clock,
+                    &mut report.queue_rebuilt,
+                    |q| q.renew(chunk, worker, now, ttl),
+                )?;
+                if outcome == LeaseOutcome::Applied {
+                    deadline = now.saturating_add(ttl);
+                } else {
+                    report.leases_lost += 1;
+                    lost = true;
+                    break;
+                }
+            }
+            let spec_for_trial = Arc::clone(&spec);
+            let out = supervise(&config.policy, move || spec_for_trial.run_trial(trial));
+            match out.result {
+                Ok(result) => {
+                    completed.insert(trial, result);
+                    report.trials_run += 1;
+                    unsaved += 1;
+                    if unsaved >= every {
+                        write_checkpoint(&completed)?;
+                        unsaved = 0;
+                    }
+                }
+                Err(failure) => {
+                    let record = QuarantineRecord {
+                        trial,
+                        seed: spec.seed(trial),
+                        fingerprint,
+                        config: spec.describe(),
+                        attempts: out.attempts,
+                        failure,
+                        worker_id: Some(worker),
+                        lease: Some(chunk),
+                    };
+                    if let Some(path) = &config.quarantine {
+                        record.append_to(path).map_err(WorkerError::Quarantine)?;
+                    }
+                    report.quarantined.push(record);
+                    chunk_quarantined += 1;
+                }
+            }
+        }
+        if lost {
+            continue;
+        }
+        // Durability before visibility: the chunk's results must be in the
+        // checkpoint before the queue says done, so a crash between the
+        // two re-runs the chunk instead of losing it.
+        if unsaved > 0 {
+            write_checkpoint(&completed)?;
+            unsaved = 0;
+        }
+        if chunk_quarantined > 0 {
+            // A chunk with quarantined trials: release it for another
+            // claim (fresh cross-process retry budget) while budget
+            // remains, otherwise accept the losses and mark it done.
+            let released = update_queue(
+                &config.queue,
+                id,
+                &config.clock,
+                &mut report.queue_rebuilt,
+                |q| {
+                    if q.claims_of(chunk) < q.max_claims {
+                        q.release(chunk, worker) == LeaseOutcome::Applied
+                    } else {
+                        q.complete(chunk, worker);
+                        false
+                    }
+                },
+            )?;
+            if released {
+                report.chunks_released += 1;
+            } else {
+                report.chunks_completed += 1;
+            }
+        } else {
+            update_queue(
+                &config.queue,
+                id,
+                &config.clock,
+                &mut report.queue_rebuilt,
+                |q| q.complete(chunk, worker),
+            )?;
+            report.chunks_completed += 1;
+        }
+    }
+    if unsaved > 0 {
+        write_checkpoint(&completed)?;
+    }
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// The dumb supervisor.
+// ---------------------------------------------------------------------------
+
+/// Fleet options for [`supervise_workers`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker slots to keep populated.
+    pub workers: u64,
+    /// Respawns allowed across the whole fleet (initial spawns are free).
+    pub max_restarts: u64,
+    /// Sleep between supervision polls.
+    pub poll: Duration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            workers: 3,
+            max_restarts: 16,
+            poll: Duration::from_millis(100),
+        }
+    }
+}
+
+/// What the fleet supervisor did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetReport {
+    /// Worker respawns performed.
+    pub restarts: u64,
+    /// True when supervision ended because `is_done` reported completion;
+    /// false when every slot was dead with the restart budget exhausted.
+    pub done: bool,
+}
+
+/// The `loopr` pattern: keep `fleet.workers` worker processes alive until
+/// `is_done()` or the restart budget is spent. `spawn(slot)` launches the
+/// worker for a slot; `is_done()` is polled between rounds (typically: does
+/// the queue file say all chunks are done?).
+///
+/// The supervisor holds no sweep state — kill it at any point and a fresh
+/// invocation resumes from the files alone. When `is_done` fires, any
+/// still-running workers are waited on (they exit on their own once they
+/// observe the done queue).
+///
+/// # Errors
+/// [`WorkerError::Spawn`] when a worker process cannot be launched at all.
+pub fn supervise_workers(
+    fleet: &FleetConfig,
+    mut spawn: impl FnMut(u64) -> std::io::Result<Child>,
+    mut is_done: impl FnMut() -> bool,
+) -> Result<FleetReport, WorkerError> {
+    let slots = usize::try_from(fleet.workers).unwrap_or(usize::MAX).max(1);
+    let mut children: Vec<Option<Child>> = Vec::new();
+    children.resize_with(slots, || None);
+    let mut ever_spawned = vec![false; slots];
+    let mut restarts = 0u64;
+    loop {
+        if is_done() {
+            for child in children.iter_mut().flatten() {
+                let _ = child.wait();
+            }
+            return Ok(FleetReport {
+                restarts,
+                done: true,
+            });
+        }
+        for slot in 0..slots {
+            match &mut children[slot] {
+                Some(child) => {
+                    // A child that exited (for any reason, any status) just
+                    // empties the slot; the next round decides whether to
+                    // respawn. An errored try_wait is treated the same.
+                    if !matches!(child.try_wait(), Ok(None)) {
+                        children[slot] = None;
+                    }
+                }
+                None => {
+                    if ever_spawned[slot] {
+                        if restarts >= fleet.max_restarts {
+                            continue;
+                        }
+                        restarts += 1;
+                    }
+                    let child =
+                        spawn(slot as u64).map_err(|e| WorkerError::Spawn(e.to_string()))?;
+                    children[slot] = Some(child);
+                    ever_spawned[slot] = true;
+                }
+            }
+        }
+        if children.iter().all(Option::is_none) && restarts >= fleet.max_restarts {
+            return Ok(FleetReport {
+                restarts,
+                done: false,
+            });
+        }
+        std::thread::sleep(fleet.poll);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::merge_checkpoints;
+    use crate::sweep::{run_sweep, SweepConfig};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A cheap, perfectly deterministic spec: no engine, just index math —
+    /// the fabric tests exercise orchestration, not simulation.
+    struct SynthSpec {
+        tag: u64,
+    }
+
+    impl TrialSpec for SynthSpec {
+        fn run_trial(&self, trial: u64) -> SimResult {
+            SimResult {
+                rounds: trial.wrapping_mul(0x9E37_79B9).rotate_left(7) ^ self.tag,
+                all_satisfied: trial % 3 == 0,
+                players: vec![],
+                satisfied_per_round: vec![],
+                posts_total: 0,
+                forged_rejected: 0,
+                notes: vec![("trial".into(), trial as f64)],
+                final_eval: None,
+                faults: distill_sim::FaultCounters {
+                    posts_dropped: 0,
+                    crashes: 0,
+                    recoveries: 0,
+                },
+                trace: None,
+            }
+        }
+
+        fn seed(&self, trial: u64) -> u64 {
+            self.tag.wrapping_add(trial)
+        }
+
+        fn describe(&self) -> String {
+            format!("synth-fabric tag={}", self.tag)
+        }
+    }
+
+    /// A spec that always panics on chosen trials.
+    struct PanickySynth {
+        inner: SynthSpec,
+        panic_on: Vec<u64>,
+    }
+
+    impl TrialSpec for PanickySynth {
+        fn run_trial(&self, trial: u64) -> SimResult {
+            assert!(!self.panic_on.contains(&trial), "injected panic at {trial}");
+            self.inner.run_trial(trial)
+        }
+        fn seed(&self, trial: u64) -> u64 {
+            self.inner.seed(trial)
+        }
+        fn describe(&self) -> String {
+            self.inner.describe()
+        }
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("distill-worker-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn test_clock(start: u64) -> (Arc<AtomicU64>, ClockFn) {
+        let t = Arc::new(AtomicU64::new(start));
+        let t2 = Arc::clone(&t);
+        (t, Arc::new(move || t2.load(Ordering::SeqCst)))
+    }
+
+    fn quick_policy() -> SupervisorPolicy {
+        SupervisorPolicy {
+            max_retries: 1,
+            backoff_base: Duration::from_millis(1),
+            ..SupervisorPolicy::default()
+        }
+    }
+
+    fn config(queue: PathBuf, worker_id: u64, trials: u64, clock: ClockFn) -> WorkerConfig {
+        let mut c = WorkerConfig::new(queue, worker_id, trials);
+        c.chunk_size = 4;
+        c.policy = quick_policy();
+        c.clock = clock;
+        c.poll = Duration::from_millis(1);
+        c
+    }
+
+    fn reference_results(spec_tag: u64, trials: u64) -> Checkpoint {
+        let spec = Arc::new(SynthSpec { tag: spec_tag });
+        let mut cfg = SweepConfig::new(trials);
+        cfg.policy = quick_policy();
+        let report = run_sweep(Arc::clone(&spec), &cfg).unwrap();
+        Checkpoint {
+            fingerprint: report.fingerprint,
+            total_trials: trials,
+            completed: report.results,
+        }
+    }
+
+    #[test]
+    fn single_worker_completes_the_sweep() {
+        let dir = scratch("solo");
+        let queue = dir.join("sweep.queue");
+        let (_, clock) = test_clock(1_000);
+        let cfg = config(queue.clone(), 0, 10, clock);
+        let report = run_worker(Arc::new(SynthSpec { tag: 7 }), &cfg).unwrap();
+        assert!(report.finished);
+        assert_eq!(report.trials_run, 10);
+        assert_eq!(report.chunks_completed, 3);
+        assert!(LeaseQueue::load(&queue).unwrap().all_done());
+        // The worker checkpoint alone merges into the full reference set.
+        let ck = Checkpoint::load(&worker_checkpoint_path(&queue, 0)).unwrap();
+        let merged = merge_checkpoints(&[ck]).unwrap();
+        assert_eq!(merged.encode(), reference_results(7, 10).encode());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The acceptance-criteria scenario in miniature: worker A dies (kill
+    /// simulated by `fail_after_trials`) mid-chunk with a dangling lease;
+    /// after the lease expires, worker B reclaims and finishes; the merged
+    /// checkpoints are bit-identical to an uninterrupted single-process
+    /// sweep.
+    #[test]
+    fn killed_worker_is_reclaimed_and_merge_is_bit_identical() {
+        let dir = scratch("kill");
+        let queue = dir.join("sweep.queue");
+        let (time, clock) = test_clock(1_000);
+
+        let mut a = config(queue.clone(), 1, 20, Arc::clone(&clock));
+        a.checkpoint_every = 1; // save everything it managed to run
+        a.fail_after_trials = Some(6); // dies mid-second-chunk
+        let ra = run_worker(Arc::new(SynthSpec { tag: 9 }), &a).unwrap();
+        assert!(!ra.finished);
+        assert_eq!(ra.trials_run, 6);
+        // Its second lease dangles: not done, not available.
+        let q = LeaseQueue::load(&queue).unwrap();
+        assert!(!q.all_done());
+        assert_eq!(q.state_counts().1, 1, "one dangling lease");
+
+        // Before the ttl passes, worker B cannot touch the dangling chunk…
+        // (it claims the other available chunks instead and finishes them).
+        time.fetch_add(a.lease_ttl_ms + 1, Ordering::SeqCst); // …so expire it.
+        let b = config(queue.clone(), 2, 20, Arc::clone(&clock));
+        let rb = run_worker(Arc::new(SynthSpec { tag: 9 }), &b).unwrap();
+        assert!(rb.finished);
+        assert!(LeaseQueue::load(&queue).unwrap().all_done());
+
+        let parts = [
+            Checkpoint::load(&worker_checkpoint_path(&queue, 1)).unwrap(),
+            Checkpoint::load(&worker_checkpoint_path(&queue, 2)).unwrap(),
+        ];
+        // The dangling chunk's first trials were run by BOTH workers (A
+        // checkpointed them, B re-ran the whole reclaimed chunk) — the
+        // union must still be exact.
+        let merged = merge_checkpoints(&parts).unwrap();
+        assert_eq!(merged.encode(), reference_results(9, 20).encode());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn workers_share_the_queue_disjointly_when_all_live() {
+        let dir = scratch("pair");
+        let queue = dir.join("sweep.queue");
+        let (_, clock) = test_clock(0);
+        // Worker 1 takes some chunks and stops; worker 2 takes the rest.
+        let mut a = config(queue.clone(), 1, 24, Arc::clone(&clock));
+        a.stop_after_chunks = Some(3);
+        let ra = run_worker(Arc::new(SynthSpec { tag: 3 }), &a).unwrap();
+        assert_eq!(ra.chunks_claimed, 3);
+        assert!(!ra.finished);
+        let b = config(queue.clone(), 2, 24, clock);
+        let rb = run_worker(Arc::new(SynthSpec { tag: 3 }), &b).unwrap();
+        assert!(rb.finished);
+        // Live leases were respected: no trial ran twice.
+        assert_eq!(ra.trials_run + rb.trials_run, 24);
+        let parts = [
+            Checkpoint::load(&worker_checkpoint_path(&queue, 1)).unwrap(),
+            Checkpoint::load(&worker_checkpoint_path(&queue, 2)).unwrap(),
+        ];
+        let merged = merge_checkpoints(&parts).unwrap();
+        assert_eq!(merged.encode(), reference_results(3, 24).encode());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Satellite: the cross-process retry budget. A chunk whose trial
+    /// always panics is released once (fresh budget for another process)
+    /// and completed-with-losses when `max_claims` is exhausted; both
+    /// quarantine records carry distinct worker ids and the lease chunk.
+    #[test]
+    fn quarantined_chunk_consumes_cross_process_claim_budget() {
+        let dir = scratch("budget");
+        let queue = dir.join("sweep.queue");
+        let qfile = dir.join("quarantine.jsonl");
+        let (_, clock) = test_clock(0);
+        let spec = || {
+            Arc::new(PanickySynth {
+                inner: SynthSpec { tag: 5 },
+                panic_on: vec![2],
+            })
+        };
+
+        // Worker 1: hits the poisoned chunk, quarantines trial 2, releases
+        // the chunk (claims 1 < max_claims 2), then stops.
+        let mut a = config(queue.clone(), 1, 8, Arc::clone(&clock));
+        a.quarantine = Some(qfile.clone());
+        a.stop_after_chunks = Some(1);
+        let ra = run_worker(spec(), &a).unwrap();
+        assert_eq!(ra.chunks_released, 1);
+        assert_eq!(ra.quarantined.len(), 1);
+        assert_eq!(ra.quarantined[0].attempts, 2); // in-process budget spent
+        let q = LeaseQueue::load(&queue).unwrap();
+        assert_eq!(q.claims_of(0), 1);
+
+        // Worker 2: re-claims the poisoned chunk with a fresh in-process
+        // retry budget, fails again, and — budget exhausted — completes
+        // the chunk with the loss recorded.
+        let mut b = config(queue.clone(), 2, 8, clock);
+        b.quarantine = Some(qfile.clone());
+        let rb = run_worker(spec(), &b).unwrap();
+        assert!(rb.finished);
+        assert_eq!(rb.quarantined.len(), 1);
+        assert!(LeaseQueue::load(&queue).unwrap().all_done());
+
+        // The quarantine log shows both processes' attempts, attributed.
+        let text = std::fs::read_to_string(&qfile).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"worker_id\":1"));
+        assert!(lines[1].contains("\"worker_id\":2"));
+        assert!(lines.iter().all(|l| l.contains("\"lease\":0")));
+        assert!(lines.iter().all(|l| l.contains("\"attempts\":2")));
+
+        // Every trial except the poisoned one completed exactly once.
+        let parts = [
+            Checkpoint::load(&worker_checkpoint_path(&queue, 1)).unwrap(),
+            Checkpoint::load(&worker_checkpoint_path(&queue, 2)).unwrap(),
+        ];
+        let merged = merge_checkpoints(&parts).unwrap();
+        let trials: Vec<u64> = merged.completed.iter().map(|(t, _)| *t).collect();
+        assert_eq!(trials, vec![0, 1, 3, 4, 5, 6, 7]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_queue_is_rebuilt_and_sweep_still_converges() {
+        let dir = scratch("rebuild");
+        let queue = dir.join("sweep.queue");
+        let (_, clock) = test_clock(0);
+        let mut a = config(queue.clone(), 1, 12, Arc::clone(&clock));
+        a.stop_after_chunks = Some(2);
+        run_worker(Arc::new(SynthSpec { tag: 11 }), &a).unwrap();
+
+        // Vandalise the queue file mid-sweep.
+        let mut bytes = std::fs::read(&queue).unwrap();
+        let mid = bytes.len() / 2;
+        bytes.truncate(mid);
+        std::fs::write(&queue, &bytes).unwrap();
+        assert!(LeaseQueue::load(&queue).is_err());
+
+        // The next worker rebuilds the queue (losing Done markers — some
+        // chunks re-run) and still converges to the exact reference set.
+        let b = config(queue.clone(), 2, 12, clock);
+        let rb = run_worker(Arc::new(SynthSpec { tag: 11 }), &b).unwrap();
+        assert!(rb.finished);
+        assert!(rb.queue_rebuilt >= 1);
+        let parts = [
+            Checkpoint::load(&worker_checkpoint_path(&queue, 1)).unwrap(),
+            Checkpoint::load(&worker_checkpoint_path(&queue, 2)).unwrap(),
+        ];
+        let merged = merge_checkpoints(&parts).unwrap();
+        assert_eq!(merged.encode(), reference_results(11, 12).encode());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn queue_from_a_different_sweep_is_refused_not_clobbered() {
+        let dir = scratch("foreign");
+        let queue = dir.join("sweep.queue");
+        let (_, clock) = test_clock(0);
+        let a = config(queue.clone(), 1, 8, Arc::clone(&clock));
+        run_worker(Arc::new(SynthSpec { tag: 1 }), &a).unwrap();
+        let before = std::fs::read(&queue).unwrap();
+        // Different spec ⇒ different fingerprint ⇒ hard error.
+        let b = config(queue.clone(), 2, 8, clock);
+        let err = run_worker(Arc::new(SynthSpec { tag: 2 }), &b).unwrap_err();
+        assert!(matches!(
+            err,
+            WorkerError::Lease(LeaseError::ConfigMismatch { .. })
+        ));
+        assert_eq!(std::fs::read(&queue).unwrap(), before, "queue untouched");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_lock_is_broken_and_live_lock_is_respected() {
+        let dir = scratch("lock");
+        let queue = dir.join("sweep.queue");
+        let (time, clock) = test_clock(100_000);
+        // A lock from a process killed 11 s ago (per the injected clock).
+        std::fs::write(lock_path(&queue), b"999999999 89000").unwrap();
+        let lock = acquire_lock(&queue, &clock).unwrap();
+        drop(lock);
+        assert!(!lock_path(&queue).exists());
+        // A *fresh* foreign lock stalls acquisition until it goes away.
+        std::fs::write(lock_path(&queue), format!("999999999 {}", 100_000)).unwrap();
+        let handle = {
+            let queue = queue.clone();
+            let clock = Arc::clone(&clock);
+            std::thread::spawn(move || acquire_lock(&queue, &clock).map(|l| drop(l)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!handle.is_finished(), "must wait for the live lock");
+        std::fs::remove_file(lock_path(&queue)).unwrap();
+        handle.join().unwrap().unwrap();
+        // Torn lock content (kill mid-create) is treated as stale.
+        std::fs::write(lock_path(&queue), b"garbage").unwrap();
+        time.fetch_add(1, Ordering::SeqCst);
+        drop(acquire_lock(&queue, &clock).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dumb_supervisor_restarts_dead_workers_until_done() {
+        // Stand-in "workers": /bin/true processes that exit immediately;
+        // done flips after a few polls. The supervisor must keep slots
+        // populated, count restarts, and stop when done.
+        let fleet = FleetConfig {
+            workers: 2,
+            max_restarts: 64,
+            poll: Duration::from_millis(5),
+        };
+        let spawned = Arc::new(AtomicU64::new(0));
+        let spawned2 = Arc::clone(&spawned);
+        let polls = Arc::new(AtomicU64::new(0));
+        let polls2 = Arc::clone(&polls);
+        let report = supervise_workers(
+            &fleet,
+            move |_slot| {
+                spawned2.fetch_add(1, Ordering::SeqCst);
+                std::process::Command::new("true").spawn()
+            },
+            move || polls2.fetch_add(1, Ordering::SeqCst) >= 4,
+        )
+        .unwrap();
+        assert!(report.done);
+        assert!(spawned.load(Ordering::SeqCst) >= 2, "both slots populated");
+        assert!(report.restarts <= fleet.max_restarts);
+    }
+
+    #[test]
+    fn dumb_supervisor_gives_up_when_budget_is_spent() {
+        let fleet = FleetConfig {
+            workers: 1,
+            max_restarts: 3,
+            poll: Duration::from_millis(2),
+        };
+        let report = supervise_workers(
+            &fleet,
+            |_slot| std::process::Command::new("true").spawn(),
+            || false,
+        )
+        .unwrap();
+        assert!(!report.done);
+        assert_eq!(report.restarts, 3);
+    }
+
+    #[test]
+    fn corrupt_own_checkpoint_is_discarded_and_rebuilt() {
+        let dir = scratch("ownckpt");
+        let queue = dir.join("sweep.queue");
+        let (_, clock) = test_clock(0);
+        let cfg = config(queue.clone(), 4, 8, Arc::clone(&clock));
+        run_worker(Arc::new(SynthSpec { tag: 13 }), &cfg).unwrap();
+        // Bit-flip the worker's own checkpoint…
+        let path = worker_checkpoint_path(&queue, 4);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        // …and vandalise the queue too, so there is work to redo.
+        std::fs::write(&queue, b"junk").unwrap();
+        let report = run_worker(Arc::new(SynthSpec { tag: 13 }), &cfg).unwrap();
+        assert!(report.checkpoint_rebuilt);
+        assert!(report.finished);
+        let merged = merge_checkpoints(&[Checkpoint::load(&path).unwrap()]).unwrap();
+        assert_eq!(merged.encode(), reference_results(13, 8).encode());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn errors_render() {
+        for e in [
+            WorkerError::Lease(LeaseError::BadMagic),
+            WorkerError::Checkpoint(CheckpointError::BadMagic),
+            WorkerError::Quarantine("x".into()),
+            WorkerError::Lock("y".into()),
+            WorkerError::Spawn("z".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

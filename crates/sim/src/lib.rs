@@ -77,7 +77,7 @@ pub use config::{player_count, Participation, ServicePlan, SimConfig, StopRule};
 pub use engine::Engine;
 pub use error::SimError;
 pub use faults::{FaultCounters, FaultPlan};
-pub use metrics::{FinalEval, PlayerOutcome, SimResult};
+pub use metrics::{FinalEval, PlayerOutcome, ResultFold, SimResult};
 pub use object_model::ObjectModel;
 pub use runner::{run_trials, run_trials_scoped, run_trials_threaded};
 pub use trace::{summarize, TraceEvent, TraceSummary};

@@ -162,6 +162,26 @@ impl SimResult {
     }
 }
 
+/// A streaming consumer of completed trial results.
+///
+/// Sweep runners call [`fold`](ResultFold::fold) exactly once per completed
+/// trial, in ascending trial order, as results become final — letting
+/// aggregators (running moments, quantile sketches) consume a sweep in O(1)
+/// memory instead of retaining every [`SimResult`]. Quarantined trials are
+/// never folded.
+///
+/// Implemented for any `FnMut(u64, &SimResult)` closure.
+pub trait ResultFold {
+    /// Consumes the result of trial `trial`.
+    fn fold(&mut self, trial: u64, result: &SimResult);
+}
+
+impl<F: FnMut(u64, &SimResult)> ResultFold for F {
+    fn fold(&mut self, trial: u64, result: &SimResult) {
+        self(trial, result);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

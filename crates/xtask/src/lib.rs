@@ -245,6 +245,8 @@ impl LintConfig {
             protected_files: [
                 "crates/harness/src/atomic.rs",
                 "crates/harness/src/codec.rs",
+                "crates/harness/src/lease.rs",
+                "crates/harness/src/merge.rs",
                 "crates/harness/src/store.rs",
             ]
             .iter()
@@ -1325,6 +1327,8 @@ mod tests {
         for file in [
             "crates/harness/src/atomic.rs",
             "crates/harness/src/codec.rs",
+            "crates/harness/src/lease.rs",
+            "crates/harness/src/merge.rs",
             "crates/harness/src/store.rs",
         ] {
             assert!(
